@@ -1,0 +1,185 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   * reachability: condensation+interval index vs online BFS per query,
+//   * CSR: sorted vs unsorted adjacency for membership tests,
+//   * influence maximization: CELF vs plain greedy (evaluations counted),
+//   * supernode skipping: traversal cost with/without high-degree cutoff.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/hop_labels.h"
+#include "algorithms/reachability.h"
+#include "algorithms/traversal.h"
+#include "ml/influence_max.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+// ------------------------------ reachability: index vs online BFS ---------
+
+void BM_ReachabilityOnlineBfs(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(algo::IsReachable(g, s, t));
+  }
+}
+BENCHMARK(BM_ReachabilityOnlineBfs)->Arg(10)->Arg(13);
+
+void BM_ReachabilityIndexed(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  static std::map<int64_t, algo::ReachabilityIndex> cache;
+  auto it = cache.find(state.range(0));
+  if (it == cache.end()) {
+    it = cache.emplace(state.range(0),
+                       algo::ReachabilityIndex::Build(g).ValueOrDie())
+             .first;
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(it->second.Reachable(s, t));
+  }
+}
+BENCHMARK(BM_ReachabilityIndexed)->Arg(10)->Arg(13);
+
+void BM_ReachabilityIndexBuild(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::ReachabilityIndex::Build(g));
+  }
+}
+BENCHMARK(BM_ReachabilityIndexBuild)->Arg(10)->Arg(13);
+
+// ------------------------------ distances: BFS vs hop labels --------------
+
+void BM_DistanceQueryBfs(benchmark::State& state) {
+  const CsrGraph& g = bench::SmallWorldGraph(4000);
+  Rng rng(4);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    auto dist = algo::BfsDistances(g, s);
+    benchmark::DoNotOptimize(dist[t]);
+  }
+}
+BENCHMARK(BM_DistanceQueryBfs);
+
+void BM_DistanceQueryHopLabels(benchmark::State& state) {
+  const CsrGraph& g = bench::SmallWorldGraph(4000);
+  static const algo::HopLabelIndex idx =
+      algo::HopLabelIndex::Build(g).ValueOrDie();
+  Rng rng(4);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(idx.Distance(s, t));
+  }
+  state.counters["avg_label_size"] = idx.AverageLabelSize();
+}
+BENCHMARK(BM_DistanceQueryHopLabels);
+
+// ------------------------------ CSR: sorted vs unsorted adjacency ---------
+
+void BM_HasEdgeSortedAdjacency(benchmark::State& state) {
+  Rng grng(5);
+  CsrOptions opts;
+  opts.sort_neighbors = true;
+  static const CsrGraph g =
+      CsrGraph::FromEdges(gen::Rmat(14, 8 << 14, &grng).ValueOrDie(), opts)
+          .ValueOrDie();
+  Rng rng(2);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(g.HasEdge(s, t));
+  }
+}
+BENCHMARK(BM_HasEdgeSortedAdjacency);
+
+void BM_HasEdgeUnsortedAdjacency(benchmark::State& state) {
+  Rng grng(5);
+  CsrOptions opts;
+  opts.sort_neighbors = false;
+  static const CsrGraph g =
+      CsrGraph::FromEdges(gen::Rmat(14, 8 << 14, &grng).ValueOrDie(), opts)
+          .ValueOrDie();
+  Rng rng(2);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(g.HasEdge(s, t));
+  }
+}
+BENCHMARK(BM_HasEdgeUnsortedAdjacency);
+
+// ------------------------------ influence: CELF vs greedy -----------------
+
+void BM_InfluenceGreedy(benchmark::State& state) {
+  const CsrGraph& g = bench::SmallWorldGraph(200);
+  ml::InfluenceOptions opts;
+  opts.num_simulations = 20;
+  uint64_t evals = 0;
+  for (auto _ : state) {
+    auto r = ml::GreedyInfluenceMaximization(g, 3, opts).ValueOrDie();
+    evals = r.spread_evaluations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["spread_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_InfluenceGreedy);
+
+void BM_InfluenceCelf(benchmark::State& state) {
+  const CsrGraph& g = bench::SmallWorldGraph(200);
+  ml::InfluenceOptions opts;
+  opts.num_simulations = 20;
+  uint64_t evals = 0;
+  for (auto _ : state) {
+    auto r = ml::CelfInfluenceMaximization(g, 3, opts).ValueOrDie();
+    evals = r.spread_evaluations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["spread_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_InfluenceCelf);
+
+// ------------------------------ supernode skipping ------------------------
+
+void BM_BfsWithSupernodes(benchmark::State& state) {
+  // Power-law graphs are where the Table 19 complaint lives.
+  static const CsrGraph g = [] {
+    Rng rng(7);
+    return CsrGraph::FromEdges(
+               gen::PowerLawDirected(20000, 2.0, 2000, &rng).ValueOrDie())
+        .ValueOrDie();
+  }();
+  Rng rng(3);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(algo::BfsDistances(g, s));
+  }
+}
+BENCHMARK(BM_BfsWithSupernodes);
+
+void BM_BfsSkippingSupernodes(benchmark::State& state) {
+  static const CsrGraph g = [] {
+    Rng rng(7);
+    return CsrGraph::FromEdges(
+               gen::PowerLawDirected(20000, 2.0, 2000, &rng).ValueOrDie())
+        .ValueOrDie();
+  }();
+  Rng rng(3);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(algo::BfsDistancesSkippingSupernodes(g, s, 64));
+  }
+}
+BENCHMARK(BM_BfsSkippingSupernodes);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared graph builders for the perf benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::bench {
+
+/// Cached RMAT graph at 2^scale vertices with 8 edges per vertex.
+inline const CsrGraph& RmatGraph(uint32_t scale, bool in_edges = false) {
+  static std::map<std::pair<uint32_t, bool>, CsrGraph> cache;
+  auto key = std::make_pair(scale, in_edges);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(scale * 1000003ULL + 17);
+    uint64_t edges = static_cast<uint64_t>(8) << scale;
+    CsrOptions opts;
+    opts.build_in_edges = in_edges;
+    it = cache.emplace(key, CsrGraph::FromEdges(
+                                gen::Rmat(scale, edges, &rng).ValueOrDie(), opts)
+                                .ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+/// Cached undirected small-world graph (for layout / community benches).
+inline const CsrGraph& SmallWorldGraph(VertexId n) {
+  static std::map<VertexId, CsrGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(n + 5);
+    CsrOptions opts;
+    opts.directed = false;
+    it = cache.emplace(n, CsrGraph::FromEdges(
+                              gen::WattsStrogatz(n, 6, 0.1, &rng).ValueOrDie(),
+                              opts)
+                              .ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace ubigraph::bench

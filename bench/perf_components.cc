@@ -1,0 +1,51 @@
+// Connected components — the survey's most-run computation (Table 9 #1).
+#include <benchmark/benchmark.h>
+
+#include "algorithms/connected_components.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_WeaklyConnectedComponents(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::WeaklyConnectedComponents(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_WeaklyConnectedComponents)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_ConnectedComponentsBfs(benchmark::State& state) {
+  const CsrGraph& g =
+      bench::RmatGraph(static_cast<uint32_t>(state.range(0)), /*in_edges=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::ConnectedComponentsBfs(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ConnectedComponentsBfs)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_StronglyConnectedComponents(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::StronglyConnectedComponents(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_StronglyConnectedComponents)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_SingletonCleaning(benchmark::State& state) {
+  // The §4.1 "remove singleton vertices" pre-processing step.
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::SingletonVertices(g));
+  }
+}
+BENCHMARK(BM_SingletonCleaning)->Arg(10)->Arg(13);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Synthetic graph generators (Table 13; §6.2 generator requests).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  Rng rng(1);
+  VertexId n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::ErdosRenyi(n, n * 8, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_Rmat(benchmark::State& state) {
+  Rng rng(2);
+  uint32_t scale = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::Rmat(scale, 8ULL << scale, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * (8ULL << scale));
+}
+BENCHMARK(BM_Rmat)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  Rng rng(3);
+  VertexId n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::BarabasiAlbert(n, 4, &rng));
+  }
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_WattsStrogatz(benchmark::State& state) {
+  Rng rng(4);
+  VertexId n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::WattsStrogatz(n, 6, 0.1, &rng));
+  }
+}
+BENCHMARK(BM_WattsStrogatz)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_KRegular(benchmark::State& state) {
+  Rng rng(5);
+  VertexId n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::KRegular(n, 6, &rng));
+  }
+}
+BENCHMARK(BM_KRegular)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_PowerLawDirected(benchmark::State& state) {
+  Rng rng(6);
+  VertexId n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::PowerLawDirected(n, 2.2, 100, &rng));
+  }
+}
+BENCHMARK(BM_PowerLawDirected)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_CsrConstruction(benchmark::State& state) {
+  Rng rng(7);
+  uint32_t scale = static_cast<uint32_t>(state.range(0));
+  auto el = gen::Rmat(scale, 8ULL << scale, &rng).ValueOrDie();
+  for (auto _ : state) {
+    EdgeList copy = el;
+    benchmark::DoNotOptimize(CsrGraph::FromEdges(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * el.num_edges());
+}
+BENCHMARK(BM_CsrConstruction)->Arg(10)->Arg(13)->Arg(16);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

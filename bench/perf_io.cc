@@ -1,0 +1,80 @@
+// Storage-format serialization/parsing (Table 17 formats). Binary should
+// dominate the text formats — the shape the survey's scalability complaints
+// about "inefficient loading" predict.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "io/binary_io.h"
+#include "io/csv_io.h"
+#include "io/edge_list_io.h"
+#include "io/gml_io.h"
+#include "io/graphml_io.h"
+#include "io/json_io.h"
+
+namespace ubigraph {
+namespace {
+
+EdgeList BenchEdges() {
+  Rng rng(11);
+  return gen::ErdosRenyi(1 << 12, 8 << 12, &rng).ValueOrDie();
+}
+
+void BM_WriteEdgeListText(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  for (auto _ : state) benchmark::DoNotOptimize(io::WriteEdgeListText(el));
+}
+BENCHMARK(BM_WriteEdgeListText);
+
+void BM_ParseEdgeListText(benchmark::State& state) {
+  std::string text = io::WriteEdgeListText(BenchEdges());
+  for (auto _ : state) benchmark::DoNotOptimize(io::ParseEdgeListText(text));
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ParseEdgeListText);
+
+void BM_ParseCsv(benchmark::State& state) {
+  std::string text = io::WriteCsvEdges(BenchEdges());
+  for (auto _ : state) benchmark::DoNotOptimize(io::ParseCsvEdges(text));
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ParseCsv);
+
+void BM_ParseGraphMl(benchmark::State& state) {
+  std::string text = io::WriteGraphMl(BenchEdges());
+  for (auto _ : state) benchmark::DoNotOptimize(io::ParseGraphMl(text));
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ParseGraphMl);
+
+void BM_ParseGml(benchmark::State& state) {
+  std::string text = io::WriteGml(BenchEdges());
+  for (auto _ : state) benchmark::DoNotOptimize(io::ParseGml(text));
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ParseGml);
+
+void BM_ParseJson(benchmark::State& state) {
+  std::string text = io::WriteJsonGraph(BenchEdges());
+  for (auto _ : state) benchmark::DoNotOptimize(io::ParseJsonGraph(text));
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ParseJson);
+
+void BM_ParseBinary(benchmark::State& state) {
+  std::string data = io::WriteBinaryGraph(BenchEdges());
+  for (auto _ : state) benchmark::DoNotOptimize(io::ParseBinaryGraph(data));
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_ParseBinary);
+
+void BM_WriteBinary(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  for (auto _ : state) benchmark::DoNotOptimize(io::WriteBinaryGraph(el));
+}
+BENCHMARK(BM_WriteBinary);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Visualization layouts (the survey's #2 challenge): layout cost and the
+// coarsening path that makes large graphs drawable.
+#include <benchmark/benchmark.h>
+
+#include "ml/louvain.h"
+#include "viz/coarsen.h"
+#include "viz/layout.h"
+#include "viz/svg_export.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_ForceDirectedLayout(benchmark::State& state) {
+  const CsrGraph& g = bench::SmallWorldGraph(static_cast<VertexId>(state.range(0)));
+  viz::ForceLayoutOptions opts;
+  opts.iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::ForceDirectedLayout(g, opts));
+  }
+}
+BENCHMARK(BM_ForceDirectedLayout)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_HierarchicalLayout(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::HierarchicalLayout(g));
+  }
+}
+BENCHMARK(BM_HierarchicalLayout)->Arg(10)->Arg(13);
+
+void BM_SvgRender(benchmark::State& state) {
+  const CsrGraph& g = bench::SmallWorldGraph(static_cast<VertexId>(state.range(0)));
+  viz::Layout layout = viz::CircularLayout(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::RenderSvg(g, layout));
+  }
+}
+BENCHMARK(BM_SvgRender)->Arg(400)->Arg(1600);
+
+void BM_LargeGraphViaCoarsening(benchmark::State& state) {
+  // The large-graph visualization pipeline: Louvain communities -> coarsen ->
+  // force layout of the community graph.
+  const CsrGraph& g = bench::SmallWorldGraph(static_cast<VertexId>(state.range(0)));
+  for (auto _ : state) {
+    auto communities = ml::Louvain(g);
+    auto coarse =
+        viz::CoarsenByGroups(g, communities.community, communities.num_communities)
+            .ValueOrDie();
+    viz::ForceLayoutOptions opts;
+    opts.iterations = 50;
+    benchmark::DoNotOptimize(viz::ForceDirectedLayout(coarse.graph, opts));
+  }
+}
+BENCHMARK(BM_LargeGraphViaCoarsening)->Arg(2000)->Arg(8000);
+
+void BM_SampleTopDegree(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::SampleTopDegree(g, 200));
+  }
+}
+BENCHMARK(BM_SampleTopDegree)->Arg(13)->Arg(16);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

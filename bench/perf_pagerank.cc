@@ -1,0 +1,53 @@
+// PageRank & centrality (Table 9 "Ranking & Centrality Scores").
+#include <benchmark/benchmark.h>
+
+#include "algorithms/centrality.h"
+#include "algorithms/pagerank.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_PageRank(benchmark::State& state) {
+  const CsrGraph& g =
+      bench::RmatGraph(static_cast<uint32_t>(state.range(0)), /*in_edges=*/true);
+  algo::PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0;  // fixed iteration count for stable comparison
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::PageRank(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+}
+BENCHMARK(BM_PageRank)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_ApproxBetweenness(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::ApproxBetweennessCentrality(g, 16, &rng));
+  }
+}
+BENCHMARK(BM_ApproxBetweenness)->Arg(10)->Arg(12);
+
+void BM_HarmonicCloseness(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::HarmonicCloseness(g));
+  }
+}
+BENCHMARK(BM_HarmonicCloseness)->Arg(8)->Arg(10);
+
+void BM_DegreeCentrality(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::DegreeCentrality(g));
+  }
+}
+BENCHMARK(BM_DegreeCentrality)->Arg(10)->Arg(16);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

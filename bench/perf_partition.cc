@@ -1,0 +1,52 @@
+// Partitioning (Table 9): streaming partitioners vs the hash baseline, with
+// edge-cut quality reported as counters.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/partition.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_HashPartition(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  algo::Partitioning last;
+  for (auto _ : state) {
+    last = algo::HashPartition(g, 16).ValueOrDie();
+    benchmark::DoNotOptimize(last);
+  }
+  auto q = algo::EvaluatePartition(g, last).ValueOrDie();
+  state.counters["cut_fraction"] = q.cut_fraction;
+}
+BENCHMARK(BM_HashPartition)->Arg(13)->Arg(16);
+
+void BM_LdgPartition(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  algo::Partitioning last;
+  for (auto _ : state) {
+    last = algo::LdgPartition(g, 16).ValueOrDie();
+    benchmark::DoNotOptimize(last);
+  }
+  auto q = algo::EvaluatePartition(g, last).ValueOrDie();
+  state.counters["cut_fraction"] = q.cut_fraction;
+}
+BENCHMARK(BM_LdgPartition)->Arg(13)->Arg(16);
+
+void BM_BfsGrowPartition(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  Rng rng(9);
+  algo::Partitioning last;
+  for (auto _ : state) {
+    last = algo::BfsGrowPartition(g, 16, &rng).ValueOrDie();
+    benchmark::DoNotOptimize(last);
+  }
+  auto q = algo::EvaluatePartition(g, last).ValueOrDie();
+  state.counters["cut_fraction"] = q.cut_fraction;
+}
+BENCHMARK(BM_BfsGrowPartition)->Arg(13)->Arg(16);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

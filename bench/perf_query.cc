@@ -1,0 +1,120 @@
+// Query engine benchmarks: Cypher-lite and the fluent traversal API over a
+// property graph (the survey's #3 challenge area).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "query/cypher_executor.h"
+#include "query/cypher_parser.h"
+#include "query/traversal_api.h"
+#include "rdf/triple_store.h"
+
+namespace ubigraph {
+namespace {
+
+PropertyGraph* BuildSocialGraph(VertexId people, VertexId products) {
+  auto* g = new PropertyGraph();
+  Rng rng(13);
+  for (VertexId i = 0; i < people; ++i) {
+    VertexId v = g->AddVertex("Person");
+    g->SetVertexProperty(v, "age", static_cast<int64_t>(18 + rng.NextBounded(60)))
+        .Abort();
+    g->SetVertexProperty(v, "name", "p" + std::to_string(i)).Abort();
+  }
+  for (VertexId i = 0; i < products; ++i) {
+    VertexId v = g->AddVertex("Product");
+    g->SetVertexProperty(v, "price", 10.0 + rng.NextDouble() * 990).Abort();
+  }
+  for (VertexId i = 0; i < people * 4; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(people));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(people));
+    if (a != b) g->AddEdge(a, b, "knows").ValueOrDie();
+  }
+  for (VertexId i = 0; i < people * 2; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(people));
+    VertexId b = people + static_cast<VertexId>(rng.NextBounded(products));
+    g->AddEdge(a, b, "bought").ValueOrDie();
+  }
+  return g;
+}
+
+const PropertyGraph& SocialGraph() {
+  static PropertyGraph* kGraph = BuildSocialGraph(2000, 200);
+  return *kGraph;
+}
+
+void BM_CypherParseOnly(benchmark::State& state) {
+  const std::string q =
+      "MATCH (a:Person)-[:knows]->(b:Person) WHERE a.age > 30 AND b.age < 40 "
+      "RETURN a.name, b.name LIMIT 50";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::ParseCypher(q));
+  }
+}
+BENCHMARK(BM_CypherParseOnly);
+
+void BM_CypherLabelScan(benchmark::State& state) {
+  const PropertyGraph& g = SocialGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::RunCypher(g, "MATCH (p:Person) WHERE p.age > 70 RETURN p.name"));
+  }
+}
+BENCHMARK(BM_CypherLabelScan);
+
+void BM_CypherOneHop(benchmark::State& state) {
+  const PropertyGraph& g = SocialGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::RunCypher(
+        g,
+        "MATCH (a:Person {name: 'p7'})-[:knows]->(b) RETURN b LIMIT 100"));
+  }
+}
+BENCHMARK(BM_CypherOneHop);
+
+void BM_TraversalApiTwoHop(benchmark::State& state) {
+  const PropertyGraph& g = SocialGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::GraphTraversal(g).V({7}).Out("knows").Out("knows").Dedup().Count());
+  }
+}
+BENCHMARK(BM_TraversalApiTwoHop);
+
+void BM_TraversalApiFilterChain(benchmark::State& state) {
+  const PropertyGraph& g = SocialGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        query::GraphTraversal(g)
+            .V()
+            .HasLabel("Person")
+            .Has("age",
+                 [](const PropertyValue& v) { return std::get<int64_t>(v) > 50; })
+            .Out("bought")
+            .Dedup()
+            .Count());
+  }
+}
+BENCHMARK(BM_TraversalApiFilterChain);
+
+void BM_TripleStoreJoin(benchmark::State& state) {
+  static rdf::TripleStore* store = [] {
+    auto* s = new rdf::TripleStore();
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+      s->Add("person" + std::to_string(rng.NextBounded(2000)), "knows",
+             "person" + std::to_string(rng.NextBounded(2000)));
+    }
+    return s;
+  }();
+  for (auto _ : state) {
+    std::vector<std::string> vars;
+    benchmark::DoNotOptimize(store->Query(
+        {{"person1", "knows", "?x"}, {"?x", "knows", "?y"}}, &vars));
+  }
+}
+BENCHMARK(BM_TripleStoreJoin);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

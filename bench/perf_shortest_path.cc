@@ -1,0 +1,54 @@
+// Shortest paths (Table 9 #3).
+#include <benchmark/benchmark.h>
+
+#include "algorithms/shortest_path.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_Dijkstra(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::Dijkstra(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Dijkstra)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_BellmanFord(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::BellmanFord(g, 0));
+  }
+}
+BENCHMARK(BM_BellmanFord)->Arg(8)->Arg(10);
+
+void BM_BidirectionalBfs(benchmark::State& state) {
+  const CsrGraph& g =
+      bench::RmatGraph(static_cast<uint32_t>(state.range(0)), /*in_edges=*/true);
+  Rng rng(1);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(algo::BidirectionalBfsDistance(g, s, t));
+  }
+}
+BENCHMARK(BM_BidirectionalBfs)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_PointToPointDijkstra(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    VertexId s = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    VertexId t = static_cast<VertexId>(rng.NextBounded(g.num_vertices()));
+    benchmark::DoNotOptimize(algo::DijkstraPointToPoint(g, s, t));
+  }
+}
+BENCHMARK(BM_PointToPointDijkstra)->Arg(10)->Arg(13);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Streaming-graph ingestion (Table 8's streaming workloads): edges/sec with
+// incremental triangle and component maintenance.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "stream/streaming_graph.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_StreamIngest(benchmark::State& state) {
+  const VertexId n = 10000;
+  Rng rng(21);
+  for (auto _ : state) {
+    state.PauseTiming();
+    stream::StreamingOptions opts;
+    opts.window = static_cast<uint64_t>(state.range(0));
+    stream::StreamingGraph g(n, opts);
+    state.ResumeTiming();
+    for (uint64_t t = 1; t <= 20000; ++t) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u != v) g.AddEdge(u, v, t).Abort();
+    }
+    benchmark::DoNotOptimize(g.TriangleCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_StreamIngest)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_StreamComponentQuery(benchmark::State& state) {
+  const VertexId n = 5000;
+  Rng rng(22);
+  stream::StreamingOptions opts;
+  opts.window = 5000;
+  opts.rebuild_threshold = static_cast<uint64_t>(state.range(0));
+  stream::StreamingGraph g(n, opts);
+  uint64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u != v) g.AddEdge(u, v, ++t).Abort();
+    }
+    benchmark::DoNotOptimize(g.NumComponents());
+  }
+}
+BENCHMARK(BM_StreamComponentQuery)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Traversal microbenchmarks: BFS/DFS across graph scales (Table 11 workloads).
+#include <benchmark/benchmark.h>
+
+#include "algorithms/traversal.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_BfsDistances(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::BfsDistances(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BfsDistances)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_DfsPreorder(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::DfsPreorder(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_DfsPreorder)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_TwoHopNeighborhood(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::NeighborsWithinHops(g, v, 2));
+    v = (v + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_TwoHopNeighborhood)->Arg(10)->Arg(13);
+
+void BM_TopologicalSortDag(benchmark::State& state) {
+  // A layered DAG (grid) of the requested scale.
+  VertexId side = static_cast<VertexId>(1u << (state.range(0) / 2));
+  auto g = CsrGraph::FromEdges(gen::Grid(side, side)).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::TopologicalSort(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_TopologicalSortDag)->Arg(10)->Arg(14);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

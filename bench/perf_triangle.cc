@@ -1,0 +1,57 @@
+// Aggregations: triangle counting & clustering coefficients (Table 9).
+#include <benchmark/benchmark.h>
+
+#include "algorithms/kcore.h"
+#include "algorithms/triangle.h"
+
+#include "perf_common.h"
+
+namespace ubigraph {
+namespace {
+
+void BM_TriangleCount(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::CountTriangles(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_TriangleCount)->Arg(10)->Arg(13)->Arg(15);
+
+void BM_GlobalClusteringCoefficient(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::GlobalClusteringCoefficient(g));
+  }
+}
+BENCHMARK(BM_GlobalClusteringCoefficient)->Arg(10)->Arg(13);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::CoreDecomposition(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(10)->Arg(13)->Arg(16);
+
+void BM_DensestSubgraph(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::DensestSubgraphApprox(g));
+  }
+}
+BENCHMARK(BM_DensestSubgraph)->Arg(10)->Arg(13);
+
+void BM_DegreeHistogram(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::DegreeHistogram(g));
+  }
+}
+BENCHMARK(BM_DegreeHistogram)->Arg(13)->Arg(16);
+
+}  // namespace
+}  // namespace ubigraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 1: the 22 surveyed software products, their technology classes, and
+// active mailing-list user counts. Reproduced from the product registry that
+// also drives the synthetic corpus; verifies the per-class group totals the
+// paper reports (Graph DB 233, RDF 115, DGPS 39, libraries 97, viz 116).
+#include <cstdio>
+#include <map>
+
+#include "common/table.h"
+#include "survey/paper_data.h"
+
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph;
+  using namespace ubigraph::survey;
+
+  TextTable table({"Technology", "Software", "# Users"});
+  std::map<std::string, int> class_totals;
+  int surveyed = 0;
+  for (const ProductInfo& p : Products()) {
+    if (p.mailing_list_users < 0) continue;  // Gephi/Graphviz: repos only
+    ++surveyed;
+    table.AddRow({p.technology, p.name, std::to_string(p.mailing_list_users)});
+    class_totals[p.technology] += p.mailing_list_users;
+  }
+  std::puts("Table 1 — software products used for recruiting participants");
+  std::fputs(table.RenderAscii().c_str(), stdout);
+
+  static const std::map<std::string, int> kPaperTotals = {
+      {"Graph Database", 233},
+      {"RDF Engine", 115},
+      {"Distributed Graph Processing Engine", 39},
+      {"Query Language", 82},
+      {"Graph Library", 97},
+      {"Graph Visualization", 116},
+      {"Graph Representation", 6},
+  };
+  bool ok = surveyed == 22;
+  std::puts("\nPer-class user totals (paper vs reproduced):");
+  for (const auto& [tech, paper_total] : kPaperTotals) {
+    int got = class_totals[tech];
+    std::printf("  %-38s paper=%3d repro=%3d %s\n", tech.c_str(), paper_total,
+                got, got == paper_total ? "yes" : "NO");
+    ok = ok && got == paper_total;
+  }
+  std::printf("  surveyed products: paper=22 repro=%d\n", surveyed);
+  return VerdictExit(ok);
+}

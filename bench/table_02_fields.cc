@@ -1,0 +1,8 @@
+// Table 2: participants' fields of work (R/P split).
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok = ReportQuestion("fields", "Table 2 — participants' fields of work");
+  return VerdictExit(ok);
+}

@@ -1,0 +1,9 @@
+// Table 3: size of the participants' organizations.
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok =
+      ReportQuestion("org_size", "Table 3 — size of participants' organizations");
+  return VerdictExit(ok);
+}

@@ -1,0 +1,13 @@
+// Tables 7a/7b/7c: topology (directed / multigraph) and the data types stored
+// on vertices and edges — the type system PropertyGraph implements.
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok = true;
+  ok &= ReportQuestion("directedness", "Table 7a — directed vs. undirected");
+  ok &= ReportQuestion("multiplicity", "Table 7b — simple vs. multigraphs");
+  ok &= ReportQuestion("vertex_data_types", "Table 7c — data types on vertices");
+  ok &= ReportQuestion("edge_data_types", "Table 7c — data types on edges");
+  return VerdictExit(ok);
+}

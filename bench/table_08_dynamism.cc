@@ -1,0 +1,9 @@
+// Table 8: how frequently the participants' graphs change (static / dynamic /
+// streaming) — the workload classes DynamicGraph and StreamingGraph serve.
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok = ReportQuestion("dynamism", "Table 8 — frequency of changes");
+  return VerdictExit(ok);
+}

@@ -1,0 +1,8 @@
+// Table 11: which fundamental traversals (BFS / DFS) participants use.
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok = ReportQuestion("traversals", "Table 11 — graph traversals used");
+  return VerdictExit(ok);
+}

@@ -1,0 +1,24 @@
+// Table 13: software used for non-querying tasks (visualization's dominance).
+#include <cstdio>
+
+#include "survey/academic.h"
+
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok =
+      ReportQuestion("nonquery_software", "Table 13 — software for non-query tasks");
+
+  auto corpus = AcademicCorpus::SynthesizeExact().ValueOrDie();
+  auto counts = corpus.CountNonQuerySoftware();
+  const auto& rows = Table13NonQuerySoftware();
+  std::puts("Academic column: paper vs mined from the 90-paper corpus");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool match = counts[i] == rows[i].academic;
+    std::printf("  %-34s paper=%2d repro=%2d %s\n", rows[i].label,
+                rows[i].academic, counts[i], match ? "yes" : "NO");
+    ok = ok && match;
+  }
+  return VerdictExit(ok);
+}

@@ -1,0 +1,18 @@
+// Table 14: architectures of the participants' software, plus the §5.2 joint
+// fact that 29 of the 45 "distributed" users have graphs over 100M edges.
+#include <cstdio>
+
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok =
+      ReportQuestion("architectures", "Table 14 — software architectures used");
+
+  int joint = DeriveDistributedWithOver100M(SharedPopulation());
+  std::printf("Joint constraint: distributed users with >100M edges = %d "
+              "(paper: %d)\n",
+              joint, kDistributedWithOver100MEdges);
+  ok = ok && joint == kDistributedWithOver100MEdges;
+  return VerdictExit(ok);
+}

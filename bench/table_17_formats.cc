@@ -1,0 +1,16 @@
+// Table 17: storage formats among multi-format users. Every format class the
+// table names that is in scope for a single-machine library is actually
+// implemented in src/io (edge-list/CSV/GraphML/GML/JSON/binary) and src/rdf.
+#include <cstdio>
+
+#include "table_common.h"
+
+int main() {
+  using namespace ubigraph::survey;
+  bool ok = ReportQuestion("storage_formats",
+                           "Table 17 — data storage formats (25 respondents)");
+  std::puts("Implemented in this workbench: graph binary (io/binary), "
+            "RDF store (rdf/), XML/JSON (io/graphml, io/json), GML/GraphML "
+            "(io/gml, io/graphml), CSV/text (io/csv, io/edge_list).");
+  return VerdictExit(ok);
+}

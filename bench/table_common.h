@@ -1,0 +1,37 @@
+// Shared helpers for the per-table reproduction binaries. Each binary prints
+// the paper's rows next to the reproduced rows and exits non-zero on any
+// mismatch, so `for b in build/bench/*; do $b; done` doubles as a check.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "survey/population.h"
+#include "survey/tabulate.h"
+
+namespace ubigraph::survey {
+
+/// Lazily-built shared exact population.
+inline const Population& SharedPopulation() {
+  static const Population kPop = Population::SynthesizeExact().ValueOrDie();
+  return kPop;
+}
+
+/// Prints one question comparison; returns true when all rows match.
+inline bool ReportQuestion(const std::string& question_id,
+                           const std::string& title) {
+  Comparison cmp = CompareQuestion(SharedPopulation(), question_id, title);
+  std::fputs(cmp.Render().c_str(), stdout);
+  std::fputs("\n", stdout);
+  return cmp.AllMatch();
+}
+
+/// Standard exit convention.
+inline int VerdictExit(bool ok) {
+  std::printf("%s\n", ok ? "[REPRODUCED] matches the paper exactly"
+                         : "[MISMATCH] differs from the paper");
+  return ok ? 0 : 1;
+}
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,129 @@
+// Product graph: the survey's most surprising finding is that classic
+// enterprise data — products, orders, transactions — is the most popular
+// *non-human* entity class stored as a graph (Table 4, NH-P: 12 of 13 are
+// practitioners). This example builds a customers-orders-products property
+// graph, then runs the analyses the survey says enterprises value:
+//   * Cypher-lite queries over the purchase patterns,
+//   * co-purchase recommendation (collaborative filtering),
+//   * fraud-ring detection via connected components over shared cards.
+//
+//   ./product_graph
+#include <cstdio>
+#include <string>
+
+#include "algorithms/connected_components.h"
+#include "common/random.h"
+#include "ml/collaborative_filtering.h"
+#include "query/cypher_executor.h"
+#include "query/traversal_api.h"
+
+int main() {
+  using namespace ubigraph;
+
+  Rng rng(7);
+  PropertyGraph g;
+
+  // --- Synthetic enterprise data: 40 customers, 25 products, 10 cards. ---
+  constexpr int kCustomers = 40, kProducts = 25, kCards = 41;
+  std::vector<VertexId> customers, products, cards;
+  for (int i = 0; i < kCustomers; ++i) {
+    VertexId v = g.AddVertex("Customer");
+    g.SetVertexProperty(v, "name", "customer" + std::to_string(i)).Abort();
+    customers.push_back(v);
+  }
+  for (int i = 0; i < kProducts; ++i) {
+    VertexId v = g.AddVertex("Product");
+    g.SetVertexProperty(v, "name", "product" + std::to_string(i)).Abort();
+    g.SetVertexProperty(v, "price", 5.0 + 10.0 * (i % 7)).Abort();
+    products.push_back(v);
+  }
+  for (int i = 0; i < kCards; ++i) {
+    VertexId v = g.AddVertex("Card");
+    g.SetVertexProperty(v, "number", "card" + std::to_string(i)).Abort();
+    cards.push_back(v);
+  }
+
+  // Orders connect the three: customer -placed-> order -contains-> product,
+  // order -paid_with-> card. Customers have taste clusters (products i%5).
+  std::vector<ml::Rating> ratings;
+  int num_orders = 0;
+  for (int c = 0; c < kCustomers; ++c) {
+    int orders = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int o = 0; o < orders; ++o) {
+      VertexId order = g.AddVertex("Order");
+      g.SetVertexProperty(order, "id", static_cast<int64_t>(num_orders++)).Abort();
+      g.AddEdge(customers[c], order, "placed").ValueOrDie();
+      // Card sharing: each customer uses their own card, except customers
+      // 0, 7, 14, ... who all pay with card 0 — the planted fraud ring.
+      int card = (c % 7 == 0) ? 0 : 1 + c;
+      g.AddEdge(order, cards[card], "paid_with").ValueOrDie();
+      int items = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int k = 0; k < items; ++k) {
+        int p = (c % 5) * 5 + static_cast<int>(rng.NextBounded(5));
+        g.AddEdge(order, products[p], "contains").ValueOrDie();
+        ratings.push_back({static_cast<uint32_t>(c), static_cast<uint32_t>(p),
+                           1.0 + static_cast<double>(rng.NextBounded(5))});
+      }
+    }
+  }
+  std::printf("enterprise graph: %u vertices, %llu edges (%d orders)\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              num_orders);
+
+  // --- 1. Query: expensive products bought by customer0's orders. ---
+  auto result = query::RunCypher(
+                    g,
+                    "MATCH (c:Customer {name: 'customer0'})-[:placed]->(o)"
+                    "-[:contains]->(p:Product) WHERE p.price > 40 "
+                    "RETURN p.name, p.price")
+                    .ValueOrDie();
+  std::printf("\ncustomer0's premium purchases (%zu rows):\n%s",
+              result.rows.size(), query::FormatResult(result).c_str());
+
+  // --- 2. Recommendation via item-item collaborative filtering. ---
+  auto cf = ml::ItemItemCf::Build(kCustomers, kProducts, ratings).ValueOrDie();
+  auto recs = cf.Recommend(0, 3);
+  std::printf("\nrecommended for customer0:");
+  for (uint32_t p : recs) std::printf(" product%u", p);
+  std::printf("\n");
+
+  // --- 3. Fraud rings: customers sharing a payment card form components. ---
+  // Project customer-card co-usage into an edge list.
+  EdgeList co_usage(kCustomers);
+  for (int a = 0; a < kCustomers; ++a) {
+    for (int b = a + 1; b < kCustomers; ++b) {
+      // Shared card iff both have an order paid with the same card vertex.
+      auto cards_of = [&](VertexId cust) {
+        return query::GraphTraversal(g)
+            .V({cust})
+            .Out("placed")
+            .Out("paid_with")
+            .Dedup()
+            .ToVector();
+      };
+      auto ca = cards_of(customers[a]);
+      auto cb = cards_of(customers[b]);
+      for (VertexId x : ca) {
+        for (VertexId y : cb) {
+          if (x == y) {
+            co_usage.Add(a, b);
+            goto next_pair;
+          }
+        }
+      }
+    next_pair:;
+    }
+  }
+  co_usage.EnsureVertices(kCustomers);
+  CsrOptions copts;
+  copts.directed = false;
+  auto co_graph = CsrGraph::FromEdges(std::move(co_usage), copts).ValueOrDie();
+  auto rings = algo::WeaklyConnectedComponents(co_graph);
+  auto sizes = rings.ComponentSizes();
+  uint64_t biggest = sizes[rings.LargestComponent()];
+  std::printf("\ncard-sharing components: %u; largest suspicious ring has %llu "
+              "customers\n",
+              rings.num_components, static_cast<unsigned long long>(biggest));
+  std::printf("(customers 0, 7, 14, ... were planted to share card0)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Social network analysis: the survey's human-entity workloads (Table 4:
+// humans are in 45/89 participants' graphs) — community detection, influence
+// maximization, link prediction, and centrality, end to end.
+//
+//   ./social_network
+#include <cstdio>
+
+#include "algorithms/centrality.h"
+#include "algorithms/pagerank.h"
+#include "common/random.h"
+#include "gen/generators.h"
+#include "ml/influence_max.h"
+#include "ml/link_prediction.h"
+#include "ml/louvain.h"
+
+int main() {
+  using namespace ubigraph;
+
+  // A planted-community social graph: 4 circles of 50 people.
+  Rng rng(11);
+  auto edges = gen::PlantedPartition(200, 4, 0.25, 0.01, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(edges), opts).ValueOrDie();
+  std::printf("social graph: %u people, %llu friendship arcs\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // --- Community detection (Table 10b's most common ML problem). ---
+  auto communities = ml::Louvain(g);
+  std::printf("\nLouvain found %u communities (modularity %.3f, %u levels)\n",
+              communities.num_communities, communities.modularity,
+              communities.levels);
+  int correct = 0;
+  for (VertexId v = 0; v < 200; ++v) {
+    // Majority label of the vertex's planted group.
+    if (communities.community[v] == communities.community[(v / 50) * 50]) {
+      ++correct;
+    }
+  }
+  std::printf("agreement with the planted circles: %d / 200\n", correct);
+
+  // --- Influence maximization (CELF) vs the degree heuristic. ---
+  ml::InfluenceOptions io;
+  io.probability = 0.05;
+  io.num_simulations = 100;
+  auto celf = ml::CelfInfluenceMaximization(g, 4, io).ValueOrDie();
+  auto degree_seeds = ml::TopDegreeSeeds(g, 4);
+  double degree_spread = ml::EstimateSpread(g, degree_seeds, io);
+  std::printf("\ninfluence maximization (k=4, IC p=0.05):\n");
+  std::printf("  CELF seeds spread %.1f people (%llu spread evaluations)\n",
+              celf.expected_spread,
+              static_cast<unsigned long long>(celf.spread_evaluations));
+  std::printf("  top-degree heuristic spreads %.1f people\n", degree_spread);
+
+  // --- Link prediction: who should befriend whom? ---
+  auto predictions = ml::TopKPredictedLinks(g, 5, ml::LinkScore::kAdamicAdar);
+  std::printf("\ntop friend suggestions (Adamic-Adar):\n");
+  for (const auto& p : predictions) {
+    std::printf("  %u -- %u  (score %.2f, same circle: %s)\n", p.u, p.v, p.score,
+                p.u / 50 == p.v / 50 ? "yes" : "no");
+  }
+
+  // --- Centrality: the brokers connecting circles. ---
+  Rng crng(3);
+  auto betweenness = algo::ApproxBetweennessCentrality(g, 40, &crng);
+  auto top = algo::TopK(betweenness, 3);
+  std::printf("\nhighest-betweenness brokers:");
+  for (VertexId v : top) std::printf(" %u", v);
+  std::printf("\n");
+  return 0;
+}

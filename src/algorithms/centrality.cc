@@ -1,0 +1,126 @@
+#include "algorithms/centrality.h"
+
+#include <deque>
+
+#include "algorithms/traversal.h"
+
+namespace ubigraph::algo {
+
+namespace {
+
+/// One Brandes accumulation from `source` into `centrality`.
+void BrandesFromSource(const CsrGraph& g, VertexId source,
+                       std::vector<double>* centrality) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> dist(n, kUnreachable);
+  std::vector<double> sigma(n, 0.0);     // # shortest paths
+  std::vector<double> delta(n, 0.0);     // dependency
+  std::vector<std::vector<VertexId>> preds(n);
+  std::vector<VertexId> order;           // BFS settle order
+  order.reserve(n);
+
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) {
+        sigma[v] += sigma[u];
+        preds[v].push_back(u);
+      }
+    }
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VertexId w = *it;
+    for (VertexId p : preds[w]) {
+      delta[p] += sigma[p] / sigma[w] * (1.0 + delta[w]);
+    }
+    if (w != source) (*centrality)[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> BetweennessCentrality(const CsrGraph& g) {
+  std::vector<double> centrality(g.num_vertices(), 0.0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    BrandesFromSource(g, s, &centrality);
+  }
+  if (!g.directed()) {
+    for (double& c : centrality) c /= 2.0;
+  }
+  return centrality;
+}
+
+std::vector<double> ApproxBetweennessCentrality(const CsrGraph& g,
+                                                uint32_t num_samples, Rng* rng) {
+  std::vector<double> centrality(g.num_vertices(), 0.0);
+  if (g.num_vertices() == 0 || num_samples == 0) return centrality;
+  num_samples = std::min<uint32_t>(num_samples, g.num_vertices());
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    VertexId s = static_cast<VertexId>(rng->NextBounded(g.num_vertices()));
+    BrandesFromSource(g, s, &centrality);
+  }
+  double scale = static_cast<double>(g.num_vertices()) / num_samples;
+  for (double& c : centrality) c *= scale;
+  if (!g.directed()) {
+    for (double& c : centrality) c /= 2.0;
+  }
+  return centrality;
+}
+
+std::vector<double> HarmonicCloseness(const CsrGraph& g) {
+  std::vector<double> out(g.num_vertices(), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<uint32_t> dist = BfsDistances(g, v);
+    double sum = 0.0;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (u != v && dist[u] != kUnreachable) sum += 1.0 / dist[u];
+    }
+    out[v] = sum;
+  }
+  return out;
+}
+
+std::vector<double> ClosenessCentrality(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<uint32_t> dist = BfsDistances(g, v);
+    uint64_t reachable = 0;
+    double total = 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (u != v && dist[u] != kUnreachable) {
+        ++reachable;
+        total += dist[u];
+      }
+    }
+    if (reachable > 0 && total > 0) {
+      double frac = static_cast<double>(reachable) / (n - 1);
+      out[v] = frac * static_cast<double>(reachable) / total;
+    }
+  }
+  return out;
+}
+
+std::vector<double> DegreeCentrality(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  for (VertexId v = 0; v < n; ++v) {
+    out[v] = static_cast<double>(g.OutDegree(v)) / (n - 1);
+  }
+  return out;
+}
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,36 @@
+// Centrality measures (Table 9 "Ranking & Centrality Scores"): exact Brandes
+// betweenness, sampled approximate betweenness, closeness, and degree
+// centrality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// Exact betweenness centrality (Brandes 2001), unweighted. For undirected
+/// graphs each path is counted once per direction; scores are conventionally
+/// halved by callers if needed — we return the raw directed accumulation,
+/// matching NetworkX's directed semantics, and halve for undirected inputs.
+std::vector<double> BetweennessCentrality(const CsrGraph& g);
+
+/// Approximate betweenness from `num_samples` random source pivots, scaled to
+/// estimate the exact values.
+std::vector<double> ApproxBetweennessCentrality(const CsrGraph& g,
+                                                uint32_t num_samples, Rng* rng);
+
+/// Harmonic closeness: sum over reachable u != v of 1/d(v, u). Robust to
+/// disconnected graphs (unreachable pairs contribute 0).
+std::vector<double> HarmonicCloseness(const CsrGraph& g);
+
+/// Classic closeness: (reachable - 1) / sum of distances within v's reachable
+/// set, times the reachable fraction (Wasserman-Faust normalization).
+std::vector<double> ClosenessCentrality(const CsrGraph& g);
+
+/// Degree centrality: degree / (n - 1).
+std::vector<double> DegreeCentrality(const CsrGraph& g);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,115 @@
+#include "algorithms/coloring.h"
+
+#include <algorithm>
+
+#include "algorithms/kcore.h"
+
+namespace ubigraph::algo {
+
+namespace {
+
+std::vector<std::vector<VertexId>> SimpleUndirected(const CsrGraph& g) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  return adj;
+}
+
+std::vector<VertexId> SmallestLastOrder(
+    const std::vector<std::vector<VertexId>>& adj) {
+  // Repeatedly remove the minimum-degree vertex; color in reverse removal
+  // order. Reuses the peeling idea from CoreDecomposition with lazy buckets.
+  const VertexId n = static_cast<VertexId>(adj.size());
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(adj[v].size());
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> removal;
+  removal.reserve(n);
+  uint32_t d = 0;
+  while (removal.size() < n) {
+    while (d <= max_degree && buckets[d].empty()) ++d;
+    if (d > max_degree) break;
+    VertexId v = buckets[d].back();
+    buckets[d].pop_back();
+    if (removed[v] || degree[v] != d) continue;
+    removed[v] = true;
+    removal.push_back(v);
+    for (VertexId u : adj[v]) {
+      if (!removed[u]) {
+        --degree[u];
+        buckets[degree[u]].push_back(u);
+        if (degree[u] < d) d = degree[u];
+      }
+    }
+  }
+  std::reverse(removal.begin(), removal.end());
+  return removal;
+}
+
+}  // namespace
+
+ColoringResult GreedyColoring(const CsrGraph& g, ColoringOrder order) {
+  auto adj = SimpleUndirected(g);
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> sequence(n);
+  for (VertexId v = 0; v < n; ++v) sequence[v] = v;
+
+  switch (order) {
+    case ColoringOrder::kVertexId:
+      break;
+    case ColoringOrder::kLargestFirst:
+      std::stable_sort(sequence.begin(), sequence.end(),
+                       [&](VertexId a, VertexId b) {
+                         return adj[a].size() > adj[b].size();
+                       });
+      break;
+    case ColoringOrder::kSmallestLast:
+      sequence = SmallestLastOrder(adj);
+      break;
+  }
+
+  ColoringResult r;
+  r.color.assign(n, UINT32_MAX);
+  // forbidden_at[c] == stamp means color c is used by a neighbor of the
+  // current vertex; the stamp trick avoids clearing the array per vertex.
+  std::vector<uint32_t> forbidden_at(n + 1, 0);
+  uint32_t stamp = 0;
+  for (VertexId v : sequence) {
+    ++stamp;
+    for (VertexId u : adj[v]) {
+      if (r.color[u] != UINT32_MAX) forbidden_at[r.color[u]] = stamp;
+    }
+    uint32_t c = 0;
+    while (forbidden_at[c] == stamp) ++c;
+    r.color[v] = c;
+    r.num_colors = std::max(r.num_colors, c + 1);
+  }
+  return r;
+}
+
+bool IsProperColoring(const CsrGraph& g, const std::vector<uint32_t>& color) {
+  if (color.size() != g.num_vertices()) return false;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u != v && color[u] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ubigraph::algo

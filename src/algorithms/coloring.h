@@ -1,0 +1,32 @@
+// Graph coloring (Table 9: 7/89 participants): greedy coloring with several
+// vertex orderings, including the degeneracy (smallest-last) ordering that
+// guarantees at most degeneracy+1 colors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+enum class ColoringOrder {
+  kVertexId,       // natural order
+  kLargestFirst,   // descending degree (Welsh-Powell)
+  kSmallestLast,   // degeneracy ordering
+};
+
+struct ColoringResult {
+  std::vector<uint32_t> color;  // per vertex, in [0, num_colors)
+  uint32_t num_colors = 0;
+};
+
+/// Greedy proper coloring over the undirected simple view of g.
+ColoringResult GreedyColoring(const CsrGraph& g,
+                              ColoringOrder order = ColoringOrder::kSmallestLast);
+
+/// Validates that no edge joins two equal colors.
+bool IsProperColoring(const CsrGraph& g, const std::vector<uint32_t>& color);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,59 @@
+// Connected components — the survey's most-used graph computation (Table 9,
+// 55/89 participants). Weakly connected components via union-find or BFS, and
+// strongly connected components via iterative Tarjan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// Disjoint-set forest with union by rank and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  size_t Find(size_t x);
+  /// Returns true if the two sets were merged (false if already joined).
+  bool Union(size_t a, size_t b);
+  size_t num_sets() const { return num_sets_; }
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+/// Component labeling: label[v] in [0, num_components), labels assigned in
+/// order of the smallest vertex in each component.
+struct ComponentResult {
+  std::vector<uint32_t> label;
+  uint32_t num_components = 0;
+
+  /// Size of each component.
+  std::vector<uint64_t> ComponentSizes() const;
+  /// Index of the largest component.
+  uint32_t LargestComponent() const;
+};
+
+/// Weakly connected components (edge direction ignored) via union-find.
+/// Works on directed or undirected CSR without needing the in-edge index.
+ComponentResult WeaklyConnectedComponents(const CsrGraph& g);
+
+/// Same result computed by repeated BFS over the symmetrized graph — kept as
+/// an independent oracle for tests and as the survey's "BFS-based CC" variant.
+/// Requires an undirected graph or a directed graph with in-edges built.
+ComponentResult ConnectedComponentsBfs(const CsrGraph& g);
+
+/// Strongly connected components (Tarjan, iterative). Labels are assigned in
+/// reverse topological order of the condensation (standard Tarjan order).
+ComponentResult StronglyConnectedComponents(const CsrGraph& g);
+
+/// Vertices in components of size 1 — the survey's "remove singleton
+/// vertices" cleaning step (§4.1).
+std::vector<VertexId> SingletonVertices(const CsrGraph& g);
+
+}  // namespace ubigraph::algo

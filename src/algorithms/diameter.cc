@@ -1,0 +1,92 @@
+#include "algorithms/diameter.h"
+
+#include <algorithm>
+
+#include "algorithms/traversal.h"
+
+namespace ubigraph::algo {
+
+namespace {
+
+/// Max finite BFS distance from v, and the vertex attaining it.
+std::pair<uint32_t, VertexId> Eccentricity(const CsrGraph& g, VertexId v) {
+  std::vector<uint32_t> dist = BfsDistances(g, v);
+  uint32_t ecc = 0;
+  VertexId far = v;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (dist[u] != kUnreachable && dist[u] > ecc) {
+      ecc = dist[u];
+      far = u;
+    }
+  }
+  return {ecc, far};
+}
+
+}  // namespace
+
+uint32_t ExactDiameter(const CsrGraph& g) {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    best = std::max(best, Eccentricity(g, v).first);
+  }
+  return best;
+}
+
+uint32_t DoubleSweepLowerBound(const CsrGraph& g, VertexId seed) {
+  if (g.num_vertices() == 0) return 0;
+  if (seed >= g.num_vertices()) seed = 0;
+  auto [ecc1, far1] = Eccentricity(g, seed);
+  (void)ecc1;
+  auto [ecc2, far2] = Eccentricity(g, far1);
+  (void)far2;
+  return ecc2;
+}
+
+DiameterEstimate EstimateDiameterIfub(const CsrGraph& g, uint32_t budget,
+                                      Rng* rng) {
+  DiameterEstimate est;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return est;
+
+  // Initialize with a double sweep from a random seed.
+  VertexId seed = static_cast<VertexId>(rng->NextBounded(n));
+  auto [ecc_seed, far1] = Eccentricity(g, seed);
+  (void)ecc_seed;
+  auto [lb, far2] = Eccentricity(g, far1);
+  (void)far2;
+  est.lower_bound = lb;
+  est.upper_bound = 2 * lb;  // BFS-tree bound: diam <= 2 * ecc of any vertex
+
+  uint32_t spent = 3;
+  while (spent < budget && est.lower_bound < est.upper_bound) {
+    VertexId probe = static_cast<VertexId>(rng->NextBounded(n));
+    auto [ecc, far] = Eccentricity(g, probe);
+    (void)far;
+    est.lower_bound = std::max(est.lower_bound, ecc);
+    est.upper_bound = std::min(est.upper_bound, 2 * ecc);
+    ++spent;
+  }
+  if (est.upper_bound < est.lower_bound) est.upper_bound = est.lower_bound;
+  est.exact = est.lower_bound == est.upper_bound;
+  return est;
+}
+
+double EffectiveDiameter(const CsrGraph& g, uint32_t num_samples, Rng* rng,
+                         double percentile) {
+  const VertexId n = g.num_vertices();
+  if (n == 0 || num_samples == 0) return 0.0;
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    VertexId s = static_cast<VertexId>(rng->NextBounded(n));
+    std::vector<uint32_t> dist = BfsDistances(g, s);
+    for (VertexId u = 0; u < n; ++u) {
+      if (u != s && dist[u] != kUnreachable) all.push_back(dist[u]);
+    }
+  }
+  if (all.empty()) return 0.0;
+  std::sort(all.begin(), all.end());
+  size_t idx = static_cast<size_t>(percentile * static_cast<double>(all.size() - 1));
+  return all[idx];
+}
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,38 @@
+// Diameter estimation (Table 9: 5/89 participants): exact small-graph
+// diameter, the double-sweep lower bound, and an iFUB-style refinement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// Exact diameter of the largest weakly connected piece reachable in BFS
+/// terms: max over vertices of BFS eccentricity, ignoring unreachable pairs.
+/// O(V * (V + E)) — small graphs only.
+uint32_t ExactDiameter(const CsrGraph& g);
+
+/// Double-sweep: BFS from a seed, then BFS from the farthest vertex found.
+/// Returns a lower bound on the diameter (exact on trees).
+uint32_t DoubleSweepLowerBound(const CsrGraph& g, VertexId seed = 0);
+
+struct DiameterEstimate {
+  uint32_t lower_bound = 0;
+  uint32_t upper_bound = 0;
+  bool exact = false;  // bounds met
+};
+
+/// iFUB-style estimate: repeated eccentricity probes from high-degree /
+/// far vertices narrow [lower, upper] until they meet or `budget` BFS runs
+/// are spent. Intended for undirected views.
+DiameterEstimate EstimateDiameterIfub(const CsrGraph& g, uint32_t budget, Rng* rng);
+
+/// Effective diameter: the 90th-percentile pairwise distance, estimated from
+/// `num_samples` BFS sources.
+double EffectiveDiameter(const CsrGraph& g, uint32_t num_samples, Rng* rng,
+                         double percentile = 0.9);
+
+}  // namespace ubigraph::algo

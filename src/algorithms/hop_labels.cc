@@ -1,0 +1,121 @@
+#include "algorithms/hop_labels.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ubigraph::algo {
+
+Result<HopLabelIndex> HopLabelIndex::Build(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  HopLabelIndex idx;
+  idx.labels_.resize(n);
+  if (n == 0) return idx;
+
+  // Undirected adjacency.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      if (g.directed()) adj[v].push_back(u);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  // Landmark order: descending degree (hubs first prune the most).
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (adj[a].size() != adj[b].size()) return adj[a].size() > adj[b].size();
+    return a < b;
+  });
+  // rank[v] = position of v in landmark order; labels store ranks so that a
+  // label list sorted by insertion time is sorted by rank.
+  std::vector<VertexId> rank(n);
+  for (VertexId i = 0; i < n; ++i) rank[order[i]] = i;
+
+  // Query-with-partial-labels helper used for pruning during construction.
+  auto query_upper_bound = [&](VertexId u, VertexId v) -> uint32_t {
+    const auto& lu = idx.labels_[u];
+    const auto& lv = idx.labels_[v];
+    uint32_t best = UINT32_MAX;
+    size_t i = 0, j = 0;
+    while (i < lu.size() && j < lv.size()) {
+      if (lu[i].landmark < lv[j].landmark) ++i;
+      else if (lu[i].landmark > lv[j].landmark) ++j;
+      else {
+        uint32_t d = lu[i].distance + lv[j].distance;
+        best = std::min(best, d);
+        ++i;
+        ++j;
+      }
+    }
+    return best;
+  };
+
+  std::vector<uint32_t> dist(n, UINT32_MAX);
+  std::deque<VertexId> queue;
+  std::vector<VertexId> touched;
+
+  for (VertexId li = 0; li < n; ++li) {
+    VertexId root = order[li];
+    // Pruned BFS from the landmark.
+    dist[root] = 0;
+    queue.push_back(root);
+    touched.push_back(root);
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      // Prune: if existing labels already certify dist(root, u) <= d, skip.
+      if (query_upper_bound(root, u) <= dist[u]) continue;
+      idx.labels_[u].push_back(Entry{li, dist[u]});
+      for (VertexId v : adj[u]) {
+        if (dist[v] == UINT32_MAX) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+          touched.push_back(v);
+        }
+      }
+    }
+    for (VertexId v : touched) dist[v] = UINT32_MAX;
+    touched.clear();
+  }
+  return idx;
+}
+
+uint32_t HopLabelIndex::Distance(VertexId u, VertexId v) const {
+  if (u >= labels_.size() || v >= labels_.size()) return UINT32_MAX;
+  if (u == v) return 0;
+  const auto& lu = labels_[u];
+  const auto& lv = labels_[v];
+  uint32_t best = UINT32_MAX;
+  size_t i = 0, j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].landmark < lv[j].landmark) ++i;
+    else if (lu[i].landmark > lv[j].landmark) ++j;
+    else {
+      uint32_t d = lu[i].distance + lv[j].distance;
+      best = std::min(best, d);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+uint64_t HopLabelIndex::TotalLabelEntries() const {
+  uint64_t total = 0;
+  for (const auto& l : labels_) total += l.size();
+  return total;
+}
+
+double HopLabelIndex::AverageLabelSize() const {
+  if (labels_.empty()) return 0.0;
+  return static_cast<double>(TotalLabelEntries()) /
+         static_cast<double>(labels_.size());
+}
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,43 @@
+// Pruned Landmark Labeling (Akiba-Iwata-Yoshida, SIGMOD'13) for exact
+// shortest-hop distance queries. The survey's point-to-point workloads
+// (neighborhood, reachability, shortest paths) all pay per-query BFS cost;
+// a 2-hop label index answers distance queries in microseconds after one
+// preprocessing pass — the standard answer to the "traversals on large
+// graphs are slow" complaint (§6.1). Undirected view of the input graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+class HopLabelIndex {
+ public:
+  /// Builds the index by pruned BFS from every vertex in descending-degree
+  /// order. O(sum of label sizes) space; small for low-highway-dimension
+  /// graphs (road-like, social).
+  static Result<HopLabelIndex> Build(const CsrGraph& g);
+
+  /// Exact shortest hop distance over the undirected view; UINT32_MAX when
+  /// disconnected.
+  uint32_t Distance(VertexId u, VertexId v) const;
+
+  /// Total number of (landmark, distance) label entries.
+  uint64_t TotalLabelEntries() const;
+  /// Average label entries per vertex.
+  double AverageLabelSize() const;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(labels_.size()); }
+
+ private:
+  struct Entry {
+    VertexId landmark;  // in BFS-rank space (ascending within each label)
+    uint32_t distance;
+  };
+  std::vector<std::vector<Entry>> labels_;
+};
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,31 @@
+// Dense subgraphs (Table 9: "Finding Frequent or Densest Subgraphs", plus the
+// k-core computations mentioned in §4.1/§4.3): k-core decomposition by peeling
+// and Charikar's 2-approximation for the densest subgraph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// Core number per vertex (undirected view; parallel edges collapsed).
+/// core[v] = largest k such that v belongs to the k-core.
+std::vector<uint32_t> CoreDecomposition(const CsrGraph& g);
+
+/// Vertices of the k-core (possibly empty).
+std::vector<VertexId> KCore(const CsrGraph& g, uint32_t k);
+
+/// Degeneracy = max core number (0 for empty graphs).
+uint32_t Degeneracy(const CsrGraph& g);
+
+struct DensestSubgraphResult {
+  std::vector<VertexId> vertices;
+  double density = 0.0;  // |E(S)| / |S| over the undirected simple view
+};
+
+/// Charikar's greedy peeling 2-approximation for the densest subgraph.
+DensestSubgraphResult DensestSubgraphApprox(const CsrGraph& g);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,105 @@
+#include "algorithms/mst.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "algorithms/connected_components.h"
+
+namespace ubigraph::algo {
+
+namespace {
+
+/// Undirected simple weighted edges with src < dst, keeping minimum weight
+/// among parallel edges.
+std::vector<Edge> CanonicalUndirectedEdges(const CsrGraph& g) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      VertexId v = nbrs[i];
+      if (u == v) continue;
+      Edge e{std::min(u, v), std::max(u, v), ws[i]};
+      edges.push_back(e);
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  // Keep lightest per (src, dst).
+  std::vector<Edge> out;
+  for (const Edge& e : edges) {
+    if (!out.empty() && out.back().src == e.src && out.back().dst == e.dst) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+MstResult MinimumSpanningForestKruskal(const CsrGraph& g) {
+  MstResult r;
+  std::vector<Edge> edges = CanonicalUndirectedEdges(g);
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : edges) {
+    if (uf.Union(e.src, e.dst)) {
+      r.edges.push_back(e);
+      r.total_weight += e.weight;
+    }
+  }
+  r.num_trees = static_cast<uint32_t>(uf.num_sets());
+  return r;
+}
+
+MstResult MinimumSpanningForestPrim(const CsrGraph& g) {
+  MstResult r;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return r;
+
+  // Undirected adjacency with weights (minimum kept per neighbor pair is not
+  // required for Prim's correctness — the heap naturally prefers lighter).
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (u == nbrs[i]) continue;
+      adj[u].emplace_back(nbrs[i], ws[i]);
+      adj[nbrs[i]].emplace_back(u, ws[i]);
+    }
+  }
+
+  struct HeapEntry {
+    double w;
+    VertexId to;
+    VertexId from;
+    bool operator>(const HeapEntry& o) const { return w > o.w; }
+  };
+  std::vector<bool> in_tree(n, false);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (in_tree[root]) continue;
+    ++r.num_trees;
+    in_tree[root] = true;
+    for (const auto& [v, w] : adj[root]) heap.push({w, v, root});
+    while (!heap.empty()) {
+      auto [w, to, from] = heap.top();
+      heap.pop();
+      if (in_tree[to]) continue;
+      in_tree[to] = true;
+      r.edges.push_back(Edge{std::min(from, to), std::max(from, to), w});
+      r.total_weight += w;
+      for (const auto& [v, vw] : adj[to]) {
+        if (!in_tree[v]) heap.push({vw, v, to});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ubigraph::algo

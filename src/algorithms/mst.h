@@ -1,0 +1,27 @@
+// Minimum spanning tree / forest (Table 9: 9/89 participants): Kruskal and
+// Prim over the undirected weighted view of a graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+struct MstResult {
+  std::vector<Edge> edges;   // tree/forest edges with src < dst
+  double total_weight = 0.0;
+  uint32_t num_trees = 0;    // number of connected components spanned
+};
+
+/// Kruskal's algorithm (sort + union-find). Direction is ignored; parallel
+/// edges keep the lightest instance.
+MstResult MinimumSpanningForestKruskal(const CsrGraph& g);
+
+/// Prim's algorithm with a binary heap, run from every unvisited vertex so
+/// disconnected graphs yield a forest.
+MstResult MinimumSpanningForestPrim(const CsrGraph& g);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,125 @@
+#include "algorithms/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ubigraph::algo {
+
+Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return Status::Invalid("PageRank on empty graph");
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::Invalid("damping must be in [0, 1)");
+  }
+  if (!options.personalization.empty() && options.personalization.size() != n) {
+    return Status::Invalid("personalization vector size mismatch");
+  }
+  if (g.directed() && !g.has_in_edges()) {
+    return Status::Invalid("PageRank on a directed graph requires in-edges");
+  }
+
+  const double d = options.damping;
+  auto teleport = [&](VertexId v) -> double {
+    return options.personalization.empty() ? 1.0 / n : options.personalization[v];
+  };
+
+  std::vector<double> rank(n), next(n);
+  for (VertexId v = 0; v < n; ++v) rank[v] = teleport(v);
+
+  std::vector<double> inv_outdeg(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t deg = g.OutDegree(v);
+    if (deg > 0) inv_outdeg[v] = 1.0 / static_cast<double>(deg);
+  }
+
+  PageRankResult result;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Mass of dangling vertices is redistributed by the teleport vector.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.OutDegree(v) == 0) dangling += rank[v];
+    }
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      double in_sum = 0.0;
+      for (VertexId u : g.InNeighbors(v)) in_sum += rank[u] * inv_outdeg[u];
+      double nv = (1.0 - d) * teleport(v) + d * (in_sum + dangling * teleport(v));
+      next[v] = nv;
+      delta += std::abs(nv - rank[v]);
+    }
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(rank);
+  return result;
+}
+
+Result<HitsResult> Hits(const CsrGraph& g, uint32_t max_iterations,
+                        double tolerance) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return Status::Invalid("HITS on empty graph");
+  if (g.directed() && !g.has_in_edges()) {
+    return Status::Invalid("HITS on a directed graph requires in-edges");
+  }
+  HitsResult r;
+  r.hub.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  r.authority.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next(n);
+
+  auto normalize = [&](std::vector<double>* v) {
+    double norm = 0.0;
+    for (double x : *v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (double& x : *v) x /= norm;
+    }
+  };
+
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    // authority(v) = sum of hub(u) over in-neighbors u.
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (VertexId u : g.InNeighbors(v)) sum += r.hub[u];
+      next[v] = sum;
+    }
+    normalize(&next);
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) delta += std::abs(next[v] - r.authority[v]);
+    r.authority.swap(next);
+    // hub(u) = sum of authority(v) over out-neighbors v.
+    for (VertexId u = 0; u < n; ++u) {
+      double sum = 0.0;
+      for (VertexId v : g.OutNeighbors(u)) sum += r.authority[v];
+      next[u] = sum;
+    }
+    normalize(&next);
+    for (VertexId u = 0; u < n; ++u) delta += std::abs(next[u] - r.hub[u]);
+    r.hub.swap(next);
+    r.iterations = iter + 1;
+    if (delta < tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+std::vector<VertexId> TopK(const std::vector<double>& scores, size_t k) {
+  std::vector<VertexId> idx(scores.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<VertexId>(i);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k), idx.end(),
+                    [&](VertexId a, VertexId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace ubigraph::algo

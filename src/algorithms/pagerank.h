@@ -1,0 +1,48 @@
+// PageRank (Table 9: "Ranking & Centrality Scores") by power iteration, with
+// dangling-vertex handling, convergence reporting, and personalization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  /// L1 convergence threshold.
+  double tolerance = 1e-9;
+  uint32_t max_iterations = 100;
+  /// Optional personalization vector (teleport distribution). Empty = uniform.
+  /// Must sum to ~1 and have size == num_vertices when provided.
+  std::vector<double> personalization;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  // sums to 1
+  uint32_t iterations = 0;
+  double final_delta = 0.0;    // L1 change in last iteration
+  bool converged = false;
+};
+
+/// Runs power iteration. Requires in-edges for directed graphs (pull-based).
+Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options = {});
+
+/// Indices of the k highest-scoring vertices, descending (ties by vertex id).
+std::vector<VertexId> TopK(const std::vector<double>& scores, size_t k);
+
+/// HITS (Kleinberg): hub and authority scores by alternating power iteration,
+/// L2-normalized each round. The other classic "ranking & centrality"
+/// computation of Table 9's web-graph papers. Requires in-edges.
+struct HitsResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+Result<HitsResult> Hits(const CsrGraph& g, uint32_t max_iterations = 100,
+                        double tolerance = 1e-10);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,173 @@
+#include "algorithms/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace ubigraph::algo {
+
+namespace {
+
+Status CheckParts(uint32_t num_parts) {
+  if (num_parts == 0) return Status::Invalid("num_parts must be positive");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Partitioning> HashPartition(const CsrGraph& g, uint32_t num_parts) {
+  UG_RETURN_NOT_OK(CheckParts(num_parts));
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Multiplicative hash avoids the pathological striping of v % k on
+    // generator-produced vertex ids.
+    uint64_t h = (static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ULL) >> 32;
+    p.part[v] = static_cast<uint32_t>(h % num_parts);
+  }
+  return p;
+}
+
+Result<Partitioning> LdgPartition(const CsrGraph& g, uint32_t num_parts,
+                                  double capacity_slack) {
+  UG_RETURN_NOT_OK(CheckParts(num_parts));
+  if (capacity_slack < 1.0) {
+    return Status::Invalid("capacity_slack must be >= 1.0");
+  }
+  const VertexId n = g.num_vertices();
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part.assign(n, UINT32_MAX);
+  const double capacity =
+      capacity_slack * std::ceil(static_cast<double>(n) / num_parts);
+  std::vector<uint64_t> sizes(num_parts, 0);
+  std::vector<uint64_t> neighbor_count(num_parts, 0);
+
+  for (VertexId v = 0; v < n; ++v) {
+    std::fill(neighbor_count.begin(), neighbor_count.end(), 0);
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (p.part[u] != UINT32_MAX) ++neighbor_count[p.part[u]];
+    }
+    // Score = neighbors(part) * (1 - size/capacity); ties to smallest part.
+    double best_score = -1.0;
+    uint32_t best = 0;
+    for (uint32_t k = 0; k < num_parts; ++k) {
+      double penalty = 1.0 - static_cast<double>(sizes[k]) / capacity;
+      if (penalty <= 0) continue;  // part full
+      double score = static_cast<double>(neighbor_count[k]) * penalty;
+      if (score > best_score ||
+          (score == best_score && sizes[k] < sizes[best])) {
+        best_score = score;
+        best = k;
+      }
+    }
+    if (best_score < 0) {
+      // All parts at capacity (can happen with slack == 1 and rounding);
+      // fall back to the smallest.
+      best = static_cast<uint32_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    }
+    p.part[v] = best;
+    ++sizes[best];
+  }
+  return p;
+}
+
+Result<Partitioning> BfsGrowPartition(const CsrGraph& g, uint32_t num_parts,
+                                      Rng* rng) {
+  UG_RETURN_NOT_OK(CheckParts(num_parts));
+  if (rng == nullptr) return Status::Invalid("rng must not be null");
+  const VertexId n = g.num_vertices();
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.part.assign(n, UINT32_MAX);
+  if (n == 0) return p;
+
+  std::vector<uint64_t> sizes(num_parts, 0);
+  const uint64_t target = (n + num_parts - 1) / num_parts;
+
+  // One queue per region; expand the smallest non-empty region each step.
+  std::vector<std::deque<VertexId>> queues(num_parts);
+  std::vector<size_t> seeds =
+      rng->SampleWithoutReplacement(n, std::min<size_t>(num_parts, n));
+  for (uint32_t k = 0; k < seeds.size(); ++k) {
+    VertexId s = static_cast<VertexId>(seeds[k]);
+    p.part[s] = k;
+    ++sizes[k];
+    queues[k].push_back(s);
+  }
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Pick the smallest region with a non-empty queue and room to grow.
+    uint32_t pick = UINT32_MAX;
+    for (uint32_t k = 0; k < num_parts; ++k) {
+      if (queues[k].empty() || sizes[k] >= target) continue;
+      if (pick == UINT32_MAX || sizes[k] < sizes[pick]) pick = k;
+    }
+    if (pick == UINT32_MAX) {
+      // Everyone full or stalled: let full regions keep absorbing so no
+      // reachable vertex is stranded.
+      for (uint32_t k = 0; k < num_parts; ++k) {
+        if (!queues[k].empty()) {
+          pick = k;
+          break;
+        }
+      }
+      if (pick == UINT32_MAX) break;
+    }
+    VertexId u = queues[pick].front();
+    queues[pick].pop_front();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (p.part[v] == UINT32_MAX) {
+        p.part[v] = pick;
+        ++sizes[pick];
+        queues[pick].push_back(v);
+        progressed = true;
+      }
+    }
+    progressed = true;
+  }
+
+  // Unreached vertices (other components): round-robin into smallest parts.
+  for (VertexId v = 0; v < n; ++v) {
+    if (p.part[v] == UINT32_MAX) {
+      uint32_t smallest = static_cast<uint32_t>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+      p.part[v] = smallest;
+      ++sizes[smallest];
+    }
+  }
+  return p;
+}
+
+Result<PartitionQuality> EvaluatePartition(const CsrGraph& g,
+                                           const Partitioning& p) {
+  if (p.part.size() != g.num_vertices()) {
+    return Status::Invalid("partition size != num_vertices");
+  }
+  PartitionQuality q;
+  q.part_sizes.assign(p.num_parts, 0);
+  for (uint32_t x : p.part) {
+    if (x >= p.num_parts) return Status::Invalid("part id out of range");
+    ++q.part_sizes[x];
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (p.part[u] != p.part[v]) ++q.edge_cut;
+    }
+  }
+  if (g.num_edges() > 0) {
+    q.cut_fraction = static_cast<double>(q.edge_cut) / g.num_edges();
+  }
+  if (p.num_parts > 0 && g.num_vertices() > 0) {
+    uint64_t max_size = *std::max_element(q.part_sizes.begin(), q.part_sizes.end());
+    double ideal = static_cast<double>(g.num_vertices()) / p.num_parts;
+    q.imbalance = static_cast<double>(max_size) / ideal - 1.0;
+  }
+  return q;
+}
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,48 @@
+// Graph partitioning (Table 9: 25/89 participants). Hash, streaming LDG
+// (Stanton-Kleinberg linear deterministic greedy), and BFS-grow partitioners,
+// with quality metrics (edge cut, balance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// A vertex partitioning: part[v] in [0, num_parts).
+struct Partitioning {
+  std::vector<uint32_t> part;
+  uint32_t num_parts = 0;
+};
+
+/// Quality metrics of a partitioning.
+struct PartitionQuality {
+  uint64_t edge_cut = 0;       // edges crossing parts (directed arcs counted once)
+  double cut_fraction = 0.0;   // edge_cut / num_edges
+  double imbalance = 0.0;      // max part size / ideal size - 1
+  std::vector<uint64_t> part_sizes;
+};
+
+/// Hash (modulo) partitioning — the baseline every streaming partitioner is
+/// compared against.
+Result<Partitioning> HashPartition(const CsrGraph& g, uint32_t num_parts);
+
+/// Linear deterministic greedy: stream vertices, placing each in the part
+/// with most already-placed neighbors, weighted by remaining capacity.
+/// `capacity_slack` >= 1.0 bounds part sizes to slack * ceil(n / k).
+Result<Partitioning> LdgPartition(const CsrGraph& g, uint32_t num_parts,
+                                  double capacity_slack = 1.1);
+
+/// BFS-grow: seeds k random vertices and grows regions breadth-first;
+/// leftover (unreached) vertices go to the smallest part.
+Result<Partitioning> BfsGrowPartition(const CsrGraph& g, uint32_t num_parts,
+                                      Rng* rng);
+
+/// Computes cut/balance metrics for any partitioning.
+Result<PartitionQuality> EvaluatePartition(const CsrGraph& g,
+                                           const Partitioning& p);
+
+}  // namespace ubigraph::algo

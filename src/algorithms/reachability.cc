@@ -1,0 +1,120 @@
+#include "algorithms/reachability.h"
+
+#include <algorithm>
+
+#include "algorithms/connected_components.h"
+#include "algorithms/traversal.h"
+
+namespace ubigraph::algo {
+
+bool IsReachable(const CsrGraph& g, VertexId from, VertexId to) {
+  if (from >= g.num_vertices() || to >= g.num_vertices()) return false;
+  bool found = false;
+  BfsVisit(g, from, [&](VertexId v, uint32_t) {
+    if (v == to) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+Result<ReachabilityIndex> ReachabilityIndex::Build(const CsrGraph& g) {
+  ReachabilityIndex idx;
+  ComponentResult scc = StronglyConnectedComponents(g);
+  idx.scc_label_ = scc.label;
+  const uint32_t k = scc.num_components;
+
+  // Build the condensation DAG (deduplicated cross-SCC edges).
+  std::vector<std::pair<uint32_t, uint32_t>> dag_edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      uint32_t cu = scc.label[u], cv = scc.label[v];
+      if (cu != cv) dag_edges.emplace_back(cu, cv);
+    }
+  }
+  std::sort(dag_edges.begin(), dag_edges.end());
+  dag_edges.erase(std::unique(dag_edges.begin(), dag_edges.end()), dag_edges.end());
+
+  idx.dag_offsets_.assign(k + 1, 0);
+  for (const auto& [s, d] : dag_edges) ++idx.dag_offsets_[s + 1];
+  for (uint32_t i = 1; i <= k; ++i) idx.dag_offsets_[i] += idx.dag_offsets_[i - 1];
+  idx.dag_targets_.resize(dag_edges.size());
+  {
+    std::vector<uint64_t> cursor(idx.dag_offsets_.begin(), idx.dag_offsets_.end() - 1);
+    for (const auto& [s, d] : dag_edges) idx.dag_targets_[cursor[s]++] = d;
+  }
+
+  // One DFS over the DAG assigning postorder + subtree-min-post labels.
+  // If post range of v is not within [min_post(u), post(u)], u cannot reach v
+  // *through the DFS tree*; a positive containment is only a hint, so we
+  // verify with pruned DFS (classic single-label GRAIL).
+  idx.post_.assign(k, 0);
+  idx.min_post_.assign(k, 0);
+  std::vector<uint8_t> state(k, 0);  // 0 unvisited, 1 done
+  uint32_t clock = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> stack;
+  std::vector<uint32_t> mins(k, UINT32_MAX);
+  for (uint32_t root = 0; root < k; ++root) {
+    if (state[root]) continue;
+    stack.emplace_back(root, idx.dag_offsets_[root]);
+    state[root] = 1;
+    mins[root] = UINT32_MAX;
+    while (!stack.empty()) {
+      auto& [u, i] = stack.back();
+      if (i < idx.dag_offsets_[u + 1]) {
+        uint32_t v = idx.dag_targets_[i++];
+        if (!state[v]) {
+          state[v] = 1;
+          mins[v] = UINT32_MAX;
+          stack.emplace_back(v, idx.dag_offsets_[v]);
+        } else {
+          // Already-labeled child still constrains our min-post.
+          mins[u] = std::min({mins[u], idx.min_post_[v], idx.post_[v]});
+        }
+      } else {
+        uint32_t u_done = u;
+        idx.post_[u_done] = clock++;
+        idx.min_post_[u_done] =
+            std::min(mins[u_done], idx.post_[u_done]);
+        stack.pop_back();
+        if (!stack.empty()) {
+          uint32_t parent = stack.back().first;
+          mins[parent] = std::min(mins[parent], idx.min_post_[u_done]);
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+bool ReachabilityIndex::Reachable(VertexId from, VertexId to) const {
+  if (from >= scc_label_.size() || to >= scc_label_.size()) return false;
+  uint32_t cu = scc_label_[from], cv = scc_label_[to];
+  if (cu == cv) return true;
+
+  // Pruned DFS over the condensation: interval labels refute subtrees.
+  auto may_reach = [&](uint32_t a, uint32_t b) {
+    return min_post_[a] <= post_[b] && post_[b] <= post_[a];
+  };
+  if (!may_reach(cu, cv)) return false;
+  std::vector<uint32_t> stack{cu};
+  std::vector<uint8_t> seen(dag_offsets_.size() - 1, 0);
+  seen[cu] = 1;
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    if (u == cv) return true;
+    for (uint64_t i = dag_offsets_[u]; i < dag_offsets_[u + 1]; ++i) {
+      uint32_t v = dag_targets_[i];
+      if (!seen[v] && may_reach(v, cv)) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ubigraph::algo

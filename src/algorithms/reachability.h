@@ -1,0 +1,44 @@
+// Reachability queries (Table 9: "checking if u is reachable from v",
+// 27/89 participants). Online BFS checks plus an offline index: SCC
+// condensation + DAG interval labeling for O(1) negative answers on
+// tree-covered pairs and pruned DFS otherwise (GRAIL-style, 1 label).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// Single online reachability query by BFS. O(V + E).
+bool IsReachable(const CsrGraph& g, VertexId from, VertexId to);
+
+/// Precomputed reachability index over an arbitrary directed graph.
+class ReachabilityIndex {
+ public:
+  /// Builds the index: Tarjan condensation + one DFS interval labeling of the
+  /// condensation DAG.
+  static Result<ReachabilityIndex> Build(const CsrGraph& g);
+
+  /// Answers u ~> v. Never traverses the original graph; falls back to a
+  /// pruned DFS over the (much smaller) condensation when labels can't refute.
+  bool Reachable(VertexId from, VertexId to) const;
+
+  uint32_t num_scc() const { return static_cast<uint32_t>(dag_offsets_.size() - 1); }
+  uint32_t SccOf(VertexId v) const { return scc_label_[v]; }
+
+ private:
+  ReachabilityIndex() = default;
+
+  // Condensation DAG in CSR form.
+  std::vector<uint32_t> scc_label_;
+  std::vector<uint64_t> dag_offsets_;
+  std::vector<uint32_t> dag_targets_;
+  // GRAIL-style interval labels on the DAG: post[u] and min-post in subtree.
+  std::vector<uint32_t> post_;
+  std::vector<uint32_t> min_post_;
+};
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,59 @@
+// Shortest paths (Table 9: 43/89 participants). Unweighted BFS distances,
+// Dijkstra, Bellman-Ford (negative weights + cycle detection), and
+// bidirectional BFS for point-to-point queries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+struct ShortestPathTree {
+  std::vector<double> distance;   // kInfDistance if unreachable
+  std::vector<VertexId> parent;   // kInvalidVertex if unreachable / source
+
+  /// Reconstructs the path source -> target; empty if unreachable.
+  std::vector<VertexId> PathTo(VertexId target) const;
+};
+
+/// Dijkstra from `source`. Fails on negative edge weights.
+Result<ShortestPathTree> Dijkstra(const CsrGraph& g, VertexId source);
+
+/// Dijkstra stopping as soon as `target` is settled; distance() still valid
+/// for settled vertices only.
+Result<double> DijkstraPointToPoint(const CsrGraph& g, VertexId source,
+                                    VertexId target);
+
+/// Bellman-Ford from `source`. Fails with Invalid on a reachable negative
+/// cycle.
+Result<ShortestPathTree> BellmanFord(const CsrGraph& g, VertexId source);
+
+/// Hop distance between two vertices via bidirectional BFS; UINT32_MAX when
+/// disconnected. Requires in-edges on directed graphs.
+uint32_t BidirectionalBfsDistance(const CsrGraph& g, VertexId source,
+                                  VertexId target);
+
+/// All-pairs shortest hop distances via repeated BFS. Only sensible for small
+/// graphs; the diameter estimator uses sampling instead.
+std::vector<std::vector<uint32_t>> AllPairsHopDistances(const CsrGraph& g);
+
+/// A weighted path with its total cost.
+struct WeightedPath {
+  std::vector<VertexId> vertices;  // source .. target
+  double cost = 0.0;
+};
+
+/// Yen's algorithm: the k shortest loopless paths from source to target by
+/// non-decreasing cost (fewer than k returned when the graph has fewer
+/// distinct paths). Requires non-negative weights.
+Result<std::vector<WeightedPath>> KShortestPaths(const CsrGraph& g,
+                                                 VertexId source, VertexId target,
+                                                 uint32_t k);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,145 @@
+#include "algorithms/simrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ubigraph::algo {
+
+Result<SimRankResult> SimRank(const CsrGraph& g, SimRankOptions options) {
+  const VertexId n = g.num_vertices();
+  if (options.decay <= 0.0 || options.decay >= 1.0) {
+    return Status::Invalid("decay must be in (0, 1)");
+  }
+  if (g.directed() && !g.has_in_edges()) {
+    return Status::Invalid("SimRank on a directed graph requires in-edges");
+  }
+  if (static_cast<uint64_t>(n) * n > (1ULL << 28)) {
+    return Status::ResourceExhausted(
+        "SimRank matrix too large; use SimRankPairMonteCarlo");
+  }
+
+  SimRankResult r;
+  r.n = n;
+  r.matrix.assign(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> next(r.matrix.size(), 0.0);
+  for (VertexId v = 0; v < n; ++v) r.matrix[static_cast<size_t>(v) * n + v] = 1.0;
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (VertexId a = 0; a < n; ++a) {
+      auto ia = g.InNeighbors(a);
+      for (VertexId b = 0; b < n; ++b) {
+        if (a == b) {
+          next[static_cast<size_t>(a) * n + b] = 1.0;
+          continue;
+        }
+        auto ib = g.InNeighbors(b);
+        double val = 0.0;
+        if (!ia.empty() && !ib.empty()) {
+          double sum = 0.0;
+          for (VertexId u : ia) {
+            const double* row = r.matrix.data() + static_cast<size_t>(u) * n;
+            for (VertexId v : ib) sum += row[v];
+          }
+          val = options.decay * sum /
+                (static_cast<double>(ia.size()) * static_cast<double>(ib.size()));
+        }
+        size_t at = static_cast<size_t>(a) * n + b;
+        max_delta = std::max(max_delta, std::abs(val - r.matrix[at]));
+        next[at] = val;
+      }
+    }
+    r.matrix.swap(next);
+    r.iterations = iter + 1;
+    if (max_delta < options.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+Result<double> SimRankPairMonteCarlo(const CsrGraph& g, VertexId a, VertexId b,
+                                     uint32_t num_walks, uint32_t walk_length,
+                                     double decay, uint64_t seed) {
+  if (a >= g.num_vertices() || b >= g.num_vertices()) {
+    return Status::OutOfRange("vertex out of range");
+  }
+  if (g.directed() && !g.has_in_edges()) {
+    return Status::Invalid("requires in-edges on directed graphs");
+  }
+  if (a == b) return 1.0;
+  if (num_walks == 0) return Status::Invalid("num_walks must be positive");
+
+  // SimRank(a, b) = E[ decay^T ] where T is the first meeting time of two
+  // independent reverse random walks from a and b (infinite if never).
+  Rng rng(seed);
+  double total = 0.0;
+  for (uint32_t w = 0; w < num_walks; ++w) {
+    VertexId x = a, y = b;
+    for (uint32_t step = 1; step <= walk_length; ++step) {
+      auto ix = g.InNeighbors(x);
+      auto iy = g.InNeighbors(y);
+      if (ix.empty() || iy.empty()) break;
+      x = ix[rng.NextBounded(ix.size())];
+      y = iy[rng.NextBounded(iy.size())];
+      if (x == y) {
+        total += std::pow(decay, static_cast<double>(step));
+        break;
+      }
+    }
+  }
+  return total / num_walks;
+}
+
+namespace {
+
+std::vector<VertexId> SortedUniqueNeighbors(const CsrGraph& g, VertexId v) {
+  auto nbrs = g.OutNeighbors(v);
+  std::vector<VertexId> out(nbrs.begin(), nbrs.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const CsrGraph& g, VertexId a, VertexId b) {
+  auto na = SortedUniqueNeighbors(g, a);
+  auto nb = SortedUniqueNeighbors(g, b);
+  if (na.empty() && nb.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) ++i;
+    else if (na[i] > nb[j]) ++j;
+    else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  size_t uni = na.size() + nb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CosineSimilarity(const CsrGraph& g, VertexId a, VertexId b) {
+  auto na = SortedUniqueNeighbors(g, a);
+  auto nb = SortedUniqueNeighbors(g, b);
+  if (na.empty() || nb.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) ++i;
+    else if (na[i] > nb[j]) ++j;
+    else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(na.size()) * static_cast<double>(nb.size()));
+}
+
+}  // namespace ubigraph::algo

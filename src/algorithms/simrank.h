@@ -1,0 +1,48 @@
+// Node similarity (Table 9: "e.g., SimRank", 18/89 participants).
+// Iterative SimRank plus cheap structural similarity measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+struct SimRankOptions {
+  double decay = 0.8;          // C in the SimRank recurrence
+  uint32_t max_iterations = 10;
+  double tolerance = 1e-4;     // max-abs convergence threshold
+};
+
+struct SimRankResult {
+  /// Row-major n x n similarity matrix; diagonal is 1.
+  std::vector<double> matrix;
+  VertexId n = 0;
+  uint32_t iterations = 0;
+  bool converged = false;
+
+  double At(VertexId a, VertexId b) const {
+    return matrix[static_cast<size_t>(a) * n + b];
+  }
+};
+
+/// Full SimRank by the naive O(n^2 d^2) iteration — intended for graphs up to
+/// a few thousand vertices (the survey's similarity workloads are local).
+/// Uses in-neighbors on directed graphs (requires the in-edge index).
+Result<SimRankResult> SimRank(const CsrGraph& g, SimRankOptions options = {});
+
+/// Single-pair SimRank via random-walk Monte Carlo estimation — scales to
+/// large graphs where the full matrix is infeasible.
+Result<double> SimRankPairMonteCarlo(const CsrGraph& g, VertexId a, VertexId b,
+                                     uint32_t num_walks, uint32_t walk_length,
+                                     double decay, uint64_t seed);
+
+/// Jaccard similarity of out-neighborhoods.
+double JaccardSimilarity(const CsrGraph& g, VertexId a, VertexId b);
+
+/// Cosine similarity of out-neighborhood indicator vectors.
+double CosineSimilarity(const CsrGraph& g, VertexId a, VertexId b);
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,267 @@
+#include "algorithms/subgraph_match.h"
+
+#include <algorithm>
+
+#include "algorithms/triangle.h"
+
+namespace ubigraph::algo {
+
+namespace {
+
+/// Precomputed undirected-or-directed adjacency used during matching.
+struct MatchContext {
+  const CsrGraph& data;
+  bool undirected;
+  std::vector<std::vector<VertexId>> data_adj;      // neighbors to check
+  std::vector<std::vector<VertexId>> pattern_out;   // pattern adjacency
+  std::vector<std::vector<VertexId>> pattern_in;
+};
+
+std::vector<std::vector<VertexId>> BuildAdj(const CsrGraph& g, bool undirected,
+                                            bool reverse) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (reverse) adj[v].push_back(u);
+      else adj[u].push_back(v);
+      if (undirected) {
+        if (reverse) adj[u].push_back(v);
+        else adj[v].push_back(u);
+      }
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  return adj;
+}
+
+bool HasAdj(const std::vector<std::vector<VertexId>>& adj, VertexId u, VertexId v) {
+  const auto& a = adj[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+}  // namespace
+
+uint64_t MatchSubgraph(const CsrGraph& data, const CsrGraph& pattern,
+                       const SubgraphMatchOptions& options,
+                       const std::function<bool(const std::vector<VertexId>&)>& emit) {
+  const VertexId pn = pattern.num_vertices();
+  if (pn == 0 || data.num_vertices() == 0) return 0;
+
+  // Matching order: pattern vertices by descending degree (most constrained
+  // first), but ensuring connectivity to already-matched vertices when
+  // possible to keep candidate sets small.
+  auto p_out = BuildAdj(pattern, options.undirected, false);
+  auto p_in = BuildAdj(pattern, options.undirected, true);
+  auto d_out = BuildAdj(data, options.undirected, false);
+  auto d_in = BuildAdj(data, options.undirected, true);
+
+  std::vector<VertexId> order;
+  {
+    std::vector<bool> placed(pn, false);
+    std::vector<VertexId> by_degree(pn);
+    for (VertexId i = 0; i < pn; ++i) by_degree[i] = i;
+    std::sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+      size_t da = p_out[a].size() + p_in[a].size();
+      size_t db = p_out[b].size() + p_in[b].size();
+      if (da != db) return da > db;
+      return a < b;
+    });
+    order.push_back(by_degree[0]);
+    placed[by_degree[0]] = true;
+    while (order.size() < pn) {
+      // Prefer an unplaced vertex adjacent to the placed set.
+      VertexId pick = kInvalidVertex;
+      for (VertexId cand : by_degree) {
+        if (placed[cand]) continue;
+        bool connected = false;
+        for (VertexId q : order) {
+          if (HasAdj(p_out, q, cand) || HasAdj(p_in, q, cand)) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) {
+          pick = cand;
+          break;
+        }
+      }
+      if (pick == kInvalidVertex) {
+        for (VertexId cand : by_degree) {
+          if (!placed[cand]) {
+            pick = cand;
+            break;
+          }
+        }
+      }
+      placed[pick] = true;
+      order.push_back(pick);
+    }
+  }
+
+  std::vector<VertexId> assignment(pn, kInvalidVertex);
+  std::vector<bool> used(data.num_vertices(), false);
+  uint64_t matches = 0;
+  bool stop = false;
+
+  // Recursive backtracking over the chosen order.
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (stop) return;
+    if (depth == order.size()) {
+      ++matches;
+      if (!emit(assignment)) stop = true;
+      if (options.max_matches != 0 && matches >= options.max_matches) stop = true;
+      return;
+    }
+    VertexId p = order[depth];
+    // Candidates: intersect with data-neighbors of an already-matched pattern
+    // neighbor when available; otherwise all data vertices.
+    const std::vector<VertexId>* seed = nullptr;
+    bool seed_is_out = true;
+    for (VertexId q : p_in[p]) {
+      if (assignment[q] != kInvalidVertex) {
+        seed = &d_out[assignment[q]];
+        seed_is_out = true;
+        break;
+      }
+    }
+    if (seed == nullptr) {
+      for (VertexId q : p_out[p]) {
+        if (assignment[q] != kInvalidVertex) {
+          seed = &d_in[assignment[q]];
+          seed_is_out = false;
+          break;
+        }
+      }
+    }
+    (void)seed_is_out;
+
+    auto try_candidate = [&](VertexId c) {
+      if (stop) return;
+      if (options.injective && used[c]) return;
+      // Degree prune.
+      if (d_out[c].size() < p_out[p].size() || d_in[c].size() < p_in[p].size()) {
+        return;
+      }
+      // Consistency with all matched pattern neighbors.
+      for (VertexId q : p_out[p]) {
+        if (assignment[q] != kInvalidVertex && !HasAdj(d_out, c, assignment[q])) {
+          return;
+        }
+      }
+      for (VertexId q : p_in[p]) {
+        if (assignment[q] != kInvalidVertex && !HasAdj(d_in, c, assignment[q])) {
+          return;
+        }
+      }
+      assignment[p] = c;
+      used[c] = true;
+      recurse(depth + 1);
+      used[c] = false;
+      assignment[p] = kInvalidVertex;
+    };
+
+    if (seed != nullptr) {
+      for (VertexId c : *seed) try_candidate(c);
+    } else {
+      for (VertexId c = 0; c < data.num_vertices(); ++c) try_candidate(c);
+    }
+  };
+  recurse(0);
+  return matches;
+}
+
+uint64_t CountSubgraphMatches(const CsrGraph& data, const CsrGraph& pattern,
+                              SubgraphMatchOptions options) {
+  return MatchSubgraph(data, pattern, options,
+                       [](const std::vector<VertexId>&) { return true; });
+}
+
+uint64_t CountDiamonds(const CsrGraph& g) {
+  // A diamond = an edge (u, v) shared by >= 2 triangles; each pair of common
+  // neighbors of (u, v) that are each adjacent to both forms one diamond.
+  // Count per undirected edge: C(common, 2).
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  uint64_t diamonds = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : adj[u]) {
+      if (v <= u) continue;
+      uint64_t common = 0;
+      size_t i = 0, j = 0;
+      const auto& au = adj[u];
+      const auto& av = adj[v];
+      while (i < au.size() && j < av.size()) {
+        if (au[i] < av[j]) ++i;
+        else if (au[i] > av[j]) ++j;
+        else {
+          ++common;
+          ++i;
+          ++j;
+        }
+      }
+      diamonds += common * (common - 1) / 2;
+    }
+  }
+  return diamonds;
+}
+
+uint64_t CountFourCliques(const CsrGraph& g) {
+  CsrGraph pattern = []() {
+    EdgeList el(4);
+    for (VertexId i = 0; i < 4; ++i) {
+      for (VertexId j = i + 1; j < 4; ++j) el.Add(i, j);
+    }
+    return CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  }();
+  SubgraphMatchOptions opts;
+  opts.undirected = true;
+  uint64_t automorphisms = 24;  // 4!
+  return CountSubgraphMatches(g, pattern, opts) / automorphisms;
+}
+
+CsrGraph MakeTrianglePattern() {
+  EdgeList el(3);
+  el.Add(0, 1);
+  el.Add(1, 2);
+  el.Add(2, 0);
+  return CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+}
+
+CsrGraph MakePathPattern(uint32_t length) {
+  EdgeList el(length + 1);
+  for (uint32_t i = 0; i < length; ++i) el.Add(i, i + 1);
+  return CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+}
+
+CsrGraph MakeStarPattern(uint32_t leaves) {
+  EdgeList el(leaves + 1);
+  for (uint32_t i = 1; i <= leaves; ++i) el.Add(0, i);
+  return CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+}
+
+CsrGraph MakeDiamondPattern() {
+  // 4-cycle 0-1-2-3 with chord 0-2.
+  EdgeList el(4);
+  el.Add(0, 1);
+  el.Add(1, 2);
+  el.Add(2, 3);
+  el.Add(3, 0);
+  el.Add(0, 2);
+  return CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+}
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,49 @@
+// Subgraph matching (Table 9: "finding all diamond patterns, SPARQL" —
+// 33/89 participants, 21 papers). VF2-style backtracking subgraph isomorphism
+// over CSR graphs, plus closed-form motif counting helpers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+struct SubgraphMatchOptions {
+  /// Stop after this many embeddings (0 = unlimited).
+  uint64_t max_matches = 0;
+  /// Treat pattern/data edges as undirected.
+  bool undirected = false;
+  /// Require injective mapping (subgraph isomorphism); false gives
+  /// homomorphisms (SPARQL-style semantics).
+  bool injective = true;
+};
+
+/// Finds embeddings of `pattern` in `data`. Each match maps pattern vertex i
+/// to match[i] in the data graph. The callback returns false to stop the
+/// enumeration. Returns the number of matches emitted.
+uint64_t MatchSubgraph(const CsrGraph& data, const CsrGraph& pattern,
+                       const SubgraphMatchOptions& options,
+                       const std::function<bool(const std::vector<VertexId>&)>& emit);
+
+/// Counts embeddings (convenience wrapper).
+uint64_t CountSubgraphMatches(const CsrGraph& data, const CsrGraph& pattern,
+                              SubgraphMatchOptions options = {});
+
+/// Counts diamonds (4-cycles with a chord, i.e. two triangles sharing an
+/// edge) in the undirected view of g.
+uint64_t CountDiamonds(const CsrGraph& g);
+
+/// Counts (not necessarily induced) 4-cliques in the undirected view.
+uint64_t CountFourCliques(const CsrGraph& g);
+
+/// Builds small canonical patterns for tests/benches.
+CsrGraph MakeTrianglePattern();
+CsrGraph MakePathPattern(uint32_t length);
+CsrGraph MakeStarPattern(uint32_t leaves);
+CsrGraph MakeDiamondPattern();
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,219 @@
+#include "algorithms/traversal.h"
+
+#include <deque>
+
+namespace ubigraph::algo {
+
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  if (source >= g.num_vertices()) return dist;
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> BfsParents(const CsrGraph& g, VertexId source) {
+  std::vector<VertexId> parent(g.num_vertices(), kInvalidVertex);
+  if (source >= g.num_vertices()) return parent;
+  std::deque<VertexId> queue;
+  parent[source] = source;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (parent[v] == kInvalidVertex) {
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return parent;
+}
+
+uint64_t BfsVisit(const CsrGraph& g, VertexId source,
+                  const std::function<bool(VertexId, uint32_t)>& visit) {
+  if (source >= g.num_vertices()) return 0;
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  uint64_t visited = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    ++visited;
+    if (!visit(u, dist[u])) return visited;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited;
+}
+
+std::vector<VertexId> DfsPreorder(const CsrGraph& g, VertexId source) {
+  std::vector<VertexId> order;
+  if (source >= g.num_vertices()) return order;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> stack{source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    VertexId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    // Push in reverse so adjacency order is respected on pop.
+    auto nbrs = g.OutNeighbors(u);
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+      if (!seen[*it]) {
+        seen[*it] = true;
+        stack.push_back(*it);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> DfsPostorder(const CsrGraph& g, VertexId source) {
+  std::vector<VertexId> order;
+  if (source >= g.num_vertices()) return order;
+  std::vector<bool> seen(g.num_vertices(), false);
+  // (vertex, next neighbor index) explicit stack.
+  std::vector<std::pair<VertexId, uint64_t>> stack;
+  seen[source] = true;
+  stack.emplace_back(source, 0);
+  while (!stack.empty()) {
+    auto& [u, i] = stack.back();
+    auto nbrs = g.OutNeighbors(u);
+    if (i < nbrs.size()) {
+      VertexId v = nbrs[i++];
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.emplace_back(v, 0);
+      }
+    } else {
+      order.push_back(u);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+DfsForest DfsFull(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  DfsForest f;
+  f.discover.assign(n, kUnreachable);
+  f.finish.assign(n, kUnreachable);
+  f.root.assign(n, kInvalidVertex);
+  f.preorder.reserve(n);
+  uint32_t clock = 0;
+  std::vector<std::pair<VertexId, uint64_t>> stack;
+  for (VertexId r = 0; r < n; ++r) {
+    if (f.discover[r] != kUnreachable) continue;
+    f.discover[r] = clock++;
+    f.root[r] = r;
+    f.preorder.push_back(r);
+    stack.emplace_back(r, 0);
+    while (!stack.empty()) {
+      auto& [u, i] = stack.back();
+      auto nbrs = g.OutNeighbors(u);
+      if (i < nbrs.size()) {
+        VertexId v = nbrs[i++];
+        if (f.discover[v] == kUnreachable) {
+          f.discover[v] = clock++;
+          f.root[v] = r;
+          f.preorder.push_back(v);
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        f.finish[u] = clock++;
+        stack.pop_back();
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<VertexId> NeighborsAtHop(const CsrGraph& g, VertexId source,
+                                     uint32_t hops) {
+  std::vector<VertexId> out;
+  std::vector<uint32_t> dist = BfsDistances(g, source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v != source && dist[v] == hops) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> NeighborsWithinHops(const CsrGraph& g, VertexId source,
+                                          uint32_t hops) {
+  std::vector<VertexId> out;
+  std::vector<uint32_t> dist = BfsDistances(g, source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v != source && dist[v] != kUnreachable && dist[v] <= hops) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<uint32_t> BfsDistancesSkippingSupernodes(const CsrGraph& g,
+                                                     VertexId source,
+                                                     uint64_t max_degree) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  if (source >= g.num_vertices()) return dist;
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    // Supernodes terminate paths: they are reachable but not expanded.
+    if (u != source && g.OutDegree(u) > max_degree) continue;
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Result<std::vector<VertexId>> TopologicalSort(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint64_t> indegree(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) ++indegree[v];
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    VertexId u = frontier.back();
+    frontier.pop_back();
+    order.push_back(u);
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  if (order.size() != n) {
+    return Status::Invalid("graph contains a cycle; topological sort impossible");
+  }
+  return order;
+}
+
+}  // namespace ubigraph::algo

@@ -1,0 +1,64 @@
+// BFS / DFS traversals (Table 11 of the survey: the fundamental traversals
+// participants build their algorithms from), plus k-hop neighborhood queries
+// (Table 9, 2nd most used computation: "finding 2-degree neighbors").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// BFS from `source`; returns hop distance per vertex (kUnreachable if not
+/// reached).
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source);
+
+/// BFS returning the parent tree (parent[source] == source,
+/// kInvalidVertex if unreached).
+std::vector<VertexId> BfsParents(const CsrGraph& g, VertexId source);
+
+/// Visits vertices in BFS order; visitor returns false to stop early.
+/// Returns the number of vertices visited.
+uint64_t BfsVisit(const CsrGraph& g, VertexId source,
+                  const std::function<bool(VertexId, uint32_t depth)>& visit);
+
+/// Iterative DFS preorder from `source` (neighbor order = adjacency order).
+std::vector<VertexId> DfsPreorder(const CsrGraph& g, VertexId source);
+
+/// Iterative DFS postorder from `source`.
+std::vector<VertexId> DfsPostorder(const CsrGraph& g, VertexId source);
+
+/// Full-graph DFS: preorder over all roots in ascending id order. Also
+/// reports discovery/finish clocks — reusable for SCC/topo-sort tests.
+struct DfsForest {
+  std::vector<VertexId> preorder;
+  std::vector<uint32_t> discover;  // per vertex
+  std::vector<uint32_t> finish;    // per vertex
+  std::vector<VertexId> root;      // per vertex: root of its DFS tree
+};
+DfsForest DfsFull(const CsrGraph& g);
+
+/// All vertices within exactly `hops` BFS hops of source (excluding source).
+std::vector<VertexId> NeighborsAtHop(const CsrGraph& g, VertexId source, uint32_t hops);
+
+/// All vertices within at most `hops` BFS hops of source (excluding source).
+std::vector<VertexId> NeighborsWithinHops(const CsrGraph& g, VertexId source,
+                                          uint32_t hops);
+
+/// Topological order of a DAG; fails with Invalid if the graph has a cycle.
+Result<std::vector<VertexId>> TopologicalSort(const CsrGraph& g);
+
+/// High-degree vertex handling — the most-reported graph-database challenge
+/// (Table 19: 24 email threads): "skip finding paths that go over such
+/// vertices". BFS distances where vertices with out-degree > `max_degree` may
+/// be *reached* but are never *expanded* (paths cannot route through
+/// supernodes). The source is always expanded.
+std::vector<uint32_t> BfsDistancesSkippingSupernodes(const CsrGraph& g,
+                                                     VertexId source,
+                                                     uint64_t max_degree);
+
+}  // namespace ubigraph::algo

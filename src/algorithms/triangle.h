@@ -1,0 +1,42 @@
+// Aggregations (Table 9: "e.g., counting the number of triangles"): triangle
+// counting, clustering coefficients, and degree statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace ubigraph::algo {
+
+/// Counts triangles in an undirected simple graph (each triangle once) via
+/// the forward/degree-ordered merge algorithm. Requires sorted neighbors.
+/// On directed graphs the direction is ignored (the symmetrized closure is
+/// counted), matching how the survey software (NetworkX etc.) treats it.
+uint64_t CountTriangles(const CsrGraph& g);
+
+/// Per-vertex triangle participation counts (each triangle increments all
+/// three corners).
+std::vector<uint64_t> TrianglesPerVertex(const CsrGraph& g);
+
+/// Local clustering coefficient per vertex: 2*tri(v) / (deg(v)*(deg(v)-1)).
+std::vector<double> LocalClusteringCoefficients(const CsrGraph& g);
+
+/// Average of local clustering coefficients over vertices with degree >= 2.
+double AverageClusteringCoefficient(const CsrGraph& g);
+
+/// Global coefficient: 3 * triangles / open-or-closed wedges.
+double GlobalClusteringCoefficient(const CsrGraph& g);
+
+/// Degree distribution: counts[d] = #vertices with out-degree d.
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g);
+
+/// Basic degree statistics for summary tables.
+struct DegreeStats {
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+};
+DegreeStats ComputeDegreeStats(const CsrGraph& g);
+
+}  // namespace ubigraph::algo

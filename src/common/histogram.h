@@ -1,0 +1,60 @@
+// Banded histogram, matching the paper's bucketed size questions
+// (e.g. Table 5: <10K, 10K-100K, ..., >1B edges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ubigraph {
+
+/// A histogram over half-open value bands [b0, b1), [b1, b2), ... with
+/// implicit (-inf, b0) and [bk, +inf) end bands.
+class BandedHistogram {
+ public:
+  /// `boundaries` must be strictly increasing.
+  explicit BandedHistogram(std::vector<int64_t> boundaries);
+
+  /// A histogram with powers-of-ten bands covering [10^lo, 10^hi].
+  static BandedHistogram PowersOfTen(int lo_exponent, int hi_exponent);
+
+  void Add(int64_t value, int64_t count = 1);
+
+  size_t num_bands() const { return counts_.size(); }
+  int64_t band_count(size_t band) const { return counts_[band]; }
+  int64_t total() const;
+
+  /// Index of the band containing `value`.
+  size_t BandOf(int64_t value) const;
+
+  /// Human-readable label like "10K - 100K" or ">1B".
+  std::string BandLabel(size_t band) const;
+
+ private:
+  std::vector<int64_t> boundaries_;
+  std::vector<int64_t> counts_;
+};
+
+/// Formats 1500000 as "1.5M", 2000 as "2K", etc.
+std::string HumanCount(int64_t value);
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ubigraph

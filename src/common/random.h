@@ -1,0 +1,63 @@
+// Deterministic, seedable random number generation. All stochastic components
+// of the library (generators, samplers, Monte Carlo estimators) take an
+// explicit Rng so results are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ubigraph {
+
+/// SplitMix64 — used to expand a single seed into generator state.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Xoshiro256** PRNG. Fast, high-quality, and deterministic across platforms
+/// (unlike std::mt19937 + std::uniform_int_distribution, whose outputs are
+/// implementation-defined for distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBounded(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (reservoir when k << n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Samples an index proportionally to non-negative weights. Returns
+  /// weights.size() if all weights are zero.
+  size_t SampleWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace ubigraph

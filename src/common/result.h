@@ -1,0 +1,66 @@
+// Result<T>: a value-or-Status, the return type of fallible factories.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ubigraph {
+
+/// Holds either a T or a non-OK Status. Construction from an OK status is a
+/// programming error (there would be no value to return).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK() when this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value; must only be called when ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueUnsafe() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or aborts with the status message.
+  T ValueOrDie() && {
+    if (!ok()) status().Abort();
+    return std::get<T>(std::move(repr_));
+  }
+  const T& ValueOrDie() const& {
+    if (!ok()) status().Abort();
+    return std::get<T>(repr_);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value, or `alternative` on error.
+  T ValueOr(T alternative) const& { return ok() ? ValueUnsafe() : std::move(alternative); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace ubigraph

@@ -1,0 +1,48 @@
+// Small string helpers shared across parsers, formatters, and the miner.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ubigraph {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive substring containment.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// XML-escapes &, <, >, ", '.
+std::string XmlEscape(std::string_view s);
+
+/// Escapes a CSV field (quotes it when it contains separator/quote/newline).
+std::string CsvEscape(std::string_view s);
+
+/// Escapes a JSON string body (without surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Parses a signed integer; returns false on any non-numeric garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a double; returns false on any non-numeric garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats with %.*g-style compactness, e.g. for table cells.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace ubigraph

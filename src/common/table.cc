@@ -1,0 +1,110 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ubigraph {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddCountRow(const std::string& label,
+                            const std::vector<int64_t>& counts) {
+  std::vector<std::string> row;
+  row.reserve(counts.size() + 1);
+  row.push_back(label);
+  for (int64_t c : counts) row.push_back(std::to_string(c));
+  AddRow(std::move(row));
+}
+
+namespace {
+
+std::vector<size_t> ColumnWidths(const std::vector<std::string>& header,
+                                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> w(header.size());
+  for (size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < w.size(); ++c) {
+      w[c] = std::max(w[c], row[c].size());
+    }
+  }
+  return w;
+}
+
+void AppendAsciiRow(std::string* out, const std::vector<std::string>& cells,
+                    const std::vector<size_t>& widths) {
+  *out += '|';
+  for (size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    *out += ' ';
+    *out += cell;
+    out->append(widths[c] - cell.size() + 1, ' ');
+    *out += '|';
+  }
+  *out += '\n';
+}
+
+void AppendAsciiRule(std::string* out, const std::vector<size_t>& widths) {
+  *out += '+';
+  for (size_t w : widths) {
+    out->append(w + 2, '-');
+    *out += '+';
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string TextTable::RenderAscii() const {
+  std::vector<size_t> widths = ColumnWidths(header_, rows_);
+  std::string out;
+  AppendAsciiRule(&out, widths);
+  AppendAsciiRow(&out, header_, widths);
+  AppendAsciiRule(&out, widths);
+  for (const auto& row : rows_) AppendAsciiRow(&out, row, widths);
+  AppendAsciiRule(&out, widths);
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  std::string out;
+  auto append = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += CsvEscape(cells[c]);
+    }
+    out += '\n';
+  };
+  append(header_);
+  for (const auto& row : rows_) append(row);
+  return out;
+}
+
+std::string TextTable::RenderMarkdown() const {
+  std::string out = "|";
+  for (const auto& h : header_) {
+    out += ' ';
+    out += h;
+    out += " |";
+  }
+  out += "\n|";
+  for (size_t c = 0; c < header_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += '|';
+    for (size_t c = 0; c < header_.size(); ++c) {
+      out += ' ';
+      out += c < row.size() ? row[c] : std::string();
+      out += " |";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ubigraph

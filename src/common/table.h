@@ -1,0 +1,41 @@
+// ASCII / CSV / Markdown table rendering, used by the survey tabulator and the
+// per-table bench binaries to print paper-vs-reproduced comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ubigraph {
+
+/// A simple row/column text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, rest are integers.
+  void AddCountRow(const std::string& label, const std::vector<int64_t>& counts);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Box-drawing ASCII rendering with aligned columns.
+  std::string RenderAscii() const;
+
+  /// RFC-4180-style CSV.
+  std::string RenderCsv() const;
+
+  /// GitHub-flavored markdown.
+  std::string RenderMarkdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ubigraph

@@ -1,0 +1,311 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ubigraph::gen {
+
+namespace {
+
+uint64_t PairKey(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Result<EdgeList> ErdosRenyi(VertexId n, uint64_t m, Rng* rng) {
+  if (n < 2) return Status::Invalid("need at least 2 vertices");
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  if (m > max_edges) return Status::Invalid("too many edges requested");
+  EdgeList el(n);
+  el.Reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng->NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) el.Add(u, v);
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> ErdosRenyiGnp(VertexId n, double p, Rng* rng) {
+  if (n < 2) return Status::Invalid("need at least 2 vertices");
+  if (p < 0.0 || p > 1.0) return Status::Invalid("p must be in [0, 1]");
+  EdgeList el(n);
+  if (p == 0.0) {
+    el.EnsureVertices(n);
+    return el;
+  }
+  // Geometric skipping over the n*(n-1) ordered non-loop pairs.
+  const double log1mp = std::log(1.0 - p);
+  uint64_t total = static_cast<uint64_t>(n) * (n - 1);
+  uint64_t idx = 0;
+  bool dense = p >= 1.0;
+  while (true) {
+    if (!dense) {
+      double r = rng->NextDouble();
+      uint64_t skip = static_cast<uint64_t>(std::floor(std::log(1.0 - r) / log1mp));
+      idx += skip;
+    }
+    if (idx >= total) break;
+    VertexId u = static_cast<VertexId>(idx / (n - 1));
+    VertexId rem = static_cast<VertexId>(idx % (n - 1));
+    VertexId v = rem < u ? rem : rem + 1;  // skip the diagonal
+    el.Add(u, v);
+    ++idx;
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> Rmat(uint32_t scale, uint64_t num_edges, Rng* rng,
+                      RmatOptions options) {
+  if (scale == 0 || scale > 30) return Status::Invalid("scale must be in [1, 30]");
+  double d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0 || options.b < 0 || options.c < 0 || d < 0) {
+    return Status::Invalid("RMAT probabilities must be non-negative and sum <= 1");
+  }
+  const VertexId n = static_cast<VertexId>(1u) << scale;
+  EdgeList el(n);
+  el.Reserve(num_edges);
+
+  std::vector<VertexId> perm(n);
+  for (VertexId i = 0; i < n; ++i) perm[i] = i;
+  if (options.scramble_ids) rng->Shuffle(&perm);
+
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    VertexId src = 0, dst = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng->NextDouble();
+      uint32_t quadrant;
+      if (r < options.a) quadrant = 0;
+      else if (r < options.a + options.b) quadrant = 1;
+      else if (r < options.a + options.b + options.c) quadrant = 2;
+      else quadrant = 3;
+      src = (src << 1) | (quadrant >> 1);
+      dst = (dst << 1) | (quadrant & 1);
+    }
+    el.Add(perm[src], perm[dst]);
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> BarabasiAlbert(VertexId n, uint32_t m, Rng* rng) {
+  if (m == 0) return Status::Invalid("edges_per_vertex must be positive");
+  if (n <= m) return Status::Invalid("need n > edges_per_vertex");
+  EdgeList el(n);
+  // Repeated-endpoint list: sampling a uniform element is sampling
+  // proportionally to degree.
+  std::vector<VertexId> endpoints;
+  // Seed: star among the first m+1 vertices (guarantees every seed vertex has
+  // degree >= 1).
+  for (VertexId v = 1; v <= m; ++v) {
+    el.Add(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+  for (VertexId v = m + 1; v < n; ++v) {
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < m) {
+      VertexId t = endpoints[rng->NextBounded(endpoints.size())];
+      chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      el.Add(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> WattsStrogatz(VertexId n, uint32_t k, double beta, Rng* rng) {
+  if (k % 2 != 0) return Status::Invalid("k must be even");
+  if (k == 0 || k >= n) return Status::Invalid("need 0 < k < n");
+  if (beta < 0.0 || beta > 1.0) return Status::Invalid("beta must be in [0, 1]");
+  // Ring lattice edges (u, u+j) for j in 1..k/2.
+  std::unordered_set<uint64_t> edges;
+  auto key = [](VertexId a, VertexId b) {
+    return PairKey(std::min(a, b), std::max(a, b));
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      edges.insert(key(u, v));
+    }
+  }
+  // Rewire.
+  std::vector<uint64_t> all(edges.begin(), edges.end());
+  for (uint64_t e : all) {
+    if (!rng->NextBool(beta)) continue;
+    VertexId u = static_cast<VertexId>(e >> 32);
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      VertexId w = static_cast<VertexId>(rng->NextBounded(n));
+      if (w == u) continue;
+      uint64_t nk = key(u, w);
+      if (edges.count(nk)) continue;
+      edges.erase(e);
+      edges.insert(nk);
+      break;
+    }
+  }
+  EdgeList el(n);
+  el.Reserve(edges.size());
+  for (uint64_t e : edges) {
+    el.Add(static_cast<VertexId>(e >> 32), static_cast<VertexId>(e & 0xFFFFFFFFu));
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> KRegular(VertexId n, uint32_t k, Rng* rng) {
+  if (k >= n) return Status::Invalid("need k < n");
+  if ((static_cast<uint64_t>(n) * k) % 2 != 0) {
+    return Status::Invalid("n * k must be even");
+  }
+  // Pairing model: k stubs per vertex, repeatedly shuffle and pair; retry on
+  // self-loop or duplicate. Converges quickly for modest k.
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<size_t>(n) * k);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    stubs.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      for (uint32_t i = 0; i < k; ++i) stubs.push_back(v);
+    }
+    rng->Shuffle(&stubs);
+    std::unordered_set<uint64_t> seen;
+    bool ok = true;
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      VertexId a = stubs[i], b = stubs[i + 1];
+      if (a == b) {
+        ok = false;
+        break;
+      }
+      uint64_t keyv = PairKey(std::min(a, b), std::max(a, b));
+      if (!seen.insert(keyv).second) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    EdgeList el(n);
+    el.Reserve(stubs.size() / 2);
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      el.Add(stubs[i], stubs[i + 1]);
+    }
+    el.EnsureVertices(n);
+    return el;
+  }
+  return Status::ResourceExhausted(
+      "pairing model failed to produce a simple k-regular graph");
+}
+
+Result<EdgeList> PowerLawDirected(VertexId n, double exponent, uint32_t max_degree,
+                                  Rng* rng) {
+  if (n < 2) return Status::Invalid("need at least 2 vertices");
+  if (exponent <= 1.0) return Status::Invalid("exponent must be > 1");
+  if (max_degree == 0 || max_degree >= n) {
+    return Status::Invalid("need 0 < max_degree < n");
+  }
+  // Zipf over degrees 1..max_degree via inverse-CDF on precomputed weights.
+  std::vector<double> weights(max_degree);
+  for (uint32_t d = 1; d <= max_degree; ++d) {
+    weights[d - 1] = std::pow(static_cast<double>(d), -exponent);
+  }
+  EdgeList el(n);
+  for (VertexId u = 0; u < n; ++u) {
+    uint32_t degree = static_cast<uint32_t>(rng->SampleWeighted(weights)) + 1;
+    std::unordered_set<VertexId> targets;
+    while (targets.size() < degree) {
+      VertexId v = static_cast<VertexId>(rng->NextBounded(n));
+      if (v != u) targets.insert(v);
+    }
+    for (VertexId v : targets) el.Add(u, v);
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+EdgeList Path(VertexId n) {
+  EdgeList el(n);
+  for (VertexId v = 0; v + 1 < n; ++v) el.Add(v, v + 1);
+  el.EnsureVertices(n);
+  return el;
+}
+
+EdgeList Cycle(VertexId n) {
+  EdgeList el(n);
+  for (VertexId v = 0; v < n; ++v) el.Add(v, (v + 1) % n);
+  el.EnsureVertices(n);
+  return el;
+}
+
+EdgeList Star(VertexId leaves) {
+  EdgeList el(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) el.Add(0, v);
+  el.EnsureVertices(leaves + 1);
+  return el;
+}
+
+EdgeList Complete(VertexId n) {
+  EdgeList el(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) el.Add(u, v);
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+EdgeList Grid(VertexId rows, VertexId cols) {
+  EdgeList el(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) el.Add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) el.Add(id(r, c), id(r + 1, c));
+    }
+  }
+  el.EnsureVertices(rows * cols);
+  return el;
+}
+
+Result<EdgeList> RandomTree(VertexId n, Rng* rng) {
+  if (n == 0) return Status::Invalid("need at least 1 vertex");
+  EdgeList el(n);
+  for (VertexId v = 1; v < n; ++v) {
+    VertexId parent = static_cast<VertexId>(rng->NextBounded(v));
+    el.Add(parent, v);
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> PlantedPartition(VertexId n, uint32_t num_communities, double p_in,
+                                  double p_out, Rng* rng) {
+  if (num_communities == 0 || num_communities > n) {
+    return Status::Invalid("invalid community count");
+  }
+  if (p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
+    return Status::Invalid("probabilities must be in [0, 1]");
+  }
+  const VertexId group = n / num_communities;
+  EdgeList el(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      uint32_t cu = std::min(static_cast<uint32_t>(u / group), num_communities - 1);
+      uint32_t cv = std::min(static_cast<uint32_t>(v / group), num_communities - 1);
+      double p = cu == cv ? p_in : p_out;
+      if (rng->NextBool(p)) el.Add(u, v);
+    }
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+}  // namespace ubigraph::gen

@@ -1,0 +1,66 @@
+// Synthetic graph generators. The survey found generators to be a valued
+// non-query tool (Table 13) and §6.2 records explicit user requests for
+// k-regular and random directed power-law generators — both implemented here,
+// alongside the Graph500-style R-MAT generator used by the scalability bench.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::gen {
+
+/// G(n, m): m distinct directed edges chosen uniformly (no self-loops).
+Result<EdgeList> ErdosRenyi(VertexId n, uint64_t m, Rng* rng);
+
+/// G(n, p) via geometric skipping, directed, no self-loops.
+Result<EdgeList> ErdosRenyiGnp(VertexId n, double p, Rng* rng);
+
+struct RmatOptions {
+  double a = 0.57;  // Graph500 defaults
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  bool scramble_ids = true;  // permute vertex ids to break locality
+};
+
+/// R-MAT/Kronecker generator: 2^scale vertices, `num_edges` directed edges
+/// (duplicates possible, as in Graph500).
+Result<EdgeList> Rmat(uint32_t scale, uint64_t num_edges, Rng* rng,
+                      RmatOptions options = {});
+
+/// Barabási-Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices with
+/// probability proportional to degree. Undirected edge list (stored once).
+Result<EdgeList> BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, Rng* rng);
+
+/// Watts-Strogatz small world: ring of n vertices, each joined to k nearest
+/// neighbors, each edge rewired with probability beta. Undirected.
+Result<EdgeList> WattsStrogatz(VertexId n, uint32_t k, double beta, Rng* rng);
+
+/// Random k-regular graph via pairing-model with retry (undirected, simple).
+/// Requires n*k even and k < n.
+Result<EdgeList> KRegular(VertexId n, uint32_t k, Rng* rng);
+
+/// Random *directed* power-law graph (the §6.2 user request): out-degrees
+/// drawn from a Zipf distribution with the given exponent, targets uniform.
+Result<EdgeList> PowerLawDirected(VertexId n, double exponent, uint32_t max_degree,
+                                  Rng* rng);
+
+/// Deterministic shapes for tests and layouts.
+EdgeList Path(VertexId n);
+EdgeList Cycle(VertexId n);
+EdgeList Star(VertexId leaves);
+EdgeList Complete(VertexId n);
+EdgeList Grid(VertexId rows, VertexId cols);
+Result<EdgeList> RandomTree(VertexId n, Rng* rng);
+
+/// A planted-partition graph: `num_communities` equal groups, intra-group
+/// edge probability p_in, inter-group p_out. Ground-truth labels returned via
+/// out param (vertex / group_size). Undirected.
+Result<EdgeList> PlantedPartition(VertexId n, uint32_t num_communities, double p_in,
+                                  double p_out, Rng* rng);
+
+}  // namespace ubigraph::gen

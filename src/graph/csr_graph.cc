@@ -1,0 +1,121 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ubigraph {
+
+Result<CsrGraph> CsrGraph::FromEdges(EdgeList edges, CsrOptions options) {
+  UG_RETURN_NOT_OK(edges.Validate());
+  if (options.remove_self_loops) edges.RemoveSelfLoops();
+  if (options.deduplicate) edges.Deduplicate();
+  if (!options.directed) edges = edges.Symmetrized();
+
+  CsrGraph g;
+  g.num_vertices_ = edges.num_vertices();
+  g.directed_ = options.directed;
+  g.sorted_ = options.sort_neighbors;
+
+  const auto& es = edges.edges();
+  const size_t m = es.size();
+  g.offsets_.assign(static_cast<size_t>(g.num_vertices_) + 1, 0);
+  for (const Edge& e : es) ++g.offsets_[e.src + 1];
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  g.dst_.resize(m);
+  g.weights_.resize(m);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : es) {
+    uint64_t pos = cursor[e.src]++;
+    g.dst_[pos] = e.dst;
+    g.weights_[pos] = e.weight;
+  }
+
+  if (options.sort_neighbors) {
+    for (VertexId v = 0; v < g.num_vertices_; ++v) {
+      uint64_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+      // Sort (dst, weight) pairs of this adjacency range together.
+      std::vector<std::pair<VertexId, double>> adj;
+      adj.reserve(hi - lo);
+      for (uint64_t i = lo; i < hi; ++i) adj.emplace_back(g.dst_[i], g.weights_[i]);
+      std::sort(adj.begin(), adj.end());
+      for (uint64_t i = lo; i < hi; ++i) {
+        g.dst_[i] = adj[i - lo].first;
+        g.weights_[i] = adj[i - lo].second;
+      }
+    }
+  }
+
+  if (options.directed && options.build_in_edges) {
+    g.in_offsets_.assign(static_cast<size_t>(g.num_vertices_) + 1, 0);
+    for (const Edge& e : es) ++g.in_offsets_[e.dst + 1];
+    std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
+                     g.in_offsets_.begin());
+    g.in_src_.resize(m);
+    std::vector<uint64_t> icursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : es) g.in_src_[icursor[e.dst]++] = e.src;
+    if (options.sort_neighbors) {
+      for (VertexId v = 0; v < g.num_vertices_; ++v) {
+        std::sort(g.in_src_.begin() + static_cast<ptrdiff_t>(g.in_offsets_[v]),
+                  g.in_src_.begin() + static_cast<ptrdiff_t>(g.in_offsets_[v + 1]));
+      }
+    }
+  }
+
+  return g;
+}
+
+Result<CsrGraph> CsrGraph::FromPairs(
+    VertexId num_vertices, const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    CsrOptions options) {
+  EdgeList el(num_vertices);
+  el.Reserve(pairs.size());
+  for (const auto& [s, d] : pairs) el.Add(s, d);
+  el.EnsureVertices(num_vertices);
+  return FromEdges(std::move(el), options);
+}
+
+uint64_t CsrGraph::InDegree(VertexId v) const {
+  if (!directed_) return OutDegree(v);
+  assert(!in_offsets_.empty() && "build_in_edges was not requested");
+  return in_offsets_[v + 1] - in_offsets_[v];
+}
+
+std::span<const VertexId> CsrGraph::InNeighbors(VertexId v) const {
+  if (!directed_) return OutNeighbors(v);
+  assert(!in_offsets_.empty() && "build_in_edges was not requested");
+  return {in_src_.data() + in_offsets_[v], in_src_.data() + in_offsets_[v + 1]};
+}
+
+bool CsrGraph::HasEdge(VertexId src, VertexId dst) const {
+  auto nbrs = OutNeighbors(src);
+  if (sorted_) return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+  return std::find(nbrs.begin(), nbrs.end(), dst) != nbrs.end();
+}
+
+uint64_t CsrGraph::MaxOutDegree() const {
+  uint64_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) best = std::max(best, OutDegree(v));
+  return best;
+}
+
+double CsrGraph::OutWeightSum(VertexId v) const {
+  double sum = 0.0;
+  for (double w : OutWeights(v)) sum += w;
+  return sum;
+}
+
+EdgeList CsrGraph::ToEdgeList() const {
+  EdgeList out(num_vertices_);
+  out.Reserve(dst_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      out.Add(v, dst_[i], weights_[i]);
+    }
+  }
+  out.EnsureVertices(num_vertices_);
+  return out;
+}
+
+}  // namespace ubigraph

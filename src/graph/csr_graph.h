@@ -1,0 +1,93 @@
+// CsrGraph: the immutable, cache-friendly compressed-sparse-row graph that all
+// analytics in src/algorithms and src/ml run on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph {
+
+/// Options controlling CSR construction.
+struct CsrOptions {
+  /// Undirected graphs symmetrize the edge list; OutNeighbors then yields the
+  /// full neighborhood and InNeighbors aliases it.
+  bool directed = true;
+  /// Build the reverse (in-edge) index for directed graphs. Required by
+  /// InNeighbors / InDegree; costs one extra pass and |E| extra memory.
+  bool build_in_edges = false;
+  /// Sort each adjacency list (enables binary-searched HasEdge and merge-based
+  /// triangle counting).
+  bool sort_neighbors = true;
+  /// Drop duplicate (src, dst) pairs. Multigraph analytics keep them.
+  bool deduplicate = false;
+  /// Drop self-loops.
+  bool remove_self_loops = false;
+};
+
+/// Immutable CSR graph with optional edge weights and optional in-edge index.
+class CsrGraph {
+ public:
+  /// Default-constructs an empty graph (0 vertices). Useful as a member that
+  /// is later assigned from FromEdges().
+  CsrGraph() : offsets_(1, 0) {}
+
+  /// Builds from an edge list (copied/moved). Fails if the list is invalid.
+  static Result<CsrGraph> FromEdges(EdgeList edges, CsrOptions options = {});
+
+  /// Convenience: directed graph from raw pairs.
+  static Result<CsrGraph> FromPairs(VertexId num_vertices,
+                                    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                                    CsrOptions options = {});
+
+  VertexId num_vertices() const { return num_vertices_; }
+  /// Stored (post-symmetrization) edge count: for undirected graphs this is
+  /// the number of directed arcs, i.e. 2x the logical edge count minus loops.
+  uint64_t num_edges() const { return dst_.size(); }
+  bool directed() const { return directed_; }
+  bool has_in_edges() const { return directed_ ? !in_offsets_.empty() : true; }
+  bool neighbors_sorted() const { return sorted_; }
+
+  uint64_t OutDegree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {dst_.data() + offsets_[v], dst_.data() + offsets_[v + 1]};
+  }
+  std::span<const double> OutWeights(VertexId v) const {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// In-edge accessors. For undirected graphs these alias the out index; for
+  /// directed graphs build_in_edges must have been set.
+  uint64_t InDegree(VertexId v) const;
+  std::span<const VertexId> InNeighbors(VertexId v) const;
+
+  /// O(log degree) when neighbors are sorted, O(degree) otherwise.
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  /// Total degree histogram statistics.
+  uint64_t MaxOutDegree() const;
+
+  /// Sum of all out-weights of v.
+  double OutWeightSum(VertexId v) const;
+
+  /// Reconstructs the (possibly symmetrized) edge list.
+  EdgeList ToEdgeList() const;
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return dst_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  bool directed_ = true;
+  bool sorted_ = false;
+  std::vector<uint64_t> offsets_;      // size V+1
+  std::vector<VertexId> dst_;          // size E
+  std::vector<double> weights_;        // size E
+  std::vector<uint64_t> in_offsets_;   // size V+1 if built
+  std::vector<VertexId> in_src_;       // size E if built
+};
+
+}  // namespace ubigraph

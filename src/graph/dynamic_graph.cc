@@ -1,0 +1,146 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace ubigraph {
+
+VertexId DynamicGraph::AddVertex() {
+  adjacency_.emplace_back();
+  in_adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+Status DynamicGraph::CheckVertex(VertexId v) const {
+  if (v >= adjacency_.size()) {
+    return Status::OutOfRange("vertex " + std::to_string(v) + " >= " +
+                              std::to_string(adjacency_.size()));
+  }
+  return Status::OK();
+}
+
+Result<EdgeId> DynamicGraph::AddEdge(VertexId src, VertexId dst, double weight) {
+  UG_RETURN_NOT_OK(CheckVertex(src));
+  UG_RETURN_NOT_OK(CheckVertex(dst));
+  if (!allow_multi_edges_ && HasEdge(src, dst)) {
+    return Status::AlreadyExists("edge (" + std::to_string(src) + ", " +
+                                 std::to_string(dst) + ") exists in simple graph");
+  }
+  EdgeId id = edges_.size();
+  edges_.push_back(EdgeRecord{src, dst, weight, false});
+  adjacency_[src].push_back(id);
+  in_adjacency_[dst].push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+Status DynamicGraph::RemoveEdge(EdgeId id) {
+  if (id >= edges_.size()) {
+    return Status::OutOfRange("edge id " + std::to_string(id) + " out of range");
+  }
+  if (edges_[id].removed) {
+    return Status::NotFound("edge id " + std::to_string(id) + " already removed");
+  }
+  edges_[id].removed = true;
+  --live_edges_;
+  return Status::OK();
+}
+
+Status DynamicGraph::RemoveEdgeBetween(VertexId src, VertexId dst) {
+  UG_RETURN_NOT_OK(CheckVertex(src));
+  UG_RETURN_NOT_OK(CheckVertex(dst));
+  for (EdgeId id : adjacency_[src]) {
+    if (!edges_[id].removed && edges_[id].dst == dst) {
+      return RemoveEdge(id);
+    }
+  }
+  return Status::NotFound("no live edge (" + std::to_string(src) + ", " +
+                          std::to_string(dst) + ")");
+}
+
+Status DynamicGraph::RemoveVertexEdges(VertexId v) {
+  UG_RETURN_NOT_OK(CheckVertex(v));
+  for (EdgeId id : adjacency_[v]) {
+    if (!edges_[id].removed) {
+      edges_[id].removed = true;
+      --live_edges_;
+    }
+  }
+  for (EdgeId id : in_adjacency_[v]) {
+    if (!edges_[id].removed) {
+      edges_[id].removed = true;
+      --live_edges_;
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t DynamicGraph::OutDegree(VertexId v) const {
+  uint64_t d = 0;
+  for (EdgeId id : adjacency_[v]) {
+    if (!edges_[id].removed) ++d;
+  }
+  return d;
+}
+
+uint64_t DynamicGraph::InDegree(VertexId v) const {
+  uint64_t d = 0;
+  for (EdgeId id : in_adjacency_[v]) {
+    if (!edges_[id].removed) ++d;
+  }
+  return d;
+}
+
+uint64_t DynamicGraph::EdgeMultiplicity(VertexId src, VertexId dst) const {
+  if (src >= adjacency_.size()) return 0;
+  uint64_t count = 0;
+  for (EdgeId id : adjacency_[src]) {
+    const EdgeRecord& e = edges_[id];
+    if (!e.removed && e.dst == dst) ++count;
+  }
+  return count;
+}
+
+Result<DynamicGraph::EdgeView> DynamicGraph::GetEdge(EdgeId id) const {
+  if (id >= edges_.size() || edges_[id].removed) {
+    return Status::NotFound("edge id " + std::to_string(id));
+  }
+  const EdgeRecord& e = edges_[id];
+  return EdgeView{e.src, e.dst, e.weight};
+}
+
+Status DynamicGraph::SetWeight(EdgeId id, double weight) {
+  if (id >= edges_.size() || edges_[id].removed) {
+    return Status::NotFound("edge id " + std::to_string(id));
+  }
+  edges_[id].weight = weight;
+  return Status::OK();
+}
+
+EdgeList DynamicGraph::ToEdgeList() const {
+  EdgeList out(num_vertices());
+  out.Reserve(live_edges_);
+  for (const EdgeRecord& e : edges_) {
+    if (!e.removed) out.Add(e.src, e.dst, e.weight);
+  }
+  out.EnsureVertices(num_vertices());
+  return out;
+}
+
+uint64_t DynamicGraph::Compact() {
+  uint64_t removed = edges_.size() - live_edges_;
+  std::vector<EdgeRecord> kept;
+  kept.reserve(live_edges_);
+  for (auto& adj : adjacency_) adj.clear();
+  for (auto& adj : in_adjacency_) adj.clear();
+  for (const EdgeRecord& e : edges_) {
+    if (e.removed) continue;
+    EdgeId id = kept.size();
+    kept.push_back(e);
+    adjacency_[e.src].push_back(id);
+    in_adjacency_[e.dst].push_back(id);
+  }
+  edges_ = std::move(kept);
+  return removed;
+}
+
+}  // namespace ubigraph

@@ -1,0 +1,103 @@
+// DynamicGraph: a mutable multigraph (Table 7b — 50/89 participants use
+// multigraphs; Table 8 — "dynamic" graphs with frequent permanent changes).
+// Supports edge insertion/removal with stable EdgeIds via tombstones.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph {
+
+/// A directed mutable multigraph. Undirected semantics can be layered by
+/// inserting both arcs; analytics convert to CsrGraph via ToEdgeList().
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(VertexId num_vertices = 0, bool allow_multi_edges = true)
+      : adjacency_(num_vertices), in_adjacency_(num_vertices),
+        allow_multi_edges_(allow_multi_edges) {}
+
+  /// Adds an isolated vertex, returning its id.
+  VertexId AddVertex();
+
+  /// Adds a directed edge. Fails on out-of-range endpoints, and on duplicate
+  /// (src, dst) when multi-edges are disallowed.
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Removes an edge by id. Fails if already removed or out of range.
+  Status RemoveEdge(EdgeId id);
+
+  /// Removes the first live (src, dst) edge. Fails if none exists.
+  Status RemoveEdgeBetween(VertexId src, VertexId dst);
+
+  /// Removes a vertex: all incident edges are removed; the vertex id remains
+  /// allocated (degree 0) so other ids stay stable.
+  Status RemoveVertexEdges(VertexId v);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(adjacency_.size()); }
+  /// Live edge count (tombstoned edges excluded).
+  uint64_t num_edges() const { return live_edges_; }
+  bool allow_multi_edges() const { return allow_multi_edges_; }
+
+  uint64_t OutDegree(VertexId v) const;
+  uint64_t InDegree(VertexId v) const;
+
+  /// Visits live out-edges of v: fn(EdgeId, dst, weight).
+  template <typename Fn>
+  void ForEachOutEdge(VertexId v, Fn&& fn) const {
+    for (EdgeId id : adjacency_[v]) {
+      const EdgeRecord& e = edges_[id];
+      if (!e.removed) fn(id, e.dst, e.weight);
+    }
+  }
+
+  /// Visits live in-edges of v: fn(EdgeId, src, weight).
+  template <typename Fn>
+  void ForEachInEdge(VertexId v, Fn&& fn) const {
+    for (EdgeId id : in_adjacency_[v]) {
+      const EdgeRecord& e = edges_[id];
+      if (!e.removed) fn(id, e.src, e.weight);
+    }
+  }
+
+  /// Number of live parallel (src, dst) edges.
+  uint64_t EdgeMultiplicity(VertexId src, VertexId dst) const;
+  bool HasEdge(VertexId src, VertexId dst) const {
+    return EdgeMultiplicity(src, dst) > 0;
+  }
+
+  struct EdgeView {
+    VertexId src;
+    VertexId dst;
+    double weight;
+  };
+  /// Endpoint/weight of a live edge.
+  Result<EdgeView> GetEdge(EdgeId id) const;
+
+  Status SetWeight(EdgeId id, double weight);
+
+  /// Snapshot of all live edges.
+  EdgeList ToEdgeList() const;
+
+  /// Reclaims tombstones; invalidates all EdgeIds. Returns reclaimed count.
+  uint64_t Compact();
+
+ private:
+  struct EdgeRecord {
+    VertexId src;
+    VertexId dst;
+    double weight;
+    bool removed = false;
+  };
+
+  Status CheckVertex(VertexId v) const;
+
+  std::vector<EdgeRecord> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;     // out-edge ids per vertex
+  std::vector<std::vector<EdgeId>> in_adjacency_;  // in-edge ids per vertex
+  uint64_t live_edges_ = 0;
+  bool allow_multi_edges_ = true;
+};
+
+}  // namespace ubigraph

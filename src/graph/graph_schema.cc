@@ -1,0 +1,168 @@
+#include "graph/graph_schema.h"
+
+#include <map>
+
+#include "algorithms/traversal.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph {
+
+bool MatchesPropertyType(const PropertyValue& value, PropertyType type) {
+  if (std::holds_alternative<std::monostate>(value)) return false;
+  switch (type) {
+    case PropertyType::kAny: return true;
+    case PropertyType::kInt: return std::holds_alternative<int64_t>(value);
+    case PropertyType::kDouble: return std::holds_alternative<double>(value);
+    case PropertyType::kBool: return std::holds_alternative<bool>(value);
+    case PropertyType::kString: return std::holds_alternative<std::string>(value);
+    case PropertyType::kTimestamp: return std::holds_alternative<Timestamp>(value);
+    case PropertyType::kBytes: return std::holds_alternative<Bytes>(value);
+  }
+  return false;
+}
+
+GraphSchema& GraphSchema::RequireVertexProperty(std::string label, std::string key,
+                                                PropertyType type) {
+  rules_.push_back(
+      Rule{RuleKind::kVertexProperty, std::move(label), std::move(key), {}, type, 0});
+  return *this;
+}
+
+GraphSchema& GraphSchema::RequireEdgeEndpoints(std::string edge_type,
+                                               std::string src_label,
+                                               std::string dst_label) {
+  rules_.push_back(Rule{RuleKind::kEdgeEndpoints, std::move(edge_type),
+                        std::move(src_label), std::move(dst_label),
+                        PropertyType::kAny, 0});
+  return *this;
+}
+
+GraphSchema& GraphSchema::RequireAcyclic(std::string edge_type) {
+  rules_.push_back(Rule{RuleKind::kAcyclic, std::move(edge_type), {}, {},
+                        PropertyType::kAny, 0});
+  return *this;
+}
+
+GraphSchema& GraphSchema::LimitOutDegree(std::string label, uint64_t max_out) {
+  rules_.push_back(Rule{RuleKind::kOutDegree, std::move(label), {}, {},
+                        PropertyType::kAny, max_out});
+  return *this;
+}
+
+GraphSchema& GraphSchema::RequireUniqueProperty(std::string label,
+                                                std::string key) {
+  rules_.push_back(Rule{RuleKind::kUniqueProperty, std::move(label),
+                        std::move(key), {}, PropertyType::kAny, 0});
+  return *this;
+}
+
+namespace {
+
+std::string Describe(const PropertyValue& v) {
+  return PropertyTypeName(v);
+}
+
+}  // namespace
+
+std::vector<SchemaViolation> GraphSchema::Validate(
+    const PropertyGraph& graph) const {
+  std::vector<SchemaViolation> violations;
+  for (const Rule& rule : rules_) {
+    switch (rule.kind) {
+      case RuleKind::kVertexProperty: {
+        for (VertexId v : graph.VerticesWithLabel(rule.label)) {
+          PropertyValue value = graph.GetVertexProperty(v, rule.key);
+          if (!MatchesPropertyType(value, rule.type)) {
+            violations.push_back(
+                {"vertex :" + rule.label + " requires property '" + rule.key + "'",
+                 "vertex " + std::to_string(v) + " has " + Describe(value), v,
+                 kInvalidEdge});
+          }
+        }
+        break;
+      }
+      case RuleKind::kEdgeEndpoints: {
+        for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+          if (graph.EdgeType(e) != rule.label) continue;
+          VertexId src = graph.EdgeSrc(e), dst = graph.EdgeDst(e);
+          bool src_ok = rule.key.empty() || graph.VertexLabel(src) == rule.key;
+          bool dst_ok = rule.extra.empty() || graph.VertexLabel(dst) == rule.extra;
+          if (!src_ok || !dst_ok) {
+            violations.push_back(
+                {"edge :" + rule.label + " must connect :" +
+                     (rule.key.empty() ? "*" : rule.key) + " -> :" +
+                     (rule.extra.empty() ? "*" : rule.extra),
+                 "edge " + std::to_string(e) + " connects :" +
+                     graph.VertexLabel(src) + " -> :" + graph.VertexLabel(dst),
+                 kInvalidVertex, e});
+          }
+        }
+        break;
+      }
+      case RuleKind::kAcyclic: {
+        EdgeList el(graph.num_vertices());
+        for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+          if (rule.label.empty() || graph.EdgeType(e) == rule.label) {
+            el.Add(graph.EdgeSrc(e), graph.EdgeDst(e));
+          }
+        }
+        el.EnsureVertices(graph.num_vertices());
+        auto sub = CsrGraph::FromEdges(std::move(el));
+        if (sub.ok() && !algo::TopologicalSort(*sub).ok()) {
+          violations.push_back(
+              {"subgraph of :" + (rule.label.empty() ? std::string("*") : rule.label) +
+                   " edges must be acyclic",
+               "a cycle exists", kInvalidVertex, kInvalidEdge});
+        }
+        break;
+      }
+      case RuleKind::kOutDegree: {
+        for (VertexId v : graph.VerticesWithLabel(rule.label)) {
+          if (graph.OutDegree(v) > rule.limit) {
+            violations.push_back(
+                {"vertex :" + rule.label + " limited to " +
+                     std::to_string(rule.limit) + " outgoing edges",
+                 "vertex " + std::to_string(v) + " has " +
+                     std::to_string(graph.OutDegree(v)),
+                 v, kInvalidEdge});
+          }
+        }
+        break;
+      }
+      case RuleKind::kUniqueProperty: {
+        std::map<std::string, VertexId> seen;
+        for (VertexId v : graph.VerticesWithLabel(rule.label)) {
+          PropertyValue value = graph.GetVertexProperty(v, rule.key);
+          if (std::holds_alternative<std::monostate>(value)) continue;
+          // Key on a printable encoding of the value.
+          std::string encoded;
+          if (std::holds_alternative<std::string>(value)) {
+            encoded = "s:" + std::get<std::string>(value);
+          } else if (std::holds_alternative<int64_t>(value)) {
+            encoded = "i:" + std::to_string(std::get<int64_t>(value));
+          } else if (std::holds_alternative<double>(value)) {
+            encoded = "d:" + std::to_string(std::get<double>(value));
+          } else if (std::holds_alternative<bool>(value)) {
+            encoded = std::get<bool>(value) ? "b:1" : "b:0";
+          } else if (std::holds_alternative<Timestamp>(value)) {
+            encoded = "t:" + std::to_string(std::get<Timestamp>(value).millis);
+          } else {
+            continue;  // bytes: not indexed for uniqueness
+          }
+          auto [it, inserted] = seen.emplace(encoded, v);
+          if (!inserted) {
+            violations.push_back(
+                {"property '" + rule.key + "' must be unique among :" + rule.label,
+                 "vertices " + std::to_string(it->second) + " and " +
+                     std::to_string(v) + " share a value",
+                 v, kInvalidEdge});
+          }
+        }
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace ubigraph

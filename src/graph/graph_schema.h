@@ -1,0 +1,88 @@
+// Schema & constraints — a §6.2 graph-database request (Table 19: 10): users
+// want DTD/XSD-style schemas over property graphs, "e.g. enforcing that the
+// graph is acyclic or that some vertices always have a certain property".
+// A GraphSchema is a set of declarative rules validated against a
+// PropertyGraph, reporting every violation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace ubigraph {
+
+/// What kind of property value a schema rule requires.
+enum class PropertyType : uint8_t {
+  kInt,
+  kDouble,
+  kBool,
+  kString,
+  kTimestamp,
+  kBytes,
+  kAny,  // must exist, any type
+};
+
+/// One constraint violation found during validation.
+struct SchemaViolation {
+  std::string rule;     // human-readable rule description
+  std::string detail;   // what exactly failed
+  VertexId vertex = kInvalidVertex;  // offending vertex (if applicable)
+  EdgeId edge = kInvalidEdge;        // offending edge (if applicable)
+};
+
+class GraphSchema {
+ public:
+  /// Vertices with `label` must carry property `key` of `type`.
+  GraphSchema& RequireVertexProperty(std::string label, std::string key,
+                                     PropertyType type = PropertyType::kAny);
+
+  /// Edges of `edge_type` must go from a `src_label` vertex to a `dst_label`
+  /// vertex (empty = any label on that side).
+  GraphSchema& RequireEdgeEndpoints(std::string edge_type, std::string src_label,
+                                    std::string dst_label);
+
+  /// Edges of `edge_type` (or all edges when empty) must form an acyclic
+  /// subgraph.
+  GraphSchema& RequireAcyclic(std::string edge_type = {});
+
+  /// Vertices with `label` may have at most `max_out` outgoing edges.
+  GraphSchema& LimitOutDegree(std::string label, uint64_t max_out);
+
+  /// Property `key` must be unique among vertices with `label`.
+  GraphSchema& RequireUniqueProperty(std::string label, std::string key);
+
+  size_t num_rules() const { return rules_.size(); }
+
+  /// Runs all rules; returns every violation (empty = conforming graph).
+  std::vector<SchemaViolation> Validate(const PropertyGraph& graph) const;
+
+  /// Convenience: true iff Validate() is empty.
+  bool Conforms(const PropertyGraph& graph) const {
+    return Validate(graph).empty();
+  }
+
+ private:
+  enum class RuleKind : uint8_t {
+    kVertexProperty,
+    kEdgeEndpoints,
+    kAcyclic,
+    kOutDegree,
+    kUniqueProperty,
+  };
+  struct Rule {
+    RuleKind kind;
+    std::string label;      // vertex label or edge type, per kind
+    std::string key;        // property key / src label
+    std::string extra;      // dst label
+    PropertyType type = PropertyType::kAny;
+    uint64_t limit = 0;
+  };
+  std::vector<Rule> rules_;
+};
+
+/// True if the value matches the declared type (monostate never matches).
+bool MatchesPropertyType(const PropertyValue& value, PropertyType type);
+
+}  // namespace ubigraph

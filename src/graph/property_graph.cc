@@ -1,0 +1,172 @@
+#include "graph/property_graph.h"
+
+namespace ubigraph {
+
+const char* PropertyTypeName(const PropertyValue& v) {
+  switch (v.index()) {
+    case 0: return "null";
+    case 1: return "int";
+    case 2: return "double";
+    case 3: return "bool";
+    case 4: return "string";
+    case 5: return "timestamp";
+    case 6: return "bytes";
+  }
+  return "unknown";
+}
+
+uint32_t StringDictionary::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> StringDictionary::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+VertexId PropertyGraph::AddVertex(std::string_view label) {
+  VertexRecord rec;
+  rec.label = labels_.Intern(label);
+  vertices_.push_back(std::move(rec));
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
+                                      std::string_view type) {
+  if (src >= vertices_.size() || dst >= vertices_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  EdgeId id = edges_.size();
+  edges_.push_back(EdgeRecord{src, dst, labels_.Intern(type), {}});
+  vertices_[src].out.push_back(id);
+  vertices_[dst].in.push_back(id);
+  return id;
+}
+
+const std::string& PropertyGraph::VertexLabel(VertexId v) const {
+  return labels_.Name(vertices_[v].label);
+}
+
+const std::string& PropertyGraph::EdgeType(EdgeId e) const {
+  return labels_.Name(edges_[e].type);
+}
+
+void PropertyGraph::SetInMap(PropertyMap* map, uint32_t key, PropertyValue value) {
+  for (auto& [k, v] : *map) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  map->emplace_back(key, std::move(value));
+}
+
+PropertyValue PropertyGraph::GetFromMap(const PropertyMap& map, uint32_t key) {
+  for (const auto& [k, v] : map) {
+    if (k == key) return v;
+  }
+  return std::monostate{};
+}
+
+Status PropertyGraph::SetVertexProperty(VertexId v, std::string_view key,
+                                        PropertyValue value) {
+  if (v >= vertices_.size()) return Status::OutOfRange("vertex out of range");
+  SetInMap(&vertices_[v].props, keys_.Intern(key), std::move(value));
+  return Status::OK();
+}
+
+Status PropertyGraph::SetEdgeProperty(EdgeId e, std::string_view key,
+                                      PropertyValue value) {
+  if (e >= edges_.size()) return Status::OutOfRange("edge out of range");
+  SetInMap(&edges_[e].props, keys_.Intern(key), std::move(value));
+  return Status::OK();
+}
+
+PropertyValue PropertyGraph::GetVertexProperty(VertexId v,
+                                               std::string_view key) const {
+  if (v >= vertices_.size()) return std::monostate{};
+  auto id = keys_.Lookup(key);
+  if (!id) return std::monostate{};
+  return GetFromMap(vertices_[v].props, *id);
+}
+
+PropertyValue PropertyGraph::GetEdgeProperty(EdgeId e, std::string_view key) const {
+  if (e >= edges_.size()) return std::monostate{};
+  auto id = keys_.Lookup(key);
+  if (!id) return std::monostate{};
+  return GetFromMap(edges_[e].props, *id);
+}
+
+std::vector<std::pair<std::string, PropertyValue>> PropertyGraph::VertexProperties(
+    VertexId v) const {
+  std::vector<std::pair<std::string, PropertyValue>> out;
+  if (v >= vertices_.size()) return out;
+  for (const auto& [k, val] : vertices_[v].props) {
+    out.emplace_back(keys_.Name(k), val);
+  }
+  return out;
+}
+
+std::vector<VertexId> PropertyGraph::VerticesWithLabel(std::string_view label) const {
+  std::vector<VertexId> out;
+  auto id = labels_.Lookup(label);
+  if (!id) return out;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].label == *id) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<EdgeId> PropertyGraph::OutEdges(VertexId v, std::string_view type) const {
+  std::vector<EdgeId> out;
+  if (v >= vertices_.size()) return out;
+  std::optional<uint32_t> want;
+  if (!type.empty()) {
+    want = labels_.Lookup(type);
+    if (!want) return out;
+  }
+  for (EdgeId e : vertices_[v].out) {
+    if (!want || edges_[e].type == *want) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EdgeId> PropertyGraph::InEdges(VertexId v, std::string_view type) const {
+  std::vector<EdgeId> out;
+  if (v >= vertices_.size()) return out;
+  std::optional<uint32_t> want;
+  if (!type.empty()) {
+    want = labels_.Lookup(type);
+    if (!want) return out;
+  }
+  for (EdgeId e : vertices_[v].in) {
+    if (!want || edges_[e].type == *want) out.push_back(e);
+  }
+  return out;
+}
+
+EdgeList PropertyGraph::ToEdgeList() const {
+  EdgeList out(num_vertices());
+  out.Reserve(edges_.size());
+  auto weight_key = keys_.Lookup("weight");
+  for (const EdgeRecord& e : edges_) {
+    double w = 1.0;
+    if (weight_key) {
+      PropertyValue pv = GetFromMap(e.props, *weight_key);
+      if (std::holds_alternative<double>(pv)) w = std::get<double>(pv);
+      else if (std::holds_alternative<int64_t>(pv))
+        w = static_cast<double>(std::get<int64_t>(pv));
+    }
+    out.Add(e.src, e.dst, w);
+  }
+  out.EnsureVertices(num_vertices());
+  return out;
+}
+
+}  // namespace ubigraph

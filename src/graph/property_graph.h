@@ -1,0 +1,121 @@
+// PropertyGraph: labeled vertices and typed edges carrying typed properties.
+// The property value types mirror Table 7c of the survey: string, numeric
+// (integer + float), date/timestamp, and binary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph {
+
+/// Millisecond-precision timestamp, a distinct type so date-valued properties
+/// are distinguishable from plain integers.
+struct Timestamp {
+  int64_t millis = 0;
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+  friend auto operator<=>(const Timestamp&, const Timestamp&) = default;
+};
+
+using Bytes = std::vector<uint8_t>;
+
+/// A property value. monostate means "absent".
+using PropertyValue =
+    std::variant<std::monostate, int64_t, double, bool, std::string, Timestamp, Bytes>;
+
+/// Human-readable type name ("int", "string", ...).
+const char* PropertyTypeName(const PropertyValue& v);
+
+/// Interns strings to dense 32-bit ids (labels, property keys).
+class StringDictionary {
+ public:
+  uint32_t Intern(std::string_view s);
+  std::optional<uint32_t> Lookup(std::string_view s) const;
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+/// A directed property multigraph: vertices have one label, edges have one
+/// type, both carry arbitrary key->value property maps.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  /// Adds a vertex with the given label; returns its id.
+  VertexId AddVertex(std::string_view label);
+
+  /// Adds a typed directed edge; parallel edges allowed.
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string_view type);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(vertices_.size()); }
+  uint64_t num_edges() const { return edges_.size(); }
+
+  const std::string& VertexLabel(VertexId v) const;
+  const std::string& EdgeType(EdgeId e) const;
+  VertexId EdgeSrc(EdgeId e) const { return edges_[e].src; }
+  VertexId EdgeDst(EdgeId e) const { return edges_[e].dst; }
+
+  Status SetVertexProperty(VertexId v, std::string_view key, PropertyValue value);
+  Status SetEdgeProperty(EdgeId e, std::string_view key, PropertyValue value);
+
+  /// monostate if the vertex/edge has no such property.
+  PropertyValue GetVertexProperty(VertexId v, std::string_view key) const;
+  PropertyValue GetEdgeProperty(EdgeId e, std::string_view key) const;
+
+  /// All (key, value) pairs of a vertex.
+  std::vector<std::pair<std::string, PropertyValue>> VertexProperties(VertexId v) const;
+
+  /// All vertex ids with the given label.
+  std::vector<VertexId> VerticesWithLabel(std::string_view label) const;
+
+  /// Out-edge ids of v, optionally filtered by edge type ("" = all).
+  std::vector<EdgeId> OutEdges(VertexId v, std::string_view type = {}) const;
+  std::vector<EdgeId> InEdges(VertexId v, std::string_view type = {}) const;
+
+  uint64_t OutDegree(VertexId v) const { return vertices_[v].out.size(); }
+  uint64_t InDegree(VertexId v) const { return vertices_[v].in.size(); }
+
+  /// Topology-only snapshot (labels/properties dropped, weight from the
+  /// "weight" edge property when numeric, else 1.0).
+  EdgeList ToEdgeList() const;
+
+  const StringDictionary& labels() const { return labels_; }
+  const StringDictionary& keys() const { return keys_; }
+
+ private:
+  using PropertyMap = std::vector<std::pair<uint32_t, PropertyValue>>;
+
+  struct VertexRecord {
+    uint32_t label;
+    PropertyMap props;
+    std::vector<EdgeId> out;
+    std::vector<EdgeId> in;
+  };
+  struct EdgeRecord {
+    VertexId src;
+    VertexId dst;
+    uint32_t type;
+    PropertyMap props;
+  };
+
+  static void SetInMap(PropertyMap* map, uint32_t key, PropertyValue value);
+  static PropertyValue GetFromMap(const PropertyMap& map, uint32_t key);
+
+  StringDictionary labels_;  // vertex labels and edge types share one dictionary
+  StringDictionary keys_;
+  std::vector<VertexRecord> vertices_;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace ubigraph

@@ -1,0 +1,116 @@
+#include "graph/triggers.h"
+
+#include <algorithm>
+
+namespace ubigraph {
+
+size_t TriggeredGraph::RegisterTrigger(GraphEvent event, Callback callback) {
+  size_t id = next_id_++;
+  triggers_.push_back(Registration{id, event, std::move(callback)});
+  return id;
+}
+
+bool TriggeredGraph::UnregisterTrigger(size_t id) {
+  auto it = std::find_if(triggers_.begin(), triggers_.end(),
+                         [id](const Registration& r) { return r.id == id; });
+  if (it == triggers_.end()) return false;
+  triggers_.erase(it);
+  return true;
+}
+
+size_t TriggeredGraph::num_triggers() const { return triggers_.size(); }
+
+void TriggeredGraph::Fire(const TriggerContext& context) {
+  if (firing_) return;  // a trigger's own mutations do not cascade
+  firing_ = true;
+  for (const Registration& r : triggers_) {
+    if (r.event == context.event) {
+      ++fired_;
+      r.callback(*this, context);
+    }
+  }
+  firing_ = false;
+}
+
+VertexId TriggeredGraph::AddVertex(std::string_view label) {
+  VertexId v = graph_.AddVertex(label);
+  TriggerContext ctx;
+  ctx.event = GraphEvent::kVertexAdded;
+  ctx.vertex = v;
+  Fire(ctx);
+  return v;
+}
+
+Result<EdgeId> TriggeredGraph::AddEdge(VertexId src, VertexId dst,
+                                       std::string_view type) {
+  UG_ASSIGN_OR_RETURN(EdgeId e, graph_.AddEdge(src, dst, type));
+  TriggerContext ctx;
+  ctx.event = GraphEvent::kEdgeAdded;
+  ctx.vertex = src;
+  ctx.edge = e;
+  Fire(ctx);
+  return e;
+}
+
+Status TriggeredGraph::SetVertexProperty(VertexId v, std::string_view key,
+                                         PropertyValue value) {
+  PropertyValue old_value = graph_.GetVertexProperty(v, key);
+  UG_RETURN_NOT_OK(graph_.SetVertexProperty(v, key, value));
+  TriggerContext ctx;
+  ctx.event = GraphEvent::kVertexPropertySet;
+  ctx.vertex = v;
+  ctx.key = std::string(key);
+  ctx.new_value = &value;
+  ctx.old_value = &old_value;
+  Fire(ctx);
+  return Status::OK();
+}
+
+Status TriggeredGraph::SetEdgeProperty(EdgeId e, std::string_view key,
+                                       PropertyValue value) {
+  UG_RETURN_NOT_OK(graph_.SetEdgeProperty(e, key, value));
+  TriggerContext ctx;
+  ctx.event = GraphEvent::kEdgePropertySet;
+  ctx.edge = e;
+  ctx.key = std::string(key);
+  ctx.new_value = &value;
+  Fire(ctx);
+  return Status::OK();
+}
+
+namespace {
+
+std::string ValueToText(const PropertyValue& v) {
+  switch (v.index()) {
+    case 0: return "(unset)";
+    case 1: return std::to_string(std::get<int64_t>(v));
+    case 2: return std::to_string(std::get<double>(v));
+    case 3: return std::get<bool>(v) ? "true" : "false";
+    case 4: return std::get<std::string>(v);
+    case 5: return "ts:" + std::to_string(std::get<Timestamp>(v).millis);
+    case 6: return "<bytes>";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TriggeredGraph::Callback MakeCreatedAtTrigger(std::string key,
+                                              const int64_t* clock) {
+  return [key, clock](TriggeredGraph& g, const TriggerContext& ctx) {
+    g.SetVertexProperty(ctx.vertex, key, Timestamp{*clock}).Abort();
+  };
+}
+
+TriggeredGraph::Callback MakeAuditTrigger(std::vector<std::string>* audit_log) {
+  return [audit_log](TriggeredGraph&, const TriggerContext& ctx) {
+    std::string line = "vertex " + std::to_string(ctx.vertex) + " " + ctx.key +
+                       ": " +
+                       (ctx.old_value ? ValueToText(*ctx.old_value) : "(unset)") +
+                       " -> " +
+                       (ctx.new_value ? ValueToText(*ctx.new_value) : "(unset)");
+    audit_log->push_back(std::move(line));
+  };
+}
+
+}  // namespace ubigraph

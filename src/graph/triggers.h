@@ -1,0 +1,85 @@
+// Triggers — a top-3 graph-database request (Table 19: 18): "automatically
+// adding a particular property to vertices during insertion or creating a
+// backup of a vertex or an edge during updates" (§6.2), analogous to
+// OrientDB's hooks / Neo4j's TransactionEventHandler. TriggeredGraph wraps a
+// PropertyGraph and fires registered callbacks on mutations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace ubigraph {
+
+enum class GraphEvent : uint8_t {
+  kVertexAdded,
+  kEdgeAdded,
+  kVertexPropertySet,
+  kEdgePropertySet,
+};
+
+/// Payload passed to trigger callbacks.
+struct TriggerContext {
+  GraphEvent event;
+  VertexId vertex = kInvalidVertex;  // for vertex events and edge src
+  EdgeId edge = kInvalidEdge;        // for edge events
+  std::string key;                   // property key (property events)
+  const PropertyValue* new_value = nullptr;  // property events
+  const PropertyValue* old_value = nullptr;  // property set: previous value
+};
+
+/// A PropertyGraph facade with trigger hooks. Callbacks may mutate the graph
+/// (e.g. stamp a created_at property) — re-entrant firing is suppressed so a
+/// trigger's own mutations do not recurse.
+class TriggeredGraph {
+ public:
+  using Callback = std::function<void(TriggeredGraph&, const TriggerContext&)>;
+
+  /// Registers a callback for an event; returns its registration id.
+  size_t RegisterTrigger(GraphEvent event, Callback callback);
+  /// Unregisters; true if it existed.
+  bool UnregisterTrigger(size_t id);
+  size_t num_triggers() const;
+
+  // Mutations (forward to the underlying graph, then fire triggers).
+  VertexId AddVertex(std::string_view label);
+  Result<EdgeId> AddEdge(VertexId src, VertexId dst, std::string_view type);
+  Status SetVertexProperty(VertexId v, std::string_view key, PropertyValue value);
+  Status SetEdgeProperty(EdgeId e, std::string_view key, PropertyValue value);
+
+  /// Read access to the wrapped graph.
+  const PropertyGraph& graph() const { return graph_; }
+
+  /// Number of trigger invocations so far (for auditing/tests).
+  uint64_t fired_count() const { return fired_; }
+
+ private:
+  void Fire(const TriggerContext& context);
+
+  struct Registration {
+    size_t id;
+    GraphEvent event;
+    Callback callback;
+  };
+
+  PropertyGraph graph_;
+  std::vector<Registration> triggers_;
+  size_t next_id_ = 0;
+  uint64_t fired_ = 0;
+  bool firing_ = false;  // re-entrancy guard
+};
+
+/// Prebuilt trigger: stamps `key` = Timestamp{clock_value} on every new
+/// vertex; `clock` is read at fire time (caller-owned monotonic counter).
+TriggeredGraph::Callback MakeCreatedAtTrigger(std::string key,
+                                              const int64_t* clock);
+
+/// Prebuilt trigger: appends a human-readable line per property change to
+/// `audit_log` ("vertex 3 name: old -> new"), the §6.2 backup-on-update use.
+TriggeredGraph::Callback MakeAuditTrigger(std::vector<std::string>* audit_log);
+
+}  // namespace ubigraph

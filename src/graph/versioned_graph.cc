@@ -1,0 +1,184 @@
+#include "graph/versioned_graph.h"
+
+namespace ubigraph {
+
+VertexId VersionedGraph::AddVertex(std::string_view label) {
+  Change c;
+  c.kind = ChangeKind::kAddVertex;
+  c.version = committed_ + 1;
+  c.vertex = next_vertex_++;
+  c.text = std::string(label);
+  log_.push_back(std::move(c));
+  return next_vertex_ - 1;
+}
+
+Result<EdgeId> VersionedGraph::AddEdge(VertexId src, VertexId dst,
+                                       std::string_view type) {
+  if (src >= next_vertex_ || dst >= next_vertex_) {
+    return Status::OutOfRange("edge endpoint does not exist");
+  }
+  Change c;
+  c.kind = ChangeKind::kAddEdge;
+  c.version = committed_ + 1;
+  c.edge = next_edge_++;
+  c.vertex = src;
+  c.other = dst;
+  c.text = std::string(type);
+  log_.push_back(std::move(c));
+  edge_live_.push_back(true);
+  edge_endpoints_.emplace_back(src, dst);
+  return next_edge_ - 1;
+}
+
+Status VersionedGraph::RemoveEdge(EdgeId edge) {
+  if (edge >= edge_live_.size() || !edge_live_[edge]) {
+    return Status::NotFound("edge " + std::to_string(edge) + " not live");
+  }
+  Change c;
+  c.kind = ChangeKind::kRemoveEdge;
+  c.version = committed_ + 1;
+  c.edge = edge;
+  log_.push_back(std::move(c));
+  edge_live_[edge] = false;
+  return Status::OK();
+}
+
+Status VersionedGraph::SetVertexProperty(VertexId v, std::string_view key,
+                                         PropertyValue value) {
+  if (v >= next_vertex_) return Status::OutOfRange("vertex does not exist");
+  Change c;
+  c.kind = ChangeKind::kSetVertexProperty;
+  c.version = committed_ + 1;
+  c.vertex = v;
+  c.text = std::string(key);
+  c.value = std::move(value);
+  log_.push_back(std::move(c));
+  return Status::OK();
+}
+
+VersionId VersionedGraph::Commit() { return ++committed_; }
+
+Status VersionedGraph::CheckVersion(VersionId version) const {
+  if (version > committed_) {
+    return Status::OutOfRange("version " + std::to_string(version) +
+                              " not committed yet (latest is " +
+                              std::to_string(committed_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<bool> VersionedGraph::EdgeExistedAt(EdgeId edge, VersionId version) const {
+  UG_RETURN_NOT_OK(CheckVersion(version));
+  bool exists = false;
+  for (const Change& c : log_) {
+    if (c.version > version) break;
+    if (c.kind == ChangeKind::kAddEdge && c.edge == edge) exists = true;
+    if (c.kind == ChangeKind::kRemoveEdge && c.edge == edge) exists = false;
+  }
+  return exists;
+}
+
+Result<PropertyValue> VersionedGraph::VertexPropertyAt(VertexId v,
+                                                       std::string_view key,
+                                                       VersionId version) const {
+  UG_RETURN_NOT_OK(CheckVersion(version));
+  PropertyValue result = std::monostate{};
+  bool vertex_exists = false;
+  for (const Change& c : log_) {
+    if (c.version > version) break;
+    if (c.kind == ChangeKind::kAddVertex && c.vertex == v) vertex_exists = true;
+    if (c.kind == ChangeKind::kSetVertexProperty && c.vertex == v &&
+        c.text == key) {
+      result = c.value;
+    }
+  }
+  if (!vertex_exists) {
+    return Status::NotFound("vertex " + std::to_string(v) + " did not exist at v" +
+                            std::to_string(version));
+  }
+  return result;
+}
+
+Result<VertexId> VersionedGraph::NumVerticesAt(VersionId version) const {
+  UG_RETURN_NOT_OK(CheckVersion(version));
+  VertexId count = 0;
+  for (const Change& c : log_) {
+    if (c.version > version) break;
+    if (c.kind == ChangeKind::kAddVertex) ++count;
+  }
+  return count;
+}
+
+Result<EdgeList> VersionedGraph::SnapshotAt(VersionId version) const {
+  UG_RETURN_NOT_OK(CheckVersion(version));
+  std::vector<bool> live(edge_endpoints_.size(), false);
+  VertexId vertices = 0;
+  for (const Change& c : log_) {
+    if (c.version > version) break;
+    switch (c.kind) {
+      case ChangeKind::kAddVertex: ++vertices; break;
+      case ChangeKind::kAddEdge: live[c.edge] = true; break;
+      case ChangeKind::kRemoveEdge: live[c.edge] = false; break;
+      case ChangeKind::kSetVertexProperty: break;
+    }
+  }
+  EdgeList el(vertices);
+  for (EdgeId e = 0; e < live.size(); ++e) {
+    if (live[e]) el.Add(edge_endpoints_[e].first, edge_endpoints_[e].second);
+  }
+  el.EnsureVertices(vertices);
+  return el;
+}
+
+Result<PropertyGraph> VersionedGraph::MaterializeAt(VersionId version) const {
+  UG_RETURN_NOT_OK(CheckVersion(version));
+  PropertyGraph g;
+  std::vector<bool> live(edge_endpoints_.size(), false);
+  std::vector<const Change*> edge_adds(edge_endpoints_.size(), nullptr);
+  for (const Change& c : log_) {
+    if (c.version > version) break;
+    switch (c.kind) {
+      case ChangeKind::kAddVertex:
+        g.AddVertex(c.text);
+        break;
+      case ChangeKind::kAddEdge:
+        live[c.edge] = true;
+        edge_adds[c.edge] = &c;
+        break;
+      case ChangeKind::kRemoveEdge:
+        live[c.edge] = false;
+        break;
+      case ChangeKind::kSetVertexProperty:
+        UG_RETURN_NOT_OK(g.SetVertexProperty(c.vertex, c.text, c.value));
+        break;
+    }
+  }
+  for (EdgeId e = 0; e < live.size(); ++e) {
+    if (live[e] && edge_adds[e] != nullptr) {
+      UG_RETURN_NOT_OK(
+          g.AddEdge(edge_adds[e]->vertex, edge_adds[e]->other, edge_adds[e]->text)
+              .status());
+    }
+  }
+  return g;
+}
+
+Result<VersionedGraph::Diff> VersionedGraph::DiffVersions(VersionId from,
+                                                          VersionId to) const {
+  UG_RETURN_NOT_OK(CheckVersion(from));
+  UG_RETURN_NOT_OK(CheckVersion(to));
+  if (from > to) return Status::Invalid("from must be <= to");
+  Diff d;
+  for (const Change& c : log_) {
+    if (c.version <= from || c.version > to) continue;
+    switch (c.kind) {
+      case ChangeKind::kAddVertex: ++d.vertices_added; break;
+      case ChangeKind::kAddEdge: ++d.edges_added; break;
+      case ChangeKind::kRemoveEdge: ++d.edges_removed; break;
+      case ChangeKind::kSetVertexProperty: ++d.properties_changed; break;
+    }
+  }
+  return d;
+}
+
+}  // namespace ubigraph

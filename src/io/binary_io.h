@@ -1,0 +1,35 @@
+// Versioned binary graph format (Table 17 "Binary") with CRC32 integrity:
+//
+//   [magic "UBGF"] [u32 version] [u64 num_vertices] [u64 num_edges]
+//   [u8 flags] [edges: (u32 src, u32 dst, f64 weight) * num_edges]
+//   [u32 crc32 of everything above]
+//
+// All integers little-endian. flags bit 0: weights present (when clear,
+// edges are (u32, u32) pairs and weight 1.0 is implied).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+inline constexpr uint32_t kBinaryFormatVersion = 1;
+
+struct BinaryWriteOptions {
+  /// Omit weights when every edge weighs 1.0 (smaller files).
+  bool elide_unit_weights = true;
+};
+
+/// Serializes to the binary format.
+std::string WriteBinaryGraph(const EdgeList& edges, BinaryWriteOptions options = {});
+
+/// Parses the binary format, verifying magic, version, and checksum.
+Result<EdgeList> ParseBinaryGraph(const std::string& data);
+
+Result<EdgeList> ReadBinaryFile(const std::string& path);
+Status WriteBinaryFile(const EdgeList& edges, const std::string& path,
+                       BinaryWriteOptions options = {});
+
+}  // namespace ubigraph::io

@@ -1,0 +1,34 @@
+// CSV edge IO (Table 17): RFC-4180-ish parsing with quoted fields, a header
+// row, and configurable column names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+struct CsvOptions {
+  std::string source_column = "source";
+  std::string target_column = "target";
+  std::string weight_column = "weight";  // optional in the data
+  char separator = ',';
+};
+
+/// Parses a CSV document with a header row into an edge list.
+Result<EdgeList> ParseCsvEdges(const std::string& text, CsvOptions options = {});
+
+/// Serializes edges as CSV with a header row.
+std::string WriteCsvEdges(const EdgeList& edges, CsvOptions options = {});
+
+/// Low-level: splits one CSV record honoring quotes. Exposed for tests.
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                char separator);
+
+Result<EdgeList> ReadCsvFile(const std::string& path, CsvOptions options = {});
+Status WriteCsvFile(const EdgeList& edges, const std::string& path,
+                    CsvOptions options = {});
+
+}  // namespace ubigraph::io

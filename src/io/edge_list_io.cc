@@ -1,0 +1,83 @@
+#include "io/edge_list_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ubigraph::io {
+
+Result<EdgeList> ParseEdgeListText(const std::string& text) {
+  EdgeList el;
+  size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> fields = SplitWhitespace(sv);
+    if (fields.size() < 2 || fields.size() > 3) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 'src dst [weight]'");
+    }
+    int64_t src = 0, dst = 0;
+    if (!ParseInt64(fields[0], &src) || !ParseInt64(fields[1], &dst) ||
+        src < 0 || dst < 0 || src > UINT32_MAX || dst > UINT32_MAX) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": invalid vertex id");
+    }
+    double weight = 1.0;
+    if (fields.size() == 3 && !ParseDouble(fields[2], &weight)) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": invalid weight");
+    }
+    el.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst), weight);
+  }
+  return el;
+}
+
+std::string WriteEdgeListText(const EdgeList& edges) {
+  std::string out;
+  out += "# ubigraph edge list: " + std::to_string(edges.num_vertices()) +
+         " vertices, " + std::to_string(edges.num_edges()) + " edges\n";
+  for (const Edge& e : edges.edges()) {
+    out += std::to_string(e.src);
+    out += ' ';
+    out += std::to_string(e.dst);
+    if (e.weight != 1.0) {
+      out += ' ';
+      out += FormatDouble(e.weight, 17);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EdgeList> ReadEdgeListFile(const std::string& path) {
+  UG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseEdgeListText(text);
+}
+
+Status WriteEdgeListFile(const EdgeList& edges, const std::string& path) {
+  return WriteStringToFile(WriteEdgeListText(edges), path);
+}
+
+}  // namespace ubigraph::io

@@ -1,0 +1,193 @@
+#include "io/gml_io.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "io/edge_list_io.h"
+
+namespace ubigraph::io {
+
+namespace {
+
+/// GML token: a bare word, a number, a quoted string, or a bracket.
+struct Token {
+  enum Kind { kWord, kNumber, kString, kOpen, kClose, kEnd } kind = kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<Token> Next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Token{Token::kEnd, "", 0.0};
+    char c = text_[pos_];
+    if (c == '[') {
+      ++pos_;
+      return Token{Token::kOpen, "[", 0.0};
+    }
+    if (c == ']') {
+      ++pos_;
+      return Token{Token::kClose, "]", 0.0};
+    }
+    if (c == '"') {
+      size_t end = text_.find('"', pos_ + 1);
+      if (end == std::string::npos) return Status::ParseError("unterminated string");
+      Token t{Token::kString, text_.substr(pos_ + 1, end - pos_ - 1), 0.0};
+      pos_ = end + 1;
+      return t;
+    }
+    if (c == '#') {  // comment to end of line
+      size_t end = text_.find('\n', pos_);
+      pos_ = end == std::string::npos ? text_.size() : end + 1;
+      return Next();
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '[' && text_[pos_] != ']') {
+      ++pos_;
+    }
+    std::string word = text_.substr(start, pos_ - start);
+    double num = 0.0;
+    if (ParseDouble(word, &num)) return Token{Token::kNumber, word, num};
+    return Token{Token::kWord, word, 0.0};
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Skips a balanced [...] block (the opening bracket already consumed).
+Status SkipBlock(Lexer* lex) {
+  int depth = 1;
+  while (depth > 0) {
+    UG_ASSIGN_OR_RETURN(Token t, lex->Next());
+    if (t.kind == Token::kEnd) return Status::ParseError("unterminated block");
+    if (t.kind == Token::kOpen) ++depth;
+    if (t.kind == Token::kClose) --depth;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GmlDocument> ParseGml(const std::string& text) {
+  Lexer lex(text);
+  GmlDocument doc;
+  std::unordered_map<int64_t, VertexId> id_map;
+  auto intern = [&](int64_t id) {
+    auto [it, inserted] = id_map.emplace(id, static_cast<VertexId>(id_map.size()));
+    if (inserted) doc.edges.EnsureVertices(static_cast<VertexId>(id_map.size()));
+    return it->second;
+  };
+
+  // Find "graph [".
+  bool found_graph = false;
+  while (!found_graph) {
+    UG_ASSIGN_OR_RETURN(Token t, lex.Next());
+    if (t.kind == Token::kEnd) return Status::ParseError("no graph block");
+    if (t.kind == Token::kWord && ToLower(t.text) == "graph") {
+      UG_ASSIGN_OR_RETURN(Token open, lex.Next());
+      if (open.kind != Token::kOpen) return Status::ParseError("expected [ after graph");
+      found_graph = true;
+    }
+  }
+
+  while (true) {
+    UG_ASSIGN_OR_RETURN(Token t, lex.Next());
+    if (t.kind == Token::kClose) break;
+    if (t.kind == Token::kEnd) return Status::ParseError("unterminated graph block");
+    if (t.kind != Token::kWord) continue;
+    std::string keyword = ToLower(t.text);
+    if (keyword == "directed") {
+      UG_ASSIGN_OR_RETURN(Token v, lex.Next());
+      doc.directed = v.kind == Token::kNumber && v.number != 0;
+    } else if (keyword == "node") {
+      UG_ASSIGN_OR_RETURN(Token open, lex.Next());
+      if (open.kind != Token::kOpen) return Status::ParseError("expected [ after node");
+      int64_t id = -1;
+      int depth = 1;
+      while (depth > 0) {
+        UG_ASSIGN_OR_RETURN(Token nt, lex.Next());
+        if (nt.kind == Token::kEnd) return Status::ParseError("unterminated node");
+        if (nt.kind == Token::kOpen) { ++depth; continue; }
+        if (nt.kind == Token::kClose) { --depth; continue; }
+        if (depth == 1 && nt.kind == Token::kWord && ToLower(nt.text) == "id") {
+          UG_ASSIGN_OR_RETURN(Token v, lex.Next());
+          if (v.kind != Token::kNumber) return Status::ParseError("node id not numeric");
+          id = static_cast<int64_t>(v.number);
+        }
+      }
+      if (id < 0) return Status::ParseError("node without id");
+      intern(id);
+    } else if (keyword == "edge") {
+      UG_ASSIGN_OR_RETURN(Token open, lex.Next());
+      if (open.kind != Token::kOpen) return Status::ParseError("expected [ after edge");
+      int64_t source = -1, target = -1;
+      double weight = 1.0;
+      int depth = 1;
+      while (depth > 0) {
+        UG_ASSIGN_OR_RETURN(Token et, lex.Next());
+        if (et.kind == Token::kEnd) return Status::ParseError("unterminated edge");
+        if (et.kind == Token::kOpen) { ++depth; continue; }
+        if (et.kind == Token::kClose) { --depth; continue; }
+        if (depth != 1 || et.kind != Token::kWord) continue;
+        std::string field = ToLower(et.text);
+        UG_ASSIGN_OR_RETURN(Token v, lex.Next());
+        if (field == "source" && v.kind == Token::kNumber) {
+          source = static_cast<int64_t>(v.number);
+        } else if (field == "target" && v.kind == Token::kNumber) {
+          target = static_cast<int64_t>(v.number);
+        } else if ((field == "value" || field == "weight") &&
+                   v.kind == Token::kNumber) {
+          weight = v.number;
+        } else if (v.kind == Token::kOpen) {
+          UG_RETURN_NOT_OK(SkipBlock(&lex));
+        }
+      }
+      if (source < 0 || target < 0) {
+        return Status::ParseError("edge without source/target");
+      }
+      doc.edges.Add(intern(source), intern(target), weight);
+    } else {
+      // Unknown attribute: consume its value (scalar or block).
+      UG_ASSIGN_OR_RETURN(Token v, lex.Next());
+      if (v.kind == Token::kOpen) UG_RETURN_NOT_OK(SkipBlock(&lex));
+    }
+  }
+  return doc;
+}
+
+std::string WriteGml(const EdgeList& edges, bool directed) {
+  std::string out = "graph [\n";
+  out += "  directed " + std::string(directed ? "1" : "0") + "\n";
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    out += "  node [ id " + std::to_string(v) + " ]\n";
+  }
+  for (const Edge& e : edges.edges()) {
+    out += "  edge [ source " + std::to_string(e.src) + " target " +
+           std::to_string(e.dst);
+    if (e.weight != 1.0) out += " value " + FormatDouble(e.weight, 17);
+    out += " ]\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+Result<GmlDocument> ReadGmlFile(const std::string& path) {
+  UG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseGml(text);
+}
+
+Status WriteGmlFile(const EdgeList& edges, const std::string& path, bool directed) {
+  return WriteStringToFile(WriteGml(edges, directed), path);
+}
+
+}  // namespace ubigraph::io

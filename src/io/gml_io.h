@@ -1,0 +1,25 @@
+// GML (Graph Modelling Language) IO — Table 17's "JGF / GML / GraphML" class.
+// Handles the standard graph [ node [ id N ] edge [ source A target B ] ]
+// structure with optional value/weight and label attributes.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+struct GmlDocument {
+  EdgeList edges;
+  bool directed = false;  // GML default is undirected
+};
+
+Result<GmlDocument> ParseGml(const std::string& text);
+std::string WriteGml(const EdgeList& edges, bool directed = true);
+
+Result<GmlDocument> ReadGmlFile(const std::string& path);
+Status WriteGmlFile(const EdgeList& edges, const std::string& path,
+                    bool directed = true);
+
+}  // namespace ubigraph::io

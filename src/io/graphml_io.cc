@@ -1,0 +1,201 @@
+#include "io/graphml_io.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "io/edge_list_io.h"
+
+namespace ubigraph::io {
+
+namespace {
+
+/// Minimal XML tag scanner: yields (tag_name, attributes, is_closing,
+/// self_closing, body_until_close) for the tags we care about.
+struct TagScanner {
+  const std::string& text;
+  size_t pos = 0;
+
+  /// Finds the next tag; returns false at end of input.
+  bool Next(std::string* name, std::unordered_map<std::string, std::string>* attrs,
+            bool* closing, bool* self_closing) {
+    size_t open = text.find('<', pos);
+    while (open != std::string::npos &&
+           (text.compare(open, 4, "<!--") == 0 || text.compare(open, 2, "<?") == 0)) {
+      // Skip comments and processing instructions.
+      size_t end = text.compare(open, 4, "<!--") == 0 ? text.find("-->", open)
+                                                      : text.find("?>", open);
+      if (end == std::string::npos) return false;
+      open = text.find('<', end);
+    }
+    if (open == std::string::npos) return false;
+    size_t close = text.find('>', open);
+    if (close == std::string::npos) return false;
+    std::string_view inner(text.data() + open + 1, close - open - 1);
+    pos = close + 1;
+
+    *closing = !inner.empty() && inner[0] == '/';
+    if (*closing) inner.remove_prefix(1);
+    *self_closing = !inner.empty() && inner.back() == '/';
+    if (*self_closing) inner.remove_suffix(1);
+
+    size_t name_end = 0;
+    while (name_end < inner.size() &&
+           !std::isspace(static_cast<unsigned char>(inner[name_end]))) {
+      ++name_end;
+    }
+    *name = std::string(inner.substr(0, name_end));
+    attrs->clear();
+    size_t i = name_end;
+    while (i < inner.size()) {
+      while (i < inner.size() && std::isspace(static_cast<unsigned char>(inner[i]))) {
+        ++i;
+      }
+      size_t eq = inner.find('=', i);
+      if (eq == std::string_view::npos) break;
+      std::string key(Trim(inner.substr(i, eq - i)));
+      size_t q1 = inner.find_first_of("\"'", eq);
+      if (q1 == std::string_view::npos) break;
+      char quote = inner[q1];
+      size_t q2 = inner.find(quote, q1 + 1);
+      if (q2 == std::string_view::npos) break;
+      (*attrs)[key] = std::string(inner.substr(q1 + 1, q2 - q1 - 1));
+      i = q2 + 1;
+    }
+    return true;
+  }
+
+  /// Text between the current position and the next '<'.
+  std::string BodyText() {
+    size_t next = text.find('<', pos);
+    if (next == std::string::npos) next = text.size();
+    std::string out = text.substr(pos, next - pos);
+    return out;
+  }
+};
+
+std::string XmlUnescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out += s[i];
+      continue;
+    }
+    if (s.compare(i, 5, "&amp;") == 0) { out += '&'; i += 4; }
+    else if (s.compare(i, 4, "&lt;") == 0) { out += '<'; i += 3; }
+    else if (s.compare(i, 4, "&gt;") == 0) { out += '>'; i += 3; }
+    else if (s.compare(i, 6, "&quot;") == 0) { out += '"'; i += 5; }
+    else if (s.compare(i, 6, "&apos;") == 0) { out += '\''; i += 5; }
+    else out += s[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<GraphMlDocument> ParseGraphMl(const std::string& text) {
+  GraphMlDocument doc;
+  std::unordered_map<std::string, VertexId> id_map;
+  auto intern = [&](const std::string& id) {
+    auto [it, inserted] = id_map.emplace(id, static_cast<VertexId>(id_map.size()));
+    if (inserted) doc.edges.EnsureVertices(static_cast<VertexId>(id_map.size()));
+    return it->second;
+  };
+
+  // The weight key id (e.g. <key id="w" attr.name="weight" for="edge"/>).
+  std::string weight_key;
+  TagScanner scanner{text};
+  std::string name;
+  std::unordered_map<std::string, std::string> attrs;
+  bool closing = false, self_closing = false;
+  bool in_edge = false;
+  VertexId cur_src = 0, cur_dst = 0;
+  double cur_weight = 1.0;
+  bool saw_graph = false;
+  std::string pending_data_key;
+
+  while (scanner.Next(&name, &attrs, &closing, &self_closing)) {
+    if (closing) {
+      if (name == "edge" && in_edge) {
+        doc.edges.Add(cur_src, cur_dst, cur_weight);
+        in_edge = false;
+      }
+      continue;
+    }
+    if (name == "key") {
+      auto an = attrs.find("attr.name");
+      auto id = attrs.find("id");
+      if (an != attrs.end() && id != attrs.end() &&
+          ToLower(an->second) == "weight") {
+        weight_key = id->second;
+      }
+    } else if (name == "graph") {
+      saw_graph = true;
+      auto ed = attrs.find("edgedefault");
+      if (ed != attrs.end()) doc.directed = ed->second != "undirected";
+    } else if (name == "node") {
+      auto id = attrs.find("id");
+      if (id == attrs.end()) return Status::ParseError("node without id");
+      intern(XmlUnescape(id->second));
+    } else if (name == "edge") {
+      auto s = attrs.find("source");
+      auto t = attrs.find("target");
+      if (s == attrs.end() || t == attrs.end()) {
+        return Status::ParseError("edge without source/target");
+      }
+      cur_src = intern(XmlUnescape(s->second));
+      cur_dst = intern(XmlUnescape(t->second));
+      cur_weight = 1.0;
+      if (self_closing) {
+        doc.edges.Add(cur_src, cur_dst, cur_weight);
+      } else {
+        in_edge = true;
+      }
+    } else if (name == "data" && in_edge && !self_closing) {
+      auto key = attrs.find("key");
+      pending_data_key = key != attrs.end() ? key->second : "";
+      if (pending_data_key == weight_key || weight_key.empty()) {
+        std::string body = scanner.BodyText();
+        double w = 1.0;
+        if (ParseDouble(Trim(body), &w) && pending_data_key == weight_key) {
+          cur_weight = w;
+        }
+      }
+    }
+  }
+  if (!saw_graph) return Status::ParseError("no <graph> element found");
+  return doc;
+}
+
+std::string WriteGraphMl(const EdgeList& edges, bool directed) {
+  std::string out;
+  out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+  out += "  <key id=\"w\" for=\"edge\" attr.name=\"weight\" attr.type=\"double\"/>\n";
+  out += "  <graph id=\"G\" edgedefault=\"";
+  out += directed ? "directed" : "undirected";
+  out += "\">\n";
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    out += "    <node id=\"n" + std::to_string(v) + "\"/>\n";
+  }
+  for (const Edge& e : edges.edges()) {
+    out += "    <edge source=\"n" + std::to_string(e.src) + "\" target=\"n" +
+           std::to_string(e.dst) + "\">";
+    out += "<data key=\"w\">" + FormatDouble(e.weight, 17) + "</data>";
+    out += "</edge>\n";
+  }
+  out += "  </graph>\n</graphml>\n";
+  return out;
+}
+
+Result<GraphMlDocument> ReadGraphMlFile(const std::string& path) {
+  UG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseGraphMl(text);
+}
+
+Status WriteGraphMlFile(const EdgeList& edges, const std::string& path,
+                        bool directed) {
+  return WriteStringToFile(WriteGraphMl(edges, directed), path);
+}
+
+}  // namespace ubigraph::io

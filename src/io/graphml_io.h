@@ -1,0 +1,29 @@
+// GraphML IO (Table 17 "JGF / GML / GraphML"): a pragmatic reader/writer for
+// the GraphML subset produced by the survey's tools (node/edge elements,
+// a weight key, directed/undirected attribute). Not a validating XML parser.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+struct GraphMlDocument {
+  EdgeList edges;
+  bool directed = true;
+};
+
+/// Parses a GraphML document (the <node>/<edge> subset; ids may be arbitrary
+/// strings, mapped to dense vertex ids in first-appearance order).
+Result<GraphMlDocument> ParseGraphMl(const std::string& text);
+
+/// Serializes as GraphML with a weight key on edges.
+std::string WriteGraphMl(const EdgeList& edges, bool directed = true);
+
+Result<GraphMlDocument> ReadGraphMlFile(const std::string& path);
+Status WriteGraphMlFile(const EdgeList& edges, const std::string& path,
+                        bool directed = true);
+
+}  // namespace ubigraph::io

@@ -1,0 +1,29 @@
+// JGF (JSON Graph Format) IO — the remaining member of Table 17's
+// "JGF / GML / GraphML" class:
+//   {"graph": {"directed": bool, "label": "...",
+//              "nodes": {"<id>": {"label": "..."}, ...},
+//              "edges": [{"source": "<id>", "target": "<id>"}, ...]}}
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+struct JgfDocument {
+  EdgeList edges;
+  bool directed = true;
+  std::string label;
+};
+
+Result<JgfDocument> ParseJgf(const std::string& text);
+std::string WriteJgf(const EdgeList& edges, bool directed = true,
+                     const std::string& label = "graph");
+
+Result<JgfDocument> ReadJgfFile(const std::string& path);
+Status WriteJgfFile(const EdgeList& edges, const std::string& path,
+                    bool directed = true);
+
+}  // namespace ubigraph::io

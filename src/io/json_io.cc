@@ -1,0 +1,102 @@
+#include "io/json_io.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "io/edge_list_io.h"
+#include "io/json_value.h"
+
+namespace ubigraph::io {
+
+namespace {
+
+Result<VertexId> NodeIdOf(const JsonValue& v,
+                          std::map<std::string, VertexId>* id_map,
+                          EdgeList* edges) {
+  std::string key;
+  if (v.kind == JsonValue::kNumber) key = FormatDouble(v.number, 17);
+  else if (v.kind == JsonValue::kString) key = v.string;
+  else return Status::ParseError("node id must be number or string");
+  auto [it, inserted] = id_map->emplace(key, static_cast<VertexId>(id_map->size()));
+  if (inserted) edges->EnsureVertices(static_cast<VertexId>(id_map->size()));
+  return it->second;
+}
+
+}  // namespace
+
+Result<JsonGraphDocument> ParseJsonGraph(const std::string& text) {
+  UG_ASSIGN_OR_RETURN(auto root, ParseJsonValue(text));
+  if (root->kind != JsonValue::kObject) {
+    return Status::ParseError("top-level JSON must be an object");
+  }
+  JsonGraphDocument doc;
+  std::map<std::string, VertexId> id_map;
+
+  const JsonValue* dir = root->Get("directed");
+  if (dir != nullptr && dir->kind == JsonValue::kBool) {
+    doc.directed = dir->boolean;
+  }
+  const JsonValue* nodes = root->Get("nodes");
+  if (nodes != nullptr && nodes->kind == JsonValue::kArray) {
+    for (const auto& node : nodes->array) {
+      if (node->kind != JsonValue::kObject) continue;
+      const JsonValue* id = node->Get("id");
+      if (id == nullptr) return Status::ParseError("node without id");
+      UG_RETURN_NOT_OK(NodeIdOf(*id, &id_map, &doc.edges).status());
+    }
+  }
+  const JsonValue* links = root->Get("links");
+  if (links == nullptr) links = root->Get("edges");
+  if (links != nullptr && links->kind == JsonValue::kArray) {
+    for (const auto& link : links->array) {
+      if (link->kind != JsonValue::kObject) {
+        return Status::ParseError("link must be an object");
+      }
+      const JsonValue* s = link->Get("source");
+      const JsonValue* t = link->Get("target");
+      if (s == nullptr || t == nullptr) {
+        return Status::ParseError("link without source/target");
+      }
+      UG_ASSIGN_OR_RETURN(VertexId src, NodeIdOf(*s, &id_map, &doc.edges));
+      UG_ASSIGN_OR_RETURN(VertexId dst, NodeIdOf(*t, &id_map, &doc.edges));
+      double weight = 1.0;
+      const JsonValue* w = link->Get("weight");
+      if (w != nullptr && w->kind == JsonValue::kNumber) weight = w->number;
+      doc.edges.Add(src, dst, weight);
+    }
+  }
+  return doc;
+}
+
+std::string WriteJsonGraph(const EdgeList& edges, bool directed) {
+  std::string out = "{\n  \"directed\": ";
+  out += directed ? "true" : "false";
+  out += ",\n  \"nodes\": [";
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (v) out += ", ";
+    out += "{\"id\": " + std::to_string(v) + "}";
+  }
+  out += "],\n  \"links\": [\n";
+  bool first = true;
+  for (const Edge& e : edges.edges()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"source\": " + std::to_string(e.src) +
+           ", \"target\": " + std::to_string(e.dst) +
+           ", \"weight\": " + FormatDouble(e.weight, 17) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Result<JsonGraphDocument> ReadJsonGraphFile(const std::string& path) {
+  UG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseJsonGraph(text);
+}
+
+Status WriteJsonGraphFile(const EdgeList& edges, const std::string& path,
+                          bool directed) {
+  return WriteStringToFile(WriteJsonGraph(edges, directed), path);
+}
+
+}  // namespace ubigraph::io

@@ -1,0 +1,25 @@
+// JSON graph IO (Table 17 "XML / JSON"): the node-link format used by
+// NetworkX/d3 — {"directed": bool, "nodes": [{"id": N}], "links":
+// [{"source": A, "target": B, "weight": W}]}.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+struct JsonGraphDocument {
+  EdgeList edges;
+  bool directed = true;
+};
+
+Result<JsonGraphDocument> ParseJsonGraph(const std::string& text);
+std::string WriteJsonGraph(const EdgeList& edges, bool directed = true);
+
+Result<JsonGraphDocument> ReadJsonGraphFile(const std::string& path);
+Status WriteJsonGraphFile(const EdgeList& edges, const std::string& path,
+                          bool directed = true);
+
+}  // namespace ubigraph::io

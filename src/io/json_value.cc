@@ -1,0 +1,202 @@
+#include "io/json_value.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ubigraph::io {
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  if (kind != kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<std::shared_ptr<JsonValue>> Parse() {
+    UG_ASSIGN_OR_RETURN(auto v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::ParseError("JSON at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    char c = text_[pos_];
+    auto v = std::make_shared<JsonValue>();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      UG_ASSIGN_OR_RETURN(v->string, ParseString());
+      v->kind = JsonValue::kString;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v->kind = JsonValue::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v->kind = JsonValue::kBool;
+      v->boolean = false;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      v->kind = JsonValue::kNull;
+      return v;
+    }
+    size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double num = 0.0;
+    if (pos_ == start || !ParseDouble(text_.substr(start, pos_ - start), &num)) {
+      return Fail("invalid number");
+    }
+    v->kind = JsonValue::kNumber;
+    v->number = num;
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    if (text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        char esc = text_[pos_];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Fail("bad unicode escape");
+            unsigned value = 0;
+            for (int k = 1; k <= 4; ++k) {
+              char h = text_[pos_ + k];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad unicode escape");
+            }
+            out += value < 128 ? static_cast<char>(value) : '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseObject() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::kObject;
+    ++pos_;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWs();
+      UG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      UG_ASSIGN_OR_RETURN(auto val, ParseValue());
+      v->object[key] = val;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<std::shared_ptr<JsonValue>> ParseArray() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::kArray;
+    ++pos_;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      UG_ASSIGN_OR_RETURN(auto elem, ParseValue());
+      v->array.push_back(elem);
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<JsonValue>> ParseJsonValue(const std::string& text) {
+  JsonParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace ubigraph::io

@@ -1,0 +1,34 @@
+// A small JSON document model + recursive-descent parser shared by the JSON
+// node-link and JGF readers. Not a general-purpose JSON library: good enough
+// for graph interchange documents, no external dependencies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::io {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+};
+
+/// Parses a complete JSON document.
+Result<std::shared_ptr<JsonValue>> ParseJsonValue(const std::string& text);
+
+}  // namespace ubigraph::io

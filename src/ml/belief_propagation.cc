@@ -1,0 +1,146 @@
+#include "ml/belief_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ubigraph::ml {
+
+std::vector<uint32_t> BeliefResult::MapStates(uint32_t num_states) const {
+  std::vector<uint32_t> out(beliefs.size() / num_states);
+  for (size_t v = 0; v < out.size(); ++v) {
+    const double* row = beliefs.data() + v * num_states;
+    out[v] = static_cast<uint32_t>(
+        std::max_element(row, row + num_states) - row);
+  }
+  return out;
+}
+
+Result<BeliefResult> LoopyBeliefPropagation(const CsrGraph& g, const PairwiseMrf& mrf,
+                                            BeliefPropagationOptions options) {
+  const VertexId n = g.num_vertices();
+  const uint32_t s = mrf.num_states;
+  if (s == 0) return Status::Invalid("num_states must be positive");
+  if (mrf.unary.size() != static_cast<size_t>(n) * s) {
+    return Status::Invalid("unary potential size mismatch");
+  }
+  if (mrf.pairwise.size() != static_cast<size_t>(s) * s) {
+    return Status::Invalid("pairwise potential size mismatch");
+  }
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::Invalid("damping must be in [0, 1)");
+  }
+
+  // Build undirected directed-message edge list: for each undirected edge
+  // {u, v}, messages u->v and v->u.
+  struct Msg {
+    VertexId from;
+    VertexId to;
+    uint32_t reverse;  // index of the opposite-direction message
+  };
+  std::vector<Msg> msgs;
+  {
+    std::vector<std::pair<VertexId, VertexId>> und;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : g.OutNeighbors(u)) {
+        if (u == v) continue;
+        und.emplace_back(std::min(u, v), std::max(u, v));
+      }
+    }
+    std::sort(und.begin(), und.end());
+    und.erase(std::unique(und.begin(), und.end()), und.end());
+    msgs.reserve(und.size() * 2);
+    for (const auto& [a, b] : und) {
+      uint32_t i = static_cast<uint32_t>(msgs.size());
+      msgs.push_back({a, b, i + 1});
+      msgs.push_back({b, a, i});
+    }
+  }
+  // Incoming message indices per vertex.
+  std::vector<std::vector<uint32_t>> incoming(n);
+  for (uint32_t i = 0; i < msgs.size(); ++i) incoming[msgs[i].to].push_back(i);
+
+  std::vector<double> message(msgs.size() * s, 1.0 / s);
+  std::vector<double> next(message.size());
+
+  BeliefResult result;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (uint32_t mi = 0; mi < msgs.size(); ++mi) {
+      VertexId from = msgs[mi].from;
+      // Product of unary and all incoming messages to `from` except the
+      // reverse of this message.
+      std::vector<double> prod(s);
+      for (uint32_t st = 0; st < s; ++st) {
+        prod[st] = mrf.unary[static_cast<size_t>(from) * s + st];
+      }
+      for (uint32_t in : incoming[from]) {
+        if (in == msgs[mi].reverse) continue;
+        for (uint32_t st = 0; st < s; ++st) {
+          prod[st] *= message[static_cast<size_t>(in) * s + st];
+        }
+      }
+      // Marginalize through the pairwise potential.
+      double norm = 0.0;
+      for (uint32_t to_state = 0; to_state < s; ++to_state) {
+        double sum = 0.0;
+        for (uint32_t from_state = 0; from_state < s; ++from_state) {
+          sum += prod[from_state] *
+                 mrf.pairwise[static_cast<size_t>(from_state) * s + to_state];
+        }
+        next[static_cast<size_t>(mi) * s + to_state] = sum;
+        norm += sum;
+      }
+      if (norm <= 0) norm = 1.0;
+      for (uint32_t st = 0; st < s; ++st) {
+        size_t at = static_cast<size_t>(mi) * s + st;
+        double nv = next[at] / norm;
+        if (options.damping > 0) {
+          nv = options.damping * message[at] + (1.0 - options.damping) * nv;
+        }
+        max_delta = std::max(max_delta, std::abs(nv - message[at]));
+        next[at] = nv;
+      }
+    }
+    message.swap(next);
+    result.iterations = iter + 1;
+    if (max_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Beliefs = unary * product of incoming, normalized.
+  result.beliefs.assign(static_cast<size_t>(n) * s, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    double norm = 0.0;
+    for (uint32_t st = 0; st < s; ++st) {
+      double b = mrf.unary[static_cast<size_t>(v) * s + st];
+      for (uint32_t in : incoming[v]) {
+        b *= message[static_cast<size_t>(in) * s + st];
+      }
+      result.beliefs[static_cast<size_t>(v) * s + st] = b;
+      norm += b;
+    }
+    if (norm <= 0) norm = 1.0;
+    for (uint32_t st = 0; st < s; ++st) {
+      result.beliefs[static_cast<size_t>(v) * s + st] /= norm;
+    }
+  }
+  return result;
+}
+
+PairwiseMrf MakeIsingMrf(VertexId num_vertices, const std::vector<double>& bias,
+                         double coupling) {
+  PairwiseMrf mrf;
+  mrf.num_states = 2;
+  mrf.unary.resize(static_cast<size_t>(num_vertices) * 2);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    double b = v < bias.size() ? bias[v] : 0.0;
+    mrf.unary[static_cast<size_t>(v) * 2] = std::exp(-b);
+    mrf.unary[static_cast<size_t>(v) * 2 + 1] = std::exp(b);
+  }
+  mrf.pairwise = {coupling, 1.0, 1.0, coupling};
+  return mrf;
+}
+
+}  // namespace ubigraph::ml

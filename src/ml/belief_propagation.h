@@ -1,0 +1,49 @@
+// Graphical model inference (Table 10a: 10/89 participants): loopy belief
+// propagation for pairwise Markov random fields defined over a graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::ml {
+
+/// A pairwise MRF over the undirected view of a graph. All vertices share a
+/// state count; each vertex has a unary potential vector, each edge a shared
+/// symmetric pairwise potential matrix (state x state, row-major).
+struct PairwiseMrf {
+  uint32_t num_states = 2;
+  /// n x num_states, row-major. Non-negative.
+  std::vector<double> unary;
+  /// num_states x num_states shared compatibility, row-major. Non-negative.
+  std::vector<double> pairwise;
+};
+
+struct BeliefPropagationOptions {
+  uint32_t max_iterations = 50;
+  double tolerance = 1e-6;  // max-abs message change
+  double damping = 0.0;     // 0 = none; 0.5 = average with previous messages
+};
+
+struct BeliefResult {
+  /// n x num_states marginal beliefs, row-major, normalized per vertex.
+  std::vector<double> beliefs;
+  uint32_t iterations = 0;
+  bool converged = false;
+
+  /// argmax state per vertex.
+  std::vector<uint32_t> MapStates(uint32_t num_states) const;
+};
+
+/// Runs sum-product loopy BP. Exact on trees; approximate on loopy graphs.
+Result<BeliefResult> LoopyBeliefPropagation(const CsrGraph& g, const PairwiseMrf& mrf,
+                                            BeliefPropagationOptions options = {});
+
+/// Convenience: an attractive Ising-style MRF (2 states, coupling > 1 favors
+/// agreement) with per-vertex field from `bias` in [-1, 1].
+PairwiseMrf MakeIsingMrf(VertexId num_vertices, const std::vector<double>& bias,
+                         double coupling);
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,107 @@
+#include "ml/collaborative_filtering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ubigraph::ml {
+
+Result<ItemItemCf> ItemItemCf::Build(uint32_t num_users, uint32_t num_items,
+                                     const std::vector<Rating>& ratings) {
+  if (ratings.empty()) return Status::Invalid("ratings must be non-empty");
+  ItemItemCf cf;
+  cf.user_ratings_.resize(num_users);
+  cf.item_ratings_.resize(num_items);
+  cf.item_norm_.assign(num_items, 0.0);
+  cf.item_mean_.assign(num_items, 0.0);
+  double total = 0.0;
+  for (const Rating& r : ratings) {
+    if (r.user >= num_users || r.item >= num_items) {
+      return Status::OutOfRange("rating index out of range");
+    }
+    cf.user_ratings_[r.user].emplace_back(r.item, r.value);
+    cf.item_ratings_[r.item].emplace_back(r.user, r.value);
+    cf.item_norm_[r.item] += r.value * r.value;
+    cf.item_mean_[r.item] += r.value;
+    total += r.value;
+  }
+  cf.global_mean_ = total / static_cast<double>(ratings.size());
+  for (uint32_t i = 0; i < num_items; ++i) {
+    if (!cf.item_ratings_[i].empty()) {
+      cf.item_mean_[i] /= static_cast<double>(cf.item_ratings_[i].size());
+    } else {
+      cf.item_mean_[i] = cf.global_mean_;
+    }
+    cf.item_norm_[i] = std::sqrt(cf.item_norm_[i]);
+    std::sort(cf.item_ratings_[i].begin(), cf.item_ratings_[i].end());
+  }
+  for (auto& ur : cf.user_ratings_) std::sort(ur.begin(), ur.end());
+  return cf;
+}
+
+double ItemItemCf::Similarity(uint32_t item_a, uint32_t item_b) const {
+  if (item_a >= item_ratings_.size() || item_b >= item_ratings_.size()) return 0.0;
+  if (item_norm_[item_a] == 0.0 || item_norm_[item_b] == 0.0) return 0.0;
+  const auto& a = item_ratings_[item_a];
+  const auto& b = item_ratings_[item_b];
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) ++i;
+    else if (a[i].first > b[j].first) ++j;
+    else {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot / (item_norm_[item_a] * item_norm_[item_b]);
+}
+
+double ItemItemCf::Predict(uint32_t user, uint32_t item) const {
+  if (user >= user_ratings_.size() || item >= item_ratings_.size()) {
+    return global_mean_;
+  }
+  double num = 0.0, den = 0.0;
+  for (const auto& [rated_item, value] : user_ratings_[user]) {
+    if (rated_item == item) return value;  // already rated
+    double sim = Similarity(item, rated_item);
+    if (sim > 0) {
+      num += sim * value;
+      den += sim;
+    }
+  }
+  if (den > 0) return num / den;
+  return item_mean_[item];
+}
+
+std::vector<uint32_t> ItemItemCf::Recommend(uint32_t user, size_t k) const {
+  std::vector<uint32_t> out;
+  if (user >= user_ratings_.size()) return out;
+  const auto& rated = user_ratings_[user];
+  std::unordered_map<uint32_t, double> scores;
+  for (const auto& [item, value] : rated) {
+    // Score items co-rated with the user's items.
+    for (uint32_t other = 0; other < item_ratings_.size(); ++other) {
+      bool seen = std::binary_search(
+          rated.begin(), rated.end(), std::make_pair(other, 0.0),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (seen) continue;
+      double sim = Similarity(item, other);
+      if (sim > 0) scores[other] += sim * value;
+    }
+  }
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [item, score] : scores) ranked.emplace_back(score, item);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,46 @@
+// Neighborhood collaborative filtering (Table 10a: 9/89 participants) and the
+// recommendation problem (Table 10b: 26/89): item-item cosine similarity over
+// the user-item bipartite graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix_factorization.h"  // Rating
+
+namespace ubigraph::ml {
+
+/// Item-item collaborative filter built from a rating list.
+class ItemItemCf {
+ public:
+  /// Builds the (sparse) item-item cosine similarity structure.
+  static Result<ItemItemCf> Build(uint32_t num_users, uint32_t num_items,
+                                  const std::vector<Rating>& ratings);
+
+  /// Cosine similarity of two items' rating vectors (0 if either unseen).
+  double Similarity(uint32_t item_a, uint32_t item_b) const;
+
+  /// Predicts user's rating of an item as the similarity-weighted average of
+  /// the user's rated items. Falls back to the item mean, then global mean.
+  double Predict(uint32_t user, uint32_t item) const;
+
+  /// Top-k unseen items ranked by the sum of similarities to the user's
+  /// rated items weighted by those ratings.
+  std::vector<uint32_t> Recommend(uint32_t user, size_t k) const;
+
+  uint32_t num_users() const { return static_cast<uint32_t>(user_ratings_.size()); }
+  uint32_t num_items() const { return static_cast<uint32_t>(item_norm_.size()); }
+
+ private:
+  ItemItemCf() = default;
+
+  // Ratings grouped per user (item, value) and per item (user, value), sorted.
+  std::vector<std::vector<std::pair<uint32_t, double>>> user_ratings_;
+  std::vector<std::vector<std::pair<uint32_t, double>>> item_ratings_;
+  std::vector<double> item_norm_;  // L2 norm of each item's rating vector
+  std::vector<double> item_mean_;
+  double global_mean_ = 0.0;
+};
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,170 @@
+#include "ml/embeddings.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ubigraph::ml {
+
+namespace {
+
+std::vector<std::vector<VertexId>> UndirectedAdjacency(const CsrGraph& g) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      if (g.directed()) adj[v].push_back(u);
+    }
+  }
+  return adj;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+std::vector<VertexId> RandomWalk(const CsrGraph& g, VertexId start,
+                                 uint32_t length, Rng* rng) {
+  std::vector<VertexId> walk;
+  if (start >= g.num_vertices()) return walk;
+  auto adj = UndirectedAdjacency(g);
+  walk.reserve(length);
+  VertexId cur = start;
+  walk.push_back(cur);
+  for (uint32_t step = 1; step < length; ++step) {
+    const auto& nbrs = adj[cur];
+    if (nbrs.empty()) break;
+    cur = nbrs[rng->NextBounded(nbrs.size())];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+Result<VertexEmbeddings> VertexEmbeddings::Train(const CsrGraph& g,
+                                                 EmbeddingOptions options) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return Status::Invalid("cannot embed an empty graph");
+  if (options.dimensions == 0 || options.walk_length < 2 || options.window == 0) {
+    return Status::Invalid("degenerate embedding options");
+  }
+
+  auto adj = UndirectedAdjacency(g);
+  Rng rng(options.seed);
+
+  VertexEmbeddings emb;
+  emb.num_vertices_ = n;
+  emb.dimensions_ = options.dimensions;
+  const uint32_t d = options.dimensions;
+  emb.data_.resize(static_cast<size_t>(n) * d);
+  std::vector<double> context(static_cast<size_t>(n) * d, 0.0);
+  double scale = 0.5 / d;
+  for (double& x : emb.data_) x = (rng.NextDouble() - 0.5) * scale;
+
+  // Negative sampling proportional to degree^(3/4) via a sampling table.
+  std::vector<double> neg_weight(n);
+  for (VertexId v = 0; v < n; ++v) {
+    neg_weight[v] = std::pow(static_cast<double>(adj[v].size()) + 1.0, 0.75);
+  }
+
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::vector<double> grad(d);
+
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (VertexId start : order) {
+      if (adj[start].empty()) continue;
+      for (uint32_t w = 0; w < options.walks_per_vertex; ++w) {
+        // Inline walk (avoids rebuilding adjacency per call).
+        std::vector<VertexId> walk{start};
+        VertexId cur = start;
+        for (uint32_t step = 1; step < options.walk_length; ++step) {
+          const auto& nbrs = adj[cur];
+          if (nbrs.empty()) break;
+          cur = nbrs[rng.NextBounded(nbrs.size())];
+          walk.push_back(cur);
+        }
+        // Skip-gram with negative sampling over the walk.
+        for (size_t i = 0; i < walk.size(); ++i) {
+          size_t lo = i >= options.window ? i - options.window : 0;
+          size_t hi = std::min(walk.size() - 1, i + options.window);
+          double* center = emb.data_.data() + static_cast<size_t>(walk[i]) * d;
+          for (size_t j = lo; j <= hi; ++j) {
+            if (j == i) continue;
+            std::fill(grad.begin(), grad.end(), 0.0);
+            // Positive pair.
+            {
+              double* ctx = context.data() + static_cast<size_t>(walk[j]) * d;
+              double dot = 0;
+              for (uint32_t f = 0; f < d; ++f) dot += center[f] * ctx[f];
+              double err = (1.0 - Sigmoid(dot)) * options.learning_rate;
+              for (uint32_t f = 0; f < d; ++f) {
+                grad[f] += err * ctx[f];
+                ctx[f] += err * center[f];
+              }
+            }
+            // Negative samples.
+            for (uint32_t s = 0; s < options.negative_samples; ++s) {
+              VertexId neg = static_cast<VertexId>(rng.SampleWeighted(neg_weight));
+              if (neg >= n || neg == walk[j]) continue;
+              double* ctx = context.data() + static_cast<size_t>(neg) * d;
+              double dot = 0;
+              for (uint32_t f = 0; f < d; ++f) dot += center[f] * ctx[f];
+              double err = -Sigmoid(dot) * options.learning_rate;
+              for (uint32_t f = 0; f < d; ++f) {
+                grad[f] += err * ctx[f];
+                ctx[f] += err * center[f];
+              }
+            }
+            for (uint32_t f = 0; f < d; ++f) center[f] += grad[f];
+          }
+        }
+      }
+    }
+  }
+  return emb;
+}
+
+double VertexEmbeddings::Similarity(VertexId a, VertexId b) const {
+  auto va = Vector(a);
+  auto vb = Vector(b);
+  double dot = 0, na = 0, nb = 0;
+  for (uint32_t f = 0; f < dimensions_; ++f) {
+    dot += va[f] * vb[f];
+    na += va[f] * va[f];
+    nb += vb[f] * vb[f];
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+std::vector<VertexId> VertexEmbeddings::MostSimilar(VertexId v, size_t k) const {
+  std::vector<std::pair<double, VertexId>> scored;
+  scored.reserve(num_vertices_);
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    if (u != v) scored.emplace_back(Similarity(v, u), u);
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(k),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<VertexId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<std::vector<double>> VertexEmbeddings::ToRows() const {
+  std::vector<std::vector<double>> rows(num_vertices_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    auto vec = Vector(v);
+    rows[v].assign(vec.begin(), vec.end());
+  }
+  return rows;
+}
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,63 @@
+// DeepWalk-style vertex embeddings: truncated random walks + skip-gram with
+// negative sampling. The representation-learning path for the survey's
+// clustering/classification workloads (Table 10a) — vertices embed into R^d
+// so generic ML (k-means, logistic regression) applies to graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::ml {
+
+struct EmbeddingOptions {
+  uint32_t dimensions = 32;
+  uint32_t walks_per_vertex = 10;
+  uint32_t walk_length = 40;
+  uint32_t window = 5;            // skip-gram context radius
+  uint32_t negative_samples = 5;  // per positive pair
+  uint32_t epochs = 2;
+  double learning_rate = 0.025;
+  uint64_t seed = 42;
+};
+
+class VertexEmbeddings {
+ public:
+  /// Trains embeddings over the undirected view of g. Fails on empty graphs
+  /// or degenerate options.
+  static Result<VertexEmbeddings> Train(const CsrGraph& g,
+                                        EmbeddingOptions options = {});
+
+  uint32_t dimensions() const { return dimensions_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// The embedding of a vertex (dimensions() doubles).
+  std::span<const double> Vector(VertexId v) const {
+    return {data_.data() + static_cast<size_t>(v) * dimensions_, dimensions_};
+  }
+
+  /// Cosine similarity between two vertex embeddings.
+  double Similarity(VertexId a, VertexId b) const;
+
+  /// The k most similar vertices to v (excluding v), descending.
+  std::vector<VertexId> MostSimilar(VertexId v, size_t k) const;
+
+  /// Copies embeddings into row vectors (for KMeans / regression).
+  std::vector<std::vector<double>> ToRows() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  uint32_t dimensions_ = 0;
+  std::vector<double> data_;  // num_vertices x dimensions
+};
+
+/// Generates one uniform random walk of `length` vertices starting at
+/// `start` over the undirected view (stops early at sinks). Exposed for
+/// tests and for callers composing their own corpus.
+std::vector<VertexId> RandomWalk(const CsrGraph& g, VertexId start,
+                                 uint32_t length, Rng* rng);
+
+}  // namespace ubigraph::ml

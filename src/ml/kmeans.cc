@@ -1,0 +1,117 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+
+namespace ubigraph::ml {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            uint32_t k, KMeansOptions options) {
+  if (points.empty()) return Status::Invalid("no points");
+  if (k == 0) return Status::Invalid("k must be positive");
+  if (k > points.size()) return Status::Invalid("k exceeds number of points");
+  const size_t d = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != d) return Status::Invalid("ragged point matrix");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult r;
+
+  // k-means++ seeding.
+  r.centroids.push_back(points[rng.NextBounded(points.size())]);
+  std::vector<double> dist2(points.size(), std::numeric_limits<double>::max());
+  while (r.centroids.size() < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i], SquaredDistance(points[i], r.centroids.back()));
+    }
+    size_t pick = rng.SampleWeighted(dist2);
+    if (pick >= points.size()) pick = rng.NextBounded(points.size());
+    r.centroids.push_back(points[pick]);
+  }
+
+  r.assignment.assign(points.size(), 0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(d, 0.0));
+  std::vector<uint64_t> counts(k, 0);
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        double dd = SquaredDistance(points[i], r.centroids[c]);
+        if (dd < best) {
+          best = dd;
+          best_c = c;
+        }
+      }
+      r.assignment[i] = best_c;
+    }
+    // Update.
+    for (uint32_t c = 0; c < k; ++c) {
+      std::fill(sums[c].begin(), sums[c].end(), 0.0);
+      counts[c] = 0;
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      uint32_t c = r.assignment[i];
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) sums[c][j] += points[i][j];
+    }
+    double movement = 0.0;
+    for (uint32_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (size_t j = 0; j < d; ++j) {
+        double nv = sums[c][j] / static_cast<double>(counts[c]);
+        movement += std::abs(nv - r.centroids[c][j]);
+        r.centroids[c][j] = nv;
+      }
+    }
+    r.iterations = iter + 1;
+    if (movement < options.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  r.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    r.inertia += SquaredDistance(points[i], r.centroids[r.assignment[i]]);
+  }
+  return r;
+}
+
+void NormalizeFeatures(std::vector<std::vector<double>>* points) {
+  if (points->empty()) return;
+  const size_t d = (*points)[0].size();
+  for (size_t j = 0; j < d; ++j) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (const auto& p : *points) {
+      lo = std::min(lo, p[j]);
+      hi = std::max(hi, p[j]);
+    }
+    double span = hi - lo;
+    for (auto& p : *points) {
+      p[j] = span > 0 ? (p[j] - lo) / span : 0.0;
+    }
+  }
+}
+
+}  // namespace ubigraph::ml

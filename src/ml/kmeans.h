@@ -1,0 +1,35 @@
+// K-means clustering over vertex feature vectors (Table 10a "Clustering") —
+// the non-graph-native clustering path: extract structural features, then
+// cluster in feature space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::ml {
+
+struct KMeansOptions {
+  uint32_t max_iterations = 100;
+  double tolerance = 1e-6;  // centroid movement threshold
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  std::vector<uint32_t> assignment;           // point -> cluster
+  std::vector<std::vector<double>> centroids; // k x d
+  double inertia = 0.0;                       // total squared distance
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Lloyd's algorithm with k-means++ initialization.
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            uint32_t k, KMeansOptions options = {});
+
+/// Min-max normalizes each feature dimension to [0, 1] in place (constant
+/// dimensions become 0).
+void NormalizeFeatures(std::vector<std::vector<double>>* points);
+
+}  // namespace ubigraph::ml

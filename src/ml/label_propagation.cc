@@ -1,0 +1,128 @@
+#include "ml/label_propagation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ubigraph::ml {
+
+namespace {
+
+std::vector<std::vector<VertexId>> UndirectedAdjacency(const CsrGraph& g) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  return adj;
+}
+
+uint32_t DensifyLabels(std::vector<uint32_t>* labels) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t& l : *labels) {
+    if (l == UINT32_MAX) continue;
+    auto [it, ignored] = remap.emplace(l, static_cast<uint32_t>(remap.size()));
+    l = it->second;
+  }
+  return static_cast<uint32_t>(remap.size());
+}
+
+}  // namespace
+
+LabelPropagationResult PropagateLabels(const CsrGraph& g,
+                                       LabelPropagationOptions options) {
+  auto adj = UndirectedAdjacency(g);
+  const VertexId n = g.num_vertices();
+  Rng rng(options.seed);
+
+  LabelPropagationResult r;
+  r.label.resize(n);
+  for (VertexId v = 0; v < n; ++v) r.label[v] = v;
+
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (VertexId v : order) {
+      if (adj[v].empty()) continue;
+      counts.clear();
+      uint32_t best_count = 0;
+      for (VertexId u : adj[v]) {
+        uint32_t c = ++counts[r.label[u]];
+        best_count = std::max(best_count, c);
+      }
+      // Random tie-break among plurality labels.
+      std::vector<uint32_t> winners;
+      for (const auto& [l, c] : counts) {
+        if (c == best_count) winners.push_back(l);
+      }
+      uint32_t pick = winners[rng.NextBounded(winners.size())];
+      if (pick != r.label[v]) {
+        // Only counts as instability if v's current label is not *also* a
+        // plurality label (standard LPA stopping rule).
+        if (counts.find(r.label[v]) == counts.end() ||
+            counts[r.label[v]] < best_count) {
+          changed = true;
+          r.label[v] = pick;
+        }
+      }
+    }
+    r.iterations = iter + 1;
+    if (!changed) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.num_labels = DensifyLabels(&r.label);
+  return r;
+}
+
+Result<std::vector<uint32_t>> ClassifyBySeeds(const CsrGraph& g,
+                                              const std::vector<uint32_t>& seeds,
+                                              LabelPropagationOptions options) {
+  if (seeds.size() != g.num_vertices()) {
+    return Status::Invalid("seeds size must equal num_vertices");
+  }
+  auto adj = UndirectedAdjacency(g);
+  const VertexId n = g.num_vertices();
+  Rng rng(options.seed);
+
+  std::vector<uint32_t> label = seeds;
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (VertexId v : order) {
+      if (seeds[v] != UINT32_MAX) continue;  // clamped
+      counts.clear();
+      uint32_t best_count = 0;
+      for (VertexId u : adj[v]) {
+        if (label[u] == UINT32_MAX) continue;
+        uint32_t c = ++counts[label[u]];
+        best_count = std::max(best_count, c);
+      }
+      if (counts.empty()) continue;
+      std::vector<uint32_t> winners;
+      for (const auto& [l, c] : counts) {
+        if (c == best_count) winners.push_back(l);
+      }
+      uint32_t pick = winners[rng.NextBounded(winners.size())];
+      if (pick != label[v]) {
+        changed = true;
+        label[v] = pick;
+      }
+    }
+    if (!changed) break;
+  }
+  return label;
+}
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,43 @@
+// Label propagation — used two ways in the survey's workloads:
+// (i) unsupervised clustering (Table 10a "Clustering", the most popular ML
+//     computation), via Raghavan et al.'s community label propagation;
+// (ii) semi-supervised classification (Table 10a "Classification"), where a
+//     few labeled seeds propagate to the rest of the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::ml {
+
+struct LabelPropagationOptions {
+  uint32_t max_iterations = 100;
+  uint64_t seed = 42;
+};
+
+struct LabelPropagationResult {
+  std::vector<uint32_t> label;  // dense labels
+  uint32_t num_labels = 0;
+  uint32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Unsupervised community label propagation over the undirected view: each
+/// vertex repeatedly adopts the plurality label of its neighbors (ties broken
+/// randomly) until stable.
+LabelPropagationResult PropagateLabels(const CsrGraph& g,
+                                       LabelPropagationOptions options = {});
+
+/// Semi-supervised node classification: `seeds` maps vertex -> class
+/// (UINT32_MAX = unlabeled). Unlabeled vertices adopt the plurality class of
+/// labeled neighbors each round; seed labels are clamped. Vertices in
+/// components without any seed stay UINT32_MAX.
+Result<std::vector<uint32_t>> ClassifyBySeeds(const CsrGraph& g,
+                                              const std::vector<uint32_t>& seeds,
+                                              LabelPropagationOptions options = {});
+
+}  // namespace ubigraph::ml

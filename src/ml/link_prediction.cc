@@ -1,0 +1,172 @@
+#include "ml/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace ubigraph::ml {
+
+namespace {
+
+std::vector<std::vector<VertexId>> UndirectedSortedAdjacency(const CsrGraph& g) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  return adj;
+}
+
+double ScoreWithAdj(const std::vector<std::vector<VertexId>>& adj, VertexId u,
+                    VertexId v, LinkScore score) {
+  const auto& au = adj[u];
+  const auto& av = adj[v];
+  if (score == LinkScore::kPreferentialAttachment) {
+    return static_cast<double>(au.size()) * static_cast<double>(av.size());
+  }
+  double acc = 0.0;
+  size_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < au.size() && j < av.size()) {
+    if (au[i] < av[j]) ++i;
+    else if (au[i] > av[j]) ++j;
+    else {
+      VertexId w = au[i];
+      ++common;
+      switch (score) {
+        case LinkScore::kAdamicAdar:
+          if (adj[w].size() > 1) acc += 1.0 / std::log(adj[w].size());
+          break;
+        case LinkScore::kResourceAllocation:
+          if (!adj[w].empty()) acc += 1.0 / static_cast<double>(adj[w].size());
+          break;
+        default:
+          break;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  switch (score) {
+    case LinkScore::kCommonNeighbors:
+      return static_cast<double>(common);
+    case LinkScore::kJaccard: {
+      size_t uni = au.size() + av.size() - common;
+      return uni == 0 ? 0.0 : static_cast<double>(common) / uni;
+    }
+    case LinkScore::kAdamicAdar:
+    case LinkScore::kResourceAllocation:
+      return acc;
+    case LinkScore::kPreferentialAttachment:
+      break;  // handled above
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double ScoreLink(const CsrGraph& g, VertexId u, VertexId v, LinkScore score) {
+  auto adj = UndirectedSortedAdjacency(g);
+  return ScoreWithAdj(adj, u, v, score);
+}
+
+double KatzIndex(const CsrGraph& g, VertexId u, VertexId v, double beta,
+                 uint32_t max_length) {
+  // counts[w] = number of walks of current length from u to w.
+  const VertexId n = g.num_vertices();
+  if (u >= n || v >= n) return 0.0;
+  auto adj = UndirectedSortedAdjacency(g);
+  std::unordered_map<VertexId, double> frontier{{u, 1.0}};
+  double katz = 0.0;
+  double b = 1.0;
+  for (uint32_t len = 1; len <= max_length; ++len) {
+    b *= beta;
+    std::unordered_map<VertexId, double> next;
+    for (const auto& [w, count] : frontier) {
+      for (VertexId x : adj[w]) next[x] += count;
+    }
+    auto it = next.find(v);
+    if (it != next.end()) katz += b * it->second;
+    frontier = std::move(next);
+    if (frontier.size() > 200000) break;  // walk-count blowup guard
+  }
+  return katz;
+}
+
+std::vector<PredictedLink> TopKPredictedLinks(const CsrGraph& g, size_t k,
+                                              LinkScore score) {
+  auto adj = UndirectedSortedAdjacency(g);
+  const VertexId n = g.num_vertices();
+  std::vector<PredictedLink> all;
+  std::unordered_set<uint64_t> considered;
+  for (VertexId u = 0; u < n; ++u) {
+    // Candidates: 2-hop neighbors not already adjacent.
+    for (VertexId w : adj[u]) {
+      for (VertexId v : adj[w]) {
+        if (v <= u) continue;
+        uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+        if (considered.count(key)) continue;
+        considered.insert(key);
+        if (std::binary_search(adj[u].begin(), adj[u].end(), v)) continue;
+        double s = ScoreWithAdj(adj, u, v, score);
+        if (s > 0) all.push_back({u, v, s});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const PredictedLink& a, const PredictedLink& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Result<double> LinkPredictionAuc(
+    const CsrGraph& g, const std::vector<std::pair<VertexId, VertexId>>& held_out,
+    LinkScore score, uint32_t num_negative_samples, uint64_t seed) {
+  if (held_out.empty()) return Status::Invalid("held_out must be non-empty");
+  if (num_negative_samples == 0) {
+    return Status::Invalid("num_negative_samples must be positive");
+  }
+  const VertexId n = g.num_vertices();
+  if (n < 2) return Status::Invalid("graph too small");
+  auto adj = UndirectedSortedAdjacency(g);
+  for (const auto& [u, v] : held_out) {
+    if (u >= n || v >= n) return Status::OutOfRange("held-out vertex out of range");
+  }
+
+  Rng rng(seed);
+  // AUC ~= P(score(pos) > score(neg)) + 0.5 P(equal), sampled.
+  uint64_t wins = 0, ties = 0, trials = 0;
+  for (uint32_t t = 0; t < num_negative_samples; ++t) {
+    const auto& [pu, pv] = held_out[rng.NextBounded(held_out.size())];
+    // Rejection-sample a non-edge.
+    VertexId nu = 0, nv = 0;
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      nu = static_cast<VertexId>(rng.NextBounded(n));
+      nv = static_cast<VertexId>(rng.NextBounded(n));
+      if (nu == nv) continue;
+      if (!std::binary_search(adj[nu].begin(), adj[nu].end(), nv)) break;
+    }
+    double sp = ScoreWithAdj(adj, pu, pv, score);
+    double sn = ScoreWithAdj(adj, nu, nv, score);
+    if (sp > sn) ++wins;
+    else if (sp == sn) ++ties;
+    ++trials;
+  }
+  return (static_cast<double>(wins) + 0.5 * static_cast<double>(ties)) /
+         static_cast<double>(trials);
+}
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,49 @@
+// Link prediction (Table 10b: 25/89 participants): classic neighborhood-based
+// scores plus truncated Katz, with a top-k recommender over non-edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::ml {
+
+enum class LinkScore {
+  kCommonNeighbors,
+  kJaccard,
+  kAdamicAdar,
+  kPreferentialAttachment,
+  kResourceAllocation,
+};
+
+/// Scores a candidate pair under the undirected view of g.
+double ScoreLink(const CsrGraph& g, VertexId u, VertexId v, LinkScore score);
+
+/// Truncated Katz index: sum over path lengths l=1..max_length of
+/// beta^l * (#paths of length l between u and v). Exact via repeated
+/// frontier expansion (suitable for small/medium graphs).
+double KatzIndex(const CsrGraph& g, VertexId u, VertexId v, double beta = 0.05,
+                 uint32_t max_length = 4);
+
+struct PredictedLink {
+  VertexId u;
+  VertexId v;
+  double score;
+};
+
+/// Top-k non-adjacent pairs by the given score, restricted to pairs within
+/// 2 hops (where neighborhood scores are nonzero). Ties broken by (u, v).
+std::vector<PredictedLink> TopKPredictedLinks(const CsrGraph& g, size_t k,
+                                              LinkScore score);
+
+/// Evaluation: AUC of a score on a held-out edge set vs. random non-edges,
+/// the standard link-prediction protocol. `held_out` edges must be absent
+/// from g. Returns value in [0, 1]; 0.5 = random.
+Result<double> LinkPredictionAuc(const CsrGraph& g,
+                                 const std::vector<std::pair<VertexId, VertexId>>& held_out,
+                                 LinkScore score, uint32_t num_negative_samples,
+                                 uint64_t seed);
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,218 @@
+#include "ml/louvain.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ubigraph::ml {
+
+namespace {
+
+/// Undirected weighted adjacency with aggregated parallel edges and self-loop
+/// weights kept separately (self-loops count double in strength, as usual).
+struct WeightedGraph {
+  // adjacency[u] = (v, w) with u != v; each undirected edge stored both ways.
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;  // total self-loop weight per vertex
+  double total_weight = 0.0;      // sum of all undirected edge weights (m)
+
+  uint32_t size() const { return static_cast<uint32_t>(adjacency.size()); }
+
+  double Strength(uint32_t v) const {
+    double s = 2.0 * self_loop[v];
+    for (const auto& [u, w] : adjacency[v]) s += w;
+    return s;
+  }
+};
+
+WeightedGraph FromCsr(const CsrGraph& g) {
+  WeightedGraph wg;
+  wg.adjacency.resize(g.num_vertices());
+  wg.self_loop.assign(g.num_vertices(), 0.0);
+  std::unordered_map<uint64_t, double> agg;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      VertexId v = nbrs[i];
+      if (u == v) {
+        wg.self_loop[u] += ws[i];
+        wg.total_weight += ws[i];
+        continue;
+      }
+      uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+      agg[key] += ws[i];
+      wg.total_weight += ws[i];
+    }
+  }
+  for (const auto& [key, w] : agg) {
+    uint32_t a = static_cast<uint32_t>(key >> 32);
+    uint32_t b = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    wg.adjacency[a].emplace_back(b, w);
+    wg.adjacency[b].emplace_back(a, w);
+  }
+  return wg;
+}
+
+/// One level of local moving; returns (assignment, achieved gain > 0?).
+std::pair<std::vector<uint32_t>, bool> LocalMoving(const WeightedGraph& wg,
+                                                   const LouvainOptions& options,
+                                                   Rng* rng) {
+  const uint32_t n = wg.size();
+  std::vector<uint32_t> community(n);
+  for (uint32_t v = 0; v < n; ++v) community[v] = v;
+  std::vector<double> community_strength(n);
+  for (uint32_t v = 0; v < n; ++v) community_strength[v] = wg.Strength(v);
+
+  const double m2 = 2.0 * wg.total_weight;
+  if (m2 <= 0.0) return {community, false};
+
+  std::vector<uint32_t> order(n);
+  for (uint32_t v = 0; v < n; ++v) order[v] = v;
+  rng->Shuffle(&order);
+
+  bool any_move = false;
+  for (uint32_t sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    bool moved = false;
+    for (uint32_t v : order) {
+      uint32_t current = community[v];
+      double v_strength = wg.Strength(v);
+
+      // Weight from v to each neighboring community.
+      std::unordered_map<uint32_t, double> to_comm;
+      to_comm[current];  // ensure staying is an option
+      for (const auto& [u, w] : wg.adjacency[v]) to_comm[community[u]] += w;
+
+      community_strength[current] -= v_strength;
+      double best_gain = 0.0;
+      uint32_t best_comm = current;
+      double base = to_comm[current] -
+                    options.resolution * community_strength[current] * v_strength / m2;
+      for (const auto& [c, w] : to_comm) {
+        double gain =
+            (w - options.resolution * community_strength[c] * v_strength / m2) - base;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_comm = c;
+        }
+      }
+      community[v] = best_comm;
+      community_strength[best_comm] += v_strength;
+      if (best_comm != current) {
+        moved = true;
+        any_move = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return {community, any_move};
+}
+
+/// Renumber labels to dense [0, k).
+uint32_t Densify(std::vector<uint32_t>* labels) {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t& l : *labels) {
+    auto [it, inserted] = remap.emplace(l, static_cast<uint32_t>(remap.size()));
+    l = it->second;
+  }
+  return static_cast<uint32_t>(remap.size());
+}
+
+/// Collapse communities into a coarser weighted graph.
+WeightedGraph Aggregate(const WeightedGraph& wg, const std::vector<uint32_t>& comm,
+                        uint32_t k) {
+  WeightedGraph out;
+  out.adjacency.resize(k);
+  out.self_loop.assign(k, 0.0);
+  out.total_weight = wg.total_weight;
+  std::unordered_map<uint64_t, double> agg;
+  for (uint32_t v = 0; v < wg.size(); ++v) {
+    uint32_t cv = comm[v];
+    out.self_loop[cv] += wg.self_loop[v];
+    for (const auto& [u, w] : wg.adjacency[v]) {
+      uint32_t cu = comm[u];
+      if (cv == cu) {
+        // Each intra-community undirected edge visited twice (v->u and u->v);
+        // add half each time.
+        out.self_loop[cv] += w / 2.0;
+      } else {
+        uint64_t key =
+            (static_cast<uint64_t>(std::min(cv, cu)) << 32) | std::max(cv, cu);
+        agg[key] += w / 2.0;  // visited twice -> halve
+      }
+    }
+  }
+  for (const auto& [key, w] : agg) {
+    uint32_t a = static_cast<uint32_t>(key >> 32);
+    uint32_t b = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    out.adjacency[a].emplace_back(b, w);
+    out.adjacency[b].emplace_back(a, w);
+  }
+  return out;
+}
+
+double ModularityOf(const WeightedGraph& wg, const std::vector<uint32_t>& comm,
+                    double resolution) {
+  double m2 = 2.0 * wg.total_weight;
+  if (m2 <= 0.0) return 0.0;
+  uint32_t k = 0;
+  for (uint32_t c : comm) k = std::max(k, c + 1);
+  std::vector<double> intra(k, 0.0), strength(k, 0.0);
+  for (uint32_t v = 0; v < wg.size(); ++v) {
+    strength[comm[v]] += wg.Strength(v);
+    intra[comm[v]] += 2.0 * wg.self_loop[v];
+    for (const auto& [u, w] : wg.adjacency[v]) {
+      if (comm[u] == comm[v]) intra[comm[v]] += w;  // counts each edge twice
+    }
+  }
+  double q = 0.0;
+  for (uint32_t c = 0; c < k; ++c) {
+    q += intra[c] / m2 - resolution * (strength[c] / m2) * (strength[c] / m2);
+  }
+  return q;
+}
+
+}  // namespace
+
+CommunityResult Louvain(const CsrGraph& g, LouvainOptions options) {
+  Rng rng(options.seed);
+  WeightedGraph wg = FromCsr(g);
+  CommunityResult result;
+  result.community.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) result.community[v] = v;
+  result.num_communities = Densify(&result.community);
+  result.modularity = ModularityOf(wg, result.community, options.resolution);
+
+  // Mapping from original vertices to current coarse vertices.
+  std::vector<uint32_t> to_coarse = result.community;
+
+  for (uint32_t level = 0; level < options.max_levels; ++level) {
+    auto [comm, moved] = LocalMoving(wg, options, &rng);
+    if (!moved) break;
+    uint32_t k = Densify(&comm);
+    // Project back to original vertices.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      to_coarse[v] = comm[to_coarse[v]];
+    }
+    double q = ModularityOf(wg, comm, options.resolution);
+    wg = Aggregate(wg, comm, k);
+    result.levels = level + 1;
+    if (q < result.modularity + options.min_gain && level > 0) {
+      result.community = to_coarse;
+      result.num_communities = k;
+      result.modularity = q;
+      break;
+    }
+    result.community = to_coarse;
+    result.num_communities = k;
+    result.modularity = q;
+    if (k == wg.size() && k <= 1) break;
+  }
+  return result;
+}
+
+double Modularity(const CsrGraph& g, const std::vector<uint32_t>& community,
+                  double resolution) {
+  return ModularityOf(FromCsr(g), community, resolution);
+}
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,38 @@
+// Community detection (Table 10b: the most common ML-solved problem, 31/89):
+// Louvain modularity optimization with multi-level aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::ml {
+
+struct LouvainOptions {
+  uint32_t max_levels = 10;
+  uint32_t max_sweeps_per_level = 20;
+  /// Minimum modularity gain per level to continue.
+  double min_gain = 1e-6;
+  /// Resolution parameter gamma (1.0 = classic modularity).
+  double resolution = 1.0;
+  uint64_t seed = 42;
+};
+
+struct CommunityResult {
+  std::vector<uint32_t> community;  // dense labels per vertex
+  uint32_t num_communities = 0;
+  double modularity = 0.0;
+  uint32_t levels = 0;
+};
+
+/// Runs Louvain on the undirected weighted view of g (direction ignored,
+/// weights summed over parallel edges).
+CommunityResult Louvain(const CsrGraph& g, LouvainOptions options = {});
+
+/// Newman modularity of an assignment over the undirected weighted view.
+double Modularity(const CsrGraph& g, const std::vector<uint32_t>& community,
+                  double resolution = 1.0);
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,188 @@
+#include "ml/matrix_factorization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ubigraph::ml {
+
+FactorModel::FactorModel(uint32_t num_users, uint32_t num_items, uint32_t rank,
+                         uint64_t seed)
+    : num_users_(num_users), num_items_(num_items), rank_(rank) {
+  Rng rng(seed);
+  user_factors_.resize(static_cast<size_t>(num_users) * rank);
+  item_factors_.resize(static_cast<size_t>(num_items) * rank);
+  double scale = 1.0 / std::sqrt(static_cast<double>(rank));
+  for (double& f : user_factors_) f = rng.NextGaussian() * scale;
+  for (double& f : item_factors_) f = rng.NextGaussian() * scale;
+}
+
+double FactorModel::Predict(uint32_t user, uint32_t item) const {
+  const double* u = user_factors_.data() + static_cast<size_t>(user) * rank_;
+  const double* i = item_factors_.data() + static_cast<size_t>(item) * rank_;
+  double dot = 0.0;
+  for (uint32_t f = 0; f < rank_; ++f) dot += u[f] * i[f];
+  return dot;
+}
+
+double FactorModel::Rmse(const std::vector<Rating>& ratings) const {
+  if (ratings.empty()) return 0.0;
+  double se = 0.0;
+  for (const Rating& r : ratings) {
+    double err = r.value - Predict(r.user, r.item);
+    se += err * err;
+  }
+  return std::sqrt(se / static_cast<double>(ratings.size()));
+}
+
+std::vector<uint32_t> FactorModel::RecommendItems(
+    uint32_t user, size_t k, const std::vector<uint32_t>& seen) const {
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(num_items_);
+  for (uint32_t item = 0; item < num_items_; ++item) {
+    if (std::find(seen.begin(), seen.end(), item) != seen.end()) continue;
+    scored.emplace_back(Predict(user, item), item);
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(k),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+namespace {
+
+Status ValidateRatings(const FactorModel& model, const std::vector<Rating>& ratings) {
+  if (ratings.empty()) return Status::Invalid("ratings must be non-empty");
+  for (const Rating& r : ratings) {
+    if (r.user >= model.num_users() || r.item >= model.num_items()) {
+      return Status::OutOfRange("rating index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+/// Solves A x = b for symmetric positive-definite A (in-place Cholesky).
+/// A is rank x rank row-major; returns false if not SPD.
+bool SolveSpd(std::vector<double>* a_data, std::vector<double>* b, uint32_t n) {
+  std::vector<double>& a = *a_data;
+  // Cholesky: A = L L^T.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (uint32_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward: L y = b.
+  for (uint32_t i = 0; i < n; ++i) {
+    double sum = (*b)[i];
+    for (uint32_t k = 0; k < i; ++k) sum -= a[i * n + k] * (*b)[k];
+    (*b)[i] = sum / a[i * n + i];
+  }
+  // Backward: L^T x = y.
+  for (int32_t i = static_cast<int32_t>(n) - 1; i >= 0; --i) {
+    double sum = (*b)[i];
+    for (uint32_t k = i + 1; k < n; ++k) sum -= a[k * n + i] * (*b)[k];
+    (*b)[i] = sum / a[i * n + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TrainStats> TrainSgd(FactorModel* model, const std::vector<Rating>& ratings,
+                            const FactorizationOptions& options) {
+  UG_RETURN_NOT_OK(ValidateRatings(*model, ratings));
+  const uint32_t rank = model->rank();
+  Rng rng(options.seed);
+  std::vector<size_t> order(ratings.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainStats stats;
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const Rating& r = ratings[idx];
+      double* u = model->user_factors().data() + static_cast<size_t>(r.user) * rank;
+      double* v = model->item_factors().data() + static_cast<size_t>(r.item) * rank;
+      double err = r.value - model->Predict(r.user, r.item);
+      for (uint32_t f = 0; f < rank; ++f) {
+        double uf = u[f], vf = v[f];
+        u[f] += options.learning_rate * (err * vf - options.regularization * uf);
+        v[f] += options.learning_rate * (err * uf - options.regularization * vf);
+      }
+    }
+    stats.epoch_rmse.push_back(model->Rmse(ratings));
+  }
+  return stats;
+}
+
+Result<TrainStats> TrainAls(FactorModel* model, const std::vector<Rating>& ratings,
+                            const FactorizationOptions& options) {
+  UG_RETURN_NOT_OK(ValidateRatings(*model, ratings));
+  const uint32_t rank = model->rank();
+
+  // Per-user and per-item rating lists.
+  std::vector<std::vector<uint32_t>> by_user(model->num_users());
+  std::vector<std::vector<uint32_t>> by_item(model->num_items());
+  for (uint32_t i = 0; i < ratings.size(); ++i) {
+    by_user[ratings[i].user].push_back(i);
+    by_item[ratings[i].item].push_back(i);
+  }
+
+  auto solve_side = [&](bool users) {
+    const auto& lists = users ? by_user : by_item;
+    std::vector<double>& mine =
+        users ? model->user_factors() : model->item_factors();
+    const std::vector<double>& theirs =
+        users ? model->item_factors() : model->user_factors();
+    std::vector<double> a(static_cast<size_t>(rank) * rank);
+    std::vector<double> b(rank);
+    for (uint32_t row = 0; row < lists.size(); ++row) {
+      if (lists[row].empty()) continue;
+      std::fill(a.begin(), a.end(), 0.0);
+      std::fill(b.begin(), b.end(), 0.0);
+      for (uint32_t ri : lists[row]) {
+        const Rating& r = ratings[ri];
+        uint32_t other = users ? r.item : r.user;
+        const double* q = theirs.data() + static_cast<size_t>(other) * rank;
+        for (uint32_t f = 0; f < rank; ++f) {
+          b[f] += r.value * q[f];
+          for (uint32_t h = 0; h <= f; ++h) a[f * rank + h] += q[f] * q[h];
+        }
+      }
+      // Symmetrize + ridge term (lambda * #ratings, Zhou et al. weighting).
+      double lam = options.regularization * static_cast<double>(lists[row].size());
+      for (uint32_t f = 0; f < rank; ++f) {
+        for (uint32_t h = f + 1; h < rank; ++h) a[f * rank + h] = a[h * rank + f];
+        a[f * rank + f] += lam;
+      }
+      if (SolveSpd(&a, &b, rank)) {
+        double* p = mine.data() + static_cast<size_t>(row) * rank;
+        for (uint32_t f = 0; f < rank; ++f) p[f] = b[f];
+      }
+    }
+  };
+
+  TrainStats stats;
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    solve_side(/*users=*/true);
+    solve_side(/*users=*/false);
+    stats.epoch_rmse.push_back(model->Rmse(ratings));
+  }
+  return stats;
+}
+
+}  // namespace ubigraph::ml

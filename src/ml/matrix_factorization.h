@@ -1,0 +1,73 @@
+// Matrix factorization over a bipartite rating graph, trainable with both
+// optimizers the survey asks about (Table 10a): stochastic gradient descent
+// (4 participants, 3 papers) and alternating least squares (0 participants,
+// 2 papers — the survey's famous "nobody uses ALS" row).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::ml {
+
+/// An observed (user, item, rating) triple.
+struct Rating {
+  uint32_t user;
+  uint32_t item;
+  double value;
+};
+
+struct FactorizationOptions {
+  uint32_t rank = 8;
+  uint32_t epochs = 50;
+  double learning_rate = 0.02;   // SGD only
+  double regularization = 0.05;
+  uint64_t seed = 42;
+};
+
+/// A learned low-rank model: rating(u, i) ~= dot(user_factors[u], item_factors[i]).
+class FactorModel {
+ public:
+  FactorModel(uint32_t num_users, uint32_t num_items, uint32_t rank, uint64_t seed);
+
+  double Predict(uint32_t user, uint32_t item) const;
+  uint32_t num_users() const { return num_users_; }
+  uint32_t num_items() const { return num_items_; }
+  uint32_t rank() const { return rank_; }
+
+  /// Root-mean-square error over a rating set.
+  double Rmse(const std::vector<Rating>& ratings) const;
+
+  /// Top-k items for a user, excluding those in `seen`.
+  std::vector<uint32_t> RecommendItems(uint32_t user, size_t k,
+                                       const std::vector<uint32_t>& seen) const;
+
+  std::vector<double>& user_factors() { return user_factors_; }
+  std::vector<double>& item_factors() { return item_factors_; }
+
+ private:
+  uint32_t num_users_;
+  uint32_t num_items_;
+  uint32_t rank_;
+  std::vector<double> user_factors_;  // num_users x rank, row-major
+  std::vector<double> item_factors_;  // num_items x rank, row-major
+
+  friend class SgdTrainer;
+  friend class AlsTrainer;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_rmse;  // training RMSE after each epoch
+};
+
+/// Trains by SGD over shuffled ratings.
+Result<TrainStats> TrainSgd(FactorModel* model, const std::vector<Rating>& ratings,
+                            const FactorizationOptions& options);
+
+/// Trains by ALS: alternately solve ridge regressions for user and item
+/// factors (normal equations via Cholesky).
+Result<TrainStats> TrainAls(FactorModel* model, const std::vector<Rating>& ratings,
+                            const FactorizationOptions& options);
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,141 @@
+#include "ml/regression.h"
+
+#include <cmath>
+
+#include "algorithms/kcore.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/triangle.h"
+
+namespace ubigraph::ml {
+
+namespace {
+
+Status ValidateDesign(const std::vector<std::vector<double>>& x, size_t y_size) {
+  if (x.empty()) return Status::Invalid("empty design matrix");
+  if (x.size() != y_size) return Status::Invalid("X/y size mismatch");
+  size_t d = x[0].size();
+  if (d == 0) return Status::Invalid("zero-dimensional features");
+  for (const auto& row : x) {
+    if (row.size() != d) return Status::Invalid("ragged design matrix");
+  }
+  return Status::OK();
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+Result<LinearRegression> LinearRegression::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    RegressionOptions options) {
+  UG_RETURN_NOT_OK(ValidateDesign(x, y.size()));
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  LinearRegression model;
+  model.w_.assign(d, 0.0);
+  std::vector<double> grad(d);
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double err = Dot(model.w_, x[i]) + model.b_ - y[i];
+      for (size_t j = 0; j < d; ++j) grad[j] += err * x[i][j];
+      grad_b += err;
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      model.w_[j] -=
+          options.learning_rate * (grad[j] * inv_n + options.l2 * model.w_[j]);
+    }
+    model.b_ -= options.learning_rate * grad_b * inv_n;
+  }
+  return model;
+}
+
+double LinearRegression::Predict(const std::vector<double>& features) const {
+  return Dot(w_, features) + b_;
+}
+
+double LinearRegression::TrainMse(const std::vector<std::vector<double>>& x,
+                                  const std::vector<double>& y) const {
+  double se = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double err = Predict(x[i]) - y[i];
+    se += err * err;
+  }
+  return x.empty() ? 0.0 : se / static_cast<double>(x.size());
+}
+
+Result<LogisticRegression> LogisticRegression::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<int>& y,
+    RegressionOptions options) {
+  UG_RETURN_NOT_OK(ValidateDesign(x, y.size()));
+  for (int label : y) {
+    if (label != 0 && label != 1) return Status::Invalid("labels must be 0/1");
+  }
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  LogisticRegression model;
+  model.w_.assign(d, 0.0);
+  std::vector<double> grad(d);
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = Dot(model.w_, x[i]) + model.b_;
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double err = p - y[i];
+      for (size_t j = 0; j < d; ++j) grad[j] += err * x[i][j];
+      grad_b += err;
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t j = 0; j < d; ++j) {
+      model.w_[j] -=
+          options.learning_rate * (grad[j] * inv_n + options.l2 * model.w_[j]);
+    }
+    model.b_ -= options.learning_rate * grad_b * inv_n;
+  }
+  return model;
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& features) const {
+  double z = Dot(w_, features) + b_;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+double LogisticRegression::Accuracy(const std::vector<std::vector<double>>& x,
+                                    const std::vector<int>& y) const {
+  if (x.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (PredictClass(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+std::vector<std::vector<double>> ExtractVertexFeatures(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> clustering = algo::LocalClusteringCoefficients(g);
+  std::vector<uint32_t> core = algo::CoreDecomposition(g);
+  std::vector<double> pagerank(n, 1.0 / std::max<VertexId>(n, 1));
+  if (!g.directed() || g.has_in_edges()) {
+    auto pr = algo::PageRank(g);
+    if (pr.ok()) pagerank = pr.ValueUnsafe().scores;
+  }
+  std::vector<std::vector<double>> features(n);
+  for (VertexId v = 0; v < n; ++v) {
+    double in_deg = g.directed() && g.has_in_edges()
+                        ? static_cast<double>(g.InDegree(v))
+                        : static_cast<double>(g.OutDegree(v));
+    features[v] = {static_cast<double>(g.OutDegree(v)), in_deg, clustering[v],
+                   static_cast<double>(core[v]), pagerank[v]};
+  }
+  return features;
+}
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,64 @@
+// Linear and logistic regression (Table 10a: 11/89 participants) by full-batch
+// gradient descent, with graph-derived feature extraction so vertices can be
+// classified/regressed from their structural properties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::ml {
+
+struct RegressionOptions {
+  uint32_t epochs = 500;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+};
+
+/// w.x + b model trained with squared loss.
+class LinearRegression {
+ public:
+  /// X: row-major n x d design matrix, y: n targets.
+  static Result<LinearRegression> Fit(const std::vector<std::vector<double>>& x,
+                                      const std::vector<double>& y,
+                                      RegressionOptions options = {});
+
+  double Predict(const std::vector<double>& features) const;
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+  double TrainMse(const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y) const;
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// sigmoid(w.x + b) binary classifier trained with log loss.
+class LogisticRegression {
+ public:
+  /// y entries must be 0 or 1.
+  static Result<LogisticRegression> Fit(const std::vector<std::vector<double>>& x,
+                                        const std::vector<int>& y,
+                                        RegressionOptions options = {});
+
+  double PredictProbability(const std::vector<double>& features) const;
+  int PredictClass(const std::vector<double>& features) const {
+    return PredictProbability(features) >= 0.5 ? 1 : 0;
+  }
+  double Accuracy(const std::vector<std::vector<double>>& x,
+                  const std::vector<int>& y) const;
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Structural features per vertex: {out-degree, in-degree, local clustering
+/// coefficient, core number, PageRank} — the standard baseline feature set
+/// for vertex-level prediction tasks.
+std::vector<std::vector<double>> ExtractVertexFeatures(const CsrGraph& g);
+
+}  // namespace ubigraph::ml

@@ -1,0 +1,87 @@
+// AST for the Cypher-lite query language (see cypher_parser.h for the
+// grammar). Query languages were the survey's joint-#2 challenge; this module
+// demonstrates the full lexer -> parser -> executor pipeline over the
+// property graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace ubigraph::query {
+
+/// (variable :Label {key: literal, ...})
+struct NodePattern {
+  std::string variable;  // may be empty (anonymous)
+  std::string label;     // empty = any label
+  std::vector<std::pair<std::string, PropertyValue>> properties;
+};
+
+/// -[variable :TYPE]-> / <-[...]−  / -[...]- , optionally variable-length:
+/// -[:TYPE*2]->, -[:TYPE*1..3]->, -[*]-> (unbounded capped at kMaxVarLength).
+struct EdgePattern {
+  enum class Direction { kOut, kIn, kAny };
+  static constexpr uint32_t kMaxVarLength = 16;
+
+  std::string variable;
+  std::string type;  // empty = any type
+  Direction direction = Direction::kOut;
+  uint32_t min_hops = 1;
+  uint32_t max_hops = 1;
+
+  bool IsVariableLength() const { return min_hops != 1 || max_hops != 1; }
+};
+
+/// node (edge node)*
+struct PathPattern {
+  std::vector<NodePattern> nodes;
+  std::vector<EdgePattern> edges;  // edges.size() == nodes.size() - 1
+};
+
+/// An operand of a WHERE comparison: var.key or a literal.
+struct Operand {
+  enum class Kind { kProperty, kLiteral } kind = Kind::kLiteral;
+  std::string variable;
+  std::string key;
+  PropertyValue literal;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Comparison {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+};
+
+/// RETURN item: count(*), a variable (vertex id), or var.key.
+struct ReturnItem {
+  bool is_count = false;
+  std::string variable;
+  std::string key;  // empty = the vertex itself
+
+  std::string DisplayName() const {
+    if (is_count) return "count(*)";
+    return key.empty() ? variable : variable + "." + key;
+  }
+};
+
+/// ORDER BY clause: sort rows by a returned item's value.
+struct OrderBy {
+  std::string variable;
+  std::string key;  // empty = order by the vertex itself
+  bool ascending = true;
+};
+
+struct CypherQuery {
+  std::vector<PathPattern> paths;
+  std::vector<Comparison> where;  // conjunction
+  std::vector<ReturnItem> returns;
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace ubigraph::query

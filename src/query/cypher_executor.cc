@@ -1,0 +1,345 @@
+#include "query/cypher_executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "query/cypher_parser.h"
+
+namespace ubigraph::query {
+
+namespace {
+
+std::string ValueToString(const PropertyValue& v) {
+  switch (v.index()) {
+    case 0: return "null";
+    case 1: return std::to_string(std::get<int64_t>(v));
+    case 2: return FormatDouble(std::get<double>(v));
+    case 3: return std::get<bool>(v) ? "true" : "false";
+    case 4: return std::get<std::string>(v);
+    case 5: return "ts:" + std::to_string(std::get<Timestamp>(v).millis);
+    case 6: return "<bytes:" + std::to_string(std::get<Bytes>(v).size()) + ">";
+  }
+  return "?";
+}
+
+/// Numeric-aware comparison: int64 and double compare by value; other types
+/// compare only within the same alternative. Returns: -2 incomparable,
+/// else -1/0/1.
+int CompareValues(const PropertyValue& a, const PropertyValue& b) {
+  auto numeric = [](const PropertyValue& v, double* out) {
+    if (std::holds_alternative<int64_t>(v)) {
+      *out = static_cast<double>(std::get<int64_t>(v));
+      return true;
+    }
+    if (std::holds_alternative<double>(v)) {
+      *out = std::get<double>(v);
+      return true;
+    }
+    return false;
+  };
+  double na = 0.0, nb = 0.0;
+  if (numeric(a, &na) && numeric(b, &nb)) {
+    if (na < nb) return -1;
+    if (na > nb) return 1;
+    return 0;
+  }
+  if (a.index() != b.index()) return -2;
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+bool EvalComparison(int cmp, CompareOp op) {
+  if (cmp == -2) return op == CompareOp::kNe;  // incomparable: only <> true
+  switch (op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+struct Binding {
+  std::map<std::string, VertexId> vertices;
+};
+
+bool NodeMatches(const PropertyGraph& g, VertexId v, const NodePattern& node) {
+  if (!node.label.empty() && g.VertexLabel(v) != node.label) return false;
+  for (const auto& [key, want] : node.properties) {
+    if (!(g.GetVertexProperty(v, key) == want)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
+                                  const CypherQuery& query) {
+  if (query.paths.empty()) return Status::Invalid("query has no MATCH pattern");
+  if (query.returns.empty()) return Status::Invalid("query has no RETURN items");
+
+  // Flatten paths into a list of (node pattern index) constraints and edges.
+  // Variables unify across paths by name; anonymous nodes get unique slots.
+  struct Slot {
+    NodePattern pattern;
+    std::string name;  // unique (anonymous get synthesized names)
+  };
+  std::vector<Slot> slots;
+  std::map<std::string, size_t> slot_of;
+  uint32_t anon_counter = 0;
+
+  auto slot_for = [&](const NodePattern& node) -> size_t {
+    std::string name = node.variable;
+    if (name.empty()) name = "$anon" + std::to_string(anon_counter++);
+    auto it = slot_of.find(name);
+    if (it != slot_of.end()) {
+      // Merge constraints from repeated use of the same variable.
+      Slot& s = slots[it->second];
+      if (s.pattern.label.empty()) s.pattern.label = node.label;
+      for (const auto& p : node.properties) s.pattern.properties.push_back(p);
+      return it->second;
+    }
+    slots.push_back(Slot{node, name});
+    slot_of[name] = slots.size() - 1;
+    return slots.size() - 1;
+  };
+
+  struct EdgeConstraint {
+    size_t from_slot;
+    size_t to_slot;
+    EdgePattern pattern;
+  };
+  std::vector<EdgeConstraint> edges;
+  for (const PathPattern& path : query.paths) {
+    std::vector<size_t> path_slots;
+    path_slots.reserve(path.nodes.size());
+    for (const NodePattern& node : path.nodes) path_slots.push_back(slot_for(node));
+    for (size_t i = 0; i < path.edges.size(); ++i) {
+      edges.push_back({path_slots[i], path_slots[i + 1], path.edges[i]});
+    }
+  }
+
+  // Validate WHERE/RETURN variables.
+  for (const Comparison& c : query.where) {
+    for (const Operand* op : {&c.lhs, &c.rhs}) {
+      if (op->kind == Operand::Kind::kProperty && !slot_of.count(op->variable)) {
+        return Status::Invalid("WHERE references unknown variable " + op->variable);
+      }
+    }
+  }
+  for (const ReturnItem& item : query.returns) {
+    if (!item.is_count && !slot_of.count(item.variable)) {
+      return Status::Invalid("RETURN references unknown variable " + item.variable);
+    }
+  }
+  // ORDER BY must reference a returned item (we sort by that column).
+  int order_column = -1;
+  if (query.order_by) {
+    for (size_t i = 0; i < query.returns.size(); ++i) {
+      const ReturnItem& item = query.returns[i];
+      if (!item.is_count && item.variable == query.order_by->variable &&
+          item.key == query.order_by->key) {
+        order_column = static_cast<int>(i);
+        break;
+      }
+    }
+    if (order_column < 0) {
+      return Status::Invalid("ORDER BY must reference a RETURN item");
+    }
+  }
+
+  // Backtracking assignment of slots to vertices, in slot order, checking
+  // edges as soon as both endpoints are bound.
+  std::vector<VertexId> assignment(slots.size(), kInvalidVertex);
+  QueryResult result;
+  uint64_t count = 0;
+  bool counting_only =
+      query.returns.size() == 1 && query.returns[0].is_count;
+
+  for (const ReturnItem& item : query.returns) {
+    result.columns.push_back(item.DisplayName());
+  }
+
+  // Bounded BFS for variable-length relationships: is `to` within
+  // [min, max] hops of `from` along typed arcs in the given direction?
+  auto within_hops = [&](VertexId from, VertexId to, const EdgePattern& pattern,
+                         bool reversed) {
+    std::vector<VertexId> frontier{from};
+    std::vector<uint8_t> seen(graph.num_vertices(), 0);
+    seen[from] = 1;
+    for (uint32_t hop = 1; hop <= pattern.max_hops; ++hop) {
+      std::vector<VertexId> next;
+      for (VertexId u : frontier) {
+        auto expand = [&](bool outgoing) {
+          auto edge_ids = outgoing ? graph.OutEdges(u, pattern.type)
+                                   : graph.InEdges(u, pattern.type);
+          for (EdgeId e : edge_ids) {
+            VertexId v = outgoing ? graph.EdgeDst(e) : graph.EdgeSrc(e);
+            if (v == to && hop >= pattern.min_hops) return true;
+            if (!seen[v]) {
+              seen[v] = 1;
+              next.push_back(v);
+            }
+          }
+          return false;
+        };
+        bool found = false;
+        switch (pattern.direction) {
+          case EdgePattern::Direction::kOut:
+            found = expand(!reversed);
+            break;
+          case EdgePattern::Direction::kIn:
+            found = expand(reversed);
+            break;
+          case EdgePattern::Direction::kAny:
+            found = expand(true) || expand(false);
+            break;
+        }
+        if (found) return true;
+      }
+      frontier = std::move(next);
+      if (frontier.empty()) break;
+    }
+    return false;
+  };
+
+  auto edge_satisfied = [&](const EdgeConstraint& ec) {
+    VertexId a = assignment[ec.from_slot];
+    VertexId b = assignment[ec.to_slot];
+    if (ec.pattern.IsVariableLength()) {
+      return within_hops(a, b, ec.pattern, /*reversed=*/false);
+    }
+    auto has_arc = [&](VertexId from, VertexId to) {
+      for (EdgeId e : graph.OutEdges(from, ec.pattern.type)) {
+        if (graph.EdgeDst(e) == to) return true;
+      }
+      return false;
+    };
+    switch (ec.pattern.direction) {
+      case EdgePattern::Direction::kOut: return has_arc(a, b);
+      case EdgePattern::Direction::kIn: return has_arc(b, a);
+      case EdgePattern::Direction::kAny: return has_arc(a, b) || has_arc(b, a);
+    }
+    return false;
+  };
+
+  auto where_satisfied = [&]() {
+    for (const Comparison& c : query.where) {
+      auto value_of = [&](const Operand& op) -> PropertyValue {
+        if (op.kind == Operand::Kind::kLiteral) return op.literal;
+        VertexId v = assignment[slot_of.at(op.variable)];
+        return graph.GetVertexProperty(v, op.key);
+      };
+      if (!EvalComparison(CompareValues(value_of(c.lhs), value_of(c.rhs)), c.op)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  auto emit = [&]() {
+    if (!where_satisfied()) return true;
+    ++count;
+    if (counting_only) return true;
+    std::vector<PropertyValue> row;
+    row.reserve(query.returns.size());
+    for (const ReturnItem& item : query.returns) {
+      if (item.is_count) {
+        row.push_back(static_cast<int64_t>(0));  // patched after enumeration
+        continue;
+      }
+      VertexId v = assignment[slot_of.at(item.variable)];
+      if (item.key.empty()) {
+        row.push_back(static_cast<int64_t>(v));
+      } else {
+        row.push_back(graph.GetVertexProperty(v, item.key));
+      }
+    }
+    result.rows.push_back(std::move(row));
+    // With ORDER BY all rows must be materialized before the limit applies.
+    if (query.order_by) return true;
+    return !query.limit || result.rows.size() < *query.limit;
+  };
+
+  std::function<bool(size_t)> recurse = [&](size_t depth) -> bool {
+    if (depth == slots.size()) return emit();
+    // Candidate set: if an edge connects this slot to an earlier slot, use
+    // that adjacency; otherwise scan all vertices.
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (!NodeMatches(graph, v, slots[depth].pattern)) continue;
+      // Injectivity is NOT required (Cypher uses homomorphism semantics for
+      // nodes, only edges must differ — with single-edge patterns per pair we
+      // allow repeated vertices).
+      assignment[depth] = v;
+      bool ok = true;
+      for (const EdgeConstraint& ec : edges) {
+        if (std::max(ec.from_slot, ec.to_slot) == depth &&
+            assignment[ec.from_slot] != kInvalidVertex &&
+            assignment[ec.to_slot] != kInvalidVertex) {
+          if (!edge_satisfied(ec)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok && !recurse(depth + 1)) {
+        assignment[depth] = kInvalidVertex;
+        return false;
+      }
+      assignment[depth] = kInvalidVertex;
+    }
+    return true;
+  };
+  recurse(0);
+
+  if (query.order_by && order_column >= 0) {
+    bool ascending = query.order_by->ascending;
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       int cmp = CompareValues(a[order_column], b[order_column]);
+                       if (cmp == -2) return false;  // incomparable: keep order
+                       return ascending ? cmp < 0 : cmp > 0;
+                     });
+    if (query.limit && result.rows.size() > *query.limit) {
+      result.rows.resize(*query.limit);
+    }
+  }
+
+  if (counting_only) {
+    result.rows.push_back({static_cast<int64_t>(count)});
+  } else {
+    // Patch count(*) columns (when mixed with projections, the count is the
+    // total number of rows).
+    for (size_t c = 0; c < query.returns.size(); ++c) {
+      if (!query.returns[c].is_count) continue;
+      for (auto& row : result.rows) {
+        row[c] = static_cast<int64_t>(result.rows.size());
+      }
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> RunCypher(const PropertyGraph& graph, const std::string& text) {
+  UG_ASSIGN_OR_RETURN(CypherQuery q, ParseCypher(text));
+  return ExecuteCypher(graph, q);
+}
+
+std::string FormatResult(const QueryResult& result) {
+  TextTable table(result.columns);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const PropertyValue& v : row) cells.push_back(ValueToString(v));
+    table.AddRow(std::move(cells));
+  }
+  return table.RenderAscii();
+}
+
+}  // namespace ubigraph::query

@@ -1,0 +1,31 @@
+// Executor for Cypher-lite ASTs over a PropertyGraph: backtracking pattern
+// matching with WHERE filtering and RETURN projection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+#include "query/cypher_ast.h"
+
+namespace ubigraph::query {
+
+/// A query result: column names plus typed rows. Vertex-valued columns carry
+/// the vertex id as an int64 PropertyValue.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<PropertyValue>> rows;
+};
+
+/// Executes a parsed query.
+Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
+                                  const CypherQuery& query);
+
+/// Parses and executes in one call.
+Result<QueryResult> RunCypher(const PropertyGraph& graph, const std::string& text);
+
+/// Formats a result as an ASCII table (for examples and the REPL-ish demos).
+std::string FormatResult(const QueryResult& result);
+
+}  // namespace ubigraph::query

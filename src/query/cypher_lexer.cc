@@ -1,0 +1,171 @@
+#include "query/cypher_lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ubigraph::query {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDash: return "'-'";
+    case TokenKind::kArrowRight: return "'->'";
+    case TokenKind::kArrowLeft: return "'<-'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kEnd: return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> TokenizeCypher(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto fail = [&](const std::string& why) {
+    return Status::ParseError("cypher lexer at offset " + std::to_string(i) +
+                              ": " + why);
+  };
+  while (i < query.size()) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[i])) ||
+              query[i] == '_')) {
+        ++i;
+      }
+      t.kind = TokenKind::kIdentifier;
+      t.text = query.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < query.size() &&
+             (std::isdigit(static_cast<unsigned char>(query[i])) ||
+              query[i] == '.')) {
+        if (query[i] == '.') {
+          // ".." or ". " after digits means the dot is punctuation.
+          if (i + 1 >= query.size() ||
+              !std::isdigit(static_cast<unsigned char>(query[i + 1]))) {
+            break;
+          }
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string text = query.substr(start, i - start);
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        if (!ParseDouble(text, &t.floating)) return fail("bad float " + text);
+      } else {
+        t.kind = TokenKind::kInteger;
+        if (!ParseInt64(text, &t.integer)) return fail("bad integer " + text);
+      }
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      while (i < query.size() && query[i] != quote) {
+        if (query[i] == '\\' && i + 1 < query.size()) {
+          text += query[i + 1];
+          i += 2;
+        } else {
+          text += query[i];
+          ++i;
+        }
+      }
+      if (i >= query.size()) return fail("unterminated string");
+      ++i;  // closing quote
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': t.kind = TokenKind::kLParen; ++i; break;
+      case ')': t.kind = TokenKind::kRParen; ++i; break;
+      case '[': t.kind = TokenKind::kLBracket; ++i; break;
+      case ']': t.kind = TokenKind::kRBracket; ++i; break;
+      case '{': t.kind = TokenKind::kLBrace; ++i; break;
+      case '}': t.kind = TokenKind::kRBrace; ++i; break;
+      case ':': t.kind = TokenKind::kColon; ++i; break;
+      case ',': t.kind = TokenKind::kComma; ++i; break;
+      case '.': t.kind = TokenKind::kDot; ++i; break;
+      case '*': t.kind = TokenKind::kStar; ++i; break;
+      case '=': t.kind = TokenKind::kEq; ++i; break;
+      case '-':
+        if (i + 1 < query.size() && query[i + 1] == '>') {
+          t.kind = TokenKind::kArrowRight;
+          i += 2;
+        } else {
+          t.kind = TokenKind::kDash;
+          ++i;
+        }
+        break;
+      case '<':
+        if (i + 1 < query.size() && query[i + 1] == '-') {
+          t.kind = TokenKind::kArrowLeft;
+          i += 2;
+        } else if (i + 1 < query.size() && query[i + 1] == '=') {
+          t.kind = TokenKind::kLe;
+          i += 2;
+        } else if (i + 1 < query.size() && query[i + 1] == '>') {
+          t.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          t.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < query.size() && query[i + 1] == '=') {
+          t.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          t.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = query.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace ubigraph::query

@@ -1,0 +1,52 @@
+// Tokenizer for the Cypher-lite language.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::query {
+
+enum class TokenKind {
+  kIdentifier,   // foo, MATCH (keywords classified by the parser)
+  kInteger,      // 42
+  kFloat,        // 3.5
+  kString,       // 'text' or "text"
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLBrace,       // {
+  kRBrace,       // }
+  kColon,        // :
+  kComma,        // ,
+  kDot,          // .
+  kDash,         // -
+  kArrowRight,   // ->
+  kArrowLeft,    // <-
+  kEq,           // =
+  kNe,           // <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kStar,         // *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t integer = 0;
+  double floating = 0.0;
+  size_t offset = 0;  // for error messages
+};
+
+/// Tokenizes the query; fails with ParseError on malformed input.
+Result<std::vector<Token>> TokenizeCypher(const std::string& query);
+
+/// Printable name of a token kind (diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace ubigraph::query

@@ -1,0 +1,330 @@
+#include "query/cypher_parser.h"
+
+#include "common/strings.h"
+#include "query/cypher_lexer.h"
+
+namespace ubigraph::query {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<CypherQuery> Parse() {
+    CypherQuery q;
+    UG_RETURN_NOT_OK(ExpectKeyword("MATCH"));
+    UG_ASSIGN_OR_RETURN(PathPattern path, ParsePath());
+    q.paths.push_back(std::move(path));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      UG_ASSIGN_OR_RETURN(PathPattern more, ParsePath());
+      q.paths.push_back(std::move(more));
+    }
+    if (IsKeyword(Peek(), "WHERE")) {
+      Advance();
+      UG_ASSIGN_OR_RETURN(Comparison c, ParseComparison());
+      q.where.push_back(std::move(c));
+      while (IsKeyword(Peek(), "AND")) {
+        Advance();
+        UG_ASSIGN_OR_RETURN(Comparison more, ParseComparison());
+        q.where.push_back(std::move(more));
+      }
+    }
+    UG_RETURN_NOT_OK(ExpectKeyword("RETURN"));
+    UG_ASSIGN_OR_RETURN(ReturnItem item, ParseReturnItem());
+    q.returns.push_back(std::move(item));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      UG_ASSIGN_OR_RETURN(ReturnItem more, ParseReturnItem());
+      q.returns.push_back(std::move(more));
+    }
+    if (IsKeyword(Peek(), "ORDER")) {
+      Advance();
+      UG_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Fail("ORDER BY requires a variable");
+      }
+      OrderBy order;
+      order.variable = Peek().text;
+      Advance();
+      if (Peek().kind == TokenKind::kDot) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Fail("expected property key after '.'");
+        }
+        order.key = Peek().text;
+        Advance();
+      }
+      if (IsKeyword(Peek(), "ASC")) {
+        Advance();
+      } else if (IsKeyword(Peek(), "DESC")) {
+        order.ascending = false;
+        Advance();
+      }
+      q.order_by = std::move(order);
+    }
+    if (IsKeyword(Peek(), "LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInteger) {
+        return Fail("LIMIT requires an integer");
+      }
+      q.limit = static_cast<uint64_t>(Peek().integer);
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) return Fail("unexpected trailing tokens");
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t at = pos_ + ahead;
+    return at < tokens_.size() ? tokens_[at] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Fail(const std::string& why) const {
+    return Status::ParseError("cypher parser at offset " +
+                              std::to_string(Peek().offset) + ": " + why +
+                              " (got " + TokenKindName(Peek().kind) + ")");
+  }
+
+  static bool IsKeyword(const Token& t, std::string_view kw) {
+    return t.kind == TokenKind::kIdentifier && ToLower(t.text) == ToLower(kw);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!IsKeyword(Peek(), kw)) return Fail("expected " + std::string(kw));
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Fail(std::string("expected ") + TokenKindName(kind));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<PropertyValue> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        PropertyValue v = t.integer;
+        Advance();
+        return v;
+      }
+      case TokenKind::kFloat: {
+        PropertyValue v = t.floating;
+        Advance();
+        return v;
+      }
+      case TokenKind::kString: {
+        PropertyValue v = t.text;
+        Advance();
+        return v;
+      }
+      case TokenKind::kIdentifier:
+        if (ToLower(t.text) == "true") {
+          Advance();
+          return PropertyValue{true};
+        }
+        if (ToLower(t.text) == "false") {
+          Advance();
+          return PropertyValue{false};
+        }
+        return Fail("expected literal");
+      default:
+        return Fail("expected literal");
+    }
+  }
+
+  Result<NodePattern> ParseNode() {
+    UG_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    NodePattern node;
+    if (Peek().kind == TokenKind::kIdentifier) {
+      node.variable = Peek().text;
+      Advance();
+    }
+    if (Peek().kind == TokenKind::kColon) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) return Fail("expected label");
+      node.label = Peek().text;
+      Advance();
+    }
+    if (Peek().kind == TokenKind::kLBrace) {
+      Advance();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Fail("expected property key");
+        }
+        std::string key = Peek().text;
+        Advance();
+        UG_RETURN_NOT_OK(Expect(TokenKind::kColon));
+        UG_ASSIGN_OR_RETURN(PropertyValue value, ParseLiteral());
+        node.properties.emplace_back(std::move(key), std::move(value));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      UG_RETURN_NOT_OK(Expect(TokenKind::kRBrace));
+    }
+    UG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return node;
+  }
+
+  /// Parses "[var :TYPE *min..max]" (brackets optional content).
+  Result<EdgePattern> ParseEdgeBody() {
+    EdgePattern edge;
+    if (Peek().kind == TokenKind::kLBracket) {
+      Advance();
+      if (Peek().kind == TokenKind::kIdentifier) {
+        edge.variable = Peek().text;
+        Advance();
+      }
+      if (Peek().kind == TokenKind::kColon) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) return Fail("expected edge type");
+        edge.type = Peek().text;
+        Advance();
+      }
+      if (Peek().kind == TokenKind::kStar) {
+        Advance();
+        edge.min_hops = 1;
+        edge.max_hops = EdgePattern::kMaxVarLength;
+        if (Peek().kind == TokenKind::kInteger) {
+          edge.min_hops = static_cast<uint32_t>(Peek().integer);
+          edge.max_hops = edge.min_hops;
+          Advance();
+          if (Peek().kind == TokenKind::kDot) {
+            Advance();
+            UG_RETURN_NOT_OK(Expect(TokenKind::kDot));
+            if (Peek().kind != TokenKind::kInteger) {
+              return Fail("expected upper bound after '..'");
+            }
+            edge.max_hops = static_cast<uint32_t>(Peek().integer);
+            Advance();
+          }
+        }
+        if (edge.min_hops == 0 || edge.max_hops < edge.min_hops ||
+            edge.max_hops > EdgePattern::kMaxVarLength) {
+          return Fail("invalid variable-length bounds");
+        }
+      }
+      UG_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+    }
+    return edge;
+  }
+
+  Result<PathPattern> ParsePath() {
+    PathPattern path;
+    UG_ASSIGN_OR_RETURN(NodePattern first, ParseNode());
+    path.nodes.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kDash ||
+           Peek().kind == TokenKind::kArrowLeft) {
+      EdgePattern edge;
+      if (Peek().kind == TokenKind::kArrowLeft) {
+        // <-[...]−
+        Advance();
+        UG_ASSIGN_OR_RETURN(edge, ParseEdgeBody());
+        UG_RETURN_NOT_OK(Expect(TokenKind::kDash));
+        edge.direction = EdgePattern::Direction::kIn;
+      } else {
+        // -[...]-> or -[...]-
+        Advance();
+        UG_ASSIGN_OR_RETURN(edge, ParseEdgeBody());
+        if (Peek().kind == TokenKind::kArrowRight) {
+          Advance();
+          edge.direction = EdgePattern::Direction::kOut;
+        } else if (Peek().kind == TokenKind::kDash) {
+          Advance();
+          edge.direction = EdgePattern::Direction::kAny;
+        } else {
+          return Fail("expected '->' or '-' after edge");
+        }
+      }
+      UG_ASSIGN_OR_RETURN(NodePattern node, ParseNode());
+      path.edges.push_back(std::move(edge));
+      path.nodes.push_back(std::move(node));
+    }
+    return path;
+  }
+
+  Result<Operand> ParseOperand() {
+    Operand op;
+    if (Peek().kind == TokenKind::kIdentifier && !IsKeyword(Peek(), "true") &&
+        !IsKeyword(Peek(), "false") && Peek(1).kind == TokenKind::kDot) {
+      op.kind = Operand::Kind::kProperty;
+      op.variable = Peek().text;
+      Advance();
+      Advance();  // dot
+      if (Peek().kind != TokenKind::kIdentifier) return Fail("expected property key");
+      op.key = Peek().text;
+      Advance();
+      return op;
+    }
+    UG_ASSIGN_OR_RETURN(op.literal, ParseLiteral());
+    op.kind = Operand::Kind::kLiteral;
+    return op;
+  }
+
+  Result<Comparison> ParseComparison() {
+    Comparison c;
+    UG_ASSIGN_OR_RETURN(c.lhs, ParseOperand());
+    switch (Peek().kind) {
+      case TokenKind::kEq: c.op = CompareOp::kEq; break;
+      case TokenKind::kNe: c.op = CompareOp::kNe; break;
+      case TokenKind::kLt: c.op = CompareOp::kLt; break;
+      case TokenKind::kLe: c.op = CompareOp::kLe; break;
+      case TokenKind::kGt: c.op = CompareOp::kGt; break;
+      case TokenKind::kGe: c.op = CompareOp::kGe; break;
+      default:
+        return Fail("expected comparison operator");
+    }
+    Advance();
+    UG_ASSIGN_OR_RETURN(c.rhs, ParseOperand());
+    return c;
+  }
+
+  Result<ReturnItem> ParseReturnItem() {
+    ReturnItem item;
+    if (IsKeyword(Peek(), "COUNT")) {
+      Advance();
+      UG_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      UG_RETURN_NOT_OK(Expect(TokenKind::kStar));
+      UG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      item.is_count = true;
+      return item;
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Fail("expected return variable");
+    }
+    item.variable = Peek().text;
+    Advance();
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) return Fail("expected property key");
+      item.key = Peek().text;
+      Advance();
+    }
+    return item;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CypherQuery> ParseCypher(const std::string& query) {
+  UG_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeCypher(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace ubigraph::query

@@ -1,0 +1,32 @@
+// Recursive-descent parser for Cypher-lite. Grammar:
+//
+//   query      := MATCH path (',' path)*
+//                 (WHERE comparison (AND comparison)*)?
+//                 RETURN item (',' item)*
+//                 (LIMIT integer)?
+//   path       := node (edge node)*
+//   node       := '(' ident? (':' ident)? props? ')'
+//   props      := '{' ident ':' literal (',' ident ':' literal)* '}'
+//   edge       := '-' '[' ident? (':' ident)? ']' '->'     (outgoing)
+//               | '<-' '[' ident? (':' ident)? ']' '-'     (incoming)
+//               | '-' '[' ident? (':' ident)? ']' '-'      (either)
+//   comparison := operand op operand
+//   operand    := ident '.' ident | literal
+//   op         := '=' | '<>' | '<' | '<=' | '>' | '>='
+//   item       := COUNT '(' '*' ')' | ident ('.' ident)?
+//   literal    := integer | float | string | TRUE | FALSE
+//
+// Keywords are case-insensitive.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "query/cypher_ast.h"
+
+namespace ubigraph::query {
+
+/// Parses a Cypher-lite query string into an AST.
+Result<CypherQuery> ParseCypher(const std::string& query);
+
+}  // namespace ubigraph::query

@@ -1,0 +1,131 @@
+#include "query/traversal_api.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ubigraph::query {
+
+GraphTraversal& GraphTraversal::V() {
+  frontier_.resize(graph_->num_vertices());
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) frontier_[v] = v;
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::V(const std::vector<VertexId>& ids) {
+  frontier_.clear();
+  for (VertexId v : ids) {
+    if (v < graph_->num_vertices()) frontier_.push_back(v);
+  }
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::HasLabel(std::string_view label) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    if (graph_->VertexLabel(v) == label) next.push_back(v);
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Has(std::string_view key,
+                                    const PropertyValue& value) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    if (graph_->GetVertexProperty(v, key) == value) next.push_back(v);
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Has(
+    std::string_view key,
+    const std::function<bool(const PropertyValue&)>& predicate) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    PropertyValue pv = graph_->GetVertexProperty(v, key);
+    if (!std::holds_alternative<std::monostate>(pv) && predicate(pv)) {
+      next.push_back(v);
+    }
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Where(
+    const std::function<bool(VertexId)>& predicate) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    if (predicate(v)) next.push_back(v);
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Out(std::string_view type) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    for (EdgeId e : graph_->OutEdges(v, type)) next.push_back(graph_->EdgeDst(e));
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::In(std::string_view type) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    for (EdgeId e : graph_->InEdges(v, type)) next.push_back(graph_->EdgeSrc(e));
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Both(std::string_view type) {
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    for (EdgeId e : graph_->OutEdges(v, type)) next.push_back(graph_->EdgeDst(e));
+    for (EdgeId e : graph_->InEdges(v, type)) next.push_back(graph_->EdgeSrc(e));
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Dedup() {
+  std::unordered_set<VertexId> seen;
+  std::vector<VertexId> next;
+  for (VertexId v : frontier_) {
+    if (seen.insert(v).second) next.push_back(v);
+  }
+  frontier_ = std::move(next);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::Limit(size_t n) {
+  if (frontier_.size() > n) frontier_.resize(n);
+  return *this;
+}
+
+GraphTraversal& GraphTraversal::OrderBy(std::string_view key, bool ascending) {
+  auto rank = [&](VertexId v) { return graph_->GetVertexProperty(v, key); };
+  std::stable_sort(frontier_.begin(), frontier_.end(),
+                   [&](VertexId a, VertexId b) {
+                     PropertyValue pa = rank(a), pb = rank(b);
+                     bool absent_a = std::holds_alternative<std::monostate>(pa);
+                     bool absent_b = std::holds_alternative<std::monostate>(pb);
+                     if (absent_a != absent_b) return absent_b;  // absent last
+                     if (absent_a) return false;
+                     if (pa.index() != pb.index()) return pa.index() < pb.index();
+                     bool less = pa < pb;
+                     return ascending ? less : pb < pa;
+                   });
+  return *this;
+}
+
+std::vector<PropertyValue> GraphTraversal::Values(std::string_view key) const {
+  std::vector<PropertyValue> out;
+  out.reserve(frontier_.size());
+  for (VertexId v : frontier_) out.push_back(graph_->GetVertexProperty(v, key));
+  return out;
+}
+
+}  // namespace ubigraph::query

@@ -1,0 +1,136 @@
+#include "rdf/ntriples.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+#include "io/edge_list_io.h"
+
+namespace ubigraph::rdf {
+
+namespace {
+
+/// Reads one term starting at *pos; returns the raw term text (IRI without
+/// brackets, literal without quotes).
+Result<std::string> ReadTerm(const std::string& line, size_t* pos, size_t line_no) {
+  while (*pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[*pos]))) {
+    ++*pos;
+  }
+  if (*pos >= line.size()) {
+    return Status::ParseError("line " + std::to_string(line_no) + ": missing term");
+  }
+  char c = line[*pos];
+  if (c == '<') {
+    size_t end = line.find('>', *pos);
+    if (end == std::string::npos) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unterminated IRI");
+    }
+    std::string term = line.substr(*pos + 1, end - *pos - 1);
+    *pos = end + 1;
+    return term;
+  }
+  if (c == '"') {
+    std::string out;
+    size_t i = *pos + 1;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        char esc = line[i + 1];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default: out += esc;
+        }
+        i += 2;
+      } else {
+        out += line[i];
+        ++i;
+      }
+    }
+    if (i >= line.size()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": unterminated literal");
+    }
+    *pos = i + 1;
+    // Skip optional datatype/lang suffix (^^<...> or @lang).
+    while (*pos < line.size() && line[*pos] != ' ' && line[*pos] != '\t' &&
+           line[*pos] != '.') {
+      ++*pos;
+    }
+    return "\"" + out + "\"";
+  }
+  // Bare token (blank node _:x or plain word).
+  size_t start = *pos;
+  while (*pos < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[*pos]))) {
+    ++*pos;
+  }
+  std::string tok = line.substr(start, *pos - start);
+  if (tok == ".") {
+    return Status::ParseError("line " + std::to_string(line_no) + ": missing term");
+  }
+  return tok;
+}
+
+}  // namespace
+
+Result<size_t> ParseNTriples(const std::string& text, TripleStore* store) {
+  if (store == nullptr) return Status::Invalid("store must not be null");
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t added = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    size_t pos = 0;
+    UG_ASSIGN_OR_RETURN(std::string s, ReadTerm(line, &pos, line_no));
+    UG_ASSIGN_OR_RETURN(std::string p, ReadTerm(line, &pos, line_no));
+    UG_ASSIGN_OR_RETURN(std::string o, ReadTerm(line, &pos, line_no));
+    // Require the trailing dot.
+    std::string_view rest = Trim(std::string_view(line).substr(pos));
+    if (rest.empty() || rest[0] != '.') {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected terminating '.'");
+    }
+    if (store->Add(s, p, o)) ++added;
+  }
+  return added;
+}
+
+std::string WriteNTriples(const TripleStore& store) {
+  std::string out;
+  auto write_term = [&](TermId id) {
+    const std::string& t = store.TermName(id);
+    if (!t.empty() && t[0] == '"') {
+      out += t;  // literal already quoted
+    } else {
+      out += '<';
+      out += t;
+      out += '>';
+    }
+  };
+  for (const Triple& t : store.Match(TriplePattern{})) {
+    write_term(t.subject);
+    out += ' ';
+    write_term(t.predicate);
+    out += ' ';
+    write_term(t.object);
+    out += " .\n";
+  }
+  return out;
+}
+
+Result<size_t> LoadNTriplesFile(const std::string& path, TripleStore* store) {
+  UG_ASSIGN_OR_RETURN(std::string text, io::ReadFileToString(path));
+  return ParseNTriples(text, store);
+}
+
+Status SaveNTriplesFile(const TripleStore& store, const std::string& path) {
+  return io::WriteStringToFile(WriteNTriples(store), path);
+}
+
+}  // namespace ubigraph::rdf

@@ -1,0 +1,26 @@
+// N-Triples-style parsing/serialization for the TripleStore:
+//   <subject> <predicate> <object> .
+//   <subject> <predicate> "literal" .
+// Comments (#) and blank lines allowed. This is the line-oriented subset
+// sufficient for data exchange with the survey's RDF engines.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+
+namespace ubigraph::rdf {
+
+/// Parses N-Triples text into the store. Returns number of triples added
+/// (duplicates not counted).
+Result<size_t> ParseNTriples(const std::string& text, TripleStore* store);
+
+/// Serializes the full store as N-Triples. IRIs are terms starting with a
+/// scheme-ish prefix or wrapped in <>; everything else becomes a literal.
+std::string WriteNTriples(const TripleStore& store);
+
+Result<size_t> LoadNTriplesFile(const std::string& path, TripleStore* store);
+Status SaveNTriplesFile(const TripleStore& store, const std::string& path);
+
+}  // namespace ubigraph::rdf

@@ -1,0 +1,283 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace ubigraph::rdf {
+
+namespace {
+
+bool SpoLess(const Triple& a, const Triple& b) {
+  if (a.subject != b.subject) return a.subject < b.subject;
+  if (a.predicate != b.predicate) return a.predicate < b.predicate;
+  return a.object < b.object;
+}
+bool PosLess(const Triple& a, const Triple& b) {
+  if (a.predicate != b.predicate) return a.predicate < b.predicate;
+  if (a.object != b.object) return a.object < b.object;
+  return a.subject < b.subject;
+}
+bool OspLess(const Triple& a, const Triple& b) {
+  if (a.object != b.object) return a.object < b.object;
+  if (a.subject != b.subject) return a.subject < b.subject;
+  return a.predicate < b.predicate;
+}
+
+bool IsVariable(const std::string& term) {
+  return !term.empty() && term[0] == '?';
+}
+
+}  // namespace
+
+TermId TripleStore::Intern(std::string_view term) {
+  auto it = term_index_.find(std::string(term));
+  if (it != term_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  term_index_.emplace(terms_.back(), id);
+  return id;
+}
+
+std::optional<TermId> TripleStore::Lookup(std::string_view term) const {
+  auto it = term_index_.find(std::string(term));
+  if (it == term_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TripleStore::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess);
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess);
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess);
+  sorted_ = true;
+}
+
+bool TripleStore::AddIds(TermId s, TermId p, TermId o) {
+  EnsureSorted();
+  Triple t{s, p, o};
+  auto it = std::lower_bound(spo_.begin(), spo_.end(), t, SpoLess);
+  if (it != spo_.end() && *it == t) return false;
+  spo_.push_back(t);
+  pos_.push_back(t);
+  osp_.push_back(t);
+  sorted_ = false;
+  ++size_;
+  return true;
+}
+
+bool TripleStore::Add(std::string_view s, std::string_view p, std::string_view o) {
+  return AddIds(Intern(s), Intern(p), Intern(o));
+}
+
+bool TripleStore::Remove(std::string_view s, std::string_view p,
+                         std::string_view o) {
+  auto si = Lookup(s);
+  auto pi = Lookup(p);
+  auto oi = Lookup(o);
+  if (!si || !pi || !oi) return false;
+  EnsureSorted();
+  Triple t{*si, *pi, *oi};
+  auto match = [&](std::vector<Triple>* vec, auto less) {
+    auto it = std::lower_bound(vec->begin(), vec->end(), t, less);
+    if (it != vec->end() && *it == t) {
+      vec->erase(it);
+      return true;
+    }
+    return false;
+  };
+  bool removed = match(&spo_, SpoLess);
+  if (removed) {
+    match(&pos_, PosLess);
+    match(&osp_, OspLess);
+    --size_;
+  }
+  return removed;
+}
+
+bool TripleStore::Contains(std::string_view s, std::string_view p,
+                           std::string_view o) const {
+  auto si = Lookup(s);
+  auto pi = Lookup(p);
+  auto oi = Lookup(o);
+  if (!si || !pi || !oi) return false;
+  EnsureSorted();
+  Triple t{*si, *pi, *oi};
+  auto it = std::lower_bound(spo_.begin(), spo_.end(), t, SpoLess);
+  return it != spo_.end() && *it == t;
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  EnsureSorted();
+  const bool s = pattern.subject != kInvalidTerm;
+  const bool p = pattern.predicate != kInvalidTerm;
+  const bool o = pattern.object != kInvalidTerm;
+
+  auto scan_range = [&](const std::vector<Triple>& index, const Triple& lo_key,
+                        auto less) {
+    std::vector<Triple> out;
+    auto it = std::lower_bound(index.begin(), index.end(), lo_key, less);
+    for (; it != index.end(); ++it) {
+      if (s && it->subject != pattern.subject && (&index == &spo_)) break;
+      if (p && it->predicate != pattern.predicate && (&index == &pos_)) break;
+      if (o && it->object != pattern.object && (&index == &osp_)) break;
+      if (s && it->subject != pattern.subject) continue;
+      if (p && it->predicate != pattern.predicate) continue;
+      if (o && it->object != pattern.object) continue;
+      out.push_back(*it);
+    }
+    return out;
+  };
+
+  if (s) {
+    // SPO index: prefix (s) or (s, p).
+    Triple lo{pattern.subject, p ? pattern.predicate : 0, 0};
+    return scan_range(spo_, lo, SpoLess);
+  }
+  if (p) {
+    Triple lo{0, pattern.predicate, o ? pattern.object : 0};
+    return scan_range(pos_, lo, PosLess);
+  }
+  if (o) {
+    Triple lo{0, 0, pattern.object};
+    return scan_range(osp_, lo, OspLess);
+  }
+  return spo_;  // full scan
+}
+
+Result<std::vector<std::vector<TermId>>> TripleStore::Query(
+    const std::vector<PatternAtom>& atoms,
+    std::vector<std::string>* variables_out) const {
+  if (atoms.empty()) return Status::Invalid("empty pattern");
+  EnsureSorted();
+
+  // Collect variables in first-appearance order.
+  std::vector<std::string> variables;
+  auto var_index = [&](const std::string& name) -> size_t {
+    for (size_t i = 0; i < variables.size(); ++i) {
+      if (variables[i] == name) return i;
+    }
+    variables.push_back(name);
+    return variables.size() - 1;
+  };
+
+  struct CompiledAtom {
+    // For each position: either a constant TermId or a variable slot.
+    TermId constant[3] = {kInvalidTerm, kInvalidTerm, kInvalidTerm};
+    int variable[3] = {-1, -1, -1};
+    size_t estimated = 0;  // selectivity estimate (matching triples unbound)
+  };
+  std::vector<CompiledAtom> compiled(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const std::string* fields[3] = {&atoms[i].subject, &atoms[i].predicate,
+                                    &atoms[i].object};
+    TriplePattern probe;
+    TermId* probe_slots[3] = {&probe.subject, &probe.predicate, &probe.object};
+    for (int k = 0; k < 3; ++k) {
+      if (IsVariable(*fields[k])) {
+        compiled[i].variable[k] = static_cast<int>(var_index(*fields[k]));
+      } else {
+        auto id = Lookup(*fields[k]);
+        // Unknown constant: no solutions at all.
+        if (!id) {
+          if (variables_out) *variables_out = variables;
+          return std::vector<std::vector<TermId>>{};
+        }
+        compiled[i].constant[k] = *id;
+        *probe_slots[k] = *id;
+      }
+    }
+    compiled[i].estimated = Match(probe).size();
+  }
+
+  // Greedy join order: most selective first, then prefer atoms sharing a
+  // bound variable.
+  std::vector<size_t> order;
+  std::vector<bool> used(atoms.size(), false);
+  std::vector<bool> bound(variables.size(), false);
+  for (size_t step = 0; step < atoms.size(); ++step) {
+    size_t best = SIZE_MAX;
+    bool best_connected = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (int k = 0; k < 3; ++k) {
+        if (compiled[i].variable[k] >= 0 && bound[compiled[i].variable[k]]) {
+          connected = true;
+        }
+      }
+      if (best == SIZE_MAX ||
+          (connected && !best_connected) ||
+          (connected == best_connected &&
+           compiled[i].estimated < compiled[best].estimated)) {
+        best = i;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (int k = 0; k < 3; ++k) {
+      if (compiled[best].variable[k] >= 0) bound[compiled[best].variable[k]] = true;
+    }
+  }
+
+  // Nested-loop evaluation.
+  std::vector<std::vector<TermId>> results;
+  std::vector<TermId> binding(variables.size(), kInvalidTerm);
+
+  std::function<void(size_t)> eval = [&](size_t depth) {
+    if (depth == order.size()) {
+      results.push_back(binding);
+      return;
+    }
+    const CompiledAtom& atom = compiled[order[depth]];
+    TriplePattern probe;
+    TermId* probe_slots[3] = {&probe.subject, &probe.predicate, &probe.object};
+    for (int k = 0; k < 3; ++k) {
+      if (atom.variable[k] >= 0) {
+        TermId b = binding[atom.variable[k]];
+        if (b != kInvalidTerm) *probe_slots[k] = b;
+      } else {
+        *probe_slots[k] = atom.constant[k];
+      }
+    }
+    for (const Triple& t : Match(probe)) {
+      TermId values[3] = {t.subject, t.predicate, t.object};
+      // Bind free variables; check repeated-variable consistency.
+      int newly_bound[3] = {-1, -1, -1};
+      bool ok = true;
+      for (int k = 0; k < 3 && ok; ++k) {
+        if (atom.variable[k] < 0) continue;
+        TermId& slot = binding[atom.variable[k]];
+        if (slot == kInvalidTerm) {
+          slot = values[k];
+          newly_bound[k] = atom.variable[k];
+        } else if (slot != values[k]) {
+          ok = false;
+        }
+      }
+      if (ok) eval(depth + 1);
+      for (int k = 0; k < 3; ++k) {
+        if (newly_bound[k] >= 0) binding[newly_bound[k]] = kInvalidTerm;
+      }
+    }
+  };
+  eval(0);
+
+  if (variables_out) *variables_out = variables;
+  return results;
+}
+
+std::vector<TermId> TripleStore::DistinctPredicates() const {
+  EnsureSorted();
+  std::vector<TermId> out;
+  for (const Triple& t : pos_) {
+    if (out.empty() || out.back() != t.predicate) out.push_back(t.predicate);
+  }
+  return out;
+}
+
+}  // namespace ubigraph::rdf

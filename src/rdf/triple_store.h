@@ -1,0 +1,96 @@
+// In-memory RDF triple store — the survey's "RDF engine" product class
+// (Table 1: Jena, Virtuoso, Sparksee; Table 12: 16 participants query RDF).
+// Dictionary-encoded terms with SPO/POS/OSP sorted indexes, single-pattern
+// lookups, and multi-pattern (SPARQL basic-graph-pattern) join queries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::rdf {
+
+/// Dense id of a dictionary-encoded RDF term (IRI or literal).
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+struct Triple {
+  TermId subject;
+  TermId predicate;
+  TermId object;
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// A triple pattern: kInvalidTerm means "variable".
+struct TriplePattern {
+  TermId subject = kInvalidTerm;
+  TermId predicate = kInvalidTerm;
+  TermId object = kInvalidTerm;
+};
+
+/// A basic-graph-pattern atom with named variables. Terms starting with '?'
+/// are variables; anything else is a constant term.
+struct PatternAtom {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Interns a term string; idempotent.
+  TermId Intern(std::string_view term);
+  std::optional<TermId> Lookup(std::string_view term) const;
+  const std::string& TermName(TermId id) const { return terms_[id]; }
+  size_t num_terms() const { return terms_.size(); }
+
+  /// Adds a triple (terms interned on the fly). Duplicates ignored.
+  /// Returns true if the triple was new.
+  bool Add(std::string_view s, std::string_view p, std::string_view o);
+  bool AddIds(TermId s, TermId p, TermId o);
+
+  /// Removes a triple if present; returns true if removed.
+  bool Remove(std::string_view s, std::string_view p, std::string_view o);
+
+  size_t num_triples() const { return size_; }
+  bool Contains(std::string_view s, std::string_view p, std::string_view o) const;
+
+  /// All triples matching the pattern, using the best index for the bound
+  /// positions. Results in index order.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Basic-graph-pattern query: returns one row per solution, each row maps
+  /// the variable order in `variables_out` to term ids. Nested-loop join with
+  /// pattern reordering by estimated selectivity.
+  Result<std::vector<std::vector<TermId>>> Query(
+      const std::vector<PatternAtom>& atoms,
+      std::vector<std::string>* variables_out) const;
+
+  /// All distinct subjects / predicates / objects.
+  std::vector<TermId> DistinctPredicates() const;
+
+ private:
+  enum IndexKind { kSpo, kPos, kOsp };
+
+  /// Rebuilds sort order lazily before reads if needed.
+  void EnsureSorted() const;
+
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> term_index_;
+
+  // Three orderings of the same triple set, lazily sorted.
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable bool sorted_ = true;
+  size_t size_ = 0;
+};
+
+}  // namespace ubigraph::rdf

@@ -1,0 +1,141 @@
+#include "stream/incremental_kcore.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace ubigraph::stream {
+
+Status IncrementalKCore::InsertEdge(VertexId u, VertexId v) {
+  if (u >= core_.size() || v >= core_.size()) {
+    return Status::OutOfRange("vertex out of range");
+  }
+  if (u == v) return Status::Invalid("self-loops not supported");
+  if (adjacency_[u].count(v)) {
+    return Status::AlreadyExists("edge already present");
+  }
+  adjacency_[u].insert(v);
+  adjacency_[v].insert(u);
+  ++num_edges_;
+
+  // Subcore repair (Sariyüce et al.): only vertices with core number
+  // r = min(core(u), core(v)) that are K==r-connected to the lower endpoint
+  // can be promoted to r+1, and by at most 1.
+  uint32_t r = std::min(core_[u], core_[v]);
+  VertexId root = core_[u] <= core_[v] ? u : v;
+
+  // Candidate set: BFS from root through vertices with core == r.
+  std::vector<VertexId> candidates;
+  std::unordered_map<VertexId, uint32_t> cd;  // candidate degree
+  std::unordered_set<VertexId> in_candidates;
+  std::deque<VertexId> queue{root};
+  in_candidates.insert(root);
+  while (!queue.empty()) {
+    VertexId w = queue.front();
+    queue.pop_front();
+    candidates.push_back(w);
+    uint32_t degree = 0;
+    for (VertexId x : adjacency_[w]) {
+      if (core_[x] > r) {
+        ++degree;
+      } else if (core_[x] == r) {
+        ++degree;
+        if (!in_candidates.count(x)) {
+          in_candidates.insert(x);
+          queue.push_back(x);
+        }
+      }
+    }
+    cd[w] = degree;
+  }
+
+  // Peel candidates that cannot be in the (r+1)-core: they need > r
+  // qualifying neighbors (core > r, or surviving candidates).
+  std::deque<VertexId> evict;
+  for (VertexId w : candidates) {
+    if (cd[w] <= r) evict.push_back(w);
+  }
+  std::unordered_set<VertexId> evicted;
+  while (!evict.empty()) {
+    VertexId w = evict.front();
+    evict.pop_front();
+    if (evicted.count(w)) continue;
+    evicted.insert(w);
+    for (VertexId x : adjacency_[w]) {
+      if (in_candidates.count(x) && !evicted.count(x)) {
+        if (--cd[x] <= r && !evicted.count(x)) evict.push_back(x);
+      }
+    }
+  }
+  for (VertexId w : candidates) {
+    if (!evicted.count(w)) core_[w] = r + 1;
+  }
+  return Status::OK();
+}
+
+Status IncrementalKCore::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= core_.size() || v >= core_.size()) {
+    return Status::OutOfRange("vertex out of range");
+  }
+  if (!adjacency_[u].count(v)) return Status::NotFound("edge not present");
+  adjacency_[u].erase(v);
+  adjacency_[v].erase(u);
+  --num_edges_;
+  RecomputeAllCores();
+  ++full_rebuilds_;
+  return Status::OK();
+}
+
+void IncrementalKCore::RecomputeAllCores() {
+  // Batch peeling (same as algo::CoreDecomposition but over the live sets).
+  const VertexId n = num_vertices();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId w = 0; w < n; ++w) {
+    degree[w] = static_cast<uint32_t>(adjacency_[w].size());
+    max_degree = std::max(max_degree, degree[w]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId w = 0; w < n; ++w) buckets[degree[w]].push_back(w);
+  std::vector<bool> removed(n, false);
+  uint32_t d = 0;
+  uint32_t level = 0;  // core numbers are non-decreasing over the peel
+  core_.assign(n, 0);
+  for (VertexId processed = 0; processed < n;) {
+    while (d <= max_degree && buckets[d].empty()) ++d;
+    if (d > max_degree) break;
+    VertexId w = buckets[d].back();
+    buckets[d].pop_back();
+    if (removed[w] || degree[w] != d) continue;
+    removed[w] = true;
+    level = std::max(level, degree[w]);
+    core_[w] = level;
+    ++processed;
+    for (VertexId x : adjacency_[w]) {
+      if (!removed[x]) {
+        --degree[x];
+        buckets[degree[x]].push_back(x);
+        if (degree[x] < d) d = degree[x];
+      }
+    }
+  }
+}
+
+uint32_t IncrementalKCore::Degeneracy() const {
+  uint32_t best = 0;
+  for (uint32_t c : core_) best = std::max(best, c);
+  return best;
+}
+
+EdgeList IncrementalKCore::Snapshot() const {
+  EdgeList el(num_vertices());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : adjacency_[u]) {
+      if (u < v) el.Add(u, v);
+    }
+  }
+  el.EnsureVertices(num_vertices());
+  return el;
+}
+
+}  // namespace ubigraph::stream

@@ -1,0 +1,120 @@
+#include "survey/academic.h"
+
+#include "common/random.h"
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+
+const char* VenueName(Venue venue) {
+  switch (venue) {
+    case Venue::kVldb: return "VLDB 2014";
+    case Venue::kKdd: return "KDD 2015";
+    case Venue::kIcml: return "ICML 2016";
+    case Venue::kOsdi: return "OSDI 2016";
+    case Venue::kSc: return "SC 2016";
+    case Venue::kSocc: return "SOCC 2015";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Assigns `count` papers (out of 90) a tag, chosen without replacement.
+void AssignTag(std::vector<AcademicPaper>* papers, int count,
+               std::vector<int> AcademicPaper::* field, int tag, Rng* rng) {
+  std::vector<size_t> chosen =
+      rng->SampleWithoutReplacement(papers->size(), static_cast<size_t>(count));
+  for (size_t idx : chosen) ((*papers)[idx].*field).push_back(tag);
+}
+
+std::vector<int> CountTag(const std::vector<AcademicPaper>& papers,
+                          const std::vector<int> AcademicPaper::* field,
+                          size_t num_tags) {
+  std::vector<int> counts(num_tags, 0);
+  for (const AcademicPaper& p : papers) {
+    for (int tag : p.*field) ++counts[tag];
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<AcademicCorpus> AcademicCorpus::SynthesizeExact(uint64_t seed) {
+  AcademicCorpus corpus;
+  corpus.papers_.resize(kAcademicPapers);
+  Rng rng(seed);
+  for (int i = 0; i < kAcademicPapers; ++i) {
+    corpus.papers_[i].id = i;
+    corpus.papers_[i].venue = static_cast<Venue>(rng.NextBounded(6));
+  }
+
+  const auto& entities = Table4Entities();
+  for (size_t t = 0; t < entities.size(); ++t) {
+    if (entities[t].academic > kAcademicPapers) {
+      return Status::Invalid("academic count exceeds corpus size");
+    }
+    AssignTag(&corpus.papers_, entities[t].academic, &AcademicPaper::entity_tags,
+              static_cast<int>(t), &rng);
+  }
+  const auto& comps = Table9Computations();
+  for (size_t t = 0; t < comps.size(); ++t) {
+    AssignTag(&corpus.papers_, comps[t].academic,
+              &AcademicPaper::computation_tags, static_cast<int>(t), &rng);
+  }
+  const auto& mlc = Table10aMlComputations();
+  for (size_t t = 0; t < mlc.size(); ++t) {
+    AssignTag(&corpus.papers_, mlc[t].academic,
+              &AcademicPaper::ml_computation_tags, static_cast<int>(t), &rng);
+  }
+  const auto& mlp = Table10bMlProblems();
+  for (size_t t = 0; t < mlp.size(); ++t) {
+    AssignTag(&corpus.papers_, mlp[t].academic, &AcademicPaper::ml_problem_tags,
+              static_cast<int>(t), &rng);
+  }
+  const auto& qsw = Table12QuerySoftware();
+  for (size_t t = 0; t < qsw.size(); ++t) {
+    AssignTag(&corpus.papers_, qsw[t].academic,
+              &AcademicPaper::query_software_tags, static_cast<int>(t), &rng);
+  }
+  const auto& nsw = Table13NonQuerySoftware();
+  for (size_t t = 0; t < nsw.size(); ++t) {
+    AssignTag(&corpus.papers_, nsw[t].academic,
+              &AcademicPaper::nonquery_software_tags, static_cast<int>(t), &rng);
+  }
+  return corpus;
+}
+
+std::vector<int> AcademicCorpus::CountEntities() const {
+  return CountTag(papers_, &AcademicPaper::entity_tags, Table4Entities().size());
+}
+std::vector<int> AcademicCorpus::CountComputations() const {
+  return CountTag(papers_, &AcademicPaper::computation_tags,
+                  Table9Computations().size());
+}
+std::vector<int> AcademicCorpus::CountMlComputations() const {
+  return CountTag(papers_, &AcademicPaper::ml_computation_tags,
+                  Table10aMlComputations().size());
+}
+std::vector<int> AcademicCorpus::CountMlProblems() const {
+  return CountTag(papers_, &AcademicPaper::ml_problem_tags,
+                  Table10bMlProblems().size());
+}
+std::vector<int> AcademicCorpus::CountQuerySoftware() const {
+  return CountTag(papers_, &AcademicPaper::query_software_tags,
+                  Table12QuerySoftware().size());
+}
+std::vector<int> AcademicCorpus::CountNonQuerySoftware() const {
+  return CountTag(papers_, &AcademicPaper::nonquery_software_tags,
+                  Table13NonQuerySoftware().size());
+}
+
+std::vector<int> AcademicCorpus::ComputationChoicesOffered() const {
+  std::vector<int> counts = CountComputations();
+  std::vector<int> offered;
+  for (size_t t = 0; t < counts.size(); ++t) {
+    if (counts[t] >= 2) offered.push_back(static_cast<int>(t));
+  }
+  return offered;
+}
+
+}  // namespace ubigraph::survey

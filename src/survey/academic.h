@@ -1,0 +1,54 @@
+// The 90-paper academic corpus model (§2.3): each reviewed paper is tagged
+// with the entities its datasets represent, the computations it studies, and
+// the software it uses/builds. A calibrated corpus reproduces the "A" columns
+// of Tables 4, 9, 10, 12, and 13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::survey {
+
+/// The six conferences reviewed.
+enum class Venue { kVldb, kKdd, kIcml, kOsdi, kSc, kSocc };
+const char* VenueName(Venue venue);
+
+struct AcademicPaper {
+  int id = 0;
+  Venue venue = Venue::kVldb;
+  std::vector<int> entity_tags;       // indices into Table4Entities()
+  std::vector<int> computation_tags;  // indices into Table9Computations()
+  std::vector<int> ml_computation_tags;  // Table10a
+  std::vector<int> ml_problem_tags;      // Table10b
+  std::vector<int> query_software_tags;  // Table12
+  std::vector<int> nonquery_software_tags;  // Table13
+};
+
+class AcademicCorpus {
+ public:
+  /// Builds a 90-paper corpus whose tag marginals equal the paper's "A"
+  /// columns exactly.
+  static Result<AcademicCorpus> SynthesizeExact(uint64_t seed = 29);
+
+  const std::vector<AcademicPaper>& papers() const { return papers_; }
+
+  /// Tag counts in the corpus (same order as the corresponding table).
+  std::vector<int> CountEntities() const;
+  std::vector<int> CountComputations() const;
+  std::vector<int> CountMlComputations() const;
+  std::vector<int> CountMlProblems() const;
+  std::vector<int> CountQuerySoftware() const;
+  std::vector<int> CountNonQuerySoftware() const;
+
+  /// The §2.3 selection rule: a computation tag is offered as a survey choice
+  /// only if >= 2 corpus papers study it. Returns the qualifying indices.
+  std::vector<int> ComputationChoicesOffered() const;
+
+ private:
+  std::vector<AcademicPaper> papers_;
+};
+
+}  // namespace ubigraph::survey

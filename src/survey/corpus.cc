@@ -1,0 +1,241 @@
+#include "survey/corpus.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+
+namespace {
+
+/// Routine-engineering message templates (the "overwhelming majority" of the
+/// >6000 reviewed messages). Deliberately free of the miner's keywords.
+const char* kRoutineSubjects[] = {
+    "Build fails on latest release",
+    "How to model a many-to-many relationship",
+    "Slow startup after upgrade",
+    "Connection refused from client driver",
+    "Documentation link broken",
+    "How do I paginate results",
+    "Out of memory during bulk import",
+    "Best practice for indexing properties",
+    "Unicode handling in property names",
+    "Driver timeout configuration",
+    "Backup and restore procedure",
+    "Integration with message broker",
+};
+
+const char* kRoutineBodies[] = {
+    "I followed the installation guide but the service does not start. "
+    "Attached the log output. Any hints appreciated.",
+    "We are evaluating the product for an internal project and would like to "
+    "know the recommended deployment topology.",
+    "After upgrading to the latest minor release our nightly job takes twice "
+    "as long. Is there a regression or a new configuration knob?",
+    "Is there an example of connecting from Python with TLS enabled?",
+    "The tutorial in the docs returns an error at step 3. Am I missing a "
+    "prerequisite?",
+    "What is the recommended way to bulk import a few million records?",
+};
+
+/// Challenge plant templates: each mentions the miner's keyword for that
+/// challenge category exactly once, in a natural sentence.
+struct ChallengePlant {
+  const char* label;  // must match Table19 label
+  const char* subject;
+  const char* body;
+};
+
+const ChallengePlant kPlants[] = {
+    {"High-degree Vertices", "Skipping supernodes during traversal",
+     "Paths that go through a supernode with millions of relationships are "
+     "not interesting for us; can the engine skip such high-degree vertices?"},
+    {"Hyperedges", "Native hyperedge support",
+     "We need a hyperedge between three entities (a family relationship). "
+     "Currently we simulate it with a mock vertex; is native support planned?"},
+    {"Triggers", "Trigger on vertex insertion",
+     "Is there a trigger mechanism to automatically add a property on insert "
+     "or back up an edge on update, like RDBMS triggers?"},
+    {"Versioning and Historical Analysis", "Querying historical versions",
+     "We want versioning of vertices and edges so we can query the graph as "
+     "of a past date. What are the options at the application layer?"},
+    {"Schema & Constraints", "Enforcing a schema over the graph",
+     "Is there a way to define a schema constraint, e.g. the graph must stay "
+     "acyclic, or certain vertices must always carry a property?"},
+    {"Layout", "Hierarchical layout support",
+     "I need to draw an organizational hierarchy with some vertices on top of "
+     "others. Does the tool support a hierarchical layout or a tree layout?"},
+    {"Customizability", "Customize vertex shapes and colors",
+     "How do I customize the shape and color of rendered vertices and edges? "
+     "The defaults do not match our corporate style."},
+    {"Large-graph Visualization", "Rendering a very large graph",
+     "Rendering a large graph with two million vertices freezes the canvas. "
+     "Is there a level-of-detail or sampling mode?"},
+    {"Dynamic Graph Visualization", "Animating a changing graph",
+     "We stream updates and would like to animate additions and deletions of "
+     "a dynamic graph over time. Is that possible?"},
+    {"Subqueries", "Using a subquery inside another query",
+     "I want to use the result of a subquery as a predicate in an outer query "
+     "(and ideally treat the subquery result as a graph). How?"},
+    {"Querying Across Multiple Graphs", "Query across multiple graphs",
+     "Can a traversal that starts in one graph continue across multiple "
+     "graphs, analogous to joining tables?"},
+    {"Off-the-shelf Algorithms", "Please add an off-the-shelf algorithm",
+     "Could you add an off-the-shelf algorithm for weighted k-core? "
+     "Composing it from the low-level API is error-prone for us."},
+    {"Graph Generators", "More kinds of synthetic graph generator",
+     "The synthetic graph generator is great for testing; could it also "
+     "produce k-regular graphs and random directed power-law graphs?"},
+    {"GPU Support", "Running algorithms on GPU",
+     "Are there plans for GPU support? Our iterative computations would "
+     "benefit from running on GPU accelerators."},
+};
+
+/// Technology classes each challenge category applies to.
+bool CategoryMatchesTechnology(const std::string& category,
+                               const std::string& technology) {
+  if (category == "Graph DBs and RDF Engines") {
+    return technology == "Graph Database" || technology == "RDF Engine";
+  }
+  if (category == "Visualization Software") {
+    return technology == "Graph Visualization";
+  }
+  if (category == "Query Languages") {
+    return technology == "Graph Database" || technology == "RDF Engine" ||
+           technology == "Query Language";
+  }
+  if (category == "DGPS and Graph Libraries") {
+    return technology == "Distributed Graph Processing Engine" ||
+           technology == "Graph Library";
+  }
+  return false;
+}
+
+struct SizePlant {
+  const char* unit;     // "vertices" or "edges"
+  double lo;            // in billions
+  double hi;
+  int count;
+};
+
+}  // namespace
+
+Result<MessageCorpus> MessageCorpus::Synthesize(uint64_t seed) {
+  MessageCorpus corpus;
+  Rng rng(seed);
+
+  // 1. Routine skeleton: Table 20 counts per product.
+  for (const ProductInfo& product : Products()) {
+    auto add_batch = [&](int count, MessageKind kind) {
+      for (int i = 0; i < count; ++i) {
+        Message m;
+        m.id = static_cast<int>(corpus.messages_.size());
+        m.product = product.name;
+        m.technology = product.technology;
+        m.kind = kind;
+        m.subject = kRoutineSubjects[rng.NextBounded(
+            sizeof(kRoutineSubjects) / sizeof(kRoutineSubjects[0]))];
+        m.body = kRoutineBodies[rng.NextBounded(sizeof(kRoutineBodies) /
+                                                sizeof(kRoutineBodies[0]))];
+        corpus.messages_.push_back(std::move(m));
+      }
+    };
+    if (product.emails > 0) add_batch(product.emails, MessageKind::kEmail);
+    if (product.issues > 0) add_batch(product.issues, MessageKind::kIssue);
+  }
+
+  // 2. Plant challenges: overwrite routine messages of matching products.
+  for (const ChallengeRow& row : Table19MinedChallenges()) {
+    const ChallengePlant* plant = nullptr;
+    for (const ChallengePlant& p : kPlants) {
+      if (std::string(p.label) == row.label) {
+        plant = &p;
+        break;
+      }
+    }
+    if (plant == nullptr) {
+      return Status::Invalid(std::string("no plant template for ") + row.label);
+    }
+    // Candidate message slots in matching products that are still routine.
+    std::vector<size_t> slots;
+    for (size_t i = 0; i < corpus.messages_.size(); ++i) {
+      const Message& m = corpus.messages_[i];
+      if (CategoryMatchesTechnology(row.category, m.technology) &&
+          m.body.find("[planted]") == std::string::npos) {
+        slots.push_back(i);
+      }
+    }
+    if (static_cast<int>(slots.size()) < row.count) {
+      return Status::Invalid(std::string("not enough slots for ") + row.label);
+    }
+    rng.Shuffle(&slots);
+    for (int k = 0; k < row.count; ++k) {
+      Message& m = corpus.messages_[slots[k]];
+      m.subject = plant->subject;
+      m.body = std::string(plant->body) + " [planted]";
+    }
+  }
+
+  // 3. Plant graph-size mentions (Table 18), in any product's messages.
+  std::vector<SizePlant> size_plants;
+  {
+    const auto& va = Table18aEmailVertexSizes();
+    const double vlo[] = {0.1, 1, 10, 100};
+    const double vhi[] = {1, 10, 100, 500};
+    for (size_t i = 0; i < va.size(); ++i) {
+      size_plants.push_back({"vertices", vlo[i], vhi[i], va[i].count});
+    }
+    const auto& ea = Table18bEmailEdgeSizes();
+    const double elo[] = {1, 10, 100, 500};
+    const double ehi[] = {10, 100, 500, 900};
+    for (size_t i = 0; i < ea.size(); ++i) {
+      size_plants.push_back({"edges", elo[i], ehi[i], ea[i].count});
+    }
+  }
+  std::vector<size_t> free_slots;
+  for (size_t i = 0; i < corpus.messages_.size(); ++i) {
+    if (corpus.messages_[i].body.find("[planted]") == std::string::npos) {
+      free_slots.push_back(i);
+    }
+  }
+  rng.Shuffle(&free_slots);
+  size_t cursor = 0;
+  for (const SizePlant& plant : size_plants) {
+    for (int k = 0; k < plant.count; ++k) {
+      if (cursor >= free_slots.size()) {
+        return Status::Invalid("not enough slots for size mentions");
+      }
+      Message& m = corpus.messages_[free_slots[cursor++]];
+      // A size strictly inside the band, expressed in billions.
+      double billions = plant.lo + (plant.hi - plant.lo) *
+                                       (0.1 + 0.8 * rng.NextDouble());
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "Our production graph currently has %.2f billion %s and "
+                    "keeps growing; loading it takes hours. [planted]",
+                    billions, plant.unit);
+      m.subject = "Working with a very large graph";
+      m.body = buf;
+    }
+  }
+  return corpus;
+}
+
+int MessageCorpus::EmailCount(const std::string& product) const {
+  int count = 0;
+  for (const Message& m : messages_) {
+    if (m.product == product && m.kind == MessageKind::kEmail) ++count;
+  }
+  return count;
+}
+
+int MessageCorpus::IssueCount(const std::string& product) const {
+  int count = 0;
+  for (const Message& m : messages_) {
+    if (m.product == product && m.kind == MessageKind::kIssue) ++count;
+  }
+  return count;
+}
+
+}  // namespace ubigraph::survey

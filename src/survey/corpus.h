@@ -1,0 +1,42 @@
+// Synthetic mailing-list / issue-tracker corpus (§2.4): one message per email
+// and issue the paper reviewed, with challenge reports and graph-size
+// mentions planted at the paper's observed rates. The miner re-discovers them
+// (miner.h), reproducing Tables 18, 19, and 20 from raw text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::survey {
+
+enum class MessageKind { kEmail, kIssue };
+
+struct Message {
+  int id = 0;
+  std::string product;
+  std::string technology;
+  MessageKind kind = MessageKind::kEmail;
+  std::string subject;
+  std::string body;
+};
+
+class MessageCorpus {
+ public:
+  /// Builds the corpus: per-product message counts from Table 20, challenge
+  /// mentions at Table 19 rates, size mentions at Table 18 rates.
+  static Result<MessageCorpus> Synthesize(uint64_t seed = 7);
+
+  const std::vector<Message>& messages() const { return messages_; }
+
+  int EmailCount(const std::string& product) const;
+  int IssueCount(const std::string& product) const;
+  size_t size() const { return messages_.size(); }
+
+ private:
+  std::vector<Message> messages_;
+};
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,63 @@
+#include "survey/goodness_of_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "survey/schema.h"
+#include "survey/tabulate.h"
+
+namespace ubigraph::survey {
+
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected) {
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size() && i < expected.size(); ++i) {
+    if (expected[i] > 0) {
+      double d = observed[i] - expected[i];
+      stat += d * d / expected[i];
+    } else {
+      stat += observed[i];
+    }
+  }
+  return stat;
+}
+
+std::vector<ResampleStats> ResampleExperiment(uint32_t num_samples,
+                                              uint64_t seed) {
+  const Questionnaire& questionnaire = Questionnaire::Standard();
+  std::vector<ResampleStats> stats;
+  for (const Question& q : questionnaire.questions()) {
+    ResampleStats s;
+    s.question_id = q.id;
+    s.num_samples = num_samples;
+    stats.push_back(s);
+  }
+
+  for (uint32_t sample = 0; sample < num_samples; ++sample) {
+    Population pop = Population::SampleStochastic(seed + sample);
+    for (size_t qi = 0; qi < questionnaire.questions().size(); ++qi) {
+      const Question& q = questionnaire.questions()[qi];
+      Comparison cmp = CompareQuestion(pop, q.id, q.id);
+      std::vector<double> obs, exp;
+      for (const ComparisonRow& row : cmp.rows) {
+        obs.push_back(row.repro_total);
+        exp.push_back(row.paper_total);
+      }
+      double chi = ChiSquareStatistic(obs, exp);
+      double abs_dev = 0.0, max_dev = 0.0;
+      for (size_t i = 0; i < obs.size(); ++i) {
+        double d = std::abs(obs[i] - exp[i]);
+        abs_dev += d;
+        max_dev = std::max(max_dev, d);
+      }
+      if (!obs.empty()) abs_dev /= static_cast<double>(obs.size());
+      ResampleStats& s = stats[qi];
+      s.mean_chi_square += chi / num_samples;
+      s.mean_abs_deviation += abs_dev / num_samples;
+      s.max_abs_deviation = std::max(s.max_abs_deviation, max_dev);
+    }
+  }
+  return stats;
+}
+
+}  // namespace ubigraph::survey

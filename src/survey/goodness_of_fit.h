@@ -1,0 +1,33 @@
+// Statistical comparison between sampled populations and the paper's
+// marginals: chi-square statistic, and a resampling experiment quantifying
+// how far stochastic re-runs of the survey drift from the published counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "survey/population.h"
+
+namespace ubigraph::survey {
+
+/// Pearson chi-square statistic sum((obs-exp)^2 / exp) over cells with
+/// exp > 0. Cells with exp == 0 contribute obs (a pragmatic penalty).
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected);
+
+/// Result of resampling a question many times.
+struct ResampleStats {
+  std::string question_id;
+  double mean_chi_square = 0.0;
+  double mean_abs_deviation = 0.0;  // mean |obs-exp| per cell
+  double max_abs_deviation = 0.0;
+  uint32_t num_samples = 0;
+};
+
+/// Samples `num_samples` stochastic populations and measures per-question
+/// deviation of their tabulations from the paper counts.
+std::vector<ResampleStats> ResampleExperiment(uint32_t num_samples,
+                                              uint64_t seed = 101);
+
+}  // namespace ubigraph::survey

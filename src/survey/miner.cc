@@ -1,0 +1,136 @@
+#include "survey/miner.h"
+
+#include "common/strings.h"
+
+namespace ubigraph::survey {
+
+namespace {
+
+struct KeywordRule {
+  const char* label;     // Table 19 row label
+  const char* category;  // Table 19 category (restricts software class)
+  const char* keyword;   // case-insensitive substring
+};
+
+/// Rule order is match priority; a message counts toward one challenge.
+const KeywordRule kRules[] = {
+    {"High-degree Vertices", "Graph DBs and RDF Engines", "supernode"},
+    {"High-degree Vertices", "Graph DBs and RDF Engines", "high-degree"},
+    {"Hyperedges", "Graph DBs and RDF Engines", "hyperedge"},
+    {"Triggers", "Graph DBs and RDF Engines", "trigger"},
+    {"Versioning and Historical Analysis", "Graph DBs and RDF Engines",
+     "versioning"},
+    {"Schema & Constraints", "Graph DBs and RDF Engines", "schema constraint"},
+    {"Layout", "Visualization Software", "layout"},
+    {"Customizability", "Visualization Software", "customize"},
+    {"Large-graph Visualization", "Visualization Software",
+     "rendering a large graph"},
+    {"Dynamic Graph Visualization", "Visualization Software", "animat"},
+    {"Subqueries", "Query Languages", "subquery"},
+    {"Querying Across Multiple Graphs", "Query Languages", "multiple graphs"},
+    {"Off-the-shelf Algorithms", "DGPS and Graph Libraries", "off-the-shelf"},
+    {"Graph Generators", "DGPS and Graph Libraries", "graph generator"},
+    {"GPU Support", "DGPS and Graph Libraries", "gpu"},
+};
+
+bool TechnologyInCategory(const std::string& technology,
+                          const std::string& category) {
+  if (category == "Graph DBs and RDF Engines") {
+    return technology == "Graph Database" || technology == "RDF Engine";
+  }
+  if (category == "Visualization Software") {
+    return technology == "Graph Visualization";
+  }
+  if (category == "Query Languages") {
+    return technology == "Graph Database" || technology == "RDF Engine" ||
+           technology == "Query Language";
+  }
+  if (category == "DGPS and Graph Libraries") {
+    return technology == "Distributed Graph Processing Engine" ||
+           technology == "Graph Library";
+  }
+  return false;
+}
+
+int RowIndexOf(const std::string& category, const std::string& label) {
+  const auto& rows = Table19MinedChallenges();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].category == category && rows[i].label == label) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int ClassifyMessage(const Message& message) {
+  std::string text = message.subject + " " + message.body;
+  for (const KeywordRule& rule : kRules) {
+    if (!TechnologyInCategory(message.technology, rule.category)) continue;
+    if (ContainsIgnoreCase(text, rule.keyword)) {
+      return RowIndexOf(rule.category, rule.label);
+    }
+  }
+  return -1;
+}
+
+MinedChallenges MineChallenges(const MessageCorpus& corpus) {
+  MinedChallenges out;
+  out.counts.assign(Table19MinedChallenges().size(), 0);
+  for (const Message& m : corpus.messages()) {
+    int row = ClassifyMessage(m);
+    if (row >= 0) {
+      ++out.counts[row];
+      ++out.useful_messages;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<double, std::string>> ExtractSizeMentions(
+    const std::string& text) {
+  std::vector<std::pair<double, std::string>> out;
+  std::vector<std::string> tokens = SplitWhitespace(text);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (ToLower(tokens[i]) != "billion") continue;
+    if (i == 0) continue;
+    double value = 0.0;
+    if (!ParseDouble(tokens[i - 1], &value)) continue;
+    std::string unit = ToLower(tokens[i + 1]);
+    // Strip punctuation.
+    while (!unit.empty() && !std::isalpha(static_cast<unsigned char>(unit.back()))) {
+      unit.pop_back();
+    }
+    if (unit == "vertices" || unit == "edges") out.emplace_back(value, unit);
+  }
+  return out;
+}
+
+MinedSizes MineGraphSizes(const MessageCorpus& corpus) {
+  MinedSizes out;
+  out.vertex_bands.assign(Table18aEmailVertexSizes().size(), 0);
+  out.edge_bands.assign(Table18bEmailEdgeSizes().size(), 0);
+  for (const Message& m : corpus.messages()) {
+    for (const auto& [billions, unit] : ExtractSizeMentions(m.body)) {
+      if (unit == "vertices") {
+        // Bands: 100M-1B, 1B-10B, 10B-100B, >100B.
+        if (billions < 0.1) continue;
+        if (billions < 1) ++out.vertex_bands[0];
+        else if (billions < 10) ++out.vertex_bands[1];
+        else if (billions < 100) ++out.vertex_bands[2];
+        else ++out.vertex_bands[3];
+      } else {
+        // Bands: 1B-10B, 10B-100B, 100B-500B, >500B.
+        if (billions < 1) continue;
+        if (billions < 10) ++out.edge_bands[0];
+        else if (billions < 100) ++out.edge_bands[1];
+        else if (billions < 500) ++out.edge_bands[2];
+        else ++out.edge_bands[3];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,41 @@
+// Keyword/taxonomy miner (§2.4's methodology as code): classifies corpus
+// messages into the 14 challenge types of Table 19 (respecting which software
+// class each challenge applies to) and extracts graph-size mentions for
+// Table 18.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "survey/corpus.h"
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+
+/// Counts per Table19MinedChallenges() row, in the same order.
+struct MinedChallenges {
+  std::vector<int> counts;
+  int useful_messages = 0;  // messages that matched any challenge
+};
+
+/// Runs the keyword taxonomy over the corpus.
+MinedChallenges MineChallenges(const MessageCorpus& corpus);
+
+/// Classifies one message; returns the Table 19 row index or -1.
+int ClassifyMessage(const Message& message);
+
+/// Graph-size mentions ("... N billion vertices/edges ...") bucketed into the
+/// Table 18 bands.
+struct MinedSizes {
+  std::vector<int> vertex_bands;  // aligned with Table18aEmailVertexSizes()
+  std::vector<int> edge_bands;    // aligned with Table18bEmailEdgeSizes()
+};
+MinedSizes MineGraphSizes(const MessageCorpus& corpus);
+
+/// Parses "<number> billion <unit>" from text; returns count found and
+/// appends (billions, unit) pairs. Exposed for tests.
+std::vector<std::pair<double, std::string>> ExtractSizeMentions(
+    const std::string& text);
+
+}  // namespace ubigraph::survey

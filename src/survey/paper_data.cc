@@ -1,0 +1,335 @@
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+
+const std::vector<ProductInfo>& Products() {
+  // Mailing-list users from Table 1; emails/issues/commits from Table 20.
+  // Flink's per-product user count was garbled in our source; the Table 1
+  // DGPS group total (39) minus Giraph (8) and GraphX (7) gives 24.
+  static const std::vector<ProductInfo> kProducts = {
+      {"Graph Database", "ArangoDB", 40, 140, 466, 5264},
+      {"Graph Database", "Cayley", 14, 50, 57, 151},
+      {"Graph Database", "DGraph", 33, 175, 558, 760},
+      {"Graph Database", "JanusGraph", 32, 225, 308, 411},
+      {"Graph Database", "Neo4j", 69, 286, 243, 4467},
+      {"Graph Database", "OrientDB", 45, 169, 668, 918},
+      {"RDF Engine", "Apache Jena", 87, 307, 126, 471},
+      {"RDF Engine", "Sparksee", 5, 8, -1, -1},
+      {"RDF Engine", "Virtuoso", 23, 72, 61, 179},
+      {"Distributed Graph Processing Engine", "Apache Flink (Gelly)", 24, 34, 68,
+       48, /*reconstructed=*/true},
+      {"Distributed Graph Processing Engine", "Apache Giraph", 8, 19, 34, 23},
+      {"Distributed Graph Processing Engine", "Apache Spark (GraphX)", 7, 23, 28,
+       11},
+      {"Query Language", "Gremlin", 82, 409, 206, 1285},
+      {"Graph Library", "Graph for Scala", 4, 10, 12, 18},
+      {"Graph Library", "GraphStream", 8, 18, 26, 7},
+      {"Graph Library", "Graphtool", 28, 121, 66, 172},
+      {"Graph Library", "NetworKit", 10, 37, 30, 236},
+      {"Graph Library", "NetworkX", 27, 78, 148, 171},
+      {"Graph Library", "SNAP", 20, 57, 17, 34},
+      {"Graph Visualization", "Cytoscape", 93, 388, 264, 8},
+      {"Graph Visualization", "Elasticsearch (X-Pack Graph)", 23, 50, 38, -1},
+      {"Graph Visualization", "Gephi", -1, -1, 147, 10},
+      {"Graph Visualization", "Graphviz", -1, -1, 58, 277},
+      {"Graph Representation", "Conceptual Graphs", 6, 30, -1, -1},
+  };
+  return kProducts;
+}
+
+const std::vector<CountRow>& Table2Fields() {
+  static const std::vector<CountRow> kRows = {
+      {"Information & Technology", 48, 12, 36},
+      {"Research in Academia", 31, 31, 0},
+      {"Finance", 12, 2, 10},
+      {"Research in Industry Lab", 11, 11, 0},
+      {"Government", 7, 3, 4},
+      {"Healthcare", 5, 3, 2},
+      {"Defence & Space", 4, 3, 1},
+      {"Pharmaceutical", 3, 0, 3},
+      {"Retail & E-Commerce", 3, 0, 3},
+      {"Transportation", 2, 0, 2},
+      {"Telecommunications", 1, 1, 0},
+      {"Insurance", 0, 0, 0},
+      {"Other", 5, 2, 3},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table3OrgSizes() {
+  static const std::vector<CountRow> kRows = {
+      {"1 - 10", 27, 17, 10},
+      {"10 - 100", 23, 6, 17},
+      {"100 - 1000", 14, 4, 10},
+      {"1000 - 10000", 6, 4, 2},
+      {">10000", 15, 4, 11},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table4Entities() {
+  static const std::vector<CountRow> kRows = {
+      {"Human", 45, 18, 27, 54},
+      {"RDF", 23, 11, 12, 8},
+      {"Scientific", 15, 9, 6, 11},
+      {"Non-Human", 60, 22, 38, 63},
+      {"NH-P (Products)", 13, 1, 12, 2},
+      {"NH-B (Business/Financial)", 11, 6, 5, 8},
+      {"NH-W (Web)", 4, 2, 2, 30},
+      {"NH-G (Geographic)", 7, 4, 3, 11},
+      {"NH-D (Digital)", 5, 1, 4, 0},
+      {"NH-I (Infrastructure)", 9, 7, 2, 2},
+      {"NH-K (Knowledge/Textual)", 11, 6, 5, 3},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table5aVertices() {
+  static const std::vector<CountRow> kRows = {
+      {"<10K", 22, 11, 11},      {"10K - 100K", 22, 9, 13},
+      {"100K - 1M", 19, 7, 12},  {"1M - 10M", 17, 6, 11},
+      {"10M - 100M", 20, 10, 10}, {">100M", 27, 10, 17},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table5bEdges() {
+  static const std::vector<CountRow> kRows = {
+      {"<10K", 23, 11, 12},       {"10K - 100K", 22, 9, 13},
+      {"100K - 1M", 13, 3, 10},   {"1M - 10M", 9, 5, 4},
+      {"10M - 100M", 21, 8, 13},  {"100M - 1B", 21, 8, 13},
+      {">1B", 20, 8, 12},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table5cBytes() {
+  static const std::vector<CountRow> kRows = {
+      {"<100MB", 23, 12, 11},       {"100MB - 1GB", 19, 9, 10},
+      {"1GB - 10GB", 25, 9, 16},    {"10GB - 100GB", 17, 5, 12},
+      {"100GB - 1TB", 20, 8, 12},   {">1TB", 17, 5, 12},
+  };
+  return kRows;
+}
+
+const std::vector<SimpleRow>& Table6BillionEdgeOrgSizes() {
+  static const std::vector<SimpleRow> kRows = {
+      {"1 - 10", 4}, {"10 - 100", 4}, {"100 - 1000", 7}, {">10000", 4},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table7aDirectedness() {
+  static const std::vector<CountRow> kRows = {
+      {"Only Directed", 63, 23, 40},
+      {"Only Undirected", 11, 6, 5},
+      {"Both", 15, 7, 8},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table7bMultiplicity() {
+  static const std::vector<CountRow> kRows = {
+      {"Only Simple Graphs", 26, 9, 17},
+      {"Only Multigraphs", 50, 20, 30},
+      {"Both", 13, 7, 6},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table7cVertexDataTypes() {
+  static const std::vector<CountRow> kRows = {
+      {"String", 79, 31, 48},
+      {"Numeric", 63, 23, 40},
+      {"Date/Timestamp", 56, 19, 37},
+      {"Binary", 15, 8, 7},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table7cEdgeDataTypes() {
+  static const std::vector<CountRow> kRows = {
+      {"String", 66, 24, 42},
+      {"Numeric", 59, 23, 36},
+      {"Date/Timestamp", 49, 18, 31},
+      {"Binary", 8, 4, 4},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table8Dynamism() {
+  static const std::vector<CountRow> kRows = {
+      {"Static", 40, 21, 19},
+      {"Dynamic", 55, 22, 33},
+      {"Streaming", 18, 9, 9},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table9Computations() {
+  static const std::vector<CountRow> kRows = {
+      {"Finding Connected Components", 55, 18, 37, 12},
+      {"Neighborhood Queries", 51, 19, 32, 3},
+      {"Finding Short / Shortest Paths", 43, 18, 25, 17},
+      {"Subgraph Matching", 33, 14, 19, 21},
+      {"Ranking & Centrality Scores", 32, 17, 15, 22},
+      {"Aggregations", 30, 10, 20, 7},
+      {"Reachability Queries", 27, 7, 20, 3},
+      {"Graph Partitioning", 25, 13, 12, 5},
+      {"Node-similarity", 18, 7, 11, 3},
+      {"Finding Frequent or Densest Subgraphs", 11, 7, 4, 2},
+      {"Computing Minimum Spanning Tree", 9, 5, 4, 2},
+      {"Graph Coloring", 7, 3, 4, 3},
+      {"Diameter Estimation", 5, 2, 3, 2},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table10aMlComputations() {
+  static const std::vector<CountRow> kRows = {
+      {"Clustering", 42, 22, 20, 15},
+      {"Classification", 28, 10, 18, 2},
+      {"Regression (Linear / Logistic)", 11, 5, 6, 2},
+      {"Graphical Model Inference", 10, 5, 5, 2},
+      {"Collaborative Filtering", 9, 4, 5, 2},
+      {"Stochastic Gradient Descent", 4, 2, 2, 3},
+      {"Alternating Least Squares", 0, 0, 0, 2},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table10bMlProblems() {
+  static const std::vector<CountRow> kRows = {
+      {"Community Detection", 31, 15, 16, 5},
+      {"Recommendation System", 26, 10, 16, 2},
+      {"Link Prediction", 25, 10, 15, 2},
+      {"Influence Maximization", 14, 5, 9, 2},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table11Traversals() {
+  static const std::vector<CountRow> kRows = {
+      {"Breadth-first-search or variant", 19, 5, 14},
+      {"Depth-first-search or variant", 12, 4, 8},
+      {"Both", 22, 8, 14},
+      {"Neither", 20, 11, 9},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table12QuerySoftware() {
+  static const std::vector<CountRow> kRows = {
+      {"Graph Database System", 59, 20, 39, 1},
+      {"Apache Hadoop, Spark, Pig, Hive", 29, 11, 18, 2},
+      {"Apache Tinkerpop (Gremlin)", 23, 9, 14, 1},
+      {"Relational Database Management System", 21, 6, 15, 1},
+      {"RDF Engine", 16, 8, 8, 1},
+      {"Distributed Graph Processing Systems", 14, 8, 6, 17},
+      {"Linear Algebra Library / Software", 8, 6, 2, 3},
+      {"In-Memory Graph Processing Library", 7, 5, 2, 2},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table13NonQuerySoftware() {
+  static const std::vector<CountRow> kRows = {
+      {"Graph Visualization", 55, 22, 33, 1},
+      {"Build / Extract / Transform", 14, 8, 6, 0},
+      {"Graph Cleaning", 5, 1, 4, 0},
+      {"Synthetic Graph Generator", 4, 3, 1, 13},
+      {"Specialized Debugger", 2, 0, 2, 0},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table14Architectures() {
+  static const std::vector<CountRow> kRows = {
+      {"Single Machine Serial", 31, 17, 14},
+      {"Single Machine Parallel", 35, 21, 14},
+      {"Distributed", 45, 17, 28},
+  };
+  return kRows;
+}
+
+const std::vector<CountRow>& Table15Challenges() {
+  // The last four rows were OCR-garbled in our source copy; values are
+  // reconstructed from the surviving digit runs under the constraints
+  // R + P == Total and descending-total table order (see EXPERIMENTS.md).
+  static const std::vector<CountRow> kRows = {
+      {"Scalability", 45, 20, 25},
+      {"Visualization", 39, 17, 22},
+      {"Query Languages / Programming APIs", 39, 18, 21},
+      {"Faster graph or machine learning algorithms", 35, 19, 16},
+      {"Usability", 25, 10, 15},
+      {"Benchmarks", 22, 12, 10},
+      {"More general purpose graph software", 20, 11, 9, -1, true},
+      {"Extract & Transform", 20, 10, 10, -1, true},
+      {"Debugging & Testing", 17, 8, 9, -1, true},
+      {"Graph Cleaning", 10, 6, 4, -1, true},
+  };
+  return kRows;
+}
+
+const std::vector<WorkloadRow>& Table16Workload() {
+  static const std::vector<WorkloadRow> kRows = {
+      {"Analytics", 30, 18, 23},
+      {"Testing", 40, 12, 20},
+      {"Debugging", 37, 18, 15},
+      {"Maintenance", 46, 14, 13},
+      {"ETL", 44, 14, 10},
+      {"Cleaning", 52, 10, 6},
+  };
+  return kRows;
+}
+
+const std::vector<SimpleRow>& Table17StorageFormats() {
+  static const std::vector<SimpleRow> kRows = {
+      {"Graph Databases", 10},
+      {"Relational Databases", 8},
+      {"RDF Store", 5},
+      {"NoSQL Store (Key-value, HBase)", 5},
+      {"XML / JSON", 4},
+      {"JGF / GML / GraphML", 4},
+      {"CSV / Text files", 3},
+      {"Elasticsearch", 3},
+      {"Binary", 2},
+  };
+  return kRows;
+}
+
+const std::vector<SimpleRow>& Table18aEmailVertexSizes() {
+  static const std::vector<SimpleRow> kRows = {
+      {"100M - 1B", 10}, {"1B - 10B", 17}, {"10B - 100B", 1}, {">100B", 2},
+  };
+  return kRows;
+}
+
+const std::vector<SimpleRow>& Table18bEmailEdgeSizes() {
+  static const std::vector<SimpleRow> kRows = {
+      {"1B - 10B", 42}, {"10B - 100B", 17}, {"100B - 500B", 6}, {">500B", 1},
+  };
+  return kRows;
+}
+
+const std::vector<ChallengeRow>& Table19MinedChallenges() {
+  static const std::vector<ChallengeRow> kRows = {
+      {"Graph DBs and RDF Engines", "High-degree Vertices", 24},
+      {"Graph DBs and RDF Engines", "Hyperedges", 18},
+      {"Graph DBs and RDF Engines", "Triggers", 18},
+      {"Graph DBs and RDF Engines", "Versioning and Historical Analysis", 14},
+      {"Graph DBs and RDF Engines", "Schema & Constraints", 10},
+      {"Visualization Software", "Layout", 31},
+      {"Visualization Software", "Customizability", 30},
+      {"Visualization Software", "Large-graph Visualization", 8},
+      {"Visualization Software", "Dynamic Graph Visualization", 4},
+      {"Query Languages", "Subqueries", 7},
+      {"Query Languages", "Querying Across Multiple Graphs", 6},
+      {"DGPS and Graph Libraries", "Off-the-shelf Algorithms", 41},
+      {"DGPS and Graph Libraries", "Graph Generators", 7},
+      {"DGPS and Graph Libraries", "GPU Support", 3},
+  };
+  return kRows;
+}
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,137 @@
+// Ground-truth data of every table in Sahu et al., "The Ubiquity of Large
+// Graphs and Surprising Challenges of Graph Processing" (VLDB 2017).
+// These constants are the calibration targets of the population synthesizer
+// and the expected values the per-table bench binaries verify against.
+//
+// Rows whose `reconstructed` flag is set were garbled in our source copy of
+// the paper (OCR damage in Table 15 and the Flink row of Table 1) and carry
+// a best-effort reconstruction consistent with the surrounding totals; see
+// EXPERIMENTS.md for the reasoning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ubigraph::survey {
+
+inline constexpr int kParticipants = 89;
+inline constexpr int kResearchers = 36;
+inline constexpr int kPractitioners = 53;
+inline constexpr int kAcademicPapers = 90;
+
+/// A (Total, R, P[, A]) table row. `academic` is -1 for tables without an
+/// academic-papers column.
+struct CountRow {
+  const char* label;
+  int total;
+  int r;
+  int p;
+  int academic = -1;
+  bool reconstructed = false;
+};
+
+/// A single-count row (tables with one numeric column).
+struct SimpleRow {
+  const char* label;
+  int count;
+};
+
+/// Table 1 + Table 20: the 22 surveyed products (plus Gephi/Graphviz whose
+/// repositories were reviewed). -1 = N/A in the paper.
+struct ProductInfo {
+  const char* technology;
+  const char* name;
+  int mailing_list_users;  // Table 1 (-1 for Gephi/Graphviz: not recruited)
+  int emails;              // Table 20
+  int issues;
+  int commits;
+  bool reconstructed = false;
+};
+const std::vector<ProductInfo>& Products();
+
+/// Table 2: participants' fields of work.
+const std::vector<CountRow>& Table2Fields();
+
+/// Table 3: organization sizes.
+const std::vector<CountRow>& Table3OrgSizes();
+
+/// Table 4: entities represented (includes the academic column).
+const std::vector<CountRow>& Table4Entities();
+
+/// Tables 5a/5b/5c: graph sizes.
+const std::vector<CountRow>& Table5aVertices();
+const std::vector<CountRow>& Table5bEdges();
+const std::vector<CountRow>& Table5cBytes();
+
+/// Table 6: org sizes of participants with >1B-edge graphs (sums to 19; one
+/// of the 20 such participants did not report an org size).
+const std::vector<SimpleRow>& Table6BillionEdgeOrgSizes();
+
+/// Tables 7a/7b: topology.
+const std::vector<CountRow>& Table7aDirectedness();
+const std::vector<CountRow>& Table7bMultiplicity();
+
+/// Table 7c: data types stored on vertices and on edges.
+const std::vector<CountRow>& Table7cVertexDataTypes();
+const std::vector<CountRow>& Table7cEdgeDataTypes();
+
+/// Table 8: dynamism.
+const std::vector<CountRow>& Table8Dynamism();
+
+/// Table 9: graph computations (with academic column).
+const std::vector<CountRow>& Table9Computations();
+
+/// Tables 10a/10b: ML computations and ML-solved problems.
+const std::vector<CountRow>& Table10aMlComputations();
+const std::vector<CountRow>& Table10bMlProblems();
+
+/// Table 11: traversals.
+const std::vector<CountRow>& Table11Traversals();
+
+/// Table 12: software used for querying (with academic column).
+const std::vector<CountRow>& Table12QuerySoftware();
+
+/// Table 13: software used for non-query tasks (with academic column).
+const std::vector<CountRow>& Table13NonQuerySoftware();
+
+/// Table 14: software architectures. Joint constraint from §5.2: 29 of the
+/// 45 "distributed" respondents have graphs over 100M edges.
+const std::vector<CountRow>& Table14Architectures();
+inline constexpr int kDistributedWithOver100MEdges = 29;
+
+/// Table 15: top challenges (four rows reconstructed; see header comment).
+const std::vector<CountRow>& Table15Challenges();
+
+/// Table 16: weekly hours per task.
+struct WorkloadRow {
+  const char* task;
+  int hours_0_5;
+  int hours_5_10;
+  int hours_over_10;
+};
+const std::vector<WorkloadRow>& Table16Workload();
+
+/// Table 17: storage formats among multi-format users (25 respondents).
+const std::vector<SimpleRow>& Table17StorageFormats();
+inline constexpr int kMultiFormatUsers = 33;
+inline constexpr int kMultiFormatRespondents = 25;
+
+/// Tables 18a/18b: graph sizes found in reviewed emails and issues.
+const std::vector<SimpleRow>& Table18aEmailVertexSizes();
+const std::vector<SimpleRow>& Table18bEmailEdgeSizes();
+
+/// Table 19: challenges mined from emails/issues, grouped by software class.
+struct ChallengeRow {
+  const char* category;  // "Graph DBs and RDF Engines", "Visualization
+                         // Software", "Query Languages", "DGPS and Graph
+                         // Libraries"
+  const char* label;
+  int count;
+};
+const std::vector<ChallengeRow>& Table19MinedChallenges();
+
+/// §2.4: totals of the review.
+inline constexpr int kTotalEmailsAndIssuesReviewed = 6000;  // "over 6000"
+inline constexpr int kUsefulEmailsAndIssues = 311;
+
+}  // namespace ubigraph::survey

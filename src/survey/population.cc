@@ -1,0 +1,399 @@
+#include "survey/population.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+
+namespace {
+
+/// Calibration target of one choice. r == -1 means the paper reports only the
+/// total for this question (no R/P split).
+struct Target {
+  int total = 0;
+  int r = 0;
+  int p = 0;
+};
+
+/// Returns the calibration targets of a question, in choice order.
+std::vector<Target> TargetsFor(const std::string& id) {
+  auto from_rows = [](const std::vector<CountRow>& rows) {
+    std::vector<Target> out;
+    out.reserve(rows.size());
+    for (const CountRow& row : rows) out.push_back({row.total, row.r, row.p});
+    return out;
+  };
+  if (id == "fields") return from_rows(Table2Fields());
+  if (id == "org_size") return from_rows(Table3OrgSizes());
+  if (id == "entities") return from_rows(Table4Entities());
+  if (id == "vertices") return from_rows(Table5aVertices());
+  if (id == "edges") return from_rows(Table5bEdges());
+  if (id == "bytes") return from_rows(Table5cBytes());
+  if (id == "directedness") return from_rows(Table7aDirectedness());
+  if (id == "multiplicity") return from_rows(Table7bMultiplicity());
+  if (id == "vertex_data_types") return from_rows(Table7cVertexDataTypes());
+  if (id == "edge_data_types") return from_rows(Table7cEdgeDataTypes());
+  if (id == "dynamism") return from_rows(Table8Dynamism());
+  if (id == "computations") return from_rows(Table9Computations());
+  if (id == "ml_computations") return from_rows(Table10aMlComputations());
+  if (id == "ml_problems") return from_rows(Table10bMlProblems());
+  if (id == "traversals") return from_rows(Table11Traversals());
+  if (id == "query_software") return from_rows(Table12QuerySoftware());
+  if (id == "nonquery_software") return from_rows(Table13NonQuerySoftware());
+  if (id == "architectures") return from_rows(Table14Architectures());
+  if (id == "challenges") return from_rows(Table15Challenges());
+  if (id.rfind("workload_", 0) == 0) {
+    for (const WorkloadRow& row : Table16Workload()) {
+      if (id == std::string("workload_") + row.task) {
+        return {{row.hours_0_5, -1, -1},
+                {row.hours_5_10, -1, -1},
+                {row.hours_over_10, -1, -1}};
+      }
+    }
+  }
+  if (id == "storage_formats") {
+    std::vector<Target> out;
+    for (const SimpleRow& row : Table17StorageFormats()) {
+      out.push_back({row.count, -1, -1});
+    }
+    return out;
+  }
+  return {};
+}
+
+/// Index ranges of the two groups.
+std::vector<int> GroupMembers(bool researchers) {
+  std::vector<int> out;
+  if (researchers) {
+    for (int i = 0; i < kResearchers; ++i) out.push_back(i);
+  } else {
+    for (int i = kResearchers; i < kParticipants; ++i) out.push_back(i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pinned joint constraints (see header). Respondent index conventions:
+//   researchers 0..35, practitioners 36..88.
+//   >1B-edge participants: R 0..7, P 36..47 (20 total; §3.2).
+//   100M-1B-edge participants: R 8..15, P 48..60 (21 total).
+//   Distributed-architecture participants chosen so exactly 29 of the 45
+//   have >100M edges (§5.2).
+// ---------------------------------------------------------------------------
+
+std::vector<int> Range(int lo, int hi) {  // inclusive
+  std::vector<int> out;
+  for (int i = lo; i <= hi; ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<int> Concat(std::initializer_list<std::vector<int>> parts) {
+  std::vector<int> out;
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+}  // namespace
+
+class PopulationBuilder {
+ public:
+  explicit PopulationBuilder(uint64_t seed) : rng_(seed) {}
+
+  Result<Population> Build() {
+    const Questionnaire& questionnaire = Questionnaire::Standard();
+    for (const Question& q : questionnaire.questions()) {
+      UG_RETURN_NOT_OK(FillQuestion(q));
+    }
+    UG_RETURN_NOT_OK(pop_.VerifyAgainstPaper());
+    return std::move(pop_);
+  }
+
+ private:
+  using Pins = std::vector<std::vector<int>>;  // per choice: pinned respondents
+
+  Status FillQuestion(const Question& q) {
+    std::vector<Target> targets = TargetsFor(q.id);
+    if (targets.size() != q.choices.size()) {
+      return Status::Invalid("no calibration targets for question " + q.id);
+    }
+    auto& cells = pop_.membership_[q.id];
+    cells.assign(q.choices.size(), std::vector<bool>(kParticipants, false));
+
+    Pins pins(q.choices.size());
+    std::vector<int> excluded;  // respondents not answering this question
+    Pins pools(q.choices.size());  // per-choice candidate restriction
+
+    if (q.id == "edges") {
+      pins[5] = Concat({Range(8, 15), Range(48, 60)});   // 100M - 1B
+      pins[6] = Concat({Range(0, 7), Range(36, 47)});    // >1B
+    } else if (q.id == "org_size") {
+      pins[0] = {0, 1, 36, 37};                          // 1 - 10
+      pins[1] = {2, 38, 39, 40};                         // 10 - 100
+      pins[2] = {3, 4, 5, 41, 42, 43, 44};               // 100 - 1000
+      pins[4] = {6, 7, 45, 46};                          // >10000
+      excluded = {47};  // the 20th >1B participant skipped this question
+    } else if (q.id == "architectures") {
+      pins[2] = Concat({Range(0, 12), Range(16, 19),     // Distributed
+                        Range(36, 51), Range(61, 72)});
+    } else if (q.id == "fields") {
+      // Researchers are exactly those selecting academia and/or industry lab.
+      pins[1] = Range(0, 30);    // Research in Academia: 31 researchers
+      pins[3] = Range(25, 35);   // Research in Industry Lab: 11 (6 overlap)
+    } else if (q.id == "storage_formats") {
+      // Only the 25 short-answer respondents contribute (Appendix C).
+      for (auto& pool : pools) pool = Range(10, 34);
+    } else if (q.id == "entities") {
+      // The 7 non-human subcategories (choices 4..10) are refinements of
+      // choice 3 ("Non-Human"); pin Non-Human and draw subcategories from it.
+      pins[3] = Concat({Range(0, 21), Range(36, 73)});   // 22 R + 38 P
+      for (size_t c = 4; c < pools.size(); ++c) pools[c] = pins[3];
+    }
+
+    if (q.kind == QuestionKind::kSingleChoice) {
+      return FillSingleChoice(q, targets, pins, excluded);
+    }
+    return FillMultiChoice(q, targets, pins, pools);
+  }
+
+  /// Independently fills each choice of a multi-select question.
+  Status FillMultiChoice(const Question& q, const std::vector<Target>& targets,
+                         const Pins& pins, const Pins& pools) {
+    auto& cells = pop_.membership_[q.id];
+    for (size_t c = 0; c < targets.size(); ++c) {
+      const Target& t = targets[c];
+      for (int member : pins[c]) cells[c][member] = true;
+      if (t.r >= 0) {
+        UG_RETURN_NOT_OK(FillGroup(q.id, &cells[c], pins[c], t.r, true, pools[c]));
+        UG_RETURN_NOT_OK(FillGroup(q.id, &cells[c], pins[c], t.p, false, pools[c]));
+      } else {
+        UG_RETURN_NOT_OK(FillTotal(q.id, &cells[c], pins[c], t.total, pools[c]));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Fills a whole single-select question at once, keeping choices disjoint.
+  Status FillSingleChoice(const Question& q, const std::vector<Target>& targets,
+                          const Pins& pins, const std::vector<int>& excluded) {
+    auto& cells = pop_.membership_[q.id];
+    std::vector<bool> taken(kParticipants, false);
+    for (int e : excluded) taken[e] = true;
+    for (size_t c = 0; c < targets.size(); ++c) {
+      for (int member : pins[c]) {
+        cells[c][member] = true;
+        taken[member] = true;
+      }
+    }
+    // Remaining demand per choice per group; fill from shuffled free members.
+    bool grouped = !targets.empty() && targets[0].r >= 0;
+    for (int group = 0; group < (grouped ? 2 : 1); ++group) {
+      bool researchers = group == 0;
+      std::vector<int> free;
+      for (int member : grouped ? GroupMembers(researchers)
+                                : Range(0, kParticipants - 1)) {
+        if (!taken[member]) free.push_back(member);
+      }
+      rng_.Shuffle(&free);
+      size_t cursor = 0;
+      for (size_t c = 0; c < targets.size(); ++c) {
+        int want = grouped ? (researchers ? targets[c].r : targets[c].p)
+                           : targets[c].total;
+        int have = 0;
+        for (int member : pins[c]) {
+          bool is_r = Population::IsResearcher(member);
+          if (!grouped || is_r == researchers) ++have;
+        }
+        int need = want - have;
+        if (need < 0) {
+          return Status::Invalid("over-pinned choice in question " + q.id);
+        }
+        for (int k = 0; k < need; ++k) {
+          if (cursor >= free.size()) {
+            return Status::Invalid("not enough respondents for question " + q.id);
+          }
+          cells[c][free[cursor++]] = true;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Adds members of one group to a choice until the group target is met.
+  Status FillGroup(const std::string& qid, std::vector<bool>* cell,
+                   const std::vector<int>& pinned, int target, bool researchers,
+                   const std::vector<int>& pool) {
+    int have = 0;
+    for (int member : pinned) {
+      if (Population::IsResearcher(member) == researchers) ++have;
+    }
+    if (have > target) {
+      return Status::Invalid("over-pinned group in question " + qid);
+    }
+    std::vector<int> candidates;
+    for (int member : pool.empty() ? GroupMembers(researchers) : pool) {
+      if (Population::IsResearcher(member) == researchers && !(*cell)[member]) {
+        candidates.push_back(member);
+      }
+    }
+    int need = target - have;
+    if (static_cast<int>(candidates.size()) < need) {
+      return Status::Invalid("not enough candidates for question " + qid);
+    }
+    rng_.Shuffle(&candidates);
+    for (int k = 0; k < need; ++k) (*cell)[candidates[k]] = true;
+    return Status::OK();
+  }
+
+  /// Total-only variant of FillGroup.
+  Status FillTotal(const std::string& qid, std::vector<bool>* cell,
+                   const std::vector<int>& pinned, int target,
+                   const std::vector<int>& pool) {
+    int have = static_cast<int>(pinned.size());
+    if (have > target) {
+      return Status::Invalid("over-pinned choice in question " + qid);
+    }
+    std::vector<int> candidates;
+    for (int member : pool.empty() ? Range(0, kParticipants - 1) : pool) {
+      if (!(*cell)[member]) candidates.push_back(member);
+    }
+    int need = target - have;
+    if (static_cast<int>(candidates.size()) < need) {
+      return Status::Invalid("not enough candidates for question " + qid);
+    }
+    rng_.Shuffle(&candidates);
+    for (int k = 0; k < need; ++k) (*cell)[candidates[k]] = true;
+    return Status::OK();
+  }
+
+  Population pop_;
+  Rng rng_;
+};
+
+Result<Population> Population::SynthesizeExact(uint64_t seed) {
+  PopulationBuilder builder(seed);
+  return builder.Build();
+}
+
+Population Population::SampleStochastic(uint64_t seed) {
+  Population pop;
+  Rng rng(seed);
+  const Questionnaire& questionnaire = Questionnaire::Standard();
+  for (const Question& q : questionnaire.questions()) {
+    std::vector<Target> targets = TargetsFor(q.id);
+    auto& cells = pop.membership_[q.id];
+    cells.assign(q.choices.size(), std::vector<bool>(kParticipants, false));
+    if (q.kind == QuestionKind::kMultiChoice) {
+      for (size_t c = 0; c < targets.size(); ++c) {
+        for (int member = 0; member < kParticipants; ++member) {
+          bool is_r = IsResearcher(member);
+          double prob;
+          if (targets[c].r >= 0) {
+            prob = is_r ? static_cast<double>(targets[c].r) / kResearchers
+                        : static_cast<double>(targets[c].p) / kPractitioners;
+          } else {
+            prob = static_cast<double>(targets[c].total) / kParticipants;
+          }
+          if (rng.NextBool(prob)) cells[c][member] = true;
+        }
+      }
+    } else {
+      for (int member = 0; member < kParticipants; ++member) {
+        bool is_r = IsResearcher(member);
+        std::vector<double> weights;
+        double used = 0.0;
+        for (const Target& t : targets) {
+          double prob;
+          if (t.r >= 0) {
+            prob = is_r ? static_cast<double>(t.r) / kResearchers
+                        : static_cast<double>(t.p) / kPractitioners;
+          } else {
+            prob = static_cast<double>(t.total) / kParticipants;
+          }
+          weights.push_back(prob);
+          used += prob;
+        }
+        weights.push_back(std::max(0.0, 1.0 - used));  // "skipped"
+        size_t pick = rng.SampleWeighted(weights);
+        if (pick < targets.size()) cells[pick][member] = true;
+      }
+    }
+  }
+  return pop;
+}
+
+bool Population::Selected(int respondent, const std::string& question_id,
+                          int choice) const {
+  auto it = membership_.find(question_id);
+  if (it == membership_.end()) return false;
+  if (choice < 0 || choice >= static_cast<int>(it->second.size())) return false;
+  if (respondent < 0 || respondent >= kParticipants) return false;
+  return it->second[choice][respondent];
+}
+
+std::vector<int> Population::Selections(int respondent,
+                                        const std::string& question_id) const {
+  std::vector<int> out;
+  auto it = membership_.find(question_id);
+  if (it == membership_.end()) return out;
+  for (size_t c = 0; c < it->second.size(); ++c) {
+    if (it->second[c][respondent]) out.push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+std::vector<ChoiceTally> Population::Tabulate(const std::string& question_id) const {
+  std::vector<ChoiceTally> out;
+  auto it = membership_.find(question_id);
+  if (it == membership_.end()) return out;
+  out.resize(it->second.size());
+  for (size_t c = 0; c < it->second.size(); ++c) {
+    for (int member = 0; member < kParticipants; ++member) {
+      if (!it->second[c][member]) continue;
+      ++out[c].total;
+      if (IsResearcher(member)) ++out[c].researchers;
+      else ++out[c].practitioners;
+    }
+  }
+  return out;
+}
+
+std::vector<int> Population::WhoSelected(const std::string& question_id,
+                                         int choice) const {
+  std::vector<int> out;
+  auto it = membership_.find(question_id);
+  if (it == membership_.end()) return out;
+  if (choice < 0 || choice >= static_cast<int>(it->second.size())) return out;
+  for (int member = 0; member < kParticipants; ++member) {
+    if (it->second[choice][member]) out.push_back(member);
+  }
+  return out;
+}
+
+Status Population::VerifyAgainstPaper() const {
+  const Questionnaire& questionnaire = Questionnaire::Standard();
+  for (const Question& q : questionnaire.questions()) {
+    std::vector<Target> targets = TargetsFor(q.id);
+    std::vector<ChoiceTally> tally = Tabulate(q.id);
+    if (tally.size() != targets.size()) {
+      return Status::Invalid("question " + q.id + " missing from population");
+    }
+    for (size_t c = 0; c < targets.size(); ++c) {
+      if (tally[c].total != targets[c].total) {
+        return Status::Invalid(
+            "question " + q.id + " choice '" + q.choices[c] + "': total " +
+            std::to_string(tally[c].total) + " != paper " +
+            std::to_string(targets[c].total));
+      }
+      if (targets[c].r >= 0 && (tally[c].researchers != targets[c].r ||
+                                tally[c].practitioners != targets[c].p)) {
+        return Status::Invalid("question " + q.id + " choice '" + q.choices[c] +
+                               "': R/P split mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,67 @@
+// Synthetic respondent population calibrated to the paper's published
+// marginals. Two modes:
+//
+//  * Exact: a deterministic constraint-satisfying assignment in which every
+//    (question, choice, group) cell matches the paper count exactly,
+//    including the paper's stated joint constraints (Table 6's org sizes of
+//    >1B-edge participants; §5.2's "29 of 45 distributed users have >100M
+//    edges").
+//  * Stochastic: every respondent answers independently with the empirical
+//    probabilities, for goodness-of-fit experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "survey/paper_data.h"
+#include "survey/schema.h"
+
+namespace ubigraph::survey {
+
+/// Per-choice tabulated counts.
+struct ChoiceTally {
+  int total = 0;
+  int researchers = 0;
+  int practitioners = 0;
+};
+
+class Population {
+ public:
+  /// Builds the exact calibrated population. Fails if the paper constraints
+  /// were infeasible (which would indicate a data-entry bug).
+  static Result<Population> SynthesizeExact(uint64_t seed = 17);
+
+  /// Samples a population of the same shape with independent Bernoulli /
+  /// categorical draws at the empirical rates.
+  static Population SampleStochastic(uint64_t seed);
+
+  int num_respondents() const { return kParticipants; }
+  static bool IsResearcher(int respondent) { return respondent < kResearchers; }
+
+  /// Whether `respondent` selected `choice` of question `question_id`.
+  bool Selected(int respondent, const std::string& question_id, int choice) const;
+
+  /// Choice indices selected by a respondent (empty = skipped the question).
+  std::vector<int> Selections(int respondent, const std::string& question_id) const;
+
+  /// Counts per choice for a question.
+  std::vector<ChoiceTally> Tabulate(const std::string& question_id) const;
+
+  /// Respondents having selected a given choice.
+  std::vector<int> WhoSelected(const std::string& question_id, int choice) const;
+
+  /// Verifies every cell against the paper's counts; returns the first
+  /// mismatch as an error. Used by tests and SynthesizeExact itself.
+  Status VerifyAgainstPaper() const;
+
+ private:
+  // membership_[question_id][choice] = 89 bools.
+  std::unordered_map<std::string, std::vector<std::vector<bool>>> membership_;
+
+  friend class PopulationBuilder;
+};
+
+}  // namespace ubigraph::survey

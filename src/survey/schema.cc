@@ -1,0 +1,124 @@
+#include "survey/schema.h"
+
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+
+namespace {
+
+template <typename Row>
+std::vector<std::string> Labels(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.emplace_back(r.label);
+  return out;
+}
+
+Questionnaire Build() {
+  auto add = [](std::vector<Question>* qs, std::string id, std::string text,
+                QuestionKind kind, QuestionCategory cat,
+                std::vector<std::string> choices) {
+    qs->push_back(Question{std::move(id), std::move(text), kind, cat,
+                           std::move(choices)});
+  };
+  std::vector<Question> qs;
+
+  add(&qs, "fields", "Which field(s) do you work in?", QuestionKind::kMultiChoice,
+      QuestionCategory::kDemographics, Labels(Table2Fields()));
+  add(&qs, "org_size", "How large is your organization?",
+      QuestionKind::kSingleChoice, QuestionCategory::kDemographics,
+      Labels(Table3OrgSizes()));
+  add(&qs, "entities", "What real-world entities do your graphs represent?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table4Entities()));
+  add(&qs, "vertices", "How many vertices do your graphs have?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table5aVertices()));
+  add(&qs, "edges", "How many edges do your graphs have?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table5bEdges()));
+  add(&qs, "bytes", "What is the total uncompressed size of your graphs?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table5cBytes()));
+  add(&qs, "directedness", "Are your graphs directed or undirected?",
+      QuestionKind::kSingleChoice, QuestionCategory::kDatasets,
+      Labels(Table7aDirectedness()));
+  add(&qs, "multiplicity", "Are your graphs simple graphs or multigraphs?",
+      QuestionKind::kSingleChoice, QuestionCategory::kDatasets,
+      Labels(Table7bMultiplicity()));
+  add(&qs, "vertex_data_types", "What data do you store on vertices?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table7cVertexDataTypes()));
+  add(&qs, "edge_data_types", "What data do you store on edges?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table7cEdgeDataTypes()));
+  add(&qs, "dynamism", "How frequently do your graphs change?",
+      QuestionKind::kMultiChoice, QuestionCategory::kDatasets,
+      Labels(Table8Dynamism()));
+  add(&qs, "computations", "Which graph computations do you run?",
+      QuestionKind::kMultiChoice, QuestionCategory::kComputations,
+      Labels(Table9Computations()));
+  add(&qs, "ml_computations",
+      "Which machine learning computations do you run on your graphs?",
+      QuestionKind::kMultiChoice, QuestionCategory::kComputations,
+      Labels(Table10aMlComputations()));
+  add(&qs, "ml_problems",
+      "Which problems commonly solved with ML do you solve using graphs?",
+      QuestionKind::kMultiChoice, QuestionCategory::kComputations,
+      Labels(Table10bMlProblems()));
+  add(&qs, "traversals", "Which fundamental traversals do you use?",
+      QuestionKind::kSingleChoice, QuestionCategory::kComputations,
+      Labels(Table11Traversals()));
+  add(&qs, "query_software",
+      "Which types of graph software do you use to query your graphs?",
+      QuestionKind::kMultiChoice, QuestionCategory::kSoftware,
+      Labels(Table12QuerySoftware()));
+  add(&qs, "nonquery_software",
+      "Which types of graph software do you use for non-query tasks?",
+      QuestionKind::kMultiChoice, QuestionCategory::kSoftware,
+      Labels(Table13NonQuerySoftware()));
+  add(&qs, "architectures",
+      "What are the architectures of the software you use?",
+      QuestionKind::kMultiChoice, QuestionCategory::kSoftware,
+      Labels(Table14Architectures()));
+  add(&qs, "challenges", "What are your top 3 graph processing challenges?",
+      QuestionKind::kMultiChoice, QuestionCategory::kWorkloadAndChallenges,
+      Labels(Table15Challenges()));
+  for (const WorkloadRow& row : Table16Workload()) {
+    add(&qs, std::string("workload_") + row.task,
+        std::string("How many hours per week do you spend on ") + row.task + "?",
+        QuestionKind::kSingleChoice, QuestionCategory::kWorkloadAndChallenges,
+        {"0 - 5 hours", "5 - 10 hours", ">10 hours"});
+  }
+  add(&qs, "storage_formats",
+      "Which storage formats do you keep your graphs in?",
+      QuestionKind::kMultiChoice, QuestionCategory::kSoftware,
+      Labels(Table17StorageFormats()));
+
+  return Questionnaire(std::move(qs));
+}
+
+}  // namespace
+
+const Questionnaire& Questionnaire::Standard() {
+  static const Questionnaire kStandard = Build();
+  return kStandard;
+}
+
+Result<const Question*> Questionnaire::Find(const std::string& id) const {
+  for (const Question& q : questions_) {
+    if (q.id == id) return &q;
+  }
+  return Status::NotFound("no question with id '" + id + "'");
+}
+
+std::vector<const Question*> Questionnaire::InCategory(
+    QuestionCategory category) const {
+  std::vector<const Question*> out;
+  for (const Question& q : questions_) {
+    if (q.category == category) out.push_back(&q);
+  }
+  return out;
+}
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,56 @@
+// Questionnaire schema: the survey's questions (grouped into the paper's five
+// categories), each with its choice list and selection semantics. Choice
+// labels are taken verbatim from paper_data.h so the tabulator and the
+// calibration targets always agree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ubigraph::survey {
+
+enum class QuestionKind {
+  kSingleChoice,  // at most one choice per respondent (optional)
+  kMultiChoice,   // any subset of choices
+};
+
+enum class QuestionCategory {
+  kDemographics,
+  kDatasets,
+  kComputations,
+  kSoftware,
+  kWorkloadAndChallenges,
+};
+
+struct Question {
+  std::string id;      // stable key, e.g. "edges", "computations"
+  std::string text;    // the survey prompt
+  QuestionKind kind = QuestionKind::kMultiChoice;
+  QuestionCategory category = QuestionCategory::kDatasets;
+  std::vector<std::string> choices;
+};
+
+/// The full questionnaire (every question whose marginals the paper reports).
+class Questionnaire {
+ public:
+  Questionnaire() = default;
+  explicit Questionnaire(std::vector<Question> questions)
+      : questions_(std::move(questions)) {}
+
+  /// Builds the standard 2017-survey questionnaire.
+  static const Questionnaire& Standard();
+
+  const std::vector<Question>& questions() const { return questions_; }
+  Result<const Question*> Find(const std::string& id) const;
+  size_t size() const { return questions_.size(); }
+
+  /// Questions in a category.
+  std::vector<const Question*> InCategory(QuestionCategory category) const;
+
+ private:
+  std::vector<Question> questions_;
+};
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,162 @@
+#include "survey/tabulate.h"
+
+#include <algorithm>
+
+#include "survey/schema.h"
+
+namespace ubigraph::survey {
+
+namespace {
+
+/// Targets for a question, as (total, r, p); r = -1 means total-only.
+struct Target {
+  int total;
+  int r;
+  int p;
+};
+
+std::vector<Target> PaperRowsFor(const std::string& id) {
+  auto from_rows = [](const std::vector<CountRow>& rows) {
+    std::vector<Target> out;
+    for (const CountRow& row : rows) out.push_back({row.total, row.r, row.p});
+    return out;
+  };
+  if (id == "fields") return from_rows(Table2Fields());
+  if (id == "org_size") return from_rows(Table3OrgSizes());
+  if (id == "entities") return from_rows(Table4Entities());
+  if (id == "vertices") return from_rows(Table5aVertices());
+  if (id == "edges") return from_rows(Table5bEdges());
+  if (id == "bytes") return from_rows(Table5cBytes());
+  if (id == "directedness") return from_rows(Table7aDirectedness());
+  if (id == "multiplicity") return from_rows(Table7bMultiplicity());
+  if (id == "vertex_data_types") return from_rows(Table7cVertexDataTypes());
+  if (id == "edge_data_types") return from_rows(Table7cEdgeDataTypes());
+  if (id == "dynamism") return from_rows(Table8Dynamism());
+  if (id == "computations") return from_rows(Table9Computations());
+  if (id == "ml_computations") return from_rows(Table10aMlComputations());
+  if (id == "ml_problems") return from_rows(Table10bMlProblems());
+  if (id == "traversals") return from_rows(Table11Traversals());
+  if (id == "query_software") return from_rows(Table12QuerySoftware());
+  if (id == "nonquery_software") return from_rows(Table13NonQuerySoftware());
+  if (id == "architectures") return from_rows(Table14Architectures());
+  if (id == "challenges") return from_rows(Table15Challenges());
+  if (id.rfind("workload_", 0) == 0) {
+    for (const WorkloadRow& row : Table16Workload()) {
+      if (id == std::string("workload_") + row.task) {
+        return {{row.hours_0_5, -1, -1},
+                {row.hours_5_10, -1, -1},
+                {row.hours_over_10, -1, -1}};
+      }
+    }
+  }
+  if (id == "storage_formats") {
+    std::vector<Target> out;
+    for (const SimpleRow& row : Table17StorageFormats()) {
+      out.push_back({row.count, -1, -1});
+    }
+    return out;
+  }
+  return {};
+}
+
+}  // namespace
+
+bool Comparison::AllMatch() const {
+  for (const ComparisonRow& row : rows) {
+    if (row.paper_total != row.repro_total) return false;
+    if (row.grouped &&
+        (row.paper_r != row.repro_r || row.paper_p != row.repro_p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Comparison::Render() const {
+  bool grouped = !rows.empty() && rows[0].grouped;
+  std::vector<std::string> header{"Choice", "Paper"};
+  if (grouped) {
+    header.insert(header.end(), {"Paper R", "Paper P"});
+  }
+  header.push_back("Repro");
+  if (grouped) {
+    header.insert(header.end(), {"Repro R", "Repro P"});
+  }
+  header.push_back("Match");
+  TextTable table(header);
+  for (const ComparisonRow& row : rows) {
+    std::vector<std::string> cells{row.label, std::to_string(row.paper_total)};
+    if (grouped) {
+      cells.push_back(std::to_string(row.paper_r));
+      cells.push_back(std::to_string(row.paper_p));
+    }
+    cells.push_back(std::to_string(row.repro_total));
+    if (grouped) {
+      cells.push_back(std::to_string(row.repro_r));
+      cells.push_back(std::to_string(row.repro_p));
+    }
+    bool match = row.paper_total == row.repro_total &&
+                 (!row.grouped || (row.paper_r == row.repro_r &&
+                                   row.paper_p == row.repro_p));
+    cells.push_back(match ? "yes" : "NO");
+    table.AddRow(std::move(cells));
+  }
+  std::string out = title + "\n" + table.RenderAscii();
+  out += AllMatch() ? "RESULT: all rows match the paper\n"
+                    : "RESULT: MISMATCH against the paper\n";
+  return out;
+}
+
+Comparison CompareQuestion(const Population& population,
+                           const std::string& question_id,
+                           const std::string& title) {
+  Comparison cmp;
+  cmp.title = title;
+  const Questionnaire& questionnaire = Questionnaire::Standard();
+  auto question = questionnaire.Find(question_id);
+  if (!question.ok()) return cmp;
+  std::vector<Target> paper = PaperRowsFor(question_id);
+  std::vector<ChoiceTally> tally = population.Tabulate(question_id);
+  for (size_t c = 0; c < paper.size() && c < tally.size(); ++c) {
+    ComparisonRow row;
+    row.label = (*question)->choices[c];
+    row.paper_total = paper[c].total;
+    row.paper_r = paper[c].r;
+    row.paper_p = paper[c].p;
+    row.repro_total = tally[c].total;
+    row.repro_r = tally[c].researchers;
+    row.repro_p = tally[c].practitioners;
+    row.grouped = paper[c].r >= 0;
+    cmp.rows.push_back(std::move(row));
+  }
+  return cmp;
+}
+
+std::vector<SimpleRow> DeriveBillionEdgeOrgSizes(const Population& population) {
+  // Edge choice 6 is ">1B"; org_size choices are Table 3's five bands.
+  static const char* kSizeLabels[] = {"1 - 10", "10 - 100", "100 - 1000",
+                                      "1000 - 10000", ">10000"};
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int who : population.WhoSelected("edges", 6)) {
+    std::vector<int> sizes = population.Selections(who, "org_size");
+    for (int s : sizes) ++counts[s];
+  }
+  std::vector<SimpleRow> out;
+  for (int c = 0; c < 5; ++c) {
+    if (counts[c] > 0) out.push_back({kSizeLabels[c], counts[c]});
+  }
+  return out;
+}
+
+int DeriveDistributedWithOver100M(const Population& population) {
+  int count = 0;
+  for (int who : population.WhoSelected("architectures", 2)) {
+    if (population.Selected(who, "edges", 5) ||
+        population.Selected(who, "edges", 6)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,49 @@
+// Renders paper-vs-reproduced comparison tables for the bench binaries and
+// produces the survey's summary tables from a Population.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "survey/paper_data.h"
+#include "survey/population.h"
+
+namespace ubigraph::survey {
+
+/// One comparison row: a choice with paper and reproduced counts.
+struct ComparisonRow {
+  std::string label;
+  int paper_total;
+  int paper_r;
+  int paper_p;
+  int repro_total;
+  int repro_r;
+  int repro_p;
+  bool grouped;  // false: R/P columns not applicable
+};
+
+struct Comparison {
+  std::string title;
+  std::vector<ComparisonRow> rows;
+
+  bool AllMatch() const;
+  /// "Table 5b — edges" style ASCII rendering with a per-row match mark.
+  std::string Render() const;
+};
+
+/// Builds the comparison of a question's tabulation against the paper rows.
+Comparison CompareQuestion(const Population& population,
+                           const std::string& question_id,
+                           const std::string& title);
+
+/// Derived-table helpers used by specific bench binaries.
+
+/// Table 6: org-size distribution of respondents with >1B-edge graphs.
+std::vector<SimpleRow> DeriveBillionEdgeOrgSizes(const Population& population);
+
+/// §5.2 joint fact: of those selecting "Distributed", how many have >100M
+/// edges (union of the two top edge bands).
+int DeriveDistributedWithOver100M(const Population& population);
+
+}  // namespace ubigraph::survey

@@ -1,0 +1,83 @@
+#include "viz/coarsen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ubigraph::viz {
+
+Result<CoarsenedGraph> CoarsenByGroups(const CsrGraph& g,
+                                       const std::vector<uint32_t>& group,
+                                       uint32_t num_groups) {
+  if (group.size() != g.num_vertices()) {
+    return Status::Invalid("group assignment size mismatch");
+  }
+  for (uint32_t x : group) {
+    if (x >= num_groups) return Status::Invalid("group id out of range");
+  }
+  CoarsenedGraph out;
+  out.group_of = group;
+  out.group_sizes.assign(num_groups, 0);
+  for (uint32_t x : group) ++out.group_sizes[x];
+
+  std::unordered_map<uint64_t, double> agg;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      uint32_t cu = group[u], cv = group[v];
+      if (cu == cv) continue;
+      agg[(static_cast<uint64_t>(cu) << 32) | cv] += 1.0;
+    }
+  }
+  EdgeList el(num_groups);
+  el.Reserve(agg.size());
+  out.edge_multiplicity.reserve(agg.size());
+  for (const auto& [key, mult] : agg) {
+    el.Add(static_cast<VertexId>(key >> 32),
+           static_cast<VertexId>(key & 0xFFFFFFFFu), mult);
+  }
+  el.EnsureVertices(num_groups);
+  CsrOptions opts;
+  opts.directed = g.directed();
+  UG_ASSIGN_OR_RETURN(out.graph, CsrGraph::FromEdges(std::move(el), opts));
+  // CSR construction sorts adjacency; regenerate multiplicities in CSR order.
+  for (VertexId u = 0; u < out.graph.num_vertices(); ++u) {
+    for (double w : out.graph.OutWeights(u)) out.edge_multiplicity.push_back(w);
+  }
+  return out;
+}
+
+Result<SampledGraph> SampleTopDegree(const CsrGraph& g, VertexId max_vertices) {
+  if (max_vertices == 0) return Status::Invalid("max_vertices must be positive");
+  SampledGraph out;
+  std::vector<VertexId> verts(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) verts[v] = v;
+  VertexId keep = std::min<VertexId>(max_vertices, g.num_vertices());
+  std::partial_sort(verts.begin(), verts.begin() + keep, verts.end(),
+                    [&](VertexId a, VertexId b) {
+                      if (g.OutDegree(a) != g.OutDegree(b)) {
+                        return g.OutDegree(a) > g.OutDegree(b);
+                      }
+                      return a < b;
+                    });
+  verts.resize(keep);
+  std::sort(verts.begin(), verts.end());
+  out.original_id = verts;
+  std::unordered_map<VertexId, VertexId> remap;
+  for (VertexId i = 0; i < verts.size(); ++i) remap[verts[i]] = i;
+
+  EdgeList el(keep);
+  for (VertexId u : verts) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      auto it = remap.find(nbrs[i]);
+      if (it != remap.end()) el.Add(remap[u], it->second, ws[i]);
+    }
+  }
+  el.EnsureVertices(keep);
+  CsrOptions opts;
+  opts.directed = g.directed();
+  UG_ASSIGN_OR_RETURN(out.graph, CsrGraph::FromEdges(std::move(el), opts));
+  return out;
+}
+
+}  // namespace ubigraph::viz

@@ -1,0 +1,35 @@
+// Large-graph visualization support (§6.2: "rendering large graphs with
+// thousands or even millions of vertices"): coarsen by community, or sample
+// the highest-degree core, so huge graphs become drawable summaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::viz {
+
+struct CoarsenedGraph {
+  CsrGraph graph;                         // one vertex per group
+  std::vector<uint32_t> group_of;         // original vertex -> coarse vertex
+  std::vector<uint64_t> group_sizes;      // members per coarse vertex
+  std::vector<double> edge_multiplicity;  // parallel original edges per coarse edge
+};
+
+/// Collapses each group (e.g. a community assignment) to one vertex; edge
+/// weights accumulate crossing-edge multiplicities. Self-group edges dropped.
+Result<CoarsenedGraph> CoarsenByGroups(const CsrGraph& g,
+                                       const std::vector<uint32_t>& group,
+                                       uint32_t num_groups);
+
+/// Keeps only the `max_vertices` highest-degree vertices and the edges among
+/// them (the "ego skeleton" view), remapping to dense ids.
+struct SampledGraph {
+  CsrGraph graph;
+  std::vector<VertexId> original_id;  // sampled vertex -> original id
+};
+Result<SampledGraph> SampleTopDegree(const CsrGraph& g, VertexId max_vertices);
+
+}  // namespace ubigraph::viz

@@ -1,0 +1,78 @@
+#include "viz/dot_export.h"
+
+#include "common/strings.h"
+
+namespace ubigraph::viz {
+
+namespace {
+
+std::string DotQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string RenderDot(const CsrGraph& g, const DotOptions& options) {
+  std::string out;
+  out += g.directed() ? "digraph " : "graph ";
+  out += DotQuote(options.graph_name) + " {\n";
+  const char* arrow = g.directed() ? " -> " : " -- ";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool has_label = v < options.vertex_labels.size() &&
+                     !options.vertex_labels[v].empty();
+    bool has_color = v < options.vertex_colors.size() &&
+                     !options.vertex_colors[v].empty();
+    if (has_label || has_color) {
+      out += "  " + std::to_string(v) + " [";
+      if (has_label) out += "label=" + DotQuote(options.vertex_labels[v]);
+      if (has_label && has_color) out += ", ";
+      if (has_color) {
+        out += "style=filled, fillcolor=" + DotQuote(options.vertex_colors[v]);
+      }
+      out += "];\n";
+    }
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      VertexId v = nbrs[i];
+      if (!g.directed() && v < u) continue;
+      out += "  " + std::to_string(u) + arrow + std::to_string(v);
+      if (options.include_weights) {
+        out += " [label=" + DotQuote(FormatDouble(ws[i])) + "]";
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderPropertyGraphDot(const PropertyGraph& g,
+                                   const std::string& label_key) {
+  std::string out = "digraph G {\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    PropertyValue name = g.GetVertexProperty(v, label_key);
+    std::string label = g.VertexLabel(v);
+    if (std::holds_alternative<std::string>(name)) {
+      label += ": " + std::get<std::string>(name);
+    }
+    out += "  " + std::to_string(v) + " [label=" + DotQuote(label) + "];\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out += "  " + std::to_string(g.EdgeSrc(e)) + " -> " +
+           std::to_string(g.EdgeDst(e)) + " [label=" + DotQuote(g.EdgeType(e)) +
+           "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ubigraph::viz

@@ -1,0 +1,29 @@
+// Graphviz DOT export (Graphviz is one of the surveyed visualization tools;
+// DOT is the interchange format its users requested most).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/property_graph.h"
+
+namespace ubigraph::viz {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  bool include_weights = false;
+  /// Optional per-vertex labels / colors (empty = defaults).
+  std::vector<std::string> vertex_labels;
+  std::vector<std::string> vertex_colors;
+};
+
+/// Renders a CSR graph as DOT (digraph or graph per g.directed()).
+std::string RenderDot(const CsrGraph& g, const DotOptions& options = {});
+
+/// Renders a property graph as DOT with labels from the given property key
+/// (falls back to the vertex label).
+std::string RenderPropertyGraphDot(const PropertyGraph& g,
+                                   const std::string& label_key = "name");
+
+}  // namespace ubigraph::viz

@@ -1,0 +1,278 @@
+#include "viz/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/connected_components.h"
+
+namespace ubigraph::viz {
+
+namespace {
+
+void NormalizeToUnitSquare(Layout* layout) {
+  if (layout->empty()) return;
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (const Point& p : *layout) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  double span_x = max_x - min_x, span_y = max_y - min_y;
+  for (Point& p : *layout) {
+    p.x = span_x > 0 ? (p.x - min_x) / span_x : 0.5;
+    p.y = span_y > 0 ? (p.y - min_y) / span_y : 0.5;
+  }
+}
+
+}  // namespace
+
+Layout ForceDirectedLayout(const CsrGraph& g, ForceLayoutOptions options) {
+  const VertexId n = g.num_vertices();
+  Layout pos(n);
+  if (n == 0) return pos;
+  Rng rng(options.seed);
+  for (Point& p : pos) {
+    p.x = rng.NextDouble();
+    p.y = rng.NextDouble();
+  }
+  if (n == 1) {
+    pos[0] = {0.5, 0.5};
+    return pos;
+  }
+
+  // Undirected unique edges.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+      else if (v < u && !g.HasEdge(v, u)) edges.emplace_back(v, u);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const double k = std::sqrt(1.0 / static_cast<double>(n));  // ideal distance
+  std::vector<Point> disp(n);
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    double temperature = options.initial_temperature *
+                         (1.0 - static_cast<double>(iter) / options.iterations);
+    for (Point& d : disp) d = {0.0, 0.0};
+    // Repulsive forces: O(n^2) exact — fine for layout-scale graphs.
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        double dx = pos[i].x - pos[j].x;
+        double dy = pos[i].y - pos[j].y;
+        double dist2 = dx * dx + dy * dy;
+        double dist = std::sqrt(dist2);
+        if (dist < 1e-9) {
+          dx = 1e-4 * ((i * 2654435761u) % 17 - 8);
+          dy = 1e-4 * ((j * 2654435761u) % 19 - 9);
+          dist = std::sqrt(dx * dx + dy * dy);
+          if (dist < 1e-12) {
+            dx = 1e-4;
+            dist = 1e-4;
+          }
+        }
+        double force = k * k / dist;
+        double fx = dx / dist * force;
+        double fy = dy / dist * force;
+        disp[i].x += fx;
+        disp[i].y += fy;
+        disp[j].x -= fx;
+        disp[j].y -= fy;
+      }
+    }
+    // Attractive forces along edges.
+    for (const auto& [u, v] : edges) {
+      double dx = pos[u].x - pos[v].x;
+      double dy = pos[u].y - pos[v].y;
+      double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist < 1e-9) continue;
+      double force = dist * dist / k;
+      double fx = dx / dist * force;
+      double fy = dy / dist * force;
+      disp[u].x -= fx;
+      disp[u].y -= fy;
+      disp[v].x += fx;
+      disp[v].y += fy;
+    }
+    // Apply, limited by temperature.
+    for (VertexId v = 0; v < n; ++v) {
+      double len = std::sqrt(disp[v].x * disp[v].x + disp[v].y * disp[v].y);
+      if (len < 1e-12) continue;
+      double capped = std::min(len, temperature);
+      pos[v].x += disp[v].x / len * capped;
+      pos[v].y += disp[v].y / len * capped;
+    }
+  }
+  NormalizeToUnitSquare(&pos);
+  return pos;
+}
+
+Layout CircularLayout(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  Layout pos(n);
+  for (VertexId v = 0; v < n; ++v) {
+    double angle = 2.0 * M_PI * static_cast<double>(v) / std::max<VertexId>(n, 1);
+    pos[v].x = 0.5 + 0.5 * std::cos(angle);
+    pos[v].y = 0.5 + 0.5 * std::sin(angle);
+  }
+  return pos;
+}
+
+Layout HierarchicalLayout(const CsrGraph& g, uint32_t barycenter_sweeps) {
+  const VertexId n = g.num_vertices();
+  Layout pos(n);
+  if (n == 0) return pos;
+
+  // Layer = longest path depth over the SCC condensation.
+  algo::ComponentResult scc = algo::StronglyConnectedComponents(g);
+  const uint32_t k = scc.num_components;
+  // Condensation adjacency. Tarjan labels are reverse-topological: an edge
+  // goes from a higher label to a lower one, so process components in
+  // descending label order for longest-path.
+  std::vector<std::vector<uint32_t>> dag(k);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (scc.label[u] != scc.label[v]) dag[scc.label[u]].push_back(scc.label[v]);
+    }
+  }
+  std::vector<uint32_t> layer_of_comp(k, 0);
+  for (uint32_t c = 0; c < k; ++c) {
+    // Tarjan labels are reverse-topological: every successor of c has a
+    // smaller label and is already assigned. layer = max(successors) + 1.
+    uint32_t layer = 0;
+    for (uint32_t succ : dag[c]) {
+      layer = std::max(layer, layer_of_comp[succ] + 1);
+    }
+    layer_of_comp[c] = layer;
+  }
+  uint32_t max_layer = 0;
+  std::vector<uint32_t> layer(n);
+  for (VertexId v = 0; v < n; ++v) {
+    layer[v] = layer_of_comp[scc.label[v]];
+    max_layer = std::max(max_layer, layer[v]);
+  }
+  // Flip so sources are at the top (layer 0).
+  for (VertexId v = 0; v < n; ++v) layer[v] = max_layer - layer[v];
+
+  // Group vertices per layer.
+  std::vector<std::vector<VertexId>> layers(max_layer + 1);
+  for (VertexId v = 0; v < n; ++v) layers[layer[v]].push_back(v);
+
+  // Barycenter ordering sweeps to reduce crossings.
+  std::vector<double> order_pos(n);
+  for (const auto& l : layers) {
+    for (size_t i = 0; i < l.size(); ++i) order_pos[l[i]] = static_cast<double>(i);
+  }
+  // Undirected adjacency for barycenters.
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  for (uint32_t sweep = 0; sweep < barycenter_sweeps; ++sweep) {
+    for (auto& l : layers) {
+      std::vector<std::pair<double, VertexId>> keyed;
+      keyed.reserve(l.size());
+      for (VertexId v : l) {
+        double sum = 0.0;
+        uint32_t cnt = 0;
+        for (VertexId u : adj[v]) {
+          if (layer[u] != layer[v]) {
+            sum += order_pos[u];
+            ++cnt;
+          }
+        }
+        keyed.emplace_back(cnt ? sum / cnt : order_pos[v], v);
+      }
+      std::stable_sort(keyed.begin(), keyed.end());
+      for (size_t i = 0; i < keyed.size(); ++i) {
+        l[i] = keyed[i].second;
+        order_pos[l[i]] = static_cast<double>(i);
+      }
+    }
+  }
+
+  for (uint32_t li = 0; li <= max_layer; ++li) {
+    const auto& l = layers[li];
+    double y = max_layer == 0 ? 0.5
+                              : static_cast<double>(li) / max_layer;
+    for (size_t i = 0; i < l.size(); ++i) {
+      double x = l.size() == 1 ? 0.5
+                               : static_cast<double>(i) / (l.size() - 1);
+      pos[l[i]] = {x, y};
+    }
+  }
+  return pos;
+}
+
+Layout GridLayout(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  Layout pos(n);
+  if (n == 0) return pos;
+  uint32_t cols = static_cast<uint32_t>(std::ceil(std::sqrt(n)));
+  uint32_t rows = (n + cols - 1) / cols;
+  for (VertexId v = 0; v < n; ++v) {
+    uint32_t r = v / cols, c = v % cols;
+    pos[v].x = cols == 1 ? 0.5 : static_cast<double>(c) / (cols - 1);
+    pos[v].y = rows == 1 ? 0.5 : static_cast<double>(r) / (rows - 1);
+  }
+  return pos;
+}
+
+namespace {
+
+/// Proper segment intersection (shared endpoints do not count).
+bool SegmentsCross(Point a, Point b, Point c, Point d) {
+  auto orient = [](Point p, Point q, Point r) {
+    double v = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+    if (v > 1e-12) return 1;
+    if (v < -1e-12) return -1;
+    return 0;
+  };
+  int o1 = orient(a, b, c), o2 = orient(a, b, d);
+  int o3 = orient(c, d, a), o4 = orient(c, d, b);
+  return o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0;
+}
+
+}  // namespace
+
+uint64_t CountEdgeCrossings(const CsrGraph& g, const Layout& layout) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  uint64_t crossings = 0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      auto [a, b] = edges[i];
+      auto [c, d] = edges[j];
+      if (a == c || a == d || b == c || b == d) continue;  // share an endpoint
+      if (SegmentsCross(layout[a], layout[b], layout[c], layout[d])) ++crossings;
+    }
+  }
+  return crossings;
+}
+
+double MeanEdgeLength(const CsrGraph& g, const Layout& layout) {
+  double total = 0.0;
+  uint64_t count = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      double dx = layout[u].x - layout[v].x;
+      double dy = layout[u].y - layout[v].y;
+      total += std::sqrt(dx * dx + dy * dy);
+      ++count;
+    }
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace ubigraph::viz

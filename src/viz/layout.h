@@ -1,0 +1,52 @@
+// Graph layout algorithms (visualization was the survey's #2 challenge and
+// most popular non-query task). Force-directed (Fruchterman-Reingold),
+// circular, layered hierarchical (the §6.2 "hierarchical graphs" request),
+// and grid layouts, producing unit-square coordinates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph::viz {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+using Layout = std::vector<Point>;  // one point per vertex, in [0, 1]^2
+
+struct ForceLayoutOptions {
+  uint32_t iterations = 100;
+  /// Initial temperature as a fraction of the frame (cooled linearly).
+  double initial_temperature = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Fruchterman-Reingold force-directed layout over the undirected view.
+Layout ForceDirectedLayout(const CsrGraph& g, ForceLayoutOptions options = {});
+
+/// Vertices evenly spaced on a circle (in vertex-id order).
+Layout CircularLayout(const CsrGraph& g);
+
+/// Layered (Sugiyama-lite) layout for DAG-ish graphs: longest-path layering
+/// over the condensation, then iterative barycenter ordering within layers to
+/// reduce crossings. Works on any directed graph (cycles collapse to one
+/// layer assignment via SCC condensation).
+Layout HierarchicalLayout(const CsrGraph& g, uint32_t barycenter_sweeps = 4);
+
+/// Row-major grid placement (ceil(sqrt(n)) columns).
+Layout GridLayout(const CsrGraph& g);
+
+/// Counts pairwise edge crossings of a straight-line drawing — the quality
+/// metric used by the layout tests/benches. O(E^2); small graphs only.
+uint64_t CountEdgeCrossings(const CsrGraph& g, const Layout& layout);
+
+/// Mean edge length of the drawing.
+double MeanEdgeLength(const CsrGraph& g, const Layout& layout);
+
+}  // namespace ubigraph::viz

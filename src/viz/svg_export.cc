@@ -1,0 +1,97 @@
+#include "viz/svg_export.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ubigraph::viz {
+
+std::string RenderSvg(const CsrGraph& g, const Layout& layout,
+                      const SvgStyle& style) {
+  auto sx = [&](double x) {
+    return style.margin + x * (style.width - 2 * style.margin);
+  };
+  auto sy = [&](double y) {
+    return style.margin + y * (style.height - 2 * style.margin);
+  };
+
+  std::string out;
+  out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         FormatDouble(style.width) + "\" height=\"" + FormatDouble(style.height) +
+         "\" viewBox=\"0 0 " + FormatDouble(style.width) + " " +
+         FormatDouble(style.height) + "\">\n";
+  if (style.draw_arrowheads) {
+    out +=
+        "  <defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"10\" "
+        "refY=\"5\" markerWidth=\"6\" markerHeight=\"6\" orient=\"auto\">"
+        "<path d=\"M 0 0 L 10 5 L 0 10 z\" fill=\"" +
+        style.edge_stroke + "\"/></marker></defs>\n";
+  }
+
+  out += "  <g stroke=\"" + style.edge_stroke + "\" stroke-width=\"" +
+         FormatDouble(style.edge_width) + "\">\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (!g.directed() && v < u) continue;  // draw undirected edges once
+      double x1 = sx(layout[u].x), y1 = sy(layout[u].y);
+      double x2 = sx(layout[v].x), y2 = sy(layout[v].y);
+      if (style.draw_arrowheads) {
+        // Shorten the line so the arrowhead lands on the vertex boundary.
+        double dx = x2 - x1, dy = y2 - y1;
+        double len = std::sqrt(dx * dx + dy * dy);
+        double r = style.vertex_radius;
+        if (len > r) {
+          x2 -= dx / len * r;
+          y2 -= dy / len * r;
+        }
+      }
+      out += "    <line x1=\"" + FormatDouble(x1) + "\" y1=\"" + FormatDouble(y1) +
+             "\" x2=\"" + FormatDouble(x2) + "\" y2=\"" + FormatDouble(y2) + "\"";
+      if (style.draw_arrowheads) out += " marker-end=\"url(#arrow)\"";
+      out += "/>\n";
+    }
+  }
+  out += "  </g>\n";
+
+  out += "  <g>\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::string& fill = v < style.vertex_colors.size() &&
+                                      !style.vertex_colors[v].empty()
+                                  ? style.vertex_colors[v]
+                                  : style.vertex_fill;
+    double radius = v < style.vertex_radii.size() && style.vertex_radii[v] > 0
+                        ? style.vertex_radii[v]
+                        : style.vertex_radius;
+    out += "    <circle cx=\"" + FormatDouble(sx(layout[v].x)) + "\" cy=\"" +
+           FormatDouble(sy(layout[v].y)) + "\" r=\"" + FormatDouble(radius) +
+           "\" fill=\"" + fill + "\"/>\n";
+    if (style.draw_labels || v < style.vertex_labels.size()) {
+      std::string label = v < style.vertex_labels.size() &&
+                                  !style.vertex_labels[v].empty()
+                              ? style.vertex_labels[v]
+                              : (style.draw_labels ? std::to_string(v) : "");
+      if (!label.empty()) {
+        out += "    <text x=\"" + FormatDouble(sx(layout[v].x) + radius + 2) +
+               "\" y=\"" + FormatDouble(sy(layout[v].y) + 3) +
+               "\" font-size=\"9\" font-family=\"sans-serif\">" +
+               XmlEscape(label) + "</text>\n";
+      }
+    }
+  }
+  out += "  </g>\n</svg>\n";
+  return out;
+}
+
+std::vector<std::string> CategoricalColors(const std::vector<uint32_t>& categories) {
+  static const char* kPalette[] = {
+      "#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377",
+      "#BBBBBB", "#332288", "#DDCC77", "#117733", "#88CCEE", "#CC6677"};
+  constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+  std::vector<std::string> colors;
+  colors.reserve(categories.size());
+  for (uint32_t c : categories) colors.emplace_back(kPalette[c % kPaletteSize]);
+  return colors;
+}
+
+}  // namespace ubigraph::viz

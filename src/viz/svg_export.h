@@ -1,0 +1,37 @@
+// SVG rendering of a laid-out graph, with per-vertex color/size/label
+// customization (the §6.2 "customizability" challenge).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "viz/layout.h"
+
+namespace ubigraph::viz {
+
+struct SvgStyle {
+  double width = 800;
+  double height = 600;
+  double margin = 20;
+  double vertex_radius = 4;
+  std::string vertex_fill = "#4477AA";
+  std::string edge_stroke = "#999999";
+  double edge_width = 1.0;
+  bool draw_arrowheads = false;       // for directed graphs
+  bool draw_labels = false;           // vertex-id labels
+  /// Optional overrides, indexed by vertex (empty = use defaults).
+  std::vector<std::string> vertex_colors;
+  std::vector<double> vertex_radii;
+  std::vector<std::string> vertex_labels;
+};
+
+/// Renders the graph as a standalone SVG document.
+std::string RenderSvg(const CsrGraph& g, const Layout& layout,
+                      const SvgStyle& style = {});
+
+/// Assigns a categorical color per value (e.g. community label) from a
+/// 12-color palette, cycling when there are more categories.
+std::vector<std::string> CategoricalColors(const std::vector<uint32_t>& categories);
+
+}  // namespace ubigraph::viz

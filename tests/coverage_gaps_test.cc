@@ -1,0 +1,116 @@
+// Targeted tests for corners the module suites leave uncovered: questionnaire
+// categories, degenerate layout inputs, Cypher clause combinations, and the
+// survey's derived-table helpers under perturbation.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "query/cypher_executor.h"
+#include "survey/population.h"
+#include "survey/schema.h"
+#include "survey/tabulate.h"
+#include "viz/layout.h"
+
+namespace ubigraph {
+namespace {
+
+TEST(QuestionnaireCategoriesTest, EveryQuestionHasACategory) {
+  using namespace survey;
+  const Questionnaire& q = Questionnaire::Standard();
+  size_t total = 0;
+  for (QuestionCategory cat :
+       {QuestionCategory::kDemographics, QuestionCategory::kDatasets,
+        QuestionCategory::kComputations, QuestionCategory::kSoftware,
+        QuestionCategory::kWorkloadAndChallenges}) {
+    total += q.InCategory(cat).size();
+  }
+  EXPECT_EQ(total, q.size());
+  // The paper's five question groups are all non-empty.
+  EXPECT_EQ(q.InCategory(QuestionCategory::kDemographics).size(), 2u);
+  EXPECT_EQ(q.InCategory(QuestionCategory::kWorkloadAndChallenges).size(), 7u);
+}
+
+TEST(PopulationAccessorsTest, MissingQuestionIsEmptyNotFatal) {
+  using namespace survey;
+  Population pop = Population::SampleStochastic(3);
+  EXPECT_TRUE(pop.Selections(0, "no_such_question").empty());
+  EXPECT_TRUE(pop.Tabulate("no_such_question").empty());
+  EXPECT_TRUE(pop.WhoSelected("no_such_question", 0).empty());
+  EXPECT_FALSE(pop.Selected(0, "no_such_question", 0));
+  EXPECT_FALSE(pop.Selected(-1, "edges", 0));
+  EXPECT_FALSE(pop.Selected(0, "edges", 999));
+}
+
+TEST(DerivedTablesTest, StochasticPopulationStillProducesDerivations) {
+  using namespace survey;
+  // The derived-table helpers must not assume the exact population's pinning.
+  Population pop = Population::SampleStochastic(11);
+  auto sizes = DeriveBillionEdgeOrgSizes(pop);
+  for (const auto& row : sizes) EXPECT_GT(row.count, 0);
+  int joint = DeriveDistributedWithOver100M(pop);
+  EXPECT_GE(joint, 0);
+  EXPECT_LE(joint, kParticipants);
+}
+
+TEST(LayoutDegenerateTest, EmptyGraphsEverywhere) {
+  auto empty = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  EXPECT_TRUE(viz::CircularLayout(empty).empty());
+  EXPECT_TRUE(viz::HierarchicalLayout(empty).empty());
+  EXPECT_TRUE(viz::GridLayout(empty).empty());
+  EXPECT_EQ(viz::CountEdgeCrossings(empty, {}), 0u);
+  EXPECT_DOUBLE_EQ(viz::MeanEdgeLength(empty, {}), 0.0);
+}
+
+TEST(CypherComboTest, VarLengthWithWhereOrderLimit) {
+  PropertyGraph g;
+  for (int i = 0; i < 8; ++i) {
+    VertexId v = g.AddVertex("N");
+    g.SetVertexProperty(v, "idx", static_cast<int64_t>(i)).Abort();
+  }
+  for (VertexId i = 0; i + 1 < 8; ++i) g.AddEdge(i, i + 1, "next").ValueOrDie();
+
+  auto r = query::RunCypher(g,
+                            "MATCH (a {idx: 0})-[:next*1..5]->(b) "
+                            "WHERE b.idx > 1 "
+                            "RETURN b.idx ORDER BY b.idx DESC LIMIT 2")
+               .ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 5);
+  EXPECT_EQ(std::get<int64_t>(r.rows[1][0]), 4);
+}
+
+TEST(CypherComboTest, CountWithWhere) {
+  PropertyGraph g;
+  for (int i = 0; i < 5; ++i) {
+    VertexId v = g.AddVertex("N");
+    g.SetVertexProperty(v, "x", static_cast<int64_t>(i)).Abort();
+  }
+  auto r = query::RunCypher(g, "MATCH (a:N) WHERE a.x >= 2 RETURN count(*)")
+               .ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 3);
+}
+
+TEST(CypherComboTest, AnonymousIntermediateNodes) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("A");
+  VertexId m = g.AddVertex("M");
+  VertexId b = g.AddVertex("B");
+  g.AddEdge(a, m, "r").ValueOrDie();
+  g.AddEdge(m, b, "r").ValueOrDie();
+  auto r = query::RunCypher(g, "MATCH (x:A)-[:r]->()-[:r]->(y:B) RETURN y")
+               .ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST(GeneratorEdgeCasesTest, TinyShapes) {
+  EXPECT_EQ(gen::Path(0).num_edges(), 0u);
+  EXPECT_EQ(gen::Path(1).num_edges(), 0u);
+  EXPECT_EQ(gen::Complete(1).num_edges(), 0u);
+  EXPECT_EQ(gen::Grid(1, 1).num_vertices(), 1u);
+  Rng rng(1);
+  EXPECT_EQ(gen::RandomTree(1, &rng).ValueOrDie().num_edges(), 0u);
+  EXPECT_FALSE(gen::RandomTree(0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace ubigraph

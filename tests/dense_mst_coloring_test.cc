@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/coloring.h"
+#include "algorithms/connected_components.h"
+#include "algorithms/kcore.h"
+#include "algorithms/mst.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+// ---------------------------------------------------------------- k-core ---
+
+std::vector<uint32_t> BruteForceCores(const CsrGraph& g) {
+  // Iteratively peel: for each k, repeatedly remove vertices with degree < k.
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<VertexId>> adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u != v) {
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+      }
+    }
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  std::vector<uint32_t> core(n, 0);
+  for (uint32_t k = 1; k <= n; ++k) {
+    std::vector<bool> alive(n, true);
+    bool changed = true;
+    auto degree = [&](VertexId v) {
+      uint32_t d = 0;
+      for (VertexId u : adj[v]) {
+        if (alive[u]) ++d;
+      }
+      return d;
+    };
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (alive[v] && degree(v) < k) {
+          alive[v] = false;
+          changed = true;
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) core[v] = k;
+    }
+  }
+  return core;
+}
+
+TEST(KCoreTest, CompleteGraphCore) {
+  auto g = CsrGraph::FromEdges(gen::Complete(5)).ValueOrDie();
+  auto core = CoreDecomposition(g);
+  for (uint32_t c : core) EXPECT_EQ(c, 4u);
+  EXPECT_EQ(Degeneracy(g), 4u);
+}
+
+TEST(KCoreTest, TreeIsOneCore) {
+  Rng rng(1);
+  auto g = CsrGraph::FromEdges(gen::RandomTree(30, &rng).ValueOrDie()).ValueOrDie();
+  auto core = CoreDecomposition(g);
+  for (uint32_t c : core) EXPECT_LE(c, 1u);
+  EXPECT_EQ(Degeneracy(g), 1u);
+}
+
+class KCoreRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KCoreRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  auto el = gen::ErdosRenyi(25, 90, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_EQ(CoreDecomposition(g), BruteForceCores(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreRandomTest,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+TEST(KCoreTest, KCoreMembership) {
+  // Triangle + pendant: triangle is 2-core, pendant only 1-core.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}}).ValueOrDie();
+  auto two_core = KCore(g, 2);
+  EXPECT_EQ(two_core, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(KCore(g, 1).size(), 4u);
+  EXPECT_TRUE(KCore(g, 3).empty());
+}
+
+TEST(DensestTest, CliquePlusTailFindsClique) {
+  // K5 with a long path attached: densest subgraph is the clique (density 2).
+  EdgeList el = gen::Complete(5);
+  for (VertexId v = 5; v < 12; ++v) el.Add(v - 1, v);
+  el.EnsureVertices(12);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  DensestSubgraphResult r = DensestSubgraphApprox(g);
+  EXPECT_GE(r.density, 2.0 - 1e-9);
+  // The clique should survive peeling.
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_NE(std::find(r.vertices.begin(), r.vertices.end(), v),
+              r.vertices.end());
+  }
+}
+
+TEST(DensestTest, DensityAtLeastHalfMaxAvgDegree) {
+  // Charikar guarantee: result >= optimal / 2 >= (m/n) overall density.
+  Rng rng(6);
+  auto el = gen::BarabasiAlbert(60, 3, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  DensestSubgraphResult r = DensestSubgraphApprox(g);
+  double overall =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_vertices());
+  EXPECT_GE(r.density + 1e-9, overall);
+}
+
+TEST(DensestTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  DensestSubgraphResult r = DensestSubgraphApprox(g);
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_DOUBLE_EQ(r.density, 0.0);
+}
+
+// ------------------------------------------------------------------- MST ---
+
+TEST(MstTest, KnownTotalWeight) {
+  // Classic small example.
+  EdgeList el(4);
+  el.Add(0, 1, 1);
+  el.Add(1, 2, 2);
+  el.Add(2, 3, 3);
+  el.Add(3, 0, 4);
+  el.Add(0, 2, 5);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto kruskal = MinimumSpanningForestKruskal(g);
+  auto prim = MinimumSpanningForestPrim(g);
+  EXPECT_DOUBLE_EQ(kruskal.total_weight, 6.0);
+  EXPECT_DOUBLE_EQ(prim.total_weight, 6.0);
+  EXPECT_EQ(kruskal.edges.size(), 3u);
+  EXPECT_EQ(kruskal.num_trees, 1u);
+}
+
+TEST(MstTest, ForestOnDisconnectedGraph) {
+  EdgeList el(5);
+  el.Add(0, 1, 1);
+  el.Add(2, 3, 2);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto r = MinimumSpanningForestKruskal(g);
+  EXPECT_EQ(r.num_trees, 3u);  // {0,1} {2,3} {4}
+  EXPECT_EQ(r.edges.size(), 2u);
+  auto p = MinimumSpanningForestPrim(g);
+  EXPECT_EQ(p.num_trees, 3u);
+  EXPECT_DOUBLE_EQ(p.total_weight, r.total_weight);
+}
+
+TEST(MstTest, ParallelEdgesUseLightest) {
+  EdgeList el(2);
+  el.Add(0, 1, 10);
+  el.Add(0, 1, 2);
+  el.Add(1, 0, 5);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto r = MinimumSpanningForestKruskal(g);
+  EXPECT_DOUBLE_EQ(r.total_weight, 2.0);
+}
+
+class MstRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MstRandomTest, KruskalAndPrimAgree) {
+  Rng rng(GetParam());
+  EdgeList el(50);
+  for (int i = 0; i < 300; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(50));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(50));
+    if (u != v) el.Add(u, v, 1.0 + rng.NextDouble() * 99.0);
+  }
+  el.EnsureVertices(50);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto kruskal = MinimumSpanningForestKruskal(g);
+  auto prim = MinimumSpanningForestPrim(g);
+  EXPECT_NEAR(kruskal.total_weight, prim.total_weight, 1e-9);
+  EXPECT_EQ(kruskal.edges.size(), prim.edges.size());
+  EXPECT_EQ(kruskal.num_trees, prim.num_trees);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstRandomTest,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+TEST(MstTest, TreeEdgesFormSpanningForest) {
+  Rng rng(71);
+  auto el = gen::ErdosRenyi(40, 160, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto r = MinimumSpanningForestKruskal(g);
+  // Tree edges must be acyclic and connect exactly the graph's components.
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : r.edges) EXPECT_TRUE(uf.Union(e.src, e.dst));
+  auto cc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(uf.num_sets(), cc.num_components);
+}
+
+// -------------------------------------------------------------- coloring ---
+
+class ColoringOrderTest : public ::testing::TestWithParam<ColoringOrder> {};
+
+TEST_P(ColoringOrderTest, AlwaysProper) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed + 80);
+    auto el = gen::ErdosRenyi(60, 300, &rng).ValueOrDie();
+    auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+    ColoringResult r = GreedyColoring(g, GetParam());
+    EXPECT_TRUE(IsProperColoring(g, r.color));
+    uint32_t max_color = 0;
+    for (uint32_t c : r.color) max_color = std::max(max_color, c);
+    EXPECT_EQ(r.num_colors, max_color + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ColoringOrderTest,
+                         ::testing::Values(ColoringOrder::kVertexId,
+                                           ColoringOrder::kLargestFirst,
+                                           ColoringOrder::kSmallestLast));
+
+TEST(ColoringTest, BipartiteUsesTwoColors) {
+  // Even cycle is bipartite; smallest-last greedy finds 2 colors.
+  auto g = CsrGraph::FromEdges(gen::Cycle(10)).ValueOrDie();
+  ColoringResult r = GreedyColoring(g, ColoringOrder::kSmallestLast);
+  EXPECT_EQ(r.num_colors, 2u);
+}
+
+TEST(ColoringTest, OddCycleNeedsThree) {
+  auto g = CsrGraph::FromEdges(gen::Cycle(7)).ValueOrDie();
+  ColoringResult r = GreedyColoring(g, ColoringOrder::kSmallestLast);
+  EXPECT_EQ(r.num_colors, 3u);
+}
+
+TEST(ColoringTest, CompleteGraphNeedsN) {
+  auto g = CsrGraph::FromEdges(gen::Complete(6)).ValueOrDie();
+  ColoringResult r = GreedyColoring(g);
+  EXPECT_EQ(r.num_colors, 6u);
+}
+
+TEST(ColoringTest, SmallestLastBoundedByDegeneracyPlusOne) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed + 90);
+    auto el = gen::BarabasiAlbert(80, 3, &rng).ValueOrDie();
+    auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+    ColoringResult r = GreedyColoring(g, ColoringOrder::kSmallestLast);
+    EXPECT_LE(r.num_colors, Degeneracy(g) + 1);
+  }
+}
+
+TEST(ColoringTest, ValidatorCatchesBadColoring) {
+  auto g = CsrGraph::FromPairs(2, {{0, 1}}).ValueOrDie();
+  EXPECT_FALSE(IsProperColoring(g, {0, 0}));
+  EXPECT_TRUE(IsProperColoring(g, {0, 1}));
+  EXPECT_FALSE(IsProperColoring(g, {0}));  // wrong size
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

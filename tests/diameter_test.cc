@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/diameter.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+CsrGraph Undirected(EdgeList el) {
+  CsrOptions opts;
+  opts.directed = false;
+  return CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+}
+
+TEST(ExactDiameterTest, PathGraph) {
+  EXPECT_EQ(ExactDiameter(Undirected(gen::Path(6))), 5u);
+}
+
+TEST(ExactDiameterTest, CycleGraph) {
+  EXPECT_EQ(ExactDiameter(Undirected(gen::Cycle(8))), 4u);
+  EXPECT_EQ(ExactDiameter(Undirected(gen::Cycle(9))), 4u);
+}
+
+TEST(ExactDiameterTest, CompleteGraphIsOne) {
+  EXPECT_EQ(ExactDiameter(Undirected(gen::Complete(5))), 1u);
+}
+
+TEST(ExactDiameterTest, DisconnectedUsesLargestReach) {
+  // Two components: path of 3 and isolated vertex; diameter within pieces.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}}).ValueOrDie();
+  EXPECT_EQ(ExactDiameter(g), 2u);
+}
+
+TEST(DoubleSweepTest, ExactOnTrees) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 7);
+    auto g = Undirected(gen::RandomTree(40, &rng).ValueOrDie());
+    EXPECT_EQ(DoubleSweepLowerBound(g, 0), ExactDiameter(g)) << seed;
+  }
+}
+
+TEST(DoubleSweepTest, NeverExceedsExact) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 17);
+    auto el = gen::ErdosRenyi(50, 120, &rng).ValueOrDie();
+    auto g = Undirected(std::move(el));
+    EXPECT_LE(DoubleSweepLowerBound(g, 3), ExactDiameter(g));
+  }
+}
+
+TEST(DoubleSweepTest, EmptyAndSingleton) {
+  auto empty = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  EXPECT_EQ(DoubleSweepLowerBound(empty, 0), 0u);
+  auto single = CsrGraph::FromEdges(EdgeList(1)).ValueOrDie();
+  EXPECT_EQ(DoubleSweepLowerBound(single, 0), 0u);
+}
+
+TEST(IfubTest, BoundsBracketExact) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 27);
+    auto el = gen::WattsStrogatz(60, 4, 0.1, &rng).ValueOrDie();
+    auto g = Undirected(std::move(el));
+    Rng probe_rng(seed);
+    DiameterEstimate est = EstimateDiameterIfub(g, 30, &probe_rng);
+    uint32_t exact = ExactDiameter(g);
+    EXPECT_LE(est.lower_bound, exact);
+    EXPECT_GE(est.upper_bound, exact);
+    if (est.exact) {
+      EXPECT_EQ(est.lower_bound, exact);
+    }
+  }
+}
+
+TEST(IfubTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  Rng rng(1);
+  DiameterEstimate est = EstimateDiameterIfub(g, 10, &rng);
+  EXPECT_EQ(est.lower_bound, 0u);
+  EXPECT_EQ(est.upper_bound, 0u);
+}
+
+TEST(EffectiveDiameterTest, AtMostExactDiameter) {
+  Rng rng(31);
+  auto el = gen::BarabasiAlbert(80, 2, &rng).ValueOrDie();
+  auto g = Undirected(std::move(el));
+  Rng sample_rng(5);
+  double eff = EffectiveDiameter(g, 20, &sample_rng);
+  EXPECT_LE(eff, static_cast<double>(ExactDiameter(g)));
+  EXPECT_GT(eff, 0.0);
+}
+
+TEST(EffectiveDiameterTest, PercentileMonotone) {
+  Rng rng(33);
+  auto el = gen::WattsStrogatz(80, 4, 0.05, &rng).ValueOrDie();
+  auto g = Undirected(std::move(el));
+  Rng r1(9), r2(9);
+  double p50 = EffectiveDiameter(g, 30, &r1, 0.5);
+  double p90 = EffectiveDiameter(g, 30, &r2, 0.9);
+  EXPECT_LE(p50, p90);
+}
+
+TEST(EffectiveDiameterTest, DegenerateInputs) {
+  auto g = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(g, 10, &rng), 0.0);
+  auto single = CsrGraph::FromEdges(EdgeList(3)).ValueOrDie();  // no edges
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(single, 10, &rng), 0.0);
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

@@ -1,0 +1,419 @@
+// Tests for the §6.2 graph-database features: versioning, hyperedges,
+// schema & constraints, triggers, and supernode-skipping traversal — the
+// five most-requested capabilities in Table 19's mined challenges.
+#include <gtest/gtest.h>
+
+#include "algorithms/connected_components.h"
+#include "algorithms/traversal.h"
+#include "gen/generators.h"
+#include "graph/graph_schema.h"
+#include "graph/hypergraph.h"
+#include "graph/triggers.h"
+#include "graph/versioned_graph.h"
+
+namespace ubigraph {
+namespace {
+
+// ------------------------------------------------------------ versioning ---
+
+TEST(VersionedGraphTest, SnapshotsEvolve) {
+  VersionedGraph g;
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  EdgeId e1 = g.AddEdge(a, b, "t").ValueOrDie();
+  VersionId v1 = g.Commit();
+
+  VertexId c = g.AddVertex("n");
+  g.AddEdge(b, c, "t").ValueOrDie();
+  g.RemoveEdge(e1).Abort();
+  VersionId v2 = g.Commit();
+
+  auto snap1 = g.SnapshotAt(v1).ValueOrDie();
+  EXPECT_EQ(snap1.num_vertices(), 2u);
+  EXPECT_EQ(snap1.num_edges(), 1u);
+
+  auto snap2 = g.SnapshotAt(v2).ValueOrDie();
+  EXPECT_EQ(snap2.num_vertices(), 3u);
+  EXPECT_EQ(snap2.num_edges(), 1u);  // e1 removed, b->c added
+  EXPECT_EQ(snap2.edges()[0].src, b);
+
+  // Version 0 is the empty graph.
+  auto snap0 = g.SnapshotAt(0).ValueOrDie();
+  EXPECT_EQ(snap0.num_edges(), 0u);
+  EXPECT_EQ(g.NumVerticesAt(0).ValueOrDie(), 0u);
+}
+
+TEST(VersionedGraphTest, EdgeExistedAt) {
+  VersionedGraph g;
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  EdgeId e = g.AddEdge(a, b, "t").ValueOrDie();
+  VersionId v1 = g.Commit();
+  g.RemoveEdge(e).Abort();
+  VersionId v2 = g.Commit();
+  EXPECT_TRUE(g.EdgeExistedAt(e, v1).ValueOrDie());
+  EXPECT_FALSE(g.EdgeExistedAt(e, v2).ValueOrDie());
+}
+
+TEST(VersionedGraphTest, PropertyHistory) {
+  VersionedGraph g;
+  VertexId v = g.AddVertex("account");
+  g.SetVertexProperty(v, "balance", static_cast<int64_t>(100)).Abort();
+  VersionId v1 = g.Commit();
+  g.SetVertexProperty(v, "balance", static_cast<int64_t>(250)).Abort();
+  VersionId v2 = g.Commit();
+
+  EXPECT_EQ(std::get<int64_t>(g.VertexPropertyAt(v, "balance", v1).ValueOrDie()),
+            100);
+  EXPECT_EQ(std::get<int64_t>(g.VertexPropertyAt(v, "balance", v2).ValueOrDie()),
+            250);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(
+      g.VertexPropertyAt(v, "nothing", v2).ValueOrDie()));
+}
+
+TEST(VersionedGraphTest, UncommittedVersionRejected) {
+  VersionedGraph g;
+  g.AddVertex("n");
+  EXPECT_FALSE(g.SnapshotAt(1).ok());  // nothing committed
+  g.Commit();
+  EXPECT_TRUE(g.SnapshotAt(1).ok());
+  EXPECT_FALSE(g.SnapshotAt(2).ok());
+}
+
+TEST(VersionedGraphTest, MaterializeRestoresProperties) {
+  VersionedGraph g;
+  VertexId v = g.AddVertex("person");
+  g.SetVertexProperty(v, "name", std::string("ann")).Abort();
+  VersionId v1 = g.Commit();
+  g.SetVertexProperty(v, "name", std::string("bob")).Abort();
+  g.Commit();
+
+  PropertyGraph old = g.MaterializeAt(v1).ValueOrDie();
+  EXPECT_EQ(old.VertexLabel(v), "person");
+  EXPECT_EQ(std::get<std::string>(old.GetVertexProperty(v, "name")), "ann");
+}
+
+TEST(VersionedGraphTest, DiffCountsChanges) {
+  VersionedGraph g;
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  VersionId v1 = g.Commit();
+  EdgeId e = g.AddEdge(a, b, "t").ValueOrDie();
+  g.SetVertexProperty(a, "k", static_cast<int64_t>(1)).Abort();
+  VersionId v2 = g.Commit();
+  g.RemoveEdge(e).Abort();
+  VersionId v3 = g.Commit();
+
+  auto d12 = g.DiffVersions(v1, v2).ValueOrDie();
+  EXPECT_EQ(d12.edges_added, 1u);
+  EXPECT_EQ(d12.properties_changed, 1u);
+  EXPECT_EQ(d12.vertices_added, 0u);
+  auto d23 = g.DiffVersions(v2, v3).ValueOrDie();
+  EXPECT_EQ(d23.edges_removed, 1u);
+  auto full = g.DiffVersions(0, v3).ValueOrDie();
+  EXPECT_EQ(full.vertices_added, 2u);
+  EXPECT_FALSE(g.DiffVersions(v3, v1).ok());
+}
+
+TEST(VersionedGraphTest, InvalidMutationsRejected) {
+  VersionedGraph g;
+  EXPECT_TRUE(g.AddEdge(0, 1, "t").status().IsOutOfRange());
+  EXPECT_TRUE(g.RemoveEdge(0).IsNotFound());
+  EXPECT_TRUE(g.SetVertexProperty(0, "k", 1.0).IsOutOfRange());
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  EdgeId e = g.AddEdge(a, b, "t").ValueOrDie();
+  g.RemoveEdge(e).Abort();
+  EXPECT_TRUE(g.RemoveEdge(e).IsNotFound());  // double remove
+}
+
+// ------------------------------------------------------------ hyperedges ---
+
+TEST(HypergraphTest, BasicIncidence) {
+  Hypergraph h(5);
+  HyperedgeId family = h.AddHyperedge({0, 1, 2}).ValueOrDie();
+  h.AddHyperedge({2, 3}).ValueOrDie();
+  EXPECT_EQ(h.num_hyperedges(), 2u);
+  EXPECT_EQ(h.Members(family).size(), 3u);
+  EXPECT_EQ(h.Degree(2), 2u);
+  EXPECT_EQ(h.Degree(4), 0u);
+  EXPECT_EQ(h.MaxEdgeSize(), 3u);
+  EXPECT_EQ(h.Neighbors(2), (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(HypergraphTest, InvalidHyperedgesRejected) {
+  Hypergraph h(3);
+  EXPECT_FALSE(h.AddHyperedge({0}).ok());        // too small
+  EXPECT_FALSE(h.AddHyperedge({0, 0}).ok());     // duplicate member
+  EXPECT_FALSE(h.AddHyperedge({0, 9}).ok());     // out of range
+}
+
+TEST(HypergraphTest, CliqueExpansionConnectsMembers) {
+  Hypergraph h(4);
+  h.AddHyperedge({0, 1, 2}, 2.0).ValueOrDie();
+  auto g = h.CliqueExpansion().ValueOrDie();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  // Weight normalization: 2.0 / (3-1) = 1.0 per pair.
+  EXPECT_DOUBLE_EQ(g.OutWeights(0)[0], 1.0);
+}
+
+TEST(HypergraphTest, StarExpansionCreatesMockVertices) {
+  // The §6.2 "hyperedge vertex" simulation.
+  Hypergraph h(3);
+  h.AddHyperedge({0, 1, 2}).ValueOrDie();
+  auto g = h.StarExpansion().ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 4u);  // 3 real + 1 mock
+  VertexId mock = 3;
+  EXPECT_TRUE(g.HasEdge(mock, 0));
+  EXPECT_TRUE(g.HasEdge(mock, 1));
+  EXPECT_TRUE(g.HasEdge(mock, 2));
+  EXPECT_FALSE(g.HasEdge(0, 1));  // members not directly linked
+  EXPECT_EQ(g.OutDegree(mock), 3u);
+}
+
+TEST(HypergraphTest, ConnectedComponentsThroughSharedEdges) {
+  Hypergraph h(6);
+  h.AddHyperedge({0, 1, 2}).ValueOrDie();
+  h.AddHyperedge({2, 3}).ValueOrDie();
+  h.AddHyperedge({4, 5}).ValueOrDie();
+  uint32_t count = 0;
+  auto label = h.ConnectedComponents(&count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(label[0], label[3]);
+  EXPECT_NE(label[0], label[4]);
+}
+
+TEST(HypergraphTest, ExpansionsAgreeOnConnectivity) {
+  Hypergraph h(8);
+  h.AddHyperedge({0, 1, 2, 3}).ValueOrDie();
+  h.AddHyperedge({3, 4}).ValueOrDie();
+  h.AddHyperedge({5, 6, 7}).ValueOrDie();
+  uint32_t native = 0;
+  h.ConnectedComponents(&native);
+  auto clique = h.CliqueExpansion().ValueOrDie();
+  EXPECT_EQ(algo::WeaklyConnectedComponents(clique).num_components, native);
+  // Star expansion adds mock vertices but preserves component structure.
+  auto star = h.StarExpansion().ValueOrDie();
+  EXPECT_EQ(algo::WeaklyConnectedComponents(star).num_components, native);
+}
+
+// ---------------------------------------------------------------- schema ---
+
+PropertyGraph OrgChart() {
+  PropertyGraph g;
+  VertexId ceo = g.AddVertex("Employee");
+  g.SetVertexProperty(ceo, "id", static_cast<int64_t>(1)).Abort();
+  VertexId eng = g.AddVertex("Employee");
+  g.SetVertexProperty(eng, "id", static_cast<int64_t>(2)).Abort();
+  VertexId team = g.AddVertex("Team");
+  g.AddEdge(eng, ceo, "reports_to").ValueOrDie();
+  g.AddEdge(eng, team, "member_of").ValueOrDie();
+  return g;
+}
+
+TEST(GraphSchemaTest, ConformingGraphPasses) {
+  GraphSchema schema;
+  schema.RequireVertexProperty("Employee", "id", PropertyType::kInt)
+      .RequireEdgeEndpoints("reports_to", "Employee", "Employee")
+      .RequireAcyclic("reports_to")
+      .RequireUniqueProperty("Employee", "id");
+  EXPECT_TRUE(schema.Conforms(OrgChart()));
+  EXPECT_EQ(schema.num_rules(), 4u);
+}
+
+TEST(GraphSchemaTest, MissingPropertyReported) {
+  PropertyGraph g = OrgChart();
+  VertexId intern = g.AddVertex("Employee");  // no id
+  GraphSchema schema;
+  schema.RequireVertexProperty("Employee", "id", PropertyType::kInt);
+  auto violations = schema.Validate(g);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].vertex, intern);
+}
+
+TEST(GraphSchemaTest, WrongTypeReported) {
+  PropertyGraph g;
+  VertexId v = g.AddVertex("Employee");
+  g.SetVertexProperty(v, "id", std::string("not-a-number")).Abort();
+  GraphSchema schema;
+  schema.RequireVertexProperty("Employee", "id", PropertyType::kInt);
+  EXPECT_EQ(schema.Validate(g).size(), 1u);
+  GraphSchema any_type;
+  any_type.RequireVertexProperty("Employee", "id", PropertyType::kAny);
+  EXPECT_TRUE(any_type.Conforms(g));
+}
+
+TEST(GraphSchemaTest, EndpointLabelEnforced) {
+  PropertyGraph g = OrgChart();
+  // Team reporting to an employee violates Employee->Employee.
+  g.AddEdge(2, 0, "reports_to").ValueOrDie();
+  GraphSchema schema;
+  schema.RequireEdgeEndpoints("reports_to", "Employee", "Employee");
+  auto violations = schema.Validate(g);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].edge, kInvalidEdge);
+}
+
+TEST(GraphSchemaTest, AcyclicityEnforced) {
+  PropertyGraph g = OrgChart();
+  g.AddEdge(0, 1, "reports_to").ValueOrDie();  // ceo reports to eng: cycle
+  GraphSchema schema;
+  schema.RequireAcyclic("reports_to");
+  EXPECT_EQ(schema.Validate(g).size(), 1u);
+  // Other edge types don't participate in the check.
+  GraphSchema member_schema;
+  member_schema.RequireAcyclic("member_of");
+  EXPECT_TRUE(member_schema.Conforms(g));
+}
+
+TEST(GraphSchemaTest, DegreeLimitEnforced) {
+  PropertyGraph g;
+  VertexId hub = g.AddVertex("Router");
+  for (int i = 0; i < 5; ++i) {
+    VertexId leaf = g.AddVertex("Host");
+    g.AddEdge(hub, leaf, "link").ValueOrDie();
+  }
+  GraphSchema schema;
+  schema.LimitOutDegree("Router", 3);
+  auto violations = schema.Validate(g);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].vertex, hub);
+  GraphSchema loose;
+  loose.LimitOutDegree("Router", 5);
+  EXPECT_TRUE(loose.Conforms(g));
+}
+
+TEST(GraphSchemaTest, UniquenessEnforced) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("User");
+  VertexId b = g.AddVertex("User");
+  g.SetVertexProperty(a, "email", std::string("x@y.z")).Abort();
+  g.SetVertexProperty(b, "email", std::string("x@y.z")).Abort();
+  GraphSchema schema;
+  schema.RequireUniqueProperty("User", "email");
+  EXPECT_EQ(schema.Validate(g).size(), 1u);
+  g.SetVertexProperty(b, "email", std::string("other@y.z")).Abort();
+  EXPECT_TRUE(schema.Conforms(g));
+}
+
+TEST(MatchesPropertyTypeTest, AllAlternatives) {
+  EXPECT_TRUE(MatchesPropertyType(static_cast<int64_t>(1), PropertyType::kInt));
+  EXPECT_TRUE(MatchesPropertyType(1.5, PropertyType::kDouble));
+  EXPECT_TRUE(MatchesPropertyType(true, PropertyType::kBool));
+  EXPECT_TRUE(MatchesPropertyType(std::string("s"), PropertyType::kString));
+  EXPECT_TRUE(MatchesPropertyType(Timestamp{1}, PropertyType::kTimestamp));
+  EXPECT_TRUE(MatchesPropertyType(Bytes{1}, PropertyType::kBytes));
+  EXPECT_FALSE(MatchesPropertyType(std::monostate{}, PropertyType::kAny));
+  EXPECT_FALSE(MatchesPropertyType(1.5, PropertyType::kInt));
+}
+
+// --------------------------------------------------------------- triggers ---
+
+TEST(TriggeredGraphTest, CreatedAtStampedOnInsert) {
+  TriggeredGraph g;
+  int64_t clock = 1000;
+  g.RegisterTrigger(GraphEvent::kVertexAdded,
+                    MakeCreatedAtTrigger("created_at", &clock));
+  VertexId a = g.AddVertex("n");
+  clock = 2000;
+  VertexId b = g.AddVertex("n");
+  EXPECT_EQ(std::get<Timestamp>(g.graph().GetVertexProperty(a, "created_at")).millis,
+            1000);
+  EXPECT_EQ(std::get<Timestamp>(g.graph().GetVertexProperty(b, "created_at")).millis,
+            2000);
+  EXPECT_EQ(g.fired_count(), 2u);
+}
+
+TEST(TriggeredGraphTest, AuditLogRecordsOldAndNew) {
+  TriggeredGraph g;
+  std::vector<std::string> audit;
+  g.RegisterTrigger(GraphEvent::kVertexPropertySet, MakeAuditTrigger(&audit));
+  VertexId v = g.AddVertex("n");
+  g.SetVertexProperty(v, "name", std::string("ann")).Abort();
+  g.SetVertexProperty(v, "name", std::string("bob")).Abort();
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_NE(audit[0].find("(unset) -> ann"), std::string::npos);
+  EXPECT_NE(audit[1].find("ann -> bob"), std::string::npos);
+}
+
+TEST(TriggeredGraphTest, TriggersDoNotCascade) {
+  // A property-set trigger that sets another property must not loop forever
+  // or fire itself.
+  TriggeredGraph g;
+  g.RegisterTrigger(GraphEvent::kVertexPropertySet,
+                    [](TriggeredGraph& tg, const TriggerContext& ctx) {
+                      if (ctx.key != "touched") {
+                        tg.SetVertexProperty(ctx.vertex, "touched", true).Abort();
+                      }
+                    });
+  VertexId v = g.AddVertex("n");
+  g.SetVertexProperty(v, "name", std::string("x")).Abort();
+  EXPECT_EQ(g.fired_count(), 1u);
+  EXPECT_EQ(std::get<bool>(g.graph().GetVertexProperty(v, "touched")), true);
+}
+
+TEST(TriggeredGraphTest, EventFiltering) {
+  TriggeredGraph g;
+  int vertex_events = 0, edge_events = 0;
+  g.RegisterTrigger(GraphEvent::kVertexAdded,
+                    [&](TriggeredGraph&, const TriggerContext&) { ++vertex_events; });
+  g.RegisterTrigger(GraphEvent::kEdgeAdded,
+                    [&](TriggeredGraph&, const TriggerContext&) { ++edge_events; });
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  g.AddEdge(a, b, "t").ValueOrDie();
+  EXPECT_EQ(vertex_events, 2);
+  EXPECT_EQ(edge_events, 1);
+}
+
+TEST(TriggeredGraphTest, UnregisterStopsFiring) {
+  TriggeredGraph g;
+  int count = 0;
+  size_t id = g.RegisterTrigger(
+      GraphEvent::kVertexAdded,
+      [&](TriggeredGraph&, const TriggerContext&) { ++count; });
+  g.AddVertex("n");
+  EXPECT_TRUE(g.UnregisterTrigger(id));
+  EXPECT_FALSE(g.UnregisterTrigger(id));
+  g.AddVertex("n");
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(g.num_triggers(), 0u);
+}
+
+// ---------------------------------------------------- supernode skipping ---
+
+TEST(SupernodeBfsTest, PathsDoNotRouteThroughHubs) {
+  // 0 -> hub -> 2; hub has high degree. Paths through it are cut.
+  EdgeList el(13);
+  el.Add(0, 1);         // 1 is the hub
+  el.Add(1, 2);
+  for (VertexId leaf = 3; leaf < 13; ++leaf) el.Add(1, leaf);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+
+  auto plain = algo::BfsDistances(g, 0);
+  EXPECT_EQ(plain[2], 2u);
+
+  auto skipping = algo::BfsDistancesSkippingSupernodes(g, 0, 5);
+  EXPECT_EQ(skipping[1], 1u);               // the hub itself is reachable
+  EXPECT_EQ(skipping[2], algo::kUnreachable);  // but not traversable
+}
+
+TEST(SupernodeBfsTest, SourceAlwaysExpanded) {
+  auto g = CsrGraph::FromEdges(gen::Star(10)).ValueOrDie();
+  auto dist = algo::BfsDistancesSkippingSupernodes(g, 0, 2);
+  for (VertexId leaf = 1; leaf <= 10; ++leaf) EXPECT_EQ(dist[leaf], 1u);
+}
+
+TEST(SupernodeBfsTest, NoSupernodesMeansPlainBfs) {
+  Rng rng(9);
+  auto el = gen::ErdosRenyi(50, 150, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_EQ(algo::BfsDistancesSkippingSupernodes(g, 0, UINT64_MAX),
+            algo::BfsDistances(g, 0));
+}
+
+}  // namespace
+}  // namespace ubigraph

@@ -1,0 +1,152 @@
+// Failure-injection smoke tests: every parser in the library is fed random
+// garbage and randomly mutated valid documents. The contract under test is
+// totality — parsers must return ok() or an error Status, never crash,
+// hang, or corrupt memory. (Run under ASan in CI-like setups.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "io/binary_io.h"
+#include "io/csv_io.h"
+#include "io/edge_list_io.h"
+#include "io/gml_io.h"
+#include "io/graphml_io.h"
+#include "io/jgf_io.h"
+#include "io/json_io.h"
+#include "query/cypher_parser.h"
+#include "rdf/ntriples.h"
+
+namespace ubigraph {
+namespace {
+
+/// Random printable-ish garbage (includes brackets/quotes to reach parser
+/// corners).
+std::string RandomGarbage(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 \t\n\"'<>[]{}(),.:;*-=#\\/";
+  size_t len = rng->NextBounded(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+/// Applies `count` random single-byte mutations (overwrite/insert/delete).
+std::string Mutate(std::string doc, Rng* rng, int count) {
+  for (int i = 0; i < count && !doc.empty(); ++i) {
+    size_t pos = rng->NextBounded(doc.size());
+    switch (rng->NextBounded(3)) {
+      case 0:
+        doc[pos] = static_cast<char>(32 + rng->NextBounded(95));
+        break;
+      case 1:
+        doc.insert(pos, 1, static_cast<char>(32 + rng->NextBounded(95)));
+        break;
+      case 2:
+        doc.erase(pos, 1);
+        break;
+    }
+  }
+  return doc;
+}
+
+EdgeList SeedEdges() {
+  Rng rng(99);
+  return gen::ErdosRenyi(12, 30, &rng).ValueOrDie();
+}
+
+template <typename ParseFn>
+void FuzzParser(ParseFn&& parse, const std::string& valid_doc, uint64_t seed) {
+  Rng rng(seed);
+  // Pure garbage.
+  for (int i = 0; i < 200; ++i) {
+    parse(RandomGarbage(&rng, 300));
+  }
+  // Mutations of a valid document (more likely to go deep into the parser).
+  for (int i = 0; i < 200; ++i) {
+    parse(Mutate(valid_doc, &rng, 1 + static_cast<int>(rng.NextBounded(8))));
+  }
+  // Degenerate inputs.
+  parse("");
+  parse(std::string(1, '\0'));
+  parse(std::string(5000, '('));
+}
+
+TEST(FuzzSmokeTest, EdgeListParserIsTotal) {
+  std::string valid = io::WriteEdgeListText(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseEdgeListText(s).ok(); }, valid, 1);
+}
+
+TEST(FuzzSmokeTest, CsvParserIsTotal) {
+  std::string valid = io::WriteCsvEdges(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseCsvEdges(s).ok(); }, valid, 2);
+}
+
+TEST(FuzzSmokeTest, GraphMlParserIsTotal) {
+  std::string valid = io::WriteGraphMl(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseGraphMl(s).ok(); }, valid, 3);
+}
+
+TEST(FuzzSmokeTest, GmlParserIsTotal) {
+  std::string valid = io::WriteGml(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseGml(s).ok(); }, valid, 4);
+}
+
+TEST(FuzzSmokeTest, JsonGraphParserIsTotal) {
+  std::string valid = io::WriteJsonGraph(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseJsonGraph(s).ok(); }, valid, 5);
+}
+
+TEST(FuzzSmokeTest, JgfParserIsTotal) {
+  std::string valid = io::WriteJgf(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseJgf(s).ok(); }, valid, 6);
+}
+
+TEST(FuzzSmokeTest, BinaryParserIsTotal) {
+  std::string valid = io::WriteBinaryGraph(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseBinaryGraph(s).ok(); }, valid, 7);
+}
+
+TEST(FuzzSmokeTest, BinaryParserMutationsNeverPassChecksum) {
+  // Any byte mutation must be caught by the CRC (or fail structurally);
+  // a mutated file must never parse as different valid data silently.
+  std::string valid = io::WriteBinaryGraph(SeedEdges());
+  Rng rng(8);
+  int accepted = 0;
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = valid;
+    size_t pos = rng.NextBounded(mutated.size());
+    char old = mutated[pos];
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 + rng.NextBounded(255)));
+    if (mutated[pos] == old) continue;
+    if (io::ParseBinaryGraph(mutated).ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(FuzzSmokeTest, NTriplesParserIsTotal) {
+  rdf::TripleStore seed;
+  seed.Add("a", "b", "c");
+  seed.Add("d", "e", "\"literal text\"");
+  std::string valid = rdf::WriteNTriples(seed);
+  FuzzParser(
+      [](const std::string& s) {
+        rdf::TripleStore store;
+        rdf::ParseNTriples(s, &store).ok();
+      },
+      valid, 9);
+}
+
+TEST(FuzzSmokeTest, CypherParserIsTotal) {
+  std::string valid =
+      "MATCH (a:Person {age: 34})-[:knows*1..3]->(b) WHERE a.x <= 1.5 "
+      "RETURN a.name, count(*) ORDER BY a.name DESC LIMIT 5";
+  FuzzParser([](const std::string& s) { query::ParseCypher(s).ok(); }, valid, 10);
+}
+
+}  // namespace
+}  // namespace ubigraph

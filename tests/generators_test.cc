@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/connected_components.h"
+#include "algorithms/triangle.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::gen {
+namespace {
+
+using algo::WeaklyConnectedComponents;
+
+TEST(ErdosRenyiTest, ExactEdgeCountNoLoopsNoDups) {
+  Rng rng(1);
+  auto el = ErdosRenyi(50, 400, &rng).ValueOrDie();
+  EXPECT_EQ(el.num_edges(), 400u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : el.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleRequests) {
+  Rng rng(1);
+  EXPECT_FALSE(ErdosRenyi(1, 1, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(3, 100, &rng).ok());
+}
+
+TEST(ErdosRenyiGnpTest, EdgeCountNearExpectation) {
+  Rng rng(2);
+  auto el = ErdosRenyiGnp(100, 0.05, &rng).ValueOrDie();
+  double expected = 100.0 * 99.0 * 0.05;
+  EXPECT_NEAR(static_cast<double>(el.num_edges()), expected, expected * 0.35);
+  for (const Edge& e : el.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ErdosRenyiGnpTest, ZeroAndBadProbability) {
+  Rng rng(3);
+  EXPECT_EQ(ErdosRenyiGnp(10, 0.0, &rng).ValueOrDie().num_edges(), 0u);
+  EXPECT_FALSE(ErdosRenyiGnp(10, 1.5, &rng).ok());
+}
+
+TEST(RmatTest, SizesAndSkew) {
+  Rng rng(4);
+  auto el = Rmat(10, 8192, &rng).ValueOrDie();
+  EXPECT_EQ(el.num_vertices(), 1024u);
+  EXPECT_EQ(el.num_edges(), 8192u);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  // RMAT should be skewed: max degree far above mean degree (8).
+  EXPECT_GT(g.MaxOutDegree(), 24u);
+}
+
+TEST(RmatTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(Rmat(0, 10, &rng).ok());
+  RmatOptions bad;
+  bad.a = 0.9;
+  bad.b = 0.9;
+  EXPECT_FALSE(Rmat(4, 10, &rng, bad).ok());
+}
+
+TEST(BarabasiAlbertTest, ConnectedAndSized) {
+  Rng rng(5);
+  auto el = BarabasiAlbert(100, 2, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(WeaklyConnectedComponents(g).num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  Rng rng(6);
+  auto el = BarabasiAlbert(400, 2, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  // Preferential attachment: max degree much higher than the mean (~4).
+  EXPECT_GT(g.MaxOutDegree(), 20u);
+}
+
+TEST(BarabasiAlbertTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(BarabasiAlbert(5, 0, &rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 3, &rng).ok());
+}
+
+TEST(WattsStrogatzTest, DegreePreservedOnAverage) {
+  Rng rng(7);
+  auto el = WattsStrogatz(100, 4, 0.1, &rng).ValueOrDie();
+  EXPECT_EQ(el.num_edges(), 200u);  // n*k/2
+}
+
+TEST(WattsStrogatzTest, NoRewireIsRingLattice) {
+  Rng rng(8);
+  auto el = WattsStrogatz(20, 4, 0.0, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.OutDegree(v), 4u);
+  // Ring lattice with k=4 has triangles.
+  EXPECT_GT(algo::CountTriangles(g), 0u);
+}
+
+TEST(WattsStrogatzTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(WattsStrogatz(10, 3, 0.1, &rng).ok());   // odd k
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.1, &rng).ok());  // k >= n
+  EXPECT_FALSE(WattsStrogatz(10, 4, 2.0, &rng).ok());   // bad beta
+}
+
+TEST(KRegularTest, EveryVertexHasDegreeK) {
+  Rng rng(9);
+  auto el = KRegular(30, 4, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(g.OutDegree(v), 4u);
+  // Simple graph: no duplicate undirected edges.
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.ToEdgeList().edges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(KRegularTest, ParityConstraint) {
+  Rng rng(10);
+  EXPECT_FALSE(KRegular(5, 3, &rng).ok());  // n*k odd
+  EXPECT_FALSE(KRegular(4, 4, &rng).ok());  // k >= n
+  EXPECT_TRUE(KRegular(5, 2, &rng).ok());
+}
+
+TEST(PowerLawDirectedTest, DegreesFollowSkew) {
+  Rng rng(11);
+  auto el = PowerLawDirected(500, 2.2, 50, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  uint64_t degree1 = 0, degree_high = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) == 1) ++degree1;
+    if (g.OutDegree(v) >= 10) ++degree_high;
+  }
+  EXPECT_GT(degree1, degree_high);  // zipf: low degrees dominate
+  EXPECT_GT(degree_high, 0u);      // but a heavy tail exists
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.OutDegree(v), 1u);
+    EXPECT_LE(g.OutDegree(v), 50u);
+  }
+}
+
+TEST(PowerLawDirectedTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(PowerLawDirected(10, 0.9, 5, &rng).ok());
+  EXPECT_FALSE(PowerLawDirected(10, 2.0, 0, &rng).ok());
+  EXPECT_FALSE(PowerLawDirected(10, 2.0, 10, &rng).ok());
+}
+
+TEST(DeterministicShapesTest, PathCycleStarCompleteGrid) {
+  EXPECT_EQ(Path(5).num_edges(), 4u);
+  EXPECT_EQ(Cycle(5).num_edges(), 5u);
+  EXPECT_EQ(Star(5).num_edges(), 5u);
+  EXPECT_EQ(Star(5).num_vertices(), 6u);
+  EXPECT_EQ(Complete(5).num_edges(), 10u);
+  EXPECT_EQ(Grid(3, 4).num_vertices(), 12u);
+  EXPECT_EQ(Grid(3, 4).num_edges(), 3u * 3 + 2u * 4);  // 17
+}
+
+TEST(RandomTreeTest, IsConnectedAcyclic) {
+  Rng rng(12);
+  auto el = RandomTree(50, &rng).ValueOrDie();
+  EXPECT_EQ(el.num_edges(), 49u);
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  EXPECT_EQ(WeaklyConnectedComponents(g).num_components, 1u);
+}
+
+TEST(PlantedPartitionTest, IntraDenserThanInter) {
+  Rng rng(13);
+  auto el = PlantedPartition(80, 4, 0.5, 0.02, &rng).ValueOrDie();
+  uint64_t intra = 0, inter = 0;
+  for (const Edge& e : el.edges()) {
+    if (e.src / 20 == e.dst / 20) ++intra;
+    else ++inter;
+  }
+  EXPECT_GT(intra, inter * 2);
+}
+
+TEST(PlantedPartitionTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(PlantedPartition(10, 0, 0.5, 0.1, &rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 20, 0.5, 0.1, &rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 2, 1.5, 0.1, &rng).ok());
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameGraph) {
+  Rng a(99), b(99);
+  auto ga = ErdosRenyi(40, 100, &a).ValueOrDie();
+  auto gb = ErdosRenyi(40, 100, &b).ValueOrDie();
+  EXPECT_EQ(ga.edges().size(), gb.edges().size());
+  for (size_t i = 0; i < ga.edges().size(); ++i) {
+    EXPECT_EQ(ga.edges()[i], gb.edges()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ubigraph::gen

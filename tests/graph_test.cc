@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
+#include "graph/edge_list.h"
+#include "graph/property_graph.h"
+
+namespace ubigraph {
+namespace {
+
+TEST(EdgeListTest, AddGrowsVertexCount) {
+  EdgeList el;
+  el.Add(2, 5);
+  EXPECT_EQ(el.num_vertices(), 6u);
+  EXPECT_EQ(el.num_edges(), 1u);
+  el.Add(7, 0);
+  EXPECT_EQ(el.num_vertices(), 8u);
+}
+
+TEST(EdgeListTest, EnsureVerticesNeverShrinks) {
+  EdgeList el(10);
+  el.EnsureVertices(5);
+  EXPECT_EQ(el.num_vertices(), 10u);
+  el.EnsureVertices(20);
+  EXPECT_EQ(el.num_vertices(), 20u);
+}
+
+TEST(EdgeListTest, DeduplicateKeepsFirstWeight) {
+  EdgeList el;
+  el.Add(0, 1, 2.0);
+  el.Add(0, 1, 9.0);
+  el.Add(1, 0, 1.0);
+  el.Deduplicate();
+  EXPECT_EQ(el.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, RemoveSelfLoops) {
+  EdgeList el;
+  el.Add(0, 0);
+  el.Add(0, 1);
+  el.Add(1, 1);
+  el.RemoveSelfLoops();
+  EXPECT_EQ(el.num_edges(), 1u);
+  EXPECT_EQ(el.edges()[0].dst, 1u);
+}
+
+TEST(EdgeListTest, ReversedSwapsEndpoints) {
+  EdgeList el;
+  el.Add(0, 1, 3.0);
+  EdgeList rev = el.Reversed();
+  EXPECT_EQ(rev.edges()[0].src, 1u);
+  EXPECT_EQ(rev.edges()[0].dst, 0u);
+  EXPECT_EQ(rev.edges()[0].weight, 3.0);
+}
+
+TEST(EdgeListTest, SymmetrizedDoublesNonLoops) {
+  EdgeList el;
+  el.Add(0, 1);
+  el.Add(2, 2);
+  EdgeList sym = el.Symmetrized();
+  EXPECT_EQ(sym.num_edges(), 3u);  // 0->1, 1->0, 2->2 once
+}
+
+TEST(EdgeListTest, ValidateCatchesOutOfRange) {
+  EdgeList el(2);
+  el.mutable_edges().push_back(Edge{0, 5, 1.0});
+  EXPECT_FALSE(el.Validate().ok());
+}
+
+TEST(CsrGraphTest, BasicConstruction) {
+  EdgeList el(4);
+  el.Add(0, 1);
+  el.Add(0, 2);
+  el.Add(2, 3);
+  auto g = CsrGraph::FromEdges(std::move(el));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->OutDegree(3), 0u);
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  EXPECT_FALSE(g->HasEdge(2, 0));
+}
+
+TEST(CsrGraphTest, NeighborsSortedWhenRequested) {
+  EdgeList el(3);
+  el.Add(0, 2);
+  el.Add(0, 1);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto nbrs = g.OutNeighbors(0);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(CsrGraphTest, WeightsFollowSortedNeighbors) {
+  EdgeList el(3);
+  el.Add(0, 2, 20.0);
+  el.Add(0, 1, 10.0);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto ws = g.OutWeights(0);
+  EXPECT_DOUBLE_EQ(ws[0], 10.0);
+  EXPECT_DOUBLE_EQ(ws[1], 20.0);
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(0), 30.0);
+}
+
+TEST(CsrGraphTest, UndirectedSymmetrizes) {
+  EdgeList el(3);
+  el.Add(0, 1);
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);  // both arcs stored
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.InDegree(0), 1u);  // aliases out
+}
+
+TEST(CsrGraphTest, InEdgesBuiltOnRequest) {
+  EdgeList el(3);
+  el.Add(0, 2);
+  el.Add(1, 2);
+  CsrOptions opts;
+  opts.build_in_edges = true;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  EXPECT_EQ(g.InDegree(2), 2u);
+  auto in = g.InNeighbors(2);
+  EXPECT_EQ(in[0], 0u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+}
+
+TEST(CsrGraphTest, DeduplicateAndLoopRemovalOptions) {
+  EdgeList el(3);
+  el.Add(0, 1);
+  el.Add(0, 1);
+  el.Add(1, 1);
+  CsrOptions opts;
+  opts.deduplicate = true;
+  opts.remove_self_loops = true;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CsrGraphTest, RoundTripThroughEdgeList) {
+  EdgeList el(5);
+  el.Add(0, 4, 2.5);
+  el.Add(3, 1);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EdgeList back = g.ToEdgeList();
+  EXPECT_EQ(back.num_vertices(), 5u);
+  EXPECT_EQ(back.num_edges(), 2u);
+  auto g2 = CsrGraph::FromEdges(std::move(back)).ValueOrDie();
+  EXPECT_TRUE(g2.HasEdge(0, 4));
+  EXPECT_TRUE(g2.HasEdge(3, 1));
+}
+
+TEST(CsrGraphTest, InvalidEdgeListRejected) {
+  EdgeList el(1);
+  el.mutable_edges().push_back(Edge{0, 9, 1.0});
+  auto g = CsrGraph::FromEdges(std::move(el));
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalid());
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxOutDegree(), 0u);
+}
+
+TEST(CsrGraphTest, FromPairsConvenience) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}, {1, 2}}).ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(CsrGraphTest, MaxOutDegree) {
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}}).ValueOrDie();
+  EXPECT_EQ(g.MaxOutDegree(), 3u);
+}
+
+TEST(DynamicGraphTest, AddRemoveEdges) {
+  DynamicGraph g(3);
+  auto e1 = g.AddEdge(0, 1);
+  ASSERT_TRUE(e1.ok());
+  auto e2 = g.AddEdge(0, 1);  // parallel allowed
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.EdgeMultiplicity(0, 1), 2u);
+  EXPECT_TRUE(g.RemoveEdge(*e1).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.EdgeMultiplicity(0, 1), 1u);
+  // Double-remove fails.
+  EXPECT_TRUE(g.RemoveEdge(*e1).IsNotFound());
+}
+
+TEST(DynamicGraphTest, SimpleGraphRejectsParallel) {
+  DynamicGraph g(2, /*allow_multi_edges=*/false);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto dup = g.AddEdge(0, 1);
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+}
+
+TEST(DynamicGraphTest, DegreesTrackLiveEdges) {
+  DynamicGraph g(3);
+  auto e = g.AddEdge(0, 1).ValueOrDie();
+  g.AddEdge(0, 2).ValueOrDie();
+  g.AddEdge(2, 0).ValueOrDie();
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  ASSERT_TRUE(g.RemoveEdge(e).ok());
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 0u);
+}
+
+TEST(DynamicGraphTest, RemoveVertexEdges) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1).ValueOrDie();
+  g.AddEdge(1, 2).ValueOrDie();
+  g.AddEdge(2, 1).ValueOrDie();
+  ASSERT_TRUE(g.RemoveVertexEdges(1).ok());
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeBetween) {
+  DynamicGraph g(2);
+  g.AddEdge(0, 1).ValueOrDie();
+  EXPECT_TRUE(g.RemoveEdgeBetween(0, 1).ok());
+  EXPECT_TRUE(g.RemoveEdgeBetween(0, 1).IsNotFound());
+}
+
+TEST(DynamicGraphTest, GetEdgeAndSetWeight) {
+  DynamicGraph g(2);
+  EdgeId e = g.AddEdge(0, 1, 5.0).ValueOrDie();
+  auto view = g.GetEdge(e);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->weight, 5.0);
+  ASSERT_TRUE(g.SetWeight(e, 7.0).ok());
+  EXPECT_EQ(g.GetEdge(e)->weight, 7.0);
+}
+
+TEST(DynamicGraphTest, CompactReclaimsTombstones) {
+  DynamicGraph g(3);
+  EdgeId e1 = g.AddEdge(0, 1).ValueOrDie();
+  g.AddEdge(1, 2).ValueOrDie();
+  g.RemoveEdge(e1).Abort();
+  uint64_t reclaimed = g.Compact();
+  EXPECT_EQ(reclaimed, 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+}
+
+TEST(DynamicGraphTest, ToEdgeListSkipsRemoved) {
+  DynamicGraph g(3);
+  EdgeId e1 = g.AddEdge(0, 1).ValueOrDie();
+  g.AddEdge(1, 2).ValueOrDie();
+  g.RemoveEdge(e1).Abort();
+  EdgeList el = g.ToEdgeList();
+  EXPECT_EQ(el.num_edges(), 1u);
+  EXPECT_EQ(el.edges()[0].src, 1u);
+}
+
+TEST(DynamicGraphTest, AddVertexExtendsRange) {
+  DynamicGraph g(1);
+  VertexId v = g.AddVertex();
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(g.AddEdge(0, v).ok());
+  EXPECT_TRUE(g.AddEdge(0, 5).status().IsOutOfRange());
+}
+
+TEST(DynamicGraphTest, ForEachVisitsOnlyLive) {
+  DynamicGraph g(3);
+  EdgeId e1 = g.AddEdge(0, 1).ValueOrDie();
+  g.AddEdge(0, 2).ValueOrDie();
+  g.RemoveEdge(e1).Abort();
+  int count = 0;
+  g.ForEachOutEdge(0, [&](EdgeId, VertexId dst, double) {
+    EXPECT_EQ(dst, 2u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PropertyGraphTest, LabelsAndTypes) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("person");
+  VertexId b = g.AddVertex("product");
+  EdgeId e = g.AddEdge(a, b, "bought").ValueOrDie();
+  EXPECT_EQ(g.VertexLabel(a), "person");
+  EXPECT_EQ(g.VertexLabel(b), "product");
+  EXPECT_EQ(g.EdgeType(e), "bought");
+  EXPECT_EQ(g.EdgeSrc(e), a);
+  EXPECT_EQ(g.EdgeDst(e), b);
+}
+
+TEST(PropertyGraphTest, AllPropertyTypes) {
+  PropertyGraph g;
+  VertexId v = g.AddVertex("item");
+  ASSERT_TRUE(g.SetVertexProperty(v, "name", std::string("widget")).ok());
+  ASSERT_TRUE(g.SetVertexProperty(v, "price", 9.99).ok());
+  ASSERT_TRUE(g.SetVertexProperty(v, "stock", static_cast<int64_t>(5)).ok());
+  ASSERT_TRUE(g.SetVertexProperty(v, "active", true).ok());
+  ASSERT_TRUE(g.SetVertexProperty(v, "created", Timestamp{1234}).ok());
+  ASSERT_TRUE(g.SetVertexProperty(v, "blob", Bytes{1, 2, 3}).ok());
+  EXPECT_EQ(std::get<std::string>(g.GetVertexProperty(v, "name")), "widget");
+  EXPECT_EQ(std::get<double>(g.GetVertexProperty(v, "price")), 9.99);
+  EXPECT_EQ(std::get<int64_t>(g.GetVertexProperty(v, "stock")), 5);
+  EXPECT_EQ(std::get<bool>(g.GetVertexProperty(v, "active")), true);
+  EXPECT_EQ(std::get<Timestamp>(g.GetVertexProperty(v, "created")).millis, 1234);
+  EXPECT_EQ(std::get<Bytes>(g.GetVertexProperty(v, "blob")).size(), 3u);
+  EXPECT_EQ(g.VertexProperties(v).size(), 6u);
+}
+
+TEST(PropertyGraphTest, MissingPropertyIsMonostate) {
+  PropertyGraph g;
+  VertexId v = g.AddVertex("x");
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(
+      g.GetVertexProperty(v, "nothing")));
+}
+
+TEST(PropertyGraphTest, OverwriteProperty) {
+  PropertyGraph g;
+  VertexId v = g.AddVertex("x");
+  g.SetVertexProperty(v, "k", static_cast<int64_t>(1)).Abort();
+  g.SetVertexProperty(v, "k", static_cast<int64_t>(2)).Abort();
+  EXPECT_EQ(std::get<int64_t>(g.GetVertexProperty(v, "k")), 2);
+  EXPECT_EQ(g.VertexProperties(v).size(), 1u);
+}
+
+TEST(PropertyGraphTest, EdgePropertiesAndTypedOutEdges) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  EdgeId knows = g.AddEdge(a, b, "knows").ValueOrDie();
+  g.AddEdge(a, b, "likes").ValueOrDie();
+  g.SetEdgeProperty(knows, "since", static_cast<int64_t>(2015)).Abort();
+  EXPECT_EQ(std::get<int64_t>(g.GetEdgeProperty(knows, "since")), 2015);
+  EXPECT_EQ(g.OutEdges(a).size(), 2u);
+  EXPECT_EQ(g.OutEdges(a, "knows").size(), 1u);
+  EXPECT_EQ(g.InEdges(b, "likes").size(), 1u);
+  EXPECT_EQ(g.OutEdges(a, "nosuch").size(), 0u);
+}
+
+TEST(PropertyGraphTest, VerticesWithLabel) {
+  PropertyGraph g;
+  g.AddVertex("a");
+  g.AddVertex("b");
+  g.AddVertex("a");
+  EXPECT_EQ(g.VerticesWithLabel("a").size(), 2u);
+  EXPECT_EQ(g.VerticesWithLabel("zzz").size(), 0u);
+}
+
+TEST(PropertyGraphTest, ToEdgeListUsesWeightProperty) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("n");
+  VertexId b = g.AddVertex("n");
+  EdgeId e = g.AddEdge(a, b, "t").ValueOrDie();
+  g.SetEdgeProperty(e, "weight", 4.5).Abort();
+  EdgeList el = g.ToEdgeList();
+  ASSERT_EQ(el.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(el.edges()[0].weight, 4.5);
+}
+
+TEST(PropertyGraphTest, OutOfRangeEdgeRejected) {
+  PropertyGraph g;
+  g.AddVertex("n");
+  EXPECT_TRUE(g.AddEdge(0, 5, "t").status().IsOutOfRange());
+}
+
+TEST(StringDictionaryTest, InternIsIdempotent) {
+  StringDictionary dict;
+  uint32_t a = dict.Intern("x");
+  uint32_t b = dict.Intern("x");
+  uint32_t c = dict.Intern("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(dict.Name(a), "x");
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_FALSE(dict.Lookup("zzz").has_value());
+}
+
+}  // namespace
+}  // namespace ubigraph

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "io/binary_io.h"
+#include "io/csv_io.h"
+#include "io/edge_list_io.h"
+#include "io/gml_io.h"
+#include "io/graphml_io.h"
+#include "io/json_io.h"
+
+namespace ubigraph::io {
+namespace {
+
+EdgeList SampleEdges() {
+  EdgeList el(5);
+  el.Add(0, 1, 2.5);
+  el.Add(1, 2);
+  el.Add(4, 0, -1.25);
+  return el;
+}
+
+void ExpectSameEdges(const EdgeList& a, const EdgeList& b) {
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EdgeList sa = a, sb = b;
+  sa.Sort();
+  sb.Sort();
+  for (size_t i = 0; i < sa.edges().size(); ++i) {
+    EXPECT_EQ(sa.edges()[i].src, sb.edges()[i].src);
+    EXPECT_EQ(sa.edges()[i].dst, sb.edges()[i].dst);
+    EXPECT_DOUBLE_EQ(sa.edges()[i].weight, sb.edges()[i].weight);
+  }
+}
+
+// ------------------------------------------------------------ edge list ---
+
+TEST(EdgeListIoTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseEdgeListText(WriteEdgeListText(el));
+  ASSERT_TRUE(parsed.ok());
+  ExpectSameEdges(el, *parsed);
+}
+
+TEST(EdgeListIoTest, CommentsAndBlanksIgnored) {
+  auto parsed = ParseEdgeListText("# header\n\n0 1\n   \n2 3 4.5\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->edges()[1].weight, 4.5);
+}
+
+TEST(EdgeListIoTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseEdgeListText("0\n").ok());
+  EXPECT_FALSE(ParseEdgeListText("0 1 2 3\n").ok());
+  EXPECT_FALSE(ParseEdgeListText("a b\n").ok());
+  EXPECT_FALSE(ParseEdgeListText("-1 2\n").ok());
+  EXPECT_FALSE(ParseEdgeListText("0 1 notaweight\n").ok());
+}
+
+TEST(EdgeListIoTest, FileRoundTrip) {
+  std::string path = std::filesystem::temp_directory_path() / "ug_el_test.txt";
+  EdgeList el = SampleEdges();
+  ASSERT_TRUE(WriteEdgeListFile(el, path).ok());
+  auto back = ReadEdgeListFile(path);
+  ASSERT_TRUE(back.ok());
+  ExpectSameEdges(el, *back);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadEdgeListFile("/nonexistent/nope.txt").status().IsIOError());
+}
+
+// ------------------------------------------------------------------- CSV ---
+
+TEST(CsvIoTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseCsvEdges(WriteCsvEdges(el));
+  ASSERT_TRUE(parsed.ok());
+  ExpectSameEdges(el, *parsed);
+}
+
+TEST(CsvIoTest, QuotedFieldsAndCrLf) {
+  auto parsed = ParseCsvEdges("source,target,weight\r\n\"0\",1,2.0\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->edges()[0].weight, 2.0);
+}
+
+TEST(CsvIoTest, CustomColumnNamesAndSeparator) {
+  CsvOptions opts;
+  opts.source_column = "from";
+  opts.target_column = "to";
+  opts.separator = ';';
+  auto parsed = ParseCsvEdges("from;to\n3;4\n", opts);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->edges()[0].src, 3u);
+}
+
+TEST(CsvIoTest, MissingColumnsRejected) {
+  EXPECT_FALSE(ParseCsvEdges("a,b\n1,2\n").ok());
+  EXPECT_FALSE(ParseCsvEdges("").ok());
+}
+
+TEST(CsvIoTest, MissingWeightDefaultsToOne) {
+  auto parsed = ParseCsvEdges("source,target\n0,1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->edges()[0].weight, 1.0);
+}
+
+TEST(CsvRecordTest, QuoteHandling) {
+  auto fields = SplitCsvRecord("a,\"b,c\",\"d\"\"e\"", ',').ValueOrDie();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+  EXPECT_FALSE(SplitCsvRecord("\"unterminated", ',').ok());
+}
+
+// --------------------------------------------------------------- GraphML ---
+
+TEST(GraphMlTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseGraphMl(WriteGraphMl(el, /*directed=*/true));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->directed);
+  ExpectSameEdges(el, parsed->edges);
+}
+
+TEST(GraphMlTest, UndirectedFlagParsed) {
+  auto parsed = ParseGraphMl(WriteGraphMl(SampleEdges(), /*directed=*/false));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->directed);
+}
+
+TEST(GraphMlTest, ForeignDocumentWithStringIds) {
+  const char* doc = R"(<?xml version="1.0"?>
+<graphml><graph edgedefault="directed">
+  <node id="alice"/><node id="bob"/>
+  <edge source="alice" target="bob"/>
+  <edge source="bob" target="alice"/>
+</graph></graphml>)";
+  auto parsed = ParseGraphMl(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->edges.num_vertices(), 2u);
+  EXPECT_EQ(parsed->edges.num_edges(), 2u);
+}
+
+TEST(GraphMlTest, MalformedRejected) {
+  EXPECT_FALSE(ParseGraphMl("<graphml></graphml>").ok());  // no <graph>
+  EXPECT_FALSE(
+      ParseGraphMl("<graphml><graph><node/></graph></graphml>").ok());
+  EXPECT_FALSE(
+      ParseGraphMl("<graphml><graph><edge source=\"a\"/></graph></graphml>")
+          .ok());
+}
+
+// ------------------------------------------------------------------- GML ---
+
+TEST(GmlTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseGml(WriteGml(el, /*directed=*/true));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->directed);
+  ExpectSameEdges(el, parsed->edges);
+}
+
+TEST(GmlTest, HandlesCommentsLabelsAndNesting) {
+  const char* doc = R"(
+# a comment
+graph [
+  directed 0
+  node [ id 10 label "ten" graphics [ x 1 y 2 ] ]
+  node [ id 20 ]
+  edge [ source 10 target 20 value 3.5 ]
+]
+)";
+  auto parsed = ParseGml(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->directed);
+  EXPECT_EQ(parsed->edges.num_vertices(), 2u);
+  ASSERT_EQ(parsed->edges.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->edges.edges()[0].weight, 3.5);
+}
+
+TEST(GmlTest, MalformedRejected) {
+  EXPECT_FALSE(ParseGml("nothing here").ok());
+  EXPECT_FALSE(ParseGml("graph [ node [ ] ]").ok());            // node sans id
+  EXPECT_FALSE(ParseGml("graph [ edge [ source 1 ] ]").ok());   // no target
+  EXPECT_FALSE(ParseGml("graph [ node [ id 1 ]").ok());         // unterminated
+}
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(JsonIoTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseJsonGraph(WriteJsonGraph(el, /*directed=*/true));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->directed);
+  ExpectSameEdges(el, parsed->edges);
+}
+
+TEST(JsonIoTest, NodeLinkWithStringIds) {
+  const char* doc = R"({
+    "directed": false,
+    "nodes": [{"id": "a"}, {"id": "b"}, {"id": "c"}],
+    "links": [{"source": "a", "target": "c", "weight": 2}]
+  })";
+  auto parsed = ParseJsonGraph(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->directed);
+  EXPECT_EQ(parsed->edges.num_vertices(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->edges.edges()[0].weight, 2.0);
+}
+
+TEST(JsonIoTest, AcceptsEdgesKeyAlias) {
+  const char* doc =
+      R"({"nodes": [{"id": 0}, {"id": 1}], "edges": [{"source": 0, "target": 1}]})";
+  auto parsed = ParseJsonGraph(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->edges.num_edges(), 1u);
+}
+
+TEST(JsonIoTest, MalformedRejected) {
+  EXPECT_FALSE(ParseJsonGraph("[1,2]").ok());  // not an object
+  EXPECT_FALSE(ParseJsonGraph("{").ok());
+  EXPECT_FALSE(ParseJsonGraph(R"({"links": [{"source": 0}]})").ok());
+  EXPECT_FALSE(ParseJsonGraph(R"({"nodes": [{"noid": 1}]})").ok());
+}
+
+TEST(JsonIoTest, EscapesInStrings) {
+  const char* doc =
+      R"({"nodes": [{"id": "a\nb"}, {"id": "c"}], "links": [{"source": "a\nb", "target": "c"}]})";
+  auto parsed = ParseJsonGraph(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->edges.num_edges(), 1u);
+}
+
+// ---------------------------------------------------------------- binary ---
+
+TEST(BinaryIoTest, RoundTripWeighted) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseBinaryGraph(WriteBinaryGraph(el));
+  ASSERT_TRUE(parsed.ok());
+  ExpectSameEdges(el, *parsed);
+}
+
+TEST(BinaryIoTest, UnitWeightsElided) {
+  EdgeList el(3);
+  el.Add(0, 1);
+  el.Add(1, 2);
+  std::string weighted = WriteBinaryGraph(SampleEdges());
+  std::string unit = WriteBinaryGraph(el);
+  // Two-edge unit-weight file must be much smaller than 3-edge weighted one.
+  EXPECT_LT(unit.size(), weighted.size());
+  auto parsed = ParseBinaryGraph(unit);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->edges()[0].weight, 1.0);
+}
+
+TEST(BinaryIoTest, CorruptionDetected) {
+  std::string data = WriteBinaryGraph(SampleEdges());
+  data[data.size() / 2] ^= 0xFF;
+  auto parsed = ParseBinaryGraph(data);
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(BinaryIoTest, BadMagicAndTruncation) {
+  std::string data = WriteBinaryGraph(SampleEdges());
+  std::string bad_magic = data;
+  bad_magic[0] = 'X';
+  EXPECT_TRUE(ParseBinaryGraph(bad_magic).status().IsCorruption());
+  EXPECT_TRUE(ParseBinaryGraph("short").status().IsCorruption());
+  std::string truncated = data.substr(0, data.size() - 9);
+  EXPECT_FALSE(ParseBinaryGraph(truncated).ok());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  std::string path = std::filesystem::temp_directory_path() / "ug_bin_test.ubgf";
+  EdgeList el = SampleEdges();
+  ASSERT_TRUE(WriteBinaryFile(el, path).ok());
+  auto back = ReadBinaryFile(path);
+  ASSERT_TRUE(back.ok());
+  ExpectSameEdges(el, *back);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- cross-format property ---
+
+class FormatRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FormatRoundTripTest, AllFormatsPreserveRandomGraphs) {
+  Rng rng(GetParam());
+  auto el = gen::ErdosRenyi(30, 120, &rng).ValueOrDie();
+  ExpectSameEdges(el, ParseEdgeListText(WriteEdgeListText(el)).ValueOrDie());
+  ExpectSameEdges(el, ParseCsvEdges(WriteCsvEdges(el)).ValueOrDie());
+  ExpectSameEdges(el, ParseGraphMl(WriteGraphMl(el)).ValueOrDie().edges);
+  ExpectSameEdges(el, ParseGml(WriteGml(el)).ValueOrDie().edges);
+  ExpectSameEdges(el, ParseJsonGraph(WriteJsonGraph(el)).ValueOrDie().edges);
+  ExpectSameEdges(el, ParseBinaryGraph(WriteBinaryGraph(el)).ValueOrDie());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatRoundTripTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+}  // namespace
+}  // namespace ubigraph::io

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "gen/generators.h"
+#include "ml/label_propagation.h"
+#include "ml/louvain.h"
+
+namespace ubigraph::ml {
+namespace {
+
+CsrGraph TwoCliquesWithBridge() {
+  // Cliques {0..4} and {5..9} joined by one edge.
+  EdgeList el(10);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) el.Add(u, v);
+  }
+  for (VertexId u = 5; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) el.Add(u, v);
+  }
+  el.Add(4, 5);
+  CsrOptions opts;
+  opts.directed = false;
+  return CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+}
+
+/// Fraction of intra-planted-community vertex pairs that share a label.
+double AgreementWithPlanted(const std::vector<uint32_t>& labels,
+                            VertexId group_size) {
+  uint64_t agree = 0, total = 0;
+  for (VertexId u = 0; u < labels.size(); ++u) {
+    for (VertexId v = u + 1; v < labels.size(); ++v) {
+      if (u / group_size != v / group_size) continue;
+      ++total;
+      if (labels[u] == labels[v]) ++agree;
+    }
+  }
+  return total ? static_cast<double>(agree) / total : 1.0;
+}
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  CommunityResult r = Louvain(TwoCliquesWithBridge());
+  EXPECT_EQ(r.num_communities, 2u);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(r.community[v], r.community[0]);
+  for (VertexId v = 6; v < 10; ++v) EXPECT_EQ(r.community[v], r.community[5]);
+  EXPECT_NE(r.community[0], r.community[5]);
+  EXPECT_GT(r.modularity, 0.3);
+}
+
+TEST(LouvainTest, RecoversPlantedPartition) {
+  Rng rng(11);
+  auto el = gen::PlantedPartition(120, 4, 0.5, 0.01, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  CommunityResult r = Louvain(g);
+  EXPECT_GT(AgreementWithPlanted(r.community, 30), 0.9);
+  EXPECT_GT(r.modularity, 0.5);
+}
+
+TEST(LouvainTest, ModularityMatchesIndependentComputation) {
+  auto g = TwoCliquesWithBridge();
+  CommunityResult r = Louvain(g);
+  EXPECT_NEAR(r.modularity, Modularity(g, r.community), 1e-9);
+}
+
+TEST(LouvainTest, SingletonCommunitiesHaveNonPositiveModularityOnClique) {
+  auto g = CsrGraph::FromEdges(gen::Complete(6)).ValueOrDie();
+  std::vector<uint32_t> singletons(6);
+  for (uint32_t v = 0; v < 6; ++v) singletons[v] = v;
+  EXPECT_LT(Modularity(g, singletons), 0.0);
+  std::vector<uint32_t> together(6, 0);
+  EXPECT_NEAR(Modularity(g, together), 0.0, 1e-9);
+}
+
+TEST(LouvainTest, DeterministicForSeed) {
+  auto g = TwoCliquesWithBridge();
+  LouvainOptions opts;
+  opts.seed = 123;
+  CommunityResult a = Louvain(g, opts);
+  CommunityResult b = Louvain(g, opts);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.modularity, b.modularity);
+}
+
+TEST(LouvainTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  CommunityResult r = Louvain(g);
+  EXPECT_EQ(r.num_communities, 0u);
+}
+
+TEST(LouvainTest, HigherResolutionMoreCommunities) {
+  Rng rng(13);
+  auto el = gen::PlantedPartition(80, 4, 0.4, 0.05, &rng).ValueOrDie();
+  CsrOptions copts;
+  copts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), copts).ValueOrDie();
+  LouvainOptions low, high;
+  low.resolution = 0.3;
+  high.resolution = 3.0;
+  EXPECT_LE(Louvain(g, low).num_communities, Louvain(g, high).num_communities);
+}
+
+TEST(LabelPropagationTest, CliquesConverge) {
+  LabelPropagationResult r = PropagateLabels(TwoCliquesWithBridge());
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.num_labels, 2u);
+  // Clique members agree.
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(r.label[v], r.label[0]);
+  for (VertexId v = 6; v < 10; ++v) EXPECT_EQ(r.label[v], r.label[5]);
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabels) {
+  auto g = CsrGraph::FromEdges(EdgeList(4)).ValueOrDie();  // no edges
+  LabelPropagationResult r = PropagateLabels(g);
+  EXPECT_EQ(r.num_labels, 4u);
+}
+
+TEST(LabelPropagationTest, DenseLabels) {
+  Rng rng(17);
+  auto el = gen::PlantedPartition(60, 3, 0.5, 0.02, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  LabelPropagationResult r = PropagateLabels(g);
+  for (uint32_t l : r.label) EXPECT_LT(l, r.num_labels);
+}
+
+TEST(ClassifyBySeedsTest, PropagatesOnPath) {
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(gen::Path(7), opts).ValueOrDie();
+  std::vector<uint32_t> seeds(7, UINT32_MAX);
+  seeds[0] = 0;
+  seeds[6] = 1;
+  auto labels = ClassifyBySeeds(g, seeds).ValueOrDie();
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[6], 1u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[5], 1u);
+  for (uint32_t l : labels) EXPECT_NE(l, UINT32_MAX);
+}
+
+TEST(ClassifyBySeedsTest, SeedsAreClamped) {
+  auto g = CsrGraph::FromEdges(gen::Complete(4)).ValueOrDie();
+  std::vector<uint32_t> seeds(4, UINT32_MAX);
+  seeds[0] = 7;
+  auto labels = ClassifyBySeeds(g, seeds).ValueOrDie();
+  EXPECT_EQ(labels[0], 7u);
+  for (uint32_t l : labels) EXPECT_EQ(l, 7u);
+}
+
+TEST(ClassifyBySeedsTest, UnreachableStaysUnlabeled) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}}).ValueOrDie();
+  std::vector<uint32_t> seeds(3, UINT32_MAX);
+  seeds[0] = 1;
+  auto labels = ClassifyBySeeds(g, seeds).ValueOrDie();
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], UINT32_MAX);
+}
+
+TEST(ClassifyBySeedsTest, SizeMismatchRejected) {
+  auto g = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
+  EXPECT_FALSE(ClassifyBySeeds(g, {0}).ok());
+}
+
+TEST(ClassifyBySeedsTest, MostlyCorrectOnPlantedCommunities) {
+  Rng rng(23);
+  auto el = gen::PlantedPartition(90, 3, 0.4, 0.02, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  std::vector<uint32_t> seeds(90, UINT32_MAX);
+  seeds[0] = 0;
+  seeds[30] = 1;
+  seeds[60] = 2;
+  auto labels = ClassifyBySeeds(g, seeds).ValueOrDie();
+  int correct = 0;
+  for (VertexId v = 0; v < 90; ++v) {
+    if (labels[v] == v / 30) ++correct;
+  }
+  EXPECT_GT(correct, 75);
+}
+
+}  // namespace
+}  // namespace ubigraph::ml

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gen/generators.h"
+#include "ml/belief_propagation.h"
+#include "ml/collaborative_filtering.h"
+#include "ml/kmeans.h"
+#include "ml/matrix_factorization.h"
+#include "ml/regression.h"
+
+namespace ubigraph::ml {
+namespace {
+
+/// A synthetic low-rank rating set: rating(u, i) = dot(p_u, q_i).
+std::vector<Rating> SyntheticRatings(uint32_t users, uint32_t items,
+                                     uint32_t rank, double density,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> p(users, std::vector<double>(rank));
+  std::vector<std::vector<double>> q(items, std::vector<double>(rank));
+  for (auto& row : p) {
+    for (double& x : row) x = 0.5 + rng.NextDouble();
+  }
+  for (auto& row : q) {
+    for (double& x : row) x = 0.5 + rng.NextDouble();
+  }
+  std::vector<Rating> ratings;
+  for (uint32_t u = 0; u < users; ++u) {
+    for (uint32_t i = 0; i < items; ++i) {
+      if (!rng.NextBool(density)) continue;
+      double v = 0;
+      for (uint32_t f = 0; f < rank; ++f) v += p[u][f] * q[i][f];
+      ratings.push_back({u, i, v});
+    }
+  }
+  return ratings;
+}
+
+TEST(SgdTest, FitsLowRankData) {
+  auto ratings = SyntheticRatings(30, 25, 3, 0.5, 1);
+  FactorModel model(30, 25, 4, 7);
+  FactorizationOptions opts;
+  opts.epochs = 120;
+  opts.learning_rate = 0.03;
+  opts.regularization = 0.001;
+  auto stats = TrainSgd(&model, ratings, opts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(model.Rmse(ratings), 0.1);
+  // RMSE should broadly decrease.
+  EXPECT_LT(stats->epoch_rmse.back(), stats->epoch_rmse.front());
+}
+
+TEST(AlsTest, FitsLowRankData) {
+  auto ratings = SyntheticRatings(30, 25, 3, 0.5, 2);
+  FactorModel model(30, 25, 4, 9);
+  FactorizationOptions opts;
+  opts.epochs = 15;
+  opts.regularization = 0.01;
+  auto stats = TrainAls(&model, ratings, opts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(model.Rmse(ratings), 0.1);
+}
+
+TEST(AlsTest, ConvergesFasterThanSgdPerEpoch) {
+  auto ratings = SyntheticRatings(25, 20, 2, 0.6, 3);
+  FactorModel sgd_model(25, 20, 3, 5);
+  FactorModel als_model(25, 20, 3, 5);
+  FactorizationOptions opts;
+  opts.epochs = 5;
+  TrainSgd(&sgd_model, ratings, opts).ValueOrDie();
+  TrainAls(&als_model, ratings, opts).ValueOrDie();
+  EXPECT_LT(als_model.Rmse(ratings), sgd_model.Rmse(ratings));
+}
+
+TEST(FactorModelTest, RecommendExcludesSeen) {
+  auto ratings = SyntheticRatings(10, 8, 2, 0.7, 4);
+  FactorModel model(10, 8, 3, 11);
+  FactorizationOptions opts;
+  opts.epochs = 30;
+  TrainAls(&model, ratings, opts).ValueOrDie();
+  std::vector<uint32_t> seen{0, 1, 2};
+  auto recs = model.RecommendItems(0, 3, seen);
+  EXPECT_LE(recs.size(), 3u);
+  for (uint32_t item : recs) {
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), item), seen.end());
+  }
+}
+
+TEST(FactorizationTest, InvalidInputsRejected) {
+  FactorModel model(5, 5, 2, 1);
+  EXPECT_FALSE(TrainSgd(&model, {}, {}).ok());
+  std::vector<Rating> bad{{9, 0, 1.0}};
+  EXPECT_FALSE(TrainSgd(&model, bad, {}).ok());
+  EXPECT_FALSE(TrainAls(&model, bad, {}).ok());
+}
+
+TEST(ItemItemCfTest, SimilarityIsCosine) {
+  // Items 0 and 1 rated identically by users 0, 1.
+  std::vector<Rating> ratings{
+      {0, 0, 4}, {0, 1, 4}, {1, 0, 2}, {1, 1, 2}, {2, 2, 5}};
+  auto cf = ItemItemCf::Build(3, 3, ratings).ValueOrDie();
+  EXPECT_NEAR(cf.Similarity(0, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cf.Similarity(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(cf.Similarity(1, 1), 1.0);
+}
+
+TEST(ItemItemCfTest, PredictUsesSimilarItems) {
+  // User 2 rated item 0 high; item 1 is similar to item 0.
+  std::vector<Rating> ratings{
+      {0, 0, 5}, {0, 1, 5}, {1, 0, 1}, {1, 1, 1}, {2, 0, 5}};
+  auto cf = ItemItemCf::Build(3, 2, ratings).ValueOrDie();
+  EXPECT_NEAR(cf.Predict(2, 1), 5.0, 1e-9);
+}
+
+TEST(ItemItemCfTest, RecommendRanksCoRatedItems) {
+  std::vector<Rating> ratings{
+      {0, 0, 5}, {0, 1, 5}, {1, 0, 5}, {1, 2, 5}, {2, 0, 5}};
+  auto cf = ItemItemCf::Build(3, 3, ratings).ValueOrDie();
+  auto recs = cf.Recommend(2, 2);
+  ASSERT_FALSE(recs.empty());
+  // Items 1 and 2 both co-rated with 0; both valid recommendations.
+  for (uint32_t item : recs) EXPECT_NE(item, 0u);
+}
+
+TEST(ItemItemCfTest, InvalidInputs) {
+  EXPECT_FALSE(ItemItemCf::Build(2, 2, {}).ok());
+  std::vector<Rating> bad{{5, 0, 1.0}};
+  EXPECT_FALSE(ItemItemCf::Build(2, 2, bad).ok());
+}
+
+TEST(LinearRegressionTest, RecoversLine) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double v = 0; v < 10; ++v) {
+    x.push_back({v});
+    y.push_back(3.0 * v + 1.0);
+  }
+  RegressionOptions opts;
+  opts.epochs = 4000;
+  opts.learning_rate = 0.02;
+  opts.l2 = 0.0;
+  auto model = LinearRegression::Fit(x, y, opts).ValueOrDie();
+  EXPECT_NEAR(model.weights()[0], 3.0, 0.05);
+  EXPECT_NEAR(model.bias(), 1.0, 0.3);
+  EXPECT_LT(model.TrainMse(x, y), 0.05);
+}
+
+TEST(LinearRegressionTest, InvalidInputsRejected) {
+  EXPECT_FALSE(LinearRegression::Fit({}, {}).ok());
+  EXPECT_FALSE(LinearRegression::Fit({{1.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(LinearRegression::Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).ok());
+}
+
+TEST(LogisticRegressionTest, SeparatesLinearlySeparableData) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.NextDouble() * 2 - 1;
+    double b = rng.NextDouble() * 2 - 1;
+    x.push_back({a, b});
+    y.push_back(a + b > 0 ? 1 : 0);
+  }
+  RegressionOptions opts;
+  opts.epochs = 2000;
+  opts.learning_rate = 0.5;
+  auto model = LogisticRegression::Fit(x, y, opts).ValueOrDie();
+  EXPECT_GT(model.Accuracy(x, y), 0.95);
+}
+
+TEST(LogisticRegressionTest, RejectsNonBinaryLabels) {
+  EXPECT_FALSE(LogisticRegression::Fit({{1.0}}, {2}).ok());
+}
+
+TEST(VertexFeaturesTest, ShapeAndBasicValues) {
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(gen::Complete(5), opts).ValueOrDie();
+  auto features = ExtractVertexFeatures(g);
+  ASSERT_EQ(features.size(), 5u);
+  for (const auto& f : features) {
+    ASSERT_EQ(f.size(), 5u);
+    EXPECT_DOUBLE_EQ(f[0], 4.0);  // degree
+    EXPECT_DOUBLE_EQ(f[2], 1.0);  // clustering
+    EXPECT_DOUBLE_EQ(f[3], 4.0);  // core
+    EXPECT_NEAR(f[4], 0.2, 1e-6);  // uniform pagerank
+  }
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(8);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.NextGaussian() * 0.1, rng.NextGaussian() * 0.1});
+  }
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({5 + rng.NextGaussian() * 0.1, 5 + rng.NextGaussian() * 0.1});
+  }
+  auto r = KMeans(points, 2).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+  // All of the first blob share a cluster, all of the second the other.
+  for (int i = 1; i < 40; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 41; i < 80; ++i) EXPECT_EQ(r.assignment[i], r.assignment[40]);
+  EXPECT_NE(r.assignment[0], r.assignment[40]);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(9);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.NextDouble() * 10, rng.NextDouble() * 10});
+  }
+  double inertia2 = KMeans(points, 2).ValueOrDie().inertia;
+  double inertia8 = KMeans(points, 8).ValueOrDie().inertia;
+  EXPECT_LT(inertia8, inertia2);
+}
+
+TEST(KMeansTest, InvalidInputsRejected) {
+  EXPECT_FALSE(KMeans({}, 2).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 5).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1).ok());
+}
+
+TEST(NormalizeFeaturesTest, MapsToUnitRange) {
+  std::vector<std::vector<double>> points{{0, 10}, {5, 10}, {10, 10}};
+  NormalizeFeatures(&points);
+  EXPECT_DOUBLE_EQ(points[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(points[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(points[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(points[0][1], 0.0);  // constant dimension -> 0
+}
+
+TEST(BeliefPropagationTest, ExactOnTwoVertexChain) {
+  // Two vertices, attractive coupling; vertex 0 biased to state 1.
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(gen::Path(2), opts).ValueOrDie();
+  PairwiseMrf mrf = MakeIsingMrf(2, {1.0, 0.0}, 2.0);
+  auto r = LoopyBeliefPropagation(g, mrf).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+  auto states = r.MapStates(2);
+  EXPECT_EQ(states[0], 1u);
+  EXPECT_EQ(states[1], 1u);  // pulled by the attractive coupling
+  // Beliefs normalized.
+  EXPECT_NEAR(r.beliefs[0] + r.beliefs[1], 1.0, 1e-9);
+}
+
+TEST(BeliefPropagationTest, MatchesBruteForceOnTree) {
+  // Star with 3 leaves, random potentials; compare marginals with exhaustive
+  // enumeration (BP is exact on trees).
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(gen::Star(3), opts).ValueOrDie();
+  PairwiseMrf mrf;
+  mrf.num_states = 2;
+  mrf.unary = {0.7, 0.3, 0.4, 0.6, 0.5, 0.5, 0.8, 0.2};
+  mrf.pairwise = {1.5, 0.5, 0.5, 1.5};
+  BeliefPropagationOptions bopts;
+  bopts.max_iterations = 100;
+  auto r = LoopyBeliefPropagation(g, mrf, bopts).ValueOrDie();
+
+  // Brute force over 2^4 configurations.
+  double z = 0.0;
+  double marginal1[4] = {0, 0, 0, 0};  // P(v = state 1)
+  for (int cfg = 0; cfg < 16; ++cfg) {
+    int s[4];
+    for (int v = 0; v < 4; ++v) s[v] = (cfg >> v) & 1;
+    double w = 1.0;
+    for (int v = 0; v < 4; ++v) w *= mrf.unary[v * 2 + s[v]];
+    for (int leaf = 1; leaf < 4; ++leaf) w *= mrf.pairwise[s[0] * 2 + s[leaf]];
+    z += w;
+    for (int v = 0; v < 4; ++v) {
+      if (s[v] == 1) marginal1[v] += w;
+    }
+  }
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NEAR(r.beliefs[v * 2 + 1], marginal1[v] / z, 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(BeliefPropagationTest, InvalidMrfRejected) {
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(gen::Path(3), opts).ValueOrDie();
+  PairwiseMrf bad = MakeIsingMrf(2, {}, 2.0);  // wrong vertex count
+  EXPECT_FALSE(LoopyBeliefPropagation(g, bad).ok());
+  PairwiseMrf zero_states;
+  zero_states.num_states = 0;
+  EXPECT_FALSE(LoopyBeliefPropagation(g, zero_states).ok());
+}
+
+TEST(BeliefPropagationTest, DampingStillConverges) {
+  Rng rng(10);
+  auto el = gen::ErdosRenyi(20, 40, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  PairwiseMrf mrf = MakeIsingMrf(20, std::vector<double>(20, 0.1), 1.5);
+  BeliefPropagationOptions bopts;
+  bopts.damping = 0.5;
+  bopts.max_iterations = 200;
+  auto r = LoopyBeliefPropagation(g, mrf, bopts).ValueOrDie();
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace ubigraph::ml

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/generators.h"
+#include "ml/influence_max.h"
+#include "ml/link_prediction.h"
+
+namespace ubigraph::ml {
+namespace {
+
+CsrGraph Undirected(EdgeList el) {
+  CsrOptions opts;
+  opts.directed = false;
+  return CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+}
+
+TEST(LinkScoreTest, CommonNeighborsKnownValues) {
+  // 0 and 1 share neighbors {2, 3}.
+  auto g = CsrGraph::FromPairs(5, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {1, 4}})
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(ScoreLink(g, 0, 1, LinkScore::kCommonNeighbors), 2.0);
+  EXPECT_NEAR(ScoreLink(g, 0, 1, LinkScore::kJaccard), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ScoreLink(g, 0, 1, LinkScore::kPreferentialAttachment), 6.0);
+}
+
+TEST(LinkScoreTest, AdamicAdarWeightsRareNeighborsHigher) {
+  // Common neighbor 2 has degree 2; common neighbor 3 has degree 4.
+  auto g = CsrGraph::FromPairs(
+               6, {{0, 2}, {1, 2}, {0, 3}, {1, 3}, {4, 3}, {5, 3}})
+               .ValueOrDie();
+  double aa = ScoreLink(g, 0, 1, LinkScore::kAdamicAdar);
+  EXPECT_NEAR(aa, 1.0 / std::log(2.0) + 1.0 / std::log(4.0), 1e-12);
+  double ra = ScoreLink(g, 0, 1, LinkScore::kResourceAllocation);
+  EXPECT_NEAR(ra, 1.0 / 2.0 + 1.0 / 4.0, 1e-12);
+}
+
+TEST(LinkScoreTest, NoCommonNeighborsZero) {
+  auto g = CsrGraph::FromPairs(4, {{0, 2}, {1, 3}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(ScoreLink(g, 0, 1, LinkScore::kCommonNeighbors), 0.0);
+  EXPECT_DOUBLE_EQ(ScoreLink(g, 0, 1, LinkScore::kJaccard), 0.0);
+}
+
+TEST(KatzTest, DirectPathDominatesWhenBetaSmall) {
+  // 0-1 direct edge, plus longer path 0-2-3-1.
+  auto g = Undirected([] {
+    EdgeList el(4);
+    el.Add(0, 1);
+    el.Add(0, 2);
+    el.Add(2, 3);
+    el.Add(3, 1);
+    return el;
+  }());
+  double beta = 0.01;
+  double katz = KatzIndex(g, 0, 1, beta, 4);
+  // Length-1 contribution beta; length-3 path contributes beta^3.
+  EXPECT_GT(katz, beta * 0.99);
+  EXPECT_LT(katz, beta * 1.2);
+}
+
+TEST(KatzTest, CountsWalksNotJustPaths) {
+  // Single edge 0-1: walks of length 1 and 3 (0-1-0-1) exist.
+  auto g = Undirected([] {
+    EdgeList el(2);
+    el.Add(0, 1);
+    return el;
+  }());
+  double beta = 0.5;
+  double katz = KatzIndex(g, 0, 1, beta, 3);
+  EXPECT_NEAR(katz, beta + beta * beta * beta, 1e-12);
+}
+
+TEST(TopKPredictedLinksTest, RanksTrianglesFirst) {
+  // Path 0-1-2 plus 2-3: pair (0,2) has 1 common neighbor, (1,3) has 1,
+  // (0,3) has none within 2 hops.
+  auto g = Undirected(gen::Path(4));
+  auto preds = TopKPredictedLinks(g, 10, LinkScore::kCommonNeighbors);
+  ASSERT_EQ(preds.size(), 2u);
+  for (const PredictedLink& p : preds) {
+    EXPECT_FALSE(g.HasEdge(p.u, p.v));
+    EXPECT_DOUBLE_EQ(p.score, 1.0);
+  }
+}
+
+TEST(TopKPredictedLinksTest, ExcludesExistingEdges) {
+  auto g = Undirected(gen::Complete(5));
+  EXPECT_TRUE(TopKPredictedLinks(g, 10, LinkScore::kCommonNeighbors).empty());
+}
+
+TEST(TopKPredictedLinksTest, LimitsToK) {
+  Rng rng(3);
+  auto g = Undirected(gen::BarabasiAlbert(40, 2, &rng).ValueOrDie());
+  auto preds = TopKPredictedLinks(g, 5, LinkScore::kAdamicAdar);
+  EXPECT_LE(preds.size(), 5u);
+  for (size_t i = 1; i < preds.size(); ++i) {
+    EXPECT_GE(preds[i - 1].score, preds[i].score);
+  }
+}
+
+TEST(AucTest, RecoversRemovedEdgesAboveChance) {
+  // Build a strong-community graph, hide some intra-community edges, and
+  // verify neighborhood scores rank them above random non-edges.
+  Rng rng(7);
+  auto el = gen::PlantedPartition(60, 3, 0.6, 0.02, &rng).ValueOrDie();
+  std::vector<std::pair<VertexId, VertexId>> held_out;
+  EdgeList kept(60);
+  int skip = 0;
+  for (const Edge& e : el.edges()) {
+    if (e.src / 20 == e.dst / 20 && ++skip % 7 == 0) {
+      held_out.emplace_back(e.src, e.dst);
+    } else {
+      kept.Add(e.src, e.dst);
+    }
+  }
+  kept.EnsureVertices(60);
+  auto g = Undirected(std::move(kept));
+  auto auc = LinkPredictionAuc(g, held_out, LinkScore::kCommonNeighbors, 2000, 5);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.8);
+}
+
+TEST(AucTest, InvalidInputsRejected) {
+  auto g = Undirected(gen::Path(4));
+  EXPECT_FALSE(LinkPredictionAuc(g, {}, LinkScore::kJaccard, 10, 1).ok());
+  EXPECT_FALSE(
+      LinkPredictionAuc(g, {{0, 99}}, LinkScore::kJaccard, 10, 1).ok());
+  EXPECT_FALSE(LinkPredictionAuc(g, {{0, 2}}, LinkScore::kJaccard, 0, 1).ok());
+}
+
+// ---------------------------------------------------------------- influence --
+
+TEST(SpreadTest, SeedAloneWhenProbabilityTiny) {
+  auto g = CsrGraph::FromEdges(gen::Star(10)).ValueOrDie();
+  InfluenceOptions opts;
+  opts.probability = 1e-9;
+  opts.num_simulations = 50;
+  EXPECT_NEAR(EstimateSpread(g, {0}, opts), 1.0, 0.01);
+}
+
+TEST(SpreadTest, FullCascadeWhenProbabilityOne) {
+  auto g = CsrGraph::FromEdges(gen::Path(6)).ValueOrDie();
+  InfluenceOptions opts;
+  opts.probability = 1.0;
+  opts.num_simulations = 10;
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, {0}, opts), 6.0);
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, {3}, opts), 3.0);  // 3,4,5
+}
+
+TEST(SpreadTest, MonotoneInSeedSet) {
+  Rng rng(9);
+  auto g = Undirected(gen::BarabasiAlbert(50, 2, &rng).ValueOrDie());
+  InfluenceOptions opts;
+  opts.num_simulations = 300;
+  double one = EstimateSpread(g, {0}, opts);
+  double two = EstimateSpread(g, {0, 25}, opts);
+  EXPECT_GE(two, one - 0.5);  // allow MC noise
+}
+
+TEST(GreedyInfluenceTest, PicksHubOnStar) {
+  auto g = CsrGraph::FromEdges(gen::Star(12)).ValueOrDie();
+  InfluenceOptions opts;
+  opts.probability = 0.5;
+  opts.num_simulations = 100;
+  auto r = GreedyInfluenceMaximization(g, 1, opts).ValueOrDie();
+  ASSERT_EQ(r.seeds.size(), 1u);
+  EXPECT_EQ(r.seeds[0], 0u);  // the hub
+  EXPECT_GT(r.expected_spread, 1.0);
+}
+
+TEST(CelfTest, MatchesGreedySpreadOnSmallGraph) {
+  Rng rng(15);
+  auto g = Undirected(gen::BarabasiAlbert(30, 2, &rng).ValueOrDie());
+  InfluenceOptions opts;
+  opts.num_simulations = 150;
+  opts.probability = 0.2;
+  auto greedy = GreedyInfluenceMaximization(g, 3, opts).ValueOrDie();
+  auto celf = CelfInfluenceMaximization(g, 3, opts).ValueOrDie();
+  EXPECT_EQ(celf.seeds.size(), 3u);
+  // CELF must not be materially worse (identical up to MC noise).
+  EXPECT_NEAR(celf.expected_spread, greedy.expected_spread,
+              0.2 * greedy.expected_spread + 1.0);
+  // CELF's whole point: far fewer spread evaluations after the first pass.
+  EXPECT_LT(celf.spread_evaluations, greedy.spread_evaluations);
+}
+
+TEST(InfluenceTest, InvalidOptionsRejected) {
+  auto g = CsrGraph::FromEdges(gen::Path(5)).ValueOrDie();
+  InfluenceOptions bad;
+  bad.probability = 0.0;
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, 1, bad).ok());
+  EXPECT_FALSE(GreedyInfluenceMaximization(g, 0).ok());
+  EXPECT_FALSE(CelfInfluenceMaximization(g, 99).ok());
+}
+
+TEST(TopDegreeSeedsTest, OrderedByDegree) {
+  auto g = CsrGraph::FromEdges(gen::Star(6)).ValueOrDie();
+  auto seeds = TopDegreeSeeds(g, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace ubigraph::ml

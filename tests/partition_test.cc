@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/partition.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+CsrGraph Community4x25(uint64_t seed) {
+  Rng rng(seed);
+  auto el = gen::PlantedPartition(100, 4, 0.4, 0.01, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  return CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+}
+
+TEST(HashPartitionTest, CoversAllParts) {
+  auto g = Community4x25(1);
+  auto p = HashPartition(g, 4).ValueOrDie();
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  EXPECT_EQ(q.part_sizes.size(), 4u);
+  for (uint64_t s : q.part_sizes) EXPECT_GT(s, 0u);
+  EXPECT_LT(q.imbalance, 0.5);
+}
+
+TEST(HashPartitionTest, ZeroPartsRejected) {
+  auto g = Community4x25(1);
+  EXPECT_FALSE(HashPartition(g, 0).ok());
+}
+
+TEST(LdgPartitionTest, RespectsCapacity) {
+  auto g = Community4x25(2);
+  auto p = LdgPartition(g, 4, 1.1).ValueOrDie();
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  // Capacity 1.1 * 25 = 27.5 -> max part size 27.
+  for (uint64_t s : q.part_sizes) EXPECT_LE(s, 28u);
+}
+
+TEST(LdgPartitionTest, BeatsHashOnCommunityGraph) {
+  auto g = Community4x25(3);
+  auto hash_q = EvaluatePartition(g, HashPartition(g, 4).ValueOrDie()).ValueOrDie();
+  auto ldg_q = EvaluatePartition(g, LdgPartition(g, 4).ValueOrDie()).ValueOrDie();
+  EXPECT_LT(ldg_q.edge_cut, hash_q.edge_cut);
+}
+
+TEST(LdgPartitionTest, InvalidSlackRejected) {
+  auto g = Community4x25(1);
+  EXPECT_FALSE(LdgPartition(g, 4, 0.5).ok());
+}
+
+TEST(BfsGrowTest, AllVerticesAssigned) {
+  auto g = Community4x25(4);
+  Rng rng(9);
+  auto p = BfsGrowPartition(g, 4, &rng).ValueOrDie();
+  for (uint32_t part : p.part) EXPECT_LT(part, 4u);
+}
+
+TEST(BfsGrowTest, HandlesDisconnectedGraph) {
+  auto g = CsrGraph::FromPairs(10, {{0, 1}, {2, 3}}).ValueOrDie();
+  Rng rng(5);
+  auto p = BfsGrowPartition(g, 3, &rng).ValueOrDie();
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  uint64_t total = 0;
+  for (uint64_t s : q.part_sizes) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(BfsGrowTest, NullRngRejected) {
+  auto g = Community4x25(1);
+  EXPECT_FALSE(BfsGrowPartition(g, 2, nullptr).ok());
+}
+
+TEST(EvaluateTest, PerfectSplitHasZeroCut) {
+  // Two disjoint cliques split exactly.
+  EdgeList el(6);
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = u + 1; v < 3; ++v) el.Add(u, v);
+  }
+  for (VertexId u = 3; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) el.Add(u, v);
+  }
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 0, 1, 1, 1};
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  EXPECT_EQ(q.edge_cut, 0u);
+  EXPECT_DOUBLE_EQ(q.cut_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(q.imbalance, 0.0);
+}
+
+TEST(EvaluateTest, FullCut) {
+  auto g = CsrGraph::FromPairs(2, {{0, 1}}).ValueOrDie();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 1};
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  EXPECT_EQ(q.edge_cut, 1u);
+  EXPECT_DOUBLE_EQ(q.cut_fraction, 1.0);
+}
+
+TEST(EvaluateTest, SizeMismatchRejected) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}}).ValueOrDie();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 1};  // too short
+  EXPECT_FALSE(EvaluatePartition(g, p).ok());
+}
+
+TEST(EvaluateTest, BadPartIdRejected) {
+  auto g = CsrGraph::FromPairs(2, {{0, 1}}).ValueOrDie();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 7};
+  EXPECT_FALSE(EvaluatePartition(g, p).ok());
+}
+
+class PartitionerComparisonTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(PartitionerComparisonTest, AllProduceValidPartitions) {
+  auto [k, seed] = GetParam();
+  auto g = Community4x25(seed);
+  Rng rng(seed);
+  for (auto& result :
+       {HashPartition(g, k), LdgPartition(g, k), BfsGrowPartition(g, k, &rng)}) {
+    ASSERT_TRUE(result.ok());
+    auto q = EvaluatePartition(g, *result);
+    ASSERT_TRUE(q.ok());
+    uint64_t total = 0;
+    for (uint64_t s : q->part_sizes) total += s;
+    EXPECT_EQ(total, g.num_vertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PartitionerComparisonTest,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u), ::testing::Values(1u, 2u)));
+
+}  // namespace
+}  // namespace ubigraph::algo

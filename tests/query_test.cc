@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "query/cypher_executor.h"
+#include "query/cypher_lexer.h"
+#include "query/cypher_parser.h"
+#include "query/traversal_api.h"
+
+namespace ubigraph::query {
+namespace {
+
+/// A small social/product graph used across the query tests.
+PropertyGraph SampleGraph() {
+  PropertyGraph g;
+  VertexId alice = g.AddVertex("Person");
+  VertexId bob = g.AddVertex("Person");
+  VertexId carol = g.AddVertex("Person");
+  VertexId laptop = g.AddVertex("Product");
+  VertexId phone = g.AddVertex("Product");
+  g.SetVertexProperty(alice, "name", std::string("alice")).Abort();
+  g.SetVertexProperty(alice, "age", static_cast<int64_t>(34)).Abort();
+  g.SetVertexProperty(bob, "name", std::string("bob")).Abort();
+  g.SetVertexProperty(bob, "age", static_cast<int64_t>(29)).Abort();
+  g.SetVertexProperty(carol, "name", std::string("carol")).Abort();
+  g.SetVertexProperty(carol, "age", static_cast<int64_t>(41)).Abort();
+  g.SetVertexProperty(laptop, "name", std::string("laptop")).Abort();
+  g.SetVertexProperty(laptop, "price", 1200.0).Abort();
+  g.SetVertexProperty(phone, "name", std::string("phone")).Abort();
+  g.SetVertexProperty(phone, "price", 800.0).Abort();
+  g.AddEdge(alice, bob, "knows").ValueOrDie();
+  g.AddEdge(bob, carol, "knows").ValueOrDie();
+  g.AddEdge(alice, laptop, "bought").ValueOrDie();
+  g.AddEdge(bob, laptop, "bought").ValueOrDie();
+  g.AddEdge(carol, phone, "bought").ValueOrDie();
+  return g;
+}
+
+// ----------------------------------------------------------- fluent API ---
+
+TEST(TraversalApiTest, VCountsAll) {
+  PropertyGraph g = SampleGraph();
+  EXPECT_EQ(GraphTraversal(g).V().Count(), 5u);
+}
+
+TEST(TraversalApiTest, HasLabelFilters) {
+  PropertyGraph g = SampleGraph();
+  EXPECT_EQ(GraphTraversal(g).V().HasLabel("Person").Count(), 3u);
+  EXPECT_EQ(GraphTraversal(g).V().HasLabel("Product").Count(), 2u);
+  EXPECT_EQ(GraphTraversal(g).V().HasLabel("Nothing").Count(), 0u);
+}
+
+TEST(TraversalApiTest, HasValueEquality) {
+  PropertyGraph g = SampleGraph();
+  EXPECT_EQ(
+      GraphTraversal(g).V().Has("name", PropertyValue{std::string("bob")}).Count(),
+      1u);
+}
+
+TEST(TraversalApiTest, HasPredicate) {
+  PropertyGraph g = SampleGraph();
+  size_t over30 =
+      GraphTraversal(g)
+          .V()
+          .HasLabel("Person")
+          .Has("age",
+               [](const PropertyValue& v) { return std::get<int64_t>(v) > 30; })
+          .Count();
+  EXPECT_EQ(over30, 2u);  // alice 34, carol 41
+}
+
+TEST(TraversalApiTest, OutInBothSteps) {
+  PropertyGraph g = SampleGraph();
+  // alice -> knows -> bob -> knows -> carol.
+  auto two_hops = GraphTraversal(g).V({0}).Out("knows").Out("knows").ToVector();
+  ASSERT_EQ(two_hops.size(), 1u);
+  EXPECT_EQ(two_hops[0], 2u);
+  EXPECT_EQ(GraphTraversal(g).V({3}).In("bought").Count(), 2u);
+  EXPECT_EQ(GraphTraversal(g).V({1}).Both("knows").Count(), 2u);
+}
+
+TEST(TraversalApiTest, DedupAndLimit) {
+  PropertyGraph g = SampleGraph();
+  // Who bought anything that bob bought (via product, back to buyers).
+  auto buyers = GraphTraversal(g).V({1}).Out("bought").In("bought");
+  EXPECT_EQ(buyers.Count(), 2u);  // alice and bob
+  EXPECT_EQ(GraphTraversal(g).V().Limit(2).Count(), 2u);
+  auto repeated = GraphTraversal(g).V({0, 0, 0}).Dedup();
+  EXPECT_EQ(repeated.Count(), 1u);
+}
+
+TEST(TraversalApiTest, OrderByNumericProperty) {
+  PropertyGraph g = SampleGraph();
+  auto ages = GraphTraversal(g).V().HasLabel("Person").OrderBy("age").Values("age");
+  ASSERT_EQ(ages.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(ages[0]), 29);
+  EXPECT_EQ(std::get<int64_t>(ages[2]), 41);
+}
+
+TEST(TraversalApiTest, ValuesReturnsMonostateForMissing) {
+  PropertyGraph g = SampleGraph();
+  auto prices = GraphTraversal(g).V().HasLabel("Person").Values("price");
+  for (const auto& p : prices) {
+    EXPECT_TRUE(std::holds_alternative<std::monostate>(p));
+  }
+}
+
+TEST(TraversalApiTest, OutOfRangeIdsDropped) {
+  PropertyGraph g = SampleGraph();
+  EXPECT_EQ(GraphTraversal(g).V({0, 99}).Count(), 1u);
+}
+
+// ----------------------------------------------------------------- lexer ---
+
+TEST(CypherLexerTest, TokenizesAllKinds) {
+  auto tokens =
+      TokenizeCypher("MATCH (a:Person {age: 34})-[:knows]->(b) WHERE a.x <= 1.5 "
+                     "RETURN count(*)")
+          .ValueOrDie();
+  EXPECT_GT(tokens.size(), 10u);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(CypherLexerTest, OperatorsDistinguished) {
+  auto tokens = TokenizeCypher("< <= <> <- - -> >= > =").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kArrowLeft);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kDash);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kArrowRight);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kEq);
+}
+
+TEST(CypherLexerTest, StringsAndEscapes) {
+  auto tokens = TokenizeCypher("'it\\'s' \"two\"").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_EQ(tokens[1].text, "two");
+  EXPECT_FALSE(TokenizeCypher("'unterminated").ok());
+}
+
+TEST(CypherLexerTest, NumbersIntAndFloat) {
+  auto tokens = TokenizeCypher("42 3.5").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].integer, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].floating, 3.5);
+}
+
+TEST(CypherLexerTest, RejectsGarbage) {
+  EXPECT_FALSE(TokenizeCypher("MATCH (a) @ RETURN a").ok());
+}
+
+// ---------------------------------------------------------------- parser ---
+
+TEST(CypherParserTest, FullQueryShape) {
+  auto q = ParseCypher(
+               "MATCH (a:Person)-[:knows]->(b:Person) "
+               "WHERE a.age > 30 AND b.name = 'bob' "
+               "RETURN a.name, b.name LIMIT 10")
+               .ValueOrDie();
+  ASSERT_EQ(q.paths.size(), 1u);
+  EXPECT_EQ(q.paths[0].nodes.size(), 2u);
+  EXPECT_EQ(q.paths[0].edges.size(), 1u);
+  EXPECT_EQ(q.paths[0].edges[0].type, "knows");
+  EXPECT_EQ(q.paths[0].edges[0].direction, EdgePattern::Direction::kOut);
+  EXPECT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.returns.size(), 2u);
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(*q.limit, 10u);
+}
+
+TEST(CypherParserTest, NodeProperties) {
+  auto q = ParseCypher("MATCH (a:Person {name: 'alice', age: 34}) RETURN a")
+               .ValueOrDie();
+  ASSERT_EQ(q.paths[0].nodes[0].properties.size(), 2u);
+  EXPECT_EQ(q.paths[0].nodes[0].properties[0].first, "name");
+}
+
+TEST(CypherParserTest, EdgeDirections) {
+  auto out = ParseCypher("MATCH (a)-[:x]->(b) RETURN a").ValueOrDie();
+  EXPECT_EQ(out.paths[0].edges[0].direction, EdgePattern::Direction::kOut);
+  auto in = ParseCypher("MATCH (a)<-[:x]-(b) RETURN a").ValueOrDie();
+  EXPECT_EQ(in.paths[0].edges[0].direction, EdgePattern::Direction::kIn);
+  auto any = ParseCypher("MATCH (a)-[:x]-(b) RETURN a").ValueOrDie();
+  EXPECT_EQ(any.paths[0].edges[0].direction, EdgePattern::Direction::kAny);
+  auto bare = ParseCypher("MATCH (a)-->(b) RETURN a");
+  ASSERT_TRUE(bare.ok());  // "-[]->" with empty body elided entirely
+}
+
+TEST(CypherParserTest, MultiplePathsAndCount) {
+  auto q = ParseCypher("MATCH (a)-[:x]->(b), (b)-[:y]->(c) RETURN count(*)")
+               .ValueOrDie();
+  EXPECT_EQ(q.paths.size(), 2u);
+  EXPECT_TRUE(q.returns[0].is_count);
+}
+
+TEST(CypherParserTest, SyntaxErrorsRejected) {
+  EXPECT_FALSE(ParseCypher("RETURN a").ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a) RETURN").ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a RETURN a").ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a)-[:x](b) RETURN a").ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a) WHERE RETURN a").ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a) RETURN a LIMIT x").ok());
+  EXPECT_FALSE(ParseCypher("MATCH (a) RETURN a extra").ok());
+}
+
+// -------------------------------------------------------------- executor ---
+
+TEST(CypherExecutorTest, LabelScan) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (p:Person) RETURN p.name").ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.columns[0], "p.name");
+}
+
+TEST(CypherExecutorTest, EdgePatternWithDirection) {
+  PropertyGraph g = SampleGraph();
+  auto out =
+      RunCypher(g, "MATCH (a)-[:knows]->(b) RETURN a.name, b.name").ValueOrDie();
+  EXPECT_EQ(out.rows.size(), 2u);
+  auto in = RunCypher(g, "MATCH (a)<-[:knows]-(b) RETURN a.name").ValueOrDie();
+  EXPECT_EQ(in.rows.size(), 2u);
+  auto any = RunCypher(g, "MATCH (a)-[:knows]-(b) RETURN a.name").ValueOrDie();
+  EXPECT_EQ(any.rows.size(), 4u);  // each directed edge seen from both sides
+}
+
+TEST(CypherExecutorTest, WhereComparisons) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (p:Person) WHERE p.age > 30 RETURN p.name")
+               .ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 2u);
+  auto eq = RunCypher(g, "MATCH (p:Person) WHERE p.name = 'bob' RETURN p")
+                .ValueOrDie();
+  EXPECT_EQ(eq.rows.size(), 1u);
+  auto ne = RunCypher(g, "MATCH (p:Person) WHERE p.name <> 'bob' RETURN p")
+                .ValueOrDie();
+  EXPECT_EQ(ne.rows.size(), 2u);
+}
+
+TEST(CypherExecutorTest, NodePropertyFilterInPattern) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (p:Person {name: 'alice'})-[:bought]->(x) "
+                        "RETURN x.name")
+               .ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(r.rows[0][0]), "laptop");
+}
+
+TEST(CypherExecutorTest, TwoHopJoin) {
+  PropertyGraph g = SampleGraph();
+  // Co-purchase: who bought what alice bought?
+  auto r = RunCypher(g,
+                     "MATCH (a:Person {name: 'alice'})-[:bought]->(p), "
+                     "(other:Person)-[:bought]->(p) "
+                     "WHERE other.name <> 'alice' RETURN other.name")
+               .ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(r.rows[0][0]), "bob");
+}
+
+TEST(CypherExecutorTest, CountStar) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (a)-[:bought]->(b) RETURN count(*)").ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 3);
+}
+
+TEST(CypherExecutorTest, LimitApplied) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (p:Person) RETURN p LIMIT 2").ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(CypherExecutorTest, NumericCrossTypeComparison) {
+  PropertyGraph g = SampleGraph();
+  // price is a double; compare against an integer literal.
+  auto r = RunCypher(g, "MATCH (p:Product) WHERE p.price >= 1000 RETURN p.name")
+               .ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(r.rows[0][0]), "laptop");
+}
+
+TEST(CypherExecutorTest, UnknownVariableRejected) {
+  PropertyGraph g = SampleGraph();
+  EXPECT_FALSE(RunCypher(g, "MATCH (a) RETURN b").ok());
+  EXPECT_FALSE(RunCypher(g, "MATCH (a) WHERE z.k = 1 RETURN a").ok());
+}
+
+TEST(CypherExecutorTest, FormatResultRenders) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (p:Person) WHERE p.age > 40 RETURN p.name, p.age")
+               .ValueOrDie();
+  std::string text = FormatResult(r);
+  EXPECT_NE(text.find("carol"), std::string::npos);
+  EXPECT_NE(text.find("41"), std::string::npos);
+}
+
+TEST(CypherExecutorTest, EmptyResultIsNotAnError) {
+  PropertyGraph g = SampleGraph();
+  auto r = RunCypher(g, "MATCH (p:Person) WHERE p.age > 100 RETURN p").ValueOrDie();
+  EXPECT_TRUE(r.rows.empty());
+}
+
+}  // namespace
+}  // namespace ubigraph::query

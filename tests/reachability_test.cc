@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/reachability.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+TEST(ReachabilityOnlineTest, PathDirection) {
+  auto g = CsrGraph::FromEdges(gen::Path(4)).ValueOrDie();
+  EXPECT_TRUE(IsReachable(g, 0, 3));
+  EXPECT_FALSE(IsReachable(g, 3, 0));
+  EXPECT_TRUE(IsReachable(g, 2, 2));
+}
+
+TEST(ReachabilityOnlineTest, OutOfRange) {
+  auto g = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
+  EXPECT_FALSE(IsReachable(g, 0, 99));
+  EXPECT_FALSE(IsReachable(g, 99, 0));
+}
+
+TEST(ReachabilityIndexTest, SameSccAlwaysReachable) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}, {1, 2}, {2, 0}}).ValueOrDie();
+  auto idx = ReachabilityIndex::Build(g).ValueOrDie();
+  EXPECT_EQ(idx.num_scc(), 1u);
+  for (VertexId u = 0; u < 3; ++u) {
+    for (VertexId v = 0; v < 3; ++v) EXPECT_TRUE(idx.Reachable(u, v));
+  }
+}
+
+TEST(ReachabilityIndexTest, DagChain) {
+  auto g = CsrGraph::FromEdges(gen::Path(5)).ValueOrDie();
+  auto idx = ReachabilityIndex::Build(g).ValueOrDie();
+  EXPECT_EQ(idx.num_scc(), 5u);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 0; v < 5; ++v) {
+      EXPECT_EQ(idx.Reachable(u, v), u <= v) << u << "->" << v;
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, DisconnectedComponents) {
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {2, 3}}).ValueOrDie();
+  auto idx = ReachabilityIndex::Build(g).ValueOrDie();
+  EXPECT_TRUE(idx.Reachable(0, 1));
+  EXPECT_FALSE(idx.Reachable(0, 2));
+  EXPECT_FALSE(idx.Reachable(1, 3));
+}
+
+class ReachabilityRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReachabilityRandomTest, IndexMatchesOnlineBfs) {
+  Rng rng(GetParam());
+  auto el = gen::ErdosRenyi(40, 70, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto idx = ReachabilityIndex::Build(g).ValueOrDie();
+  for (VertexId u = 0; u < g.num_vertices(); u += 3) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 3) {
+      EXPECT_EQ(idx.Reachable(u, v), IsReachable(g, u, v))
+          << "seed=" << GetParam() << " " << u << "->" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityRandomTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+TEST(ReachabilityRandomDenseTest, IndexMatchesOnCyclicGraphs) {
+  // Denser graphs develop nontrivial SCCs, exercising the condensation path.
+  for (uint64_t seed = 60; seed < 64; ++seed) {
+    Rng rng(seed);
+    auto el = gen::ErdosRenyi(30, 120, &rng).ValueOrDie();
+    auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+    auto idx = ReachabilityIndex::Build(g).ValueOrDie();
+    EXPECT_LT(idx.num_scc(), g.num_vertices());  // some cycle collapsed
+    for (VertexId u = 0; u < g.num_vertices(); u += 2) {
+      for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+        EXPECT_EQ(idx.Reachable(u, v), IsReachable(g, u, v));
+      }
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, SccLabelsExposed) {
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 0}, {2, 3}}).ValueOrDie();
+  auto idx = ReachabilityIndex::Build(g).ValueOrDie();
+  EXPECT_EQ(idx.SccOf(0), idx.SccOf(1));
+  EXPECT_NE(idx.SccOf(0), idx.SccOf(2));
+  EXPECT_EQ(idx.num_scc(), 3u);
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/shortest_path.h"
+#include "algorithms/traversal.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+CsrGraph WeightedDiamond() {
+  // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 1 -> 3 (5), 2 -> 3 (1).
+  EdgeList el(4);
+  el.Add(0, 1, 1);
+  el.Add(0, 2, 4);
+  el.Add(1, 2, 2);
+  el.Add(1, 3, 5);
+  el.Add(2, 3, 1);
+  return CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+}
+
+TEST(DijkstraTest, ShortestDistancesOnDiamond) {
+  auto t = Dijkstra(WeightedDiamond(), 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->distance[0], 0);
+  EXPECT_DOUBLE_EQ(t->distance[1], 1);
+  EXPECT_DOUBLE_EQ(t->distance[2], 3);
+  EXPECT_DOUBLE_EQ(t->distance[3], 4);
+}
+
+TEST(DijkstraTest, PathReconstruction) {
+  auto t = Dijkstra(WeightedDiamond(), 0).ValueOrDie();
+  auto path = t.PathTo(3);
+  EXPECT_EQ(path, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(t.PathTo(0), (std::vector<VertexId>{0}));
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}}).ValueOrDie();
+  auto t = Dijkstra(g, 0).ValueOrDie();
+  EXPECT_EQ(t.distance[2], kInfDistance);
+  EXPECT_TRUE(t.PathTo(2).empty());
+}
+
+TEST(DijkstraTest, NegativeWeightRejected) {
+  EdgeList el(2);
+  el.Add(0, 1, -1.0);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_FALSE(Dijkstra(g, 0).ok());
+}
+
+TEST(DijkstraTest, OutOfRangeSourceRejected) {
+  auto g = CsrGraph::FromPairs(2, {{0, 1}}).ValueOrDie();
+  EXPECT_TRUE(Dijkstra(g, 9).status().IsOutOfRange());
+}
+
+TEST(DijkstraTest, MatchesBfsOnUnitWeights) {
+  Rng rng(3);
+  auto el = gen::ErdosRenyi(80, 320, &rng).ValueOrDie();
+  CsrGraph g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto t = Dijkstra(g, 0).ValueOrDie();
+  auto bfs = BfsDistances(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (bfs[v] == kUnreachable) {
+      EXPECT_EQ(t.distance[v], kInfDistance);
+    } else {
+      EXPECT_DOUBLE_EQ(t.distance[v], bfs[v]);
+    }
+  }
+}
+
+TEST(DijkstraPointToPointTest, MatchesFullDijkstra) {
+  CsrGraph g = WeightedDiamond();
+  auto full = Dijkstra(g, 0).ValueOrDie();
+  for (VertexId target = 0; target < 4; ++target) {
+    auto d = DijkstraPointToPoint(g, 0, target);
+    ASSERT_TRUE(d.ok());
+    EXPECT_DOUBLE_EQ(*d, full.distance[target]);
+  }
+}
+
+TEST(DijkstraPointToPointTest, UnreachableReturnsInfinity) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}}).ValueOrDie();
+  EXPECT_EQ(DijkstraPointToPoint(g, 1, 0).ValueOrDie(), kInfDistance);
+}
+
+TEST(BellmanFordTest, HandlesNegativeEdges) {
+  EdgeList el(4);
+  el.Add(0, 1, 4);
+  el.Add(0, 2, 2);
+  el.Add(2, 1, -3);  // 0->2->1 costs -1 < 4
+  el.Add(1, 3, 1);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto t = BellmanFord(g, 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->distance[1], -1);
+  EXPECT_DOUBLE_EQ(t->distance[3], 0);
+}
+
+TEST(BellmanFordTest, NegativeCycleDetected) {
+  EdgeList el(3);
+  el.Add(0, 1, 1);
+  el.Add(1, 2, -2);
+  el.Add(2, 1, 1);  // cycle 1->2->1 weight -1
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_FALSE(BellmanFord(g, 0).ok());
+}
+
+TEST(BellmanFordTest, UnreachableNegativeCycleIgnored) {
+  EdgeList el(4);
+  el.Add(0, 1, 1);
+  el.Add(2, 3, -5);
+  el.Add(3, 2, 1);  // negative cycle, but not reachable from 0
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto t = BellmanFord(g, 0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->distance[1], 1);
+}
+
+TEST(BellmanFordTest, AgreesWithDijkstraOnPositiveWeights) {
+  Rng rng(8);
+  EdgeList el(40);
+  for (int i = 0; i < 150; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(40));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(40));
+    if (u != v) el.Add(u, v, 1.0 + rng.NextDouble() * 9.0);
+  }
+  el.EnsureVertices(40);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto bf = BellmanFord(g, 0).ValueOrDie();
+  auto dj = Dijkstra(g, 0).ValueOrDie();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(bf.distance[v] == kInfDistance ? -1 : bf.distance[v],
+                dj.distance[v] == kInfDistance ? -1 : dj.distance[v], 1e-9);
+  }
+}
+
+TEST(BidirectionalBfsTest, MatchesBfsOnRandomUndirected) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed + 20);
+    auto el = gen::ErdosRenyi(60, 120, &rng).ValueOrDie();
+    CsrOptions opts;
+    opts.directed = false;
+    CsrGraph g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+    auto dist = BfsDistances(g, 0);
+    for (VertexId t = 0; t < g.num_vertices(); t += 7) {
+      uint32_t bi = BidirectionalBfsDistance(g, 0, t);
+      EXPECT_EQ(bi, dist[t]) << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(BidirectionalBfsTest, DirectedWithInEdges) {
+  CsrOptions opts;
+  opts.build_in_edges = true;
+  auto g = CsrGraph::FromEdges(gen::Path(6), opts).ValueOrDie();
+  EXPECT_EQ(BidirectionalBfsDistance(g, 0, 5), 5u);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 5, 0), UINT32_MAX);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 2, 2), 0u);
+}
+
+TEST(AllPairsTest, SymmetricOnUndirected) {
+  CsrOptions opts;
+  opts.directed = false;
+  CsrGraph g = CsrGraph::FromEdges(gen::Cycle(7), opts).ValueOrDie();
+  auto all = AllPairsHopDistances(g);
+  for (VertexId u = 0; u < 7; ++u) {
+    for (VertexId v = 0; v < 7; ++v) {
+      EXPECT_EQ(all[u][v], all[v][u]);
+    }
+  }
+  EXPECT_EQ(all[0][3], 3u);
+  EXPECT_EQ(all[0][4], 3u);  // around the other way
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/simrank.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+CsrGraph WithInEdges(EdgeList el, bool directed = true) {
+  CsrOptions opts;
+  opts.directed = directed;
+  opts.build_in_edges = true;
+  return CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+}
+
+TEST(SimRankTest, DiagonalIsOne) {
+  auto g = WithInEdges(gen::Path(4));
+  auto r = SimRank(g).ValueOrDie();
+  for (VertexId v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(r.At(v, v), 1.0);
+}
+
+TEST(SimRankTest, SymmetricMatrix) {
+  EdgeList el(5);
+  el.Add(0, 2);
+  el.Add(1, 2);
+  el.Add(0, 3);
+  el.Add(1, 4);
+  auto g = WithInEdges(std::move(el));
+  auto r = SimRank(g).ValueOrDie();
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = 0; b < 5; ++b) {
+      EXPECT_NEAR(r.At(a, b), r.At(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(SimRankTest, SiblingsWithSharedParentScoreC) {
+  // Classic: two children of one parent have similarity decay * 1.
+  EdgeList el(3);
+  el.Add(0, 1);
+  el.Add(0, 2);
+  auto g = WithInEdges(std::move(el));
+  SimRankOptions opts;
+  opts.decay = 0.8;
+  auto r = SimRank(g, opts).ValueOrDie();
+  EXPECT_NEAR(r.At(1, 2), 0.8, 1e-9);
+  EXPECT_NEAR(r.At(0, 1), 0.0, 1e-12);  // 0 has no in-neighbors
+}
+
+TEST(SimRankTest, NoInNeighborsMeansZero) {
+  auto g = WithInEdges(gen::Path(3));
+  auto r = SimRank(g).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 0.0);
+}
+
+TEST(SimRankTest, ValuesInUnitInterval) {
+  Rng rng(3);
+  auto el = gen::ErdosRenyi(20, 60, &rng).ValueOrDie();
+  auto g = WithInEdges(std::move(el));
+  auto r = SimRank(g).ValueOrDie();
+  for (double v : r.matrix) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(SimRankTest, InvalidDecayRejected) {
+  auto g = WithInEdges(gen::Path(3));
+  SimRankOptions opts;
+  opts.decay = 1.5;
+  EXPECT_FALSE(SimRank(g, opts).ok());
+}
+
+TEST(SimRankTest, DirectedWithoutInEdgesRejected) {
+  auto g = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
+  EXPECT_FALSE(SimRank(g).ok());
+}
+
+TEST(SimRankMonteCarloTest, ApproximatesExactOnSiblings) {
+  EdgeList el(3);
+  el.Add(0, 1);
+  el.Add(0, 2);
+  auto g = WithInEdges(std::move(el));
+  auto mc = SimRankPairMonteCarlo(g, 1, 2, 4000, 10, 0.8, 42).ValueOrDie();
+  EXPECT_NEAR(mc, 0.8, 0.05);
+}
+
+TEST(SimRankMonteCarloTest, IdenticalVertexIsOne) {
+  auto g = WithInEdges(gen::Path(3));
+  EXPECT_DOUBLE_EQ(SimRankPairMonteCarlo(g, 1, 1, 10, 5, 0.8, 1).ValueOrDie(),
+                   1.0);
+}
+
+TEST(SimRankMonteCarloTest, TracksExactOnRandomGraph) {
+  Rng rng(5);
+  auto el = gen::ErdosRenyi(15, 60, &rng).ValueOrDie();
+  auto g = WithInEdges(std::move(el));
+  SimRankOptions opts;
+  opts.max_iterations = 20;
+  auto exact = SimRank(g, opts).ValueOrDie();
+  auto mc = SimRankPairMonteCarlo(g, 2, 7, 20000, 20, 0.8, 9).ValueOrDie();
+  EXPECT_NEAR(mc, exact.At(2, 7), 0.08);
+}
+
+TEST(JaccardTest, KnownOverlap) {
+  // N(0) = {2, 3}, N(1) = {3, 4} -> intersection 1, union 3.
+  auto g = CsrGraph::FromPairs(5, {{0, 2}, {0, 3}, {1, 3}, {1, 4}}).ValueOrDie();
+  EXPECT_NEAR(JaccardSimilarity(g, 0, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, DisjointIsZeroAndIdenticalIsOne) {
+  auto g = CsrGraph::FromPairs(6, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {4, 5}})
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(g, 2, 3), 0.0);  // both empty
+}
+
+TEST(CosineTest, KnownOverlap) {
+  auto g = CsrGraph::FromPairs(5, {{0, 2}, {0, 3}, {1, 3}, {1, 4}}).ValueOrDie();
+  EXPECT_NEAR(CosineSimilarity(g, 0, 1), 0.5, 1e-12);  // 1 / sqrt(2*2)
+}
+
+TEST(CosineTest, EmptyNeighborhoodIsZero) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(CosineSimilarity(g, 1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/connected_components.h"
+#include "algorithms/triangle.h"
+#include "common/random.h"
+#include "stream/streaming_graph.h"
+
+namespace ubigraph::stream {
+namespace {
+
+TEST(StreamingGraphTest, BasicIngest) {
+  StreamingGraph g(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 10).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 20).ok());
+  EXPECT_EQ(g.num_live_edges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.now(), 20u);
+}
+
+TEST(StreamingGraphTest, RejectsBadInput) {
+  StreamingGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 9, 1).IsOutOfRange());
+  EXPECT_TRUE(g.AddEdge(1, 1, 1).IsInvalid());  // self loop
+  ASSERT_TRUE(g.AddEdge(0, 1, 100).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 50).IsInvalid());  // time goes back
+  EXPECT_TRUE(g.Advance(10).IsInvalid());
+}
+
+TEST(StreamingGraphTest, WindowExpiry) {
+  StreamingOptions opts;
+  opts.window = 100;
+  StreamingGraph g(5, opts);
+  g.AddEdge(0, 1, 10).Abort();
+  g.AddEdge(1, 2, 50).Abort();
+  g.AddEdge(2, 3, 120).Abort();  // t=120 expires edges with ts < 20
+  EXPECT_EQ(g.num_live_edges(), 2u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  g.Advance(500).Abort();
+  EXPECT_EQ(g.num_live_edges(), 0u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(StreamingGraphTest, TriangleCountIncremental) {
+  StreamingGraph g(4);
+  g.AddEdge(0, 1, 1).Abort();
+  g.AddEdge(1, 2, 2).Abort();
+  EXPECT_EQ(g.TriangleCount(), 0u);
+  g.AddEdge(2, 0, 3).Abort();
+  EXPECT_EQ(g.TriangleCount(), 1u);
+  g.AddEdge(1, 3, 4).Abort();
+  g.AddEdge(3, 0, 5).Abort();
+  EXPECT_EQ(g.TriangleCount(), 2u);
+}
+
+TEST(StreamingGraphTest, TriangleCountDecrementsOnExpiry) {
+  StreamingOptions opts;
+  opts.window = 10;
+  StreamingGraph g(3, opts);
+  g.AddEdge(0, 1, 1).Abort();
+  g.AddEdge(1, 2, 2).Abort();
+  g.AddEdge(2, 0, 3).Abort();
+  EXPECT_EQ(g.TriangleCount(), 1u);
+  g.Advance(12).Abort();  // expires the t=1 edge
+  EXPECT_EQ(g.TriangleCount(), 0u);
+}
+
+TEST(StreamingGraphTest, ParallelEdgesDontDoubleCountTriangles) {
+  StreamingGraph g(3);
+  g.AddEdge(0, 1, 1).Abort();
+  g.AddEdge(0, 1, 2).Abort();  // parallel
+  g.AddEdge(1, 2, 3).Abort();
+  g.AddEdge(2, 0, 4).Abort();
+  EXPECT_EQ(g.TriangleCount(), 1u);
+}
+
+TEST(StreamingGraphTest, ParallelEdgeExpiryKeepsTriangle) {
+  StreamingOptions opts;
+  opts.window = 10;
+  StreamingGraph g(3, opts);
+  g.AddEdge(0, 1, 1).Abort();   // will expire
+  g.AddEdge(1, 2, 5).Abort();
+  g.AddEdge(2, 0, 6).Abort();
+  g.AddEdge(0, 1, 8).Abort();   // refresh the edge
+  EXPECT_EQ(g.TriangleCount(), 1u);
+  g.Advance(12).Abort();  // expires the t=1 copy; t=8 copy still live
+  EXPECT_EQ(g.TriangleCount(), 1u);
+  EXPECT_EQ(g.num_live_edges(), 3u);
+}
+
+TEST(StreamingGraphTest, ComponentsIncrementalOnInserts) {
+  StreamingGraph g(6);
+  EXPECT_EQ(g.NumComponents(), 6u);
+  g.AddEdge(0, 1, 1).Abort();
+  g.AddEdge(2, 3, 2).Abort();
+  EXPECT_EQ(g.NumComponents(), 4u);
+  EXPECT_TRUE(g.components_fresh());
+  g.AddEdge(1, 2, 3).Abort();
+  EXPECT_EQ(g.NumComponents(), 3u);
+}
+
+TEST(StreamingGraphTest, ComponentsRebuildAfterExpiry) {
+  StreamingOptions opts;
+  opts.window = 10;
+  opts.rebuild_threshold = 1000;  // force lazy path
+  StreamingGraph g(4, opts);
+  g.AddEdge(0, 1, 1).Abort();
+  g.AddEdge(1, 2, 2).Abort();
+  g.AddEdge(2, 3, 3).Abort();
+  EXPECT_EQ(g.NumComponents(), 1u);
+  g.Advance(13).Abort();  // expires 0-1 and 1-2
+  EXPECT_FALSE(g.components_fresh());
+  EXPECT_EQ(g.NumComponents(), 3u);  // {0} {1} {2,3}
+  EXPECT_TRUE(g.components_fresh());
+}
+
+TEST(StreamingGraphTest, EagerRebuildAfterThreshold) {
+  StreamingOptions opts;
+  opts.window = 5;
+  opts.rebuild_threshold = 2;
+  StreamingGraph g(4, opts);
+  g.AddEdge(0, 1, 1).Abort();
+  g.AddEdge(1, 2, 2).Abort();
+  g.AddEdge(2, 3, 20).Abort();  // expires both old edges -> threshold hit
+  EXPECT_TRUE(g.components_fresh());
+  EXPECT_EQ(g.NumComponents(), 3u);
+}
+
+TEST(StreamingGraphTest, SnapshotMatchesBatchAnalytics) {
+  Rng rng(5);
+  StreamingOptions opts;
+  opts.window = 1000;
+  StreamingGraph g(30, opts);
+  uint64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(30));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(30));
+    if (u == v) continue;
+    g.AddEdge(u, v, ++t).Abort();
+  }
+  CsrOptions copts;
+  copts.directed = false;
+  auto snapshot = CsrGraph::FromEdges(g.Snapshot(), copts).ValueOrDie();
+  EXPECT_EQ(g.TriangleCount(), algo::CountTriangles(snapshot));
+  EXPECT_EQ(g.NumComponents(),
+            algo::WeaklyConnectedComponents(snapshot).num_components);
+}
+
+TEST(StreamingGraphTest, SlidingWindowMatchesBatchOverTime) {
+  Rng rng(9);
+  StreamingOptions opts;
+  opts.window = 50;
+  opts.rebuild_threshold = 4;
+  StreamingGraph g(20, opts);
+  for (uint64_t t = 1; t <= 400; ++t) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(20));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(20));
+    if (u != v) g.AddEdge(u, v, t).Abort();
+    if (t % 97 == 0) {
+      CsrOptions copts;
+      copts.directed = false;
+      auto snapshot = CsrGraph::FromEdges(g.Snapshot(), copts).ValueOrDie();
+      ASSERT_EQ(g.TriangleCount(), algo::CountTriangles(snapshot)) << "t=" << t;
+      ASSERT_EQ(g.NumComponents(),
+                algo::WeaklyConnectedComponents(snapshot).num_components);
+    }
+  }
+}
+
+TEST(StreamingGraphTest, MeanDegreeTracksWindow) {
+  StreamingOptions opts;
+  opts.window = 10;
+  StreamingGraph g(4, opts);
+  g.AddEdge(0, 1, 1).Abort();
+  EXPECT_DOUBLE_EQ(g.MeanDegree(), 0.5);  // 2 endpoints / 4 vertices
+  g.Advance(100).Abort();
+  EXPECT_DOUBLE_EQ(g.MeanDegree(), 0.0);
+}
+
+}  // namespace
+}  // namespace ubigraph::stream

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/subgraph_match.h"
+#include "algorithms/triangle.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+TEST(SubgraphMatchTest, TriangleCountConsistency) {
+  Rng rng(2);
+  auto el = gen::ErdosRenyi(20, 80, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  SubgraphMatchOptions opts;
+  opts.undirected = true;
+  // Each undirected triangle matches 6 ways (3! vertex orderings).
+  uint64_t matches = CountSubgraphMatches(g, MakeTrianglePattern(), opts);
+  EXPECT_EQ(matches, 6 * CountTriangles(g));
+}
+
+TEST(SubgraphMatchTest, DirectedTriangleOnlyMatchesCycles) {
+  // Directed 3-cycle has 3 automorphic embeddings of the directed triangle
+  // pattern; a "transitive" triangle has none.
+  auto cyc = CsrGraph::FromPairs(3, {{0, 1}, {1, 2}, {2, 0}}).ValueOrDie();
+  auto tran = CsrGraph::FromPairs(3, {{0, 1}, {1, 2}, {0, 2}}).ValueOrDie();
+  SubgraphMatchOptions opts;  // directed
+  EXPECT_EQ(CountSubgraphMatches(cyc, MakeTrianglePattern(), opts), 3u);
+  EXPECT_EQ(CountSubgraphMatches(tran, MakeTrianglePattern(), opts), 0u);
+}
+
+TEST(SubgraphMatchTest, PathPatternInPathGraph) {
+  auto g = CsrGraph::FromEdges(gen::Path(5)).ValueOrDie();
+  // Directed paths of length 2 in 0->1->2->3->4: three of them.
+  EXPECT_EQ(CountSubgraphMatches(g, MakePathPattern(2)), 3u);
+}
+
+TEST(SubgraphMatchTest, StarPatternCountsOrderedLeafTuples) {
+  auto g = CsrGraph::FromEdges(gen::Star(4)).ValueOrDie();
+  // Directed star with 4 leaves: choosing 2 ordered leaves = 4*3 = 12.
+  EXPECT_EQ(CountSubgraphMatches(g, MakeStarPattern(2)), 12u);
+}
+
+TEST(SubgraphMatchTest, HomomorphismsAllowRepeats) {
+  auto g = CsrGraph::FromPairs(2, {{0, 1}, {1, 0}}).ValueOrDie();
+  SubgraphMatchOptions hom;
+  hom.injective = false;
+  // Path of length 2 as homomorphism: 0->1->0 and 1->0->1 also count.
+  uint64_t inj = CountSubgraphMatches(g, MakePathPattern(2));
+  uint64_t all = CountSubgraphMatches(g, MakePathPattern(2), hom);
+  EXPECT_EQ(inj, 0u);
+  EXPECT_EQ(all, 2u);
+}
+
+TEST(SubgraphMatchTest, MaxMatchesStopsEarly) {
+  auto g = CsrGraph::FromEdges(gen::Complete(6)).ValueOrDie();
+  SubgraphMatchOptions opts;
+  opts.undirected = true;
+  opts.max_matches = 5;
+  EXPECT_EQ(CountSubgraphMatches(g, MakeTrianglePattern(), opts), 5u);
+}
+
+TEST(SubgraphMatchTest, CallbackCanAbort) {
+  auto g = CsrGraph::FromEdges(gen::Complete(5)).ValueOrDie();
+  SubgraphMatchOptions opts;
+  opts.undirected = true;
+  uint64_t seen = 0;
+  MatchSubgraph(g, MakeTrianglePattern(), opts,
+                [&](const std::vector<VertexId>&) { return ++seen < 3; });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(SubgraphMatchTest, EmitsValidAssignments) {
+  Rng rng(4);
+  auto el = gen::ErdosRenyi(15, 60, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  CsrGraph pattern = MakePathPattern(3);
+  SubgraphMatchOptions opts;
+  MatchSubgraph(g, pattern, opts, [&](const std::vector<VertexId>& m) {
+    EXPECT_EQ(m.size(), 4u);
+    for (VertexId p = 0; p + 1 < 4; ++p) {
+      EXPECT_TRUE(g.HasEdge(m[p], m[p + 1]));
+    }
+    // Injectivity.
+    for (size_t i = 0; i < m.size(); ++i) {
+      for (size_t j = i + 1; j < m.size(); ++j) EXPECT_NE(m[i], m[j]);
+    }
+    return true;
+  });
+}
+
+TEST(DiamondTest, SingleDiamond) {
+  // 4-cycle 0-1-2-3 with chord 0-2 = one diamond.
+  auto g =
+      CsrGraph::FromPairs(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}).ValueOrDie();
+  EXPECT_EQ(CountDiamonds(g), 1u);
+}
+
+TEST(DiamondTest, K4HasSix) {
+  // K4: each of 6 edges has 2 common neighbors -> C(2,2)=1 diamond per edge.
+  auto g = CsrGraph::FromEdges(gen::Complete(4)).ValueOrDie();
+  EXPECT_EQ(CountDiamonds(g), 6u);
+}
+
+TEST(DiamondTest, TriangleHasNone) {
+  auto g = CsrGraph::FromEdges(gen::Complete(3)).ValueOrDie();
+  EXPECT_EQ(CountDiamonds(g), 0u);
+}
+
+TEST(FourCliqueTest, CompleteGraphs) {
+  EXPECT_EQ(CountFourCliques(CsrGraph::FromEdges(gen::Complete(4)).ValueOrDie()),
+            1u);
+  EXPECT_EQ(CountFourCliques(CsrGraph::FromEdges(gen::Complete(6)).ValueOrDie()),
+            15u);  // C(6,4)
+  EXPECT_EQ(CountFourCliques(CsrGraph::FromEdges(gen::Complete(3)).ValueOrDie()),
+            0u);
+}
+
+TEST(PatternFactoriesTest, Shapes) {
+  EXPECT_EQ(MakeTrianglePattern().num_vertices(), 3u);
+  EXPECT_EQ(MakePathPattern(3).num_edges(), 3u);
+  EXPECT_EQ(MakeStarPattern(5).num_vertices(), 6u);
+  EXPECT_EQ(MakeDiamondPattern().num_edges(), 5u);
+}
+
+TEST(SubgraphMatchTest, EmptyInputs) {
+  auto empty = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  auto g = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
+  EXPECT_EQ(CountSubgraphMatches(g, empty), 0u);
+  EXPECT_EQ(CountSubgraphMatches(empty, MakeTrianglePattern()), 0u);
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "survey/academic.h"
+#include "survey/corpus.h"
+#include "survey/miner.h"
+#include "survey/paper_data.h"
+
+namespace ubigraph::survey {
+namespace {
+
+const MessageCorpus& Corpus() {
+  static const MessageCorpus kCorpus = MessageCorpus::Synthesize().ValueOrDie();
+  return kCorpus;
+}
+
+TEST(CorpusTest, SynthesisSucceeds) {
+  auto corpus = MessageCorpus::Synthesize();
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_GT(corpus->size(), 6000u);  // §2.4: "over 6000 emails and issues"
+}
+
+TEST(CorpusTest, PerProductCountsMatchTable20) {
+  const MessageCorpus& corpus = Corpus();
+  for (const ProductInfo& product : Products()) {
+    if (product.emails >= 0) {
+      EXPECT_EQ(corpus.EmailCount(product.name), product.emails) << product.name;
+    }
+    if (product.issues >= 0) {
+      EXPECT_EQ(corpus.IssueCount(product.name), product.issues) << product.name;
+    }
+  }
+}
+
+TEST(CorpusTest, MessagesCarryTechnologyMetadata) {
+  std::set<std::string> technologies;
+  for (const Message& m : Corpus().messages()) {
+    EXPECT_FALSE(m.product.empty());
+    EXPECT_FALSE(m.subject.empty());
+    EXPECT_FALSE(m.body.empty());
+    technologies.insert(m.technology);
+  }
+  EXPECT_GE(technologies.size(), 6u);
+}
+
+TEST(MinerTest, ReproducesTable19Exactly) {
+  MinedChallenges mined = MineChallenges(Corpus());
+  const auto& paper = Table19MinedChallenges();
+  ASSERT_EQ(mined.counts.size(), paper.size());
+  for (size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(mined.counts[i], paper[i].count)
+        << paper[i].category << " / " << paper[i].label;
+  }
+  EXPECT_EQ(mined.useful_messages, 221);
+}
+
+TEST(MinerTest, ReproducesTable18Exactly) {
+  MinedSizes sizes = MineGraphSizes(Corpus());
+  const auto& vertices = Table18aEmailVertexSizes();
+  const auto& edges = Table18bEmailEdgeSizes();
+  ASSERT_EQ(sizes.vertex_bands.size(), vertices.size());
+  ASSERT_EQ(sizes.edge_bands.size(), edges.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    EXPECT_EQ(sizes.vertex_bands[i], vertices[i].count) << vertices[i].label;
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(sizes.edge_bands[i], edges[i].count) << edges[i].label;
+  }
+}
+
+TEST(MinerTest, ClassifierRespectsTechnologyClass) {
+  // A "layout" complaint in a graph database list is NOT a viz-layout row.
+  Message m;
+  m.product = "Neo4j";
+  m.technology = "Graph Database";
+  m.subject = "Hierarchical layout support";
+  m.body = "I want a hierarchical layout of my query results.";
+  EXPECT_EQ(ClassifyMessage(m), -1);
+  m.technology = "Graph Visualization";
+  int row = ClassifyMessage(m);
+  ASSERT_GE(row, 0);
+  EXPECT_STREQ(Table19MinedChallenges()[row].label, "Layout");
+}
+
+TEST(MinerTest, RoutineMessagesUnclassified) {
+  Message m;
+  m.product = "Neo4j";
+  m.technology = "Graph Database";
+  m.subject = "Build fails on latest release";
+  m.body = "I followed the installation guide but the service does not start.";
+  EXPECT_EQ(ClassifyMessage(m), -1);
+}
+
+TEST(MinerTest, KeywordPriorityOneChallengePerMessage) {
+  Message m;
+  m.technology = "Graph Database";
+  m.subject = "supernode";
+  m.body = "also mentions a hyperedge";  // both keywords
+  int row = ClassifyMessage(m);
+  ASSERT_GE(row, 0);
+  EXPECT_STREQ(Table19MinedChallenges()[row].label, "High-degree Vertices");
+}
+
+TEST(SizeExtractionTest, ParsesBillionMentions) {
+  auto mentions = ExtractSizeMentions(
+      "we have 3.20 billion edges and 0.45 billion vertices in production");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_DOUBLE_EQ(mentions[0].first, 3.20);
+  EXPECT_EQ(mentions[0].second, "edges");
+  EXPECT_DOUBLE_EQ(mentions[1].first, 0.45);
+  EXPECT_EQ(mentions[1].second, "vertices");
+}
+
+TEST(SizeExtractionTest, IgnoresIrrelevantText) {
+  EXPECT_TRUE(ExtractSizeMentions("a billion reasons to").empty());
+  EXPECT_TRUE(ExtractSizeMentions("two million vertices").empty());
+  EXPECT_TRUE(ExtractSizeMentions("billion").empty());
+  EXPECT_TRUE(ExtractSizeMentions("5 billion dollars").empty());
+}
+
+TEST(SizeExtractionTest, PunctuationStripped) {
+  auto mentions = ExtractSizeMentions("about 2 billion edges, growing");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].second, "edges");
+}
+
+// ----------------------------------------------------------- academic -----
+
+TEST(AcademicTest, CorpusHas90Papers) {
+  auto corpus = AcademicCorpus::SynthesizeExact().ValueOrDie();
+  EXPECT_EQ(corpus.papers().size(), 90u);
+}
+
+TEST(AcademicTest, TagCountsMatchPaperColumns) {
+  auto corpus = AcademicCorpus::SynthesizeExact().ValueOrDie();
+  auto expect_match = [](const std::vector<int>& counts,
+                         const std::vector<CountRow>& rows) {
+    ASSERT_EQ(counts.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(counts[i], rows[i].academic) << rows[i].label;
+    }
+  };
+  expect_match(corpus.CountEntities(), Table4Entities());
+  expect_match(corpus.CountComputations(), Table9Computations());
+  expect_match(corpus.CountMlComputations(), Table10aMlComputations());
+  expect_match(corpus.CountMlProblems(), Table10bMlProblems());
+  expect_match(corpus.CountQuerySoftware(), Table12QuerySoftware());
+  expect_match(corpus.CountNonQuerySoftware(), Table13NonQuerySoftware());
+}
+
+TEST(AcademicTest, SelectionRuleOffersAllThirteenComputations) {
+  // §2.3/Appendix A: a computation became a survey choice iff >= 2 papers
+  // studied it. All 13 Table 9 rows qualify.
+  auto corpus = AcademicCorpus::SynthesizeExact().ValueOrDie();
+  EXPECT_EQ(corpus.ComputationChoicesOffered().size(),
+            Table9Computations().size());
+}
+
+TEST(AcademicTest, DifferentSeedsStillCalibrated) {
+  for (uint64_t seed : {5ULL, 500ULL}) {
+    auto corpus = AcademicCorpus::SynthesizeExact(seed).ValueOrDie();
+    auto counts = corpus.CountComputations();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i], Table9Computations()[i].academic);
+    }
+  }
+}
+
+TEST(AcademicTest, VenuesCovered) {
+  auto corpus = AcademicCorpus::SynthesizeExact().ValueOrDie();
+  std::set<Venue> venues;
+  for (const AcademicPaper& p : corpus.papers()) venues.insert(p.venue);
+  EXPECT_EQ(venues.size(), 6u);
+  EXPECT_STREQ(VenueName(Venue::kVldb), "VLDB 2014");
+}
+
+}  // namespace
+}  // namespace ubigraph::survey

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "survey/goodness_of_fit.h"
+#include "survey/paper_data.h"
+#include "survey/population.h"
+#include "survey/schema.h"
+#include "survey/tabulate.h"
+
+namespace ubigraph::survey {
+namespace {
+
+const Population& ExactPopulation() {
+  static const Population kPop = Population::SynthesizeExact().ValueOrDie();
+  return kPop;
+}
+
+TEST(PaperDataTest, GroupSizesConsistent) {
+  EXPECT_EQ(kResearchers + kPractitioners, kParticipants);
+  // Every grouped row: R + P == Total.
+  for (const auto* table :
+       {&Table2Fields(), &Table3OrgSizes(), &Table4Entities(), &Table5aVertices(),
+        &Table5bEdges(), &Table5cBytes(), &Table7aDirectedness(),
+        &Table7bMultiplicity(), &Table7cVertexDataTypes(),
+        &Table7cEdgeDataTypes(), &Table8Dynamism(), &Table9Computations(),
+        &Table10aMlComputations(), &Table10bMlProblems(), &Table11Traversals(),
+        &Table12QuerySoftware(), &Table13NonQuerySoftware(),
+        &Table14Architectures(), &Table15Challenges()}) {
+    for (const CountRow& row : *table) {
+      EXPECT_EQ(row.r + row.p, row.total) << row.label;
+      EXPECT_LE(row.r, kResearchers) << row.label;
+      EXPECT_LE(row.p, kPractitioners) << row.label;
+    }
+  }
+}
+
+TEST(PaperDataTest, SingleSelectTablesFitPopulation) {
+  // Mutually exclusive questions cannot exceed the group sizes.
+  auto sum_check = [](const std::vector<CountRow>& rows) {
+    int total = 0, r = 0, p = 0;
+    for (const CountRow& row : rows) {
+      total += row.total;
+      r += row.r;
+      p += row.p;
+    }
+    EXPECT_LE(total, kParticipants);
+    EXPECT_LE(r, kResearchers);
+    EXPECT_LE(p, kPractitioners);
+  };
+  sum_check(Table3OrgSizes());
+  sum_check(Table7aDirectedness());
+  sum_check(Table7bMultiplicity());
+  sum_check(Table11Traversals());
+}
+
+TEST(PaperDataTest, DirectednessIsExactlyEveryone) {
+  int total = 0;
+  for (const CountRow& row : Table7aDirectedness()) total += row.total;
+  EXPECT_EQ(total, kParticipants);
+}
+
+TEST(PaperDataTest, ProductTableCounts) {
+  const auto& products = Products();
+  EXPECT_EQ(products.size(), 24u);  // 22 surveyed + Gephi + Graphviz
+  int recruited = 0;
+  for (const ProductInfo& p : products) {
+    if (p.mailing_list_users >= 0) ++recruited;
+  }
+  EXPECT_EQ(recruited, 22);
+  // DGPS group total from Table 1 must be 39.
+  int dgps_users = 0;
+  for (const ProductInfo& p : products) {
+    if (std::string(p.technology) == "Distributed Graph Processing Engine") {
+      dgps_users += p.mailing_list_users;
+    }
+  }
+  EXPECT_EQ(dgps_users, 39);
+}
+
+TEST(PaperDataTest, Table6SumsToNineteen) {
+  int total = 0;
+  for (const SimpleRow& row : Table6BillionEdgeOrgSizes()) total += row.count;
+  EXPECT_EQ(total, 19);  // one of the 20 didn't report an org size
+}
+
+TEST(PaperDataTest, Table19TotalUsefulMessages) {
+  int total = 0;
+  for (const ChallengeRow& row : Table19MinedChallenges()) total += row.count;
+  EXPECT_EQ(total, 221);
+}
+
+TEST(QuestionnaireTest, StandardShape) {
+  const Questionnaire& q = Questionnaire::Standard();
+  // 19 named questions + 6 per-task workload questions + storage formats.
+  EXPECT_EQ(q.size(), 26u);
+  EXPECT_TRUE(q.Find("edges").ok());
+  EXPECT_TRUE(q.Find("challenges").ok());
+  EXPECT_TRUE(q.Find("workload_Analytics").ok());
+  EXPECT_FALSE(q.Find("nonexistent").ok());
+  EXPECT_FALSE(q.InCategory(QuestionCategory::kDemographics).empty());
+}
+
+TEST(QuestionnaireTest, ChoiceLabelsMatchPaperData) {
+  const Questionnaire& q = Questionnaire::Standard();
+  auto edges = q.Find("edges").ValueOrDie();
+  ASSERT_EQ(edges->choices.size(), Table5bEdges().size());
+  for (size_t i = 0; i < edges->choices.size(); ++i) {
+    EXPECT_EQ(edges->choices[i], Table5bEdges()[i].label);
+  }
+}
+
+TEST(ExactPopulationTest, SynthesisSucceeds) {
+  auto pop = Population::SynthesizeExact();
+  ASSERT_TRUE(pop.ok()) << pop.status().ToString();
+}
+
+TEST(ExactPopulationTest, EveryCellMatchesPaper) {
+  EXPECT_TRUE(ExactPopulation().VerifyAgainstPaper().ok());
+}
+
+TEST(ExactPopulationTest, SingleChoiceQuestionsAreExclusive) {
+  const Population& pop = ExactPopulation();
+  for (const char* qid : {"org_size", "directedness", "multiplicity",
+                          "traversals", "workload_Analytics", "workload_ETL"}) {
+    for (int who = 0; who < kParticipants; ++who) {
+      EXPECT_LE(pop.Selections(who, qid).size(), 1u)
+          << qid << " respondent " << who;
+    }
+  }
+}
+
+TEST(ExactPopulationTest, Table6JointConstraintHolds) {
+  auto derived = DeriveBillionEdgeOrgSizes(ExactPopulation());
+  const auto& paper = Table6BillionEdgeOrgSizes();
+  ASSERT_EQ(derived.size(), paper.size());
+  for (size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_STREQ(derived[i].label, paper[i].label);
+    EXPECT_EQ(derived[i].count, paper[i].count) << paper[i].label;
+  }
+}
+
+TEST(ExactPopulationTest, DistributedJointConstraintHolds) {
+  EXPECT_EQ(DeriveDistributedWithOver100M(ExactPopulation()),
+            kDistributedWithOver100MEdges);
+}
+
+TEST(ExactPopulationTest, ResearchersSelectResearchFields) {
+  const Population& pop = ExactPopulation();
+  // Every researcher picked academia (choice 1) and/or industry lab (3).
+  for (int who = 0; who < kResearchers; ++who) {
+    EXPECT_TRUE(pop.Selected(who, "fields", 1) || pop.Selected(who, "fields", 3))
+        << "respondent " << who;
+  }
+  // No practitioner did (that's what makes them practitioners).
+  for (int who = kResearchers; who < kParticipants; ++who) {
+    EXPECT_FALSE(pop.Selected(who, "fields", 1) || pop.Selected(who, "fields", 3));
+  }
+}
+
+TEST(ExactPopulationTest, NonHumanSubcategoriesImplyNonHuman) {
+  const Population& pop = ExactPopulation();
+  for (int who = 0; who < kParticipants; ++who) {
+    for (int sub = 4; sub <= 10; ++sub) {
+      if (pop.Selected(who, "entities", sub)) {
+        EXPECT_TRUE(pop.Selected(who, "entities", 3))
+            << "respondent " << who << " subcategory " << sub;
+      }
+    }
+  }
+}
+
+TEST(ExactPopulationTest, DifferentSeedsStillExact) {
+  for (uint64_t seed : {1ULL, 99ULL, 12345ULL}) {
+    auto pop = Population::SynthesizeExact(seed);
+    ASSERT_TRUE(pop.ok()) << "seed " << seed << ": " << pop.status().ToString();
+  }
+}
+
+TEST(ExactPopulationTest, WhoSelectedConsistentWithSelected) {
+  const Population& pop = ExactPopulation();
+  auto who = pop.WhoSelected("edges", 6);
+  EXPECT_EQ(who.size(), 20u);
+  for (int w : who) EXPECT_TRUE(pop.Selected(w, "edges", 6));
+}
+
+TEST(ComparisonTest, RenderShowsMatches) {
+  Comparison cmp = CompareQuestion(ExactPopulation(), "dynamism", "Table 8");
+  EXPECT_TRUE(cmp.AllMatch());
+  std::string out = cmp.Render();
+  EXPECT_NE(out.find("all rows match"), std::string::npos);
+  EXPECT_NE(out.find("Streaming"), std::string::npos);
+}
+
+TEST(ComparisonTest, DetectsMismatch) {
+  Population pop = Population::SampleStochastic(7);
+  bool any_mismatch = false;
+  for (const Question& q : Questionnaire::Standard().questions()) {
+    Comparison cmp = CompareQuestion(pop, q.id, q.id);
+    if (!cmp.AllMatch()) any_mismatch = true;
+  }
+  // A random resample virtually never reproduces every count exactly.
+  EXPECT_TRUE(any_mismatch);
+}
+
+TEST(StochasticPopulationTest, MarginalsCloseToPaperOnAverage) {
+  // Average tabulated totals over several samples approach the paper counts.
+  const int kSamples = 30;
+  std::vector<double> avg(Table8Dynamism().size(), 0.0);
+  for (int s = 0; s < kSamples; ++s) {
+    Population pop = Population::SampleStochastic(1000 + s);
+    auto tally = pop.Tabulate("dynamism");
+    for (size_t c = 0; c < tally.size(); ++c) {
+      avg[c] += static_cast<double>(tally[c].total) / kSamples;
+    }
+  }
+  for (size_t c = 0; c < avg.size(); ++c) {
+    EXPECT_NEAR(avg[c], Table8Dynamism()[c].total,
+                0.25 * Table8Dynamism()[c].total + 3.0);
+  }
+}
+
+TEST(ChiSquareTest, ZeroForIdenticalDistributions) {
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic({5, 10}, {5, 10}), 0.0);
+  EXPECT_GT(ChiSquareStatistic({8, 7}, {5, 10}), 0.0);
+}
+
+TEST(ResampleExperimentTest, ProducesStatsPerQuestion) {
+  auto stats = ResampleExperiment(5, 77);
+  EXPECT_EQ(stats.size(), Questionnaire::Standard().size());
+  for (const ResampleStats& s : stats) {
+    EXPECT_EQ(s.num_samples, 5u);
+    EXPECT_GE(s.mean_abs_deviation, 0.0);
+    EXPECT_GE(s.max_abs_deviation, s.mean_abs_deviation);
+  }
+}
+
+}  // namespace
+}  // namespace ubigraph::survey

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/traversal.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+CsrGraph Line(VertexId n) {
+  return CsrGraph::FromEdges(gen::Path(n)).ValueOrDie();
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  CsrGraph g = Line(5);
+  auto dist = BfsDistances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  // Directed path: nothing reaches vertex 0 except itself.
+  CsrGraph g = Line(4);
+  auto dist = BfsDistances(g, 2);
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[1], kUnreachable);
+  EXPECT_EQ(dist[2], 0u);
+  EXPECT_EQ(dist[3], 1u);
+}
+
+TEST(BfsTest, OutOfRangeSourceIsAllUnreachable) {
+  CsrGraph g = Line(3);
+  auto dist = BfsDistances(g, 99);
+  for (uint32_t d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(BfsTest, ParentsFormTree) {
+  Rng rng(4);
+  auto el = gen::ErdosRenyi(50, 200, &rng).ValueOrDie();
+  CsrGraph g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto parent = BfsParents(g, 0);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(parent[0], 0u);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (dist[v] == kUnreachable) {
+      EXPECT_EQ(parent[v], kInvalidVertex);
+    } else {
+      EXPECT_EQ(dist[v], dist[parent[v]] + 1);
+      EXPECT_TRUE(g.HasEdge(parent[v], v));
+    }
+  }
+}
+
+TEST(BfsTest, VisitEarlyStop) {
+  CsrGraph g = Line(10);
+  uint64_t visited = BfsVisit(g, 0, [](VertexId v, uint32_t) { return v != 3; });
+  EXPECT_EQ(visited, 4u);  // 0,1,2,3
+}
+
+TEST(BfsTest, VisitDepthsAreBfsOrder) {
+  CsrGraph g = CsrGraph::FromEdges(gen::Star(4)).ValueOrDie();
+  uint32_t last_depth = 0;
+  BfsVisit(g, 0, [&](VertexId, uint32_t d) {
+    EXPECT_GE(d, last_depth);
+    last_depth = d;
+    return true;
+  });
+  EXPECT_EQ(last_depth, 1u);
+}
+
+TEST(DfsTest, PreorderOnSmallDag) {
+  // 0 -> {1, 2}, 1 -> {3}.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {0, 2}, {1, 3}}).ValueOrDie();
+  auto order = DfsPreorder(g, 0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);  // adjacency order respected
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST(DfsTest, PostorderFinishesChildrenFirst) {
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {0, 2}, {1, 3}}).ValueOrDie();
+  auto order = DfsPostorder(g, 0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.back(), 0u);
+  auto pos = [&](VertexId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(3), pos(1));
+}
+
+TEST(DfsTest, PreAndPostVisitSameVertices) {
+  Rng rng(7);
+  auto el = gen::ErdosRenyi(40, 120, &rng).ValueOrDie();
+  CsrGraph g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto pre = DfsPreorder(g, 0);
+  auto post = DfsPostorder(g, 0);
+  std::sort(pre.begin(), pre.end());
+  std::sort(post.begin(), post.end());
+  EXPECT_EQ(pre, post);
+}
+
+TEST(DfsFullTest, CoversAllVerticesWithValidClocks) {
+  Rng rng(9);
+  auto el = gen::ErdosRenyi(30, 60, &rng).ValueOrDie();
+  CsrGraph g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  DfsForest f = DfsFull(g);
+  EXPECT_EQ(f.preorder.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NE(f.discover[v], kUnreachable);
+    EXPECT_LT(f.discover[v], f.finish[v]);
+    EXPECT_NE(f.root[v], kInvalidVertex);
+  }
+}
+
+TEST(DfsFullTest, ParenthesisProperty) {
+  auto g = CsrGraph::FromPairs(5, {{0, 1}, {1, 2}, {0, 3}, {3, 4}}).ValueOrDie();
+  DfsForest f = DfsFull(g);
+  // For any two vertices, intervals [discover, finish] are nested or disjoint.
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      bool disjoint = f.finish[u] < f.discover[v] || f.finish[v] < f.discover[u];
+      bool nested = (f.discover[u] < f.discover[v] && f.finish[v] < f.finish[u]) ||
+                    (f.discover[v] < f.discover[u] && f.finish[u] < f.finish[v]);
+      EXPECT_TRUE(disjoint || nested);
+    }
+  }
+}
+
+TEST(NeighborhoodTest, ExactHopRings) {
+  CsrGraph g = Line(6);
+  auto at2 = NeighborsAtHop(g, 0, 2);
+  ASSERT_EQ(at2.size(), 1u);
+  EXPECT_EQ(at2[0], 2u);
+  auto within2 = NeighborsWithinHops(g, 0, 2);
+  ASSERT_EQ(within2.size(), 2u);
+}
+
+TEST(NeighborhoodTest, TwoDegreeNeighborsOnStar) {
+  // Undirected star: every leaf is 2 hops from every other leaf.
+  CsrOptions opts;
+  opts.directed = false;
+  CsrGraph g = CsrGraph::FromEdges(gen::Star(5), opts).ValueOrDie();
+  auto at2 = NeighborsAtHop(g, 1, 2);
+  EXPECT_EQ(at2.size(), 4u);  // the other 4 leaves
+}
+
+TEST(NeighborhoodTest, ZeroHopsMeansNothing) {
+  CsrGraph g = Line(4);
+  EXPECT_TRUE(NeighborsWithinHops(g, 0, 0).empty());
+}
+
+TEST(TopologicalSortTest, ValidOrderOnDag) {
+  auto g = CsrGraph::FromPairs(5, {{0, 2}, {1, 2}, {2, 3}, {3, 4}, {1, 4}})
+               .ValueOrDie();
+  auto order = TopologicalSort(g);
+  ASSERT_TRUE(order.ok());
+  std::vector<size_t> pos(5);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) EXPECT_LT(pos[u], pos[v]);
+  }
+}
+
+TEST(TopologicalSortTest, CycleDetected) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}, {1, 2}, {2, 0}}).ValueOrDie();
+  EXPECT_FALSE(TopologicalSort(g).ok());
+}
+
+TEST(TopologicalSortTest, SelfLoopIsCycle) {
+  auto g = CsrGraph::FromPairs(2, {{0, 0}, {0, 1}}).ValueOrDie();
+  EXPECT_FALSE(TopologicalSort(g).ok());
+}
+
+class BfsRandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsRandomGraphTest, TriangleInequalityOnDistances) {
+  Rng rng(GetParam());
+  auto el = gen::ErdosRenyi(60, 240, &rng).ValueOrDie();
+  CsrGraph g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto dist = BfsDistances(g, 0);
+  // Every edge (u, v): dist[v] <= dist[u] + 1.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (dist[u] == kUnreachable) continue;
+    for (VertexId v : g.OutNeighbors(u)) {
+      ASSERT_NE(dist[v], kUnreachable);
+      EXPECT_LE(dist[v], dist[u] + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsRandomGraphTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ubigraph::algo

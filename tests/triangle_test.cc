@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/triangle.h"
+#include "common/random.h"
+#include "gen/generators.h"
+
+namespace ubigraph::algo {
+namespace {
+
+uint64_t BruteForceTriangles(const CsrGraph& g) {
+  // Build symmetric adjacency matrix, count closed triples / 6... simpler:
+  const VertexId n = g.num_vertices();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (u != v) {
+        adj[u][v] = true;
+        adj[v][u] = true;
+      }
+    }
+  }
+  uint64_t count = 0;
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!adj[a][b]) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (adj[a][c] && adj[b][c]) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TriangleTest, TriangleGraphHasOne) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}, {1, 2}, {2, 0}}).ValueOrDie();
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(TriangleTest, CompleteGraphK5) {
+  auto g = CsrGraph::FromEdges(gen::Complete(5)).ValueOrDie();
+  EXPECT_EQ(CountTriangles(g), 10u);  // C(5,3)
+}
+
+TEST(TriangleTest, TreeHasNone) {
+  Rng rng(1);
+  auto g = CsrGraph::FromEdges(gen::RandomTree(50, &rng).ValueOrDie()).ValueOrDie();
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+TEST(TriangleTest, SelfLoopsAndParallelEdgesIgnored) {
+  EdgeList el(3);
+  el.Add(0, 1);
+  el.Add(0, 1);  // parallel
+  el.Add(0, 0);  // loop
+  el.Add(1, 2);
+  el.Add(2, 0);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+class TriangleRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  auto el = gen::ErdosRenyi(30, 120, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_EQ(CountTriangles(g), BruteForceTriangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleRandomTest,
+                         ::testing::Values(10, 11, 12, 13, 14, 15));
+
+TEST(TrianglesPerVertexTest, SumIsThreeTimesTotal) {
+  Rng rng(22);
+  auto el = gen::ErdosRenyi(40, 200, &rng).ValueOrDie();
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  auto per_vertex = TrianglesPerVertex(g);
+  uint64_t sum = 0;
+  for (uint64_t t : per_vertex) sum += t;
+  EXPECT_EQ(sum, 3 * CountTriangles(g));
+}
+
+TEST(TrianglesPerVertexTest, CornerCounts) {
+  // Two triangles sharing edge (0, 1): 0-1-2, 0-1-3.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 0}})
+               .ValueOrDie();
+  auto t = TrianglesPerVertex(g);
+  EXPECT_EQ(t[0], 2u);
+  EXPECT_EQ(t[1], 2u);
+  EXPECT_EQ(t[2], 1u);
+  EXPECT_EQ(t[3], 1u);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  auto g = CsrGraph::FromEdges(gen::Complete(6)).ValueOrDie();
+  auto local = LocalClusteringCoefficients(g);
+  for (double c : local) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarIsZero) {
+  auto g = CsrGraph::FromEdges(gen::Star(5)).ValueOrDie();
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, KnownSmallGraph) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}}).ValueOrDie();
+  auto local = LocalClusteringCoefficients(g);
+  EXPECT_NEAR(local[0], 1.0 / 3.0, 1e-12);  // deg 3, 1 triangle
+  EXPECT_DOUBLE_EQ(local[1], 1.0);
+  EXPECT_DOUBLE_EQ(local[3], 0.0);
+  // Global: 3 triangles' worth of closed triples / wedges.
+  // Wedges: v0: C(3,2)=3, v1: 1, v2: 1, v3: 0 -> 5. 3*1/5.
+  EXPECT_NEAR(GlobalClusteringCoefficient(g), 3.0 / 5.0, 1e-12);
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  auto g = CsrGraph::FromEdges(gen::Star(3)).ValueOrDie();  // directed star
+  auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 3u);  // leaves have out-degree 0
+  EXPECT_EQ(hist[3], 1u);  // hub
+}
+
+TEST(DegreeStatsTest, MinMaxMean) {
+  auto g = CsrGraph::FromEdges(gen::Star(4)).ValueOrDie();
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0 / 5.0);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ubigraph::algo

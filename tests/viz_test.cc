@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/connected_components.h"
+#include "common/random.h"
+#include "gen/generators.h"
+#include "viz/coarsen.h"
+#include "viz/dot_export.h"
+#include "viz/layout.h"
+#include "viz/svg_export.h"
+
+namespace ubigraph::viz {
+namespace {
+
+CsrGraph Undirected(EdgeList el) {
+  CsrOptions opts;
+  opts.directed = false;
+  return CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+}
+
+void ExpectInUnitSquare(const Layout& layout) {
+  for (const Point& p : layout) {
+    EXPECT_GE(p.x, -1e-9);
+    EXPECT_LE(p.x, 1 + 1e-9);
+    EXPECT_GE(p.y, -1e-9);
+    EXPECT_LE(p.y, 1 + 1e-9);
+  }
+}
+
+TEST(ForceLayoutTest, CoordinatesNormalized) {
+  auto g = Undirected(gen::Cycle(12));
+  Layout layout = ForceDirectedLayout(g);
+  ASSERT_EQ(layout.size(), 12u);
+  ExpectInUnitSquare(layout);
+}
+
+TEST(ForceLayoutTest, DeterministicForSeed) {
+  auto g = Undirected(gen::Cycle(8));
+  ForceLayoutOptions opts;
+  opts.seed = 5;
+  Layout a = ForceDirectedLayout(g, opts);
+  Layout b = ForceDirectedLayout(g, opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(ForceLayoutTest, AdjacentVerticesCloserThanRandomPairs) {
+  Rng rng(3);
+  auto g = Undirected(gen::PlantedPartition(40, 2, 0.5, 0.02, &rng).ValueOrDie());
+  ForceLayoutOptions opts;
+  opts.iterations = 200;
+  Layout layout = ForceDirectedLayout(g, opts);
+  double mean_edge = MeanEdgeLength(g, layout);
+  // Mean distance over all pairs.
+  double total = 0;
+  uint64_t count = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      double dx = layout[u].x - layout[v].x;
+      double dy = layout[u].y - layout[v].y;
+      total += std::sqrt(dx * dx + dy * dy);
+      ++count;
+    }
+  }
+  EXPECT_LT(mean_edge, total / count);
+}
+
+TEST(ForceLayoutTest, DegenerateSizes) {
+  auto empty = CsrGraph::FromEdges(EdgeList{}).ValueOrDie();
+  EXPECT_TRUE(ForceDirectedLayout(empty).empty());
+  auto single = CsrGraph::FromEdges(EdgeList(1)).ValueOrDie();
+  Layout one = ForceDirectedLayout(single);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].x, 0.5);
+}
+
+TEST(CircularLayoutTest, PointsOnCircle) {
+  auto g = Undirected(gen::Cycle(8));
+  Layout layout = CircularLayout(g);
+  for (const Point& p : layout) {
+    double r = std::hypot(p.x - 0.5, p.y - 0.5);
+    EXPECT_NEAR(r, 0.5, 1e-9);
+  }
+}
+
+TEST(CircularLayoutTest, CycleDrawnOnCircleHasNoCrossings) {
+  auto g = Undirected(gen::Cycle(10));
+  EXPECT_EQ(CountEdgeCrossings(g, CircularLayout(g)), 0u);
+}
+
+TEST(HierarchicalLayoutTest, LayersFollowTopology) {
+  // Diamond DAG: 0 -> 1,2 -> 3.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}).ValueOrDie();
+  Layout layout = HierarchicalLayout(g);
+  EXPECT_LT(layout[0].y, layout[1].y);
+  EXPECT_LT(layout[1].y, layout[3].y);
+  EXPECT_DOUBLE_EQ(layout[1].y, layout[2].y);
+}
+
+TEST(HierarchicalLayoutTest, CyclesCollapse) {
+  // A 3-cycle feeding a vertex: cycle members share a layer.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 2}, {2, 0}, {1, 3}}).ValueOrDie();
+  Layout layout = HierarchicalLayout(g);
+  EXPECT_DOUBLE_EQ(layout[0].y, layout[1].y);
+  EXPECT_DOUBLE_EQ(layout[1].y, layout[2].y);
+  EXPECT_GT(layout[3].y, layout[1].y);
+}
+
+TEST(HierarchicalLayoutTest, TreeReducesCrossingsVsRandomOrder) {
+  // A balanced binary tree laid out hierarchically should have 0 crossings.
+  EdgeList el(7);
+  el.Add(0, 1);
+  el.Add(0, 2);
+  el.Add(1, 3);
+  el.Add(1, 4);
+  el.Add(2, 5);
+  el.Add(2, 6);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  EXPECT_EQ(CountEdgeCrossings(g, HierarchicalLayout(g)), 0u);
+}
+
+TEST(GridLayoutTest, DistinctPositions) {
+  auto g = Undirected(gen::Path(9));
+  Layout layout = GridLayout(g);
+  for (size_t i = 0; i < layout.size(); ++i) {
+    for (size_t j = i + 1; j < layout.size(); ++j) {
+      EXPECT_TRUE(layout[i].x != layout[j].x || layout[i].y != layout[j].y);
+    }
+  }
+  ExpectInUnitSquare(layout);
+}
+
+TEST(CrossingsTest, KnownCrossing) {
+  // Two edges forming an X.
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {2, 3}}).ValueOrDie();
+  Layout x_layout{{0, 0}, {1, 1}, {0, 1}, {1, 0}};
+  EXPECT_EQ(CountEdgeCrossings(g, x_layout), 1u);
+  Layout parallel{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  EXPECT_EQ(CountEdgeCrossings(g, parallel), 0u);
+}
+
+TEST(CrossingsTest, SharedEndpointNotACrossing) {
+  auto g = CsrGraph::FromPairs(3, {{0, 1}, {0, 2}}).ValueOrDie();
+  Layout layout{{0, 0}, {1, 0}, {1, 1}};
+  EXPECT_EQ(CountEdgeCrossings(g, layout), 0u);
+}
+
+TEST(SvgTest, WellFormedDocument) {
+  auto g = Undirected(gen::Cycle(5));
+  std::string svg = RenderSvg(g, CircularLayout(g));
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 5 vertices, 5 edges.
+  size_t circles = 0, lines = 0;
+  for (size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  for (size_t pos = 0; (pos = svg.find("<line", pos)) != std::string::npos;
+       ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(circles, 5u);
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(SvgTest, CustomColorsAndLabels) {
+  auto g = Undirected(gen::Path(3));
+  SvgStyle style;
+  style.vertex_colors = {"#ff0000", "", "#00ff00"};
+  style.vertex_labels = {"start", "", "end"};
+  std::string svg = RenderSvg(g, GridLayout(g), style);
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+  EXPECT_NE(svg.find(">start<"), std::string::npos);
+  EXPECT_NE(svg.find(">end<"), std::string::npos);
+}
+
+TEST(SvgTest, ArrowheadsForDirected) {
+  auto g = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
+  SvgStyle style;
+  style.draw_arrowheads = true;
+  std::string svg = RenderSvg(g, GridLayout(g), style);
+  EXPECT_NE(svg.find("marker-end"), std::string::npos);
+}
+
+TEST(CategoricalColorsTest, StableAndCycling) {
+  auto colors = CategoricalColors({0, 1, 0, 12});
+  EXPECT_EQ(colors[0], colors[2]);
+  EXPECT_EQ(colors[0], colors[3]);  // 12 cycles back to 0
+  EXPECT_NE(colors[0], colors[1]);
+}
+
+TEST(DotTest, DirectedAndUndirectedSyntax) {
+  auto directed = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
+  std::string d = RenderDot(directed);
+  EXPECT_NE(d.find("digraph"), std::string::npos);
+  EXPECT_NE(d.find("0 -> 1"), std::string::npos);
+
+  auto undirected = Undirected(gen::Path(3));
+  std::string u = RenderDot(undirected);
+  EXPECT_EQ(u.find("digraph"), std::string::npos);
+  EXPECT_NE(u.find("0 -- 1"), std::string::npos);
+  // Undirected edges rendered once.
+  EXPECT_EQ(u.find("1 -- 0"), std::string::npos);
+}
+
+TEST(DotTest, LabelsColorsWeights) {
+  EdgeList el(2);
+  el.Add(0, 1, 2.5);
+  auto g = CsrGraph::FromEdges(std::move(el)).ValueOrDie();
+  DotOptions opts;
+  opts.include_weights = true;
+  opts.vertex_labels = {"alpha \"quoted\"", "beta"};
+  opts.vertex_colors = {"red", ""};
+  std::string dot = RenderDot(g, opts);
+  EXPECT_NE(dot.find("label=\"alpha \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"red\""), std::string::npos);
+  EXPECT_NE(dot.find("2.5"), std::string::npos);
+}
+
+TEST(DotTest, PropertyGraphRendering) {
+  PropertyGraph g;
+  VertexId a = g.AddVertex("Person");
+  VertexId b = g.AddVertex("Person");
+  g.SetVertexProperty(a, "name", std::string("ann")).Abort();
+  g.AddEdge(a, b, "knows").ValueOrDie();
+  std::string dot = RenderPropertyGraphDot(g);
+  EXPECT_NE(dot.find("Person: ann"), std::string::npos);
+  EXPECT_NE(dot.find("knows"), std::string::npos);
+}
+
+TEST(CoarsenTest, GroupsCollapse) {
+  // Two cliques joined by 3 cross edges -> coarse graph: 2 vertices, 1 edge
+  // of multiplicity 3 (per direction in undirected storage).
+  EdgeList el(8);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) el.Add(u, v);
+  }
+  for (VertexId u = 4; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) el.Add(u, v);
+  }
+  el.Add(0, 4);
+  el.Add(1, 5);
+  el.Add(2, 6);
+  auto g = Undirected(std::move(el));
+  std::vector<uint32_t> group(8);
+  for (VertexId v = 0; v < 8; ++v) group[v] = v / 4;
+  auto coarse = CoarsenByGroups(g, group, 2).ValueOrDie();
+  EXPECT_EQ(coarse.graph.num_vertices(), 2u);
+  EXPECT_EQ(coarse.group_sizes[0], 4u);
+  ASSERT_GE(coarse.edge_multiplicity.size(), 1u);
+  EXPECT_DOUBLE_EQ(coarse.edge_multiplicity[0], 3.0);
+}
+
+TEST(CoarsenTest, InvalidGroupsRejected) {
+  auto g = Undirected(gen::Path(4));
+  EXPECT_FALSE(CoarsenByGroups(g, {0, 1}, 2).ok());       // size mismatch
+  EXPECT_FALSE(CoarsenByGroups(g, {0, 1, 2, 9}, 3).ok()); // id out of range
+}
+
+TEST(SampleTopDegreeTest, KeepsHubs) {
+  Rng rng(6);
+  auto g = Undirected(gen::BarabasiAlbert(100, 2, &rng).ValueOrDie());
+  auto sampled = SampleTopDegree(g, 10).ValueOrDie();
+  EXPECT_EQ(sampled.graph.num_vertices(), 10u);
+  EXPECT_EQ(sampled.original_id.size(), 10u);
+  // The overall max-degree vertex must be included.
+  VertexId hub = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(hub)) hub = v;
+  }
+  EXPECT_NE(std::find(sampled.original_id.begin(), sampled.original_id.end(), hub),
+            sampled.original_id.end());
+}
+
+TEST(SampleTopDegreeTest, SmallerThanRequestKeepsAll) {
+  auto g = Undirected(gen::Path(3));
+  auto sampled = SampleTopDegree(g, 10).ValueOrDie();
+  EXPECT_EQ(sampled.graph.num_vertices(), 3u);
+  EXPECT_FALSE(SampleTopDegree(g, 0).ok());
+}
+
+}  // namespace
+}  // namespace ubigraph::viz
