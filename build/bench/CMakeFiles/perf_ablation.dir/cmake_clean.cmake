@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_ablation.dir/perf_ablation.cc.o"
+  "CMakeFiles/perf_ablation.dir/perf_ablation.cc.o.d"
+  "perf_ablation"
+  "perf_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_generators.dir/perf_generators.cc.o"
+  "CMakeFiles/perf_generators.dir/perf_generators.cc.o.d"
+  "perf_generators"
+  "perf_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

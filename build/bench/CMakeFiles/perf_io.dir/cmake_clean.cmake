@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_io.dir/perf_io.cc.o"
+  "CMakeFiles/perf_io.dir/perf_io.cc.o.d"
+  "perf_io"
+  "perf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

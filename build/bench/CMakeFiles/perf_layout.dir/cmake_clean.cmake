@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_layout.dir/perf_layout.cc.o"
+  "CMakeFiles/perf_layout.dir/perf_layout.cc.o.d"
+  "perf_layout"
+  "perf_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_pagerank.dir/perf_pagerank.cc.o"
+  "CMakeFiles/perf_pagerank.dir/perf_pagerank.cc.o.d"
+  "perf_pagerank"
+  "perf_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

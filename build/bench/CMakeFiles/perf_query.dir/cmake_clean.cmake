@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_query.dir/perf_query.cc.o"
+  "CMakeFiles/perf_query.dir/perf_query.cc.o.d"
+  "perf_query"
+  "perf_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_scalability.cc" "bench/CMakeFiles/perf_scalability.dir/perf_scalability.cc.o" "gcc" "bench/CMakeFiles/perf_scalability.dir/perf_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

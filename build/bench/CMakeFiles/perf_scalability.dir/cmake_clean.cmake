@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_scalability.dir/perf_scalability.cc.o"
+  "CMakeFiles/perf_scalability.dir/perf_scalability.cc.o.d"
+  "perf_scalability"
+  "perf_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

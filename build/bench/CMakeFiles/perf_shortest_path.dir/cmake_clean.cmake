@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_shortest_path.dir/perf_shortest_path.cc.o"
+  "CMakeFiles/perf_shortest_path.dir/perf_shortest_path.cc.o.d"
+  "perf_shortest_path"
+  "perf_shortest_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_shortest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

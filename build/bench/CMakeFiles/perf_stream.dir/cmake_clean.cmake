@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_stream.dir/perf_stream.cc.o"
+  "CMakeFiles/perf_stream.dir/perf_stream.cc.o.d"
+  "perf_stream"
+  "perf_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_traversal.dir/perf_traversal.cc.o"
+  "CMakeFiles/perf_traversal.dir/perf_traversal.cc.o.d"
+  "perf_traversal"
+  "perf_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_triangle.dir/perf_triangle.cc.o"
+  "CMakeFiles/perf_triangle.dir/perf_triangle.cc.o.d"
+  "perf_triangle"
+  "perf_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_01_recruitment.dir/table_01_recruitment.cc.o"
+  "CMakeFiles/table_01_recruitment.dir/table_01_recruitment.cc.o.d"
+  "table_01_recruitment"
+  "table_01_recruitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_01_recruitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

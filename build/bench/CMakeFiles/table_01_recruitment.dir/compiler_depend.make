@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_01_recruitment.
+# This may be replaced when dependencies are built.

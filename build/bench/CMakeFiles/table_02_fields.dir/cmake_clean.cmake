@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_02_fields.dir/table_02_fields.cc.o"
+  "CMakeFiles/table_02_fields.dir/table_02_fields.cc.o.d"
+  "table_02_fields"
+  "table_02_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_02_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_03_org_size.dir/table_03_org_size.cc.o"
+  "CMakeFiles/table_03_org_size.dir/table_03_org_size.cc.o.d"
+  "table_03_org_size"
+  "table_03_org_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_03_org_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

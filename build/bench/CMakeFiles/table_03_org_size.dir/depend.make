@@ -1,0 +1,2 @@
+# Empty dependencies file for table_03_org_size.
+# This may be replaced when dependencies are built.

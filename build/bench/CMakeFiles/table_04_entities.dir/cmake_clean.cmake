@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_04_entities.dir/table_04_entities.cc.o"
+  "CMakeFiles/table_04_entities.dir/table_04_entities.cc.o.d"
+  "table_04_entities"
+  "table_04_entities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_04_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_04_entities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_05_graph_sizes.dir/table_05_graph_sizes.cc.o"
+  "CMakeFiles/table_05_graph_sizes.dir/table_05_graph_sizes.cc.o.d"
+  "table_05_graph_sizes"
+  "table_05_graph_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_05_graph_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_06_billion_edges.dir/table_06_billion_edges.cc.o"
+  "CMakeFiles/table_06_billion_edges.dir/table_06_billion_edges.cc.o.d"
+  "table_06_billion_edges"
+  "table_06_billion_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_06_billion_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_06_billion_edges.
+# This may be replaced when dependencies are built.

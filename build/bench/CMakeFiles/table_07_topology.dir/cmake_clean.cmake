@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_07_topology.dir/table_07_topology.cc.o"
+  "CMakeFiles/table_07_topology.dir/table_07_topology.cc.o.d"
+  "table_07_topology"
+  "table_07_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_07_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_08_dynamism.dir/table_08_dynamism.cc.o"
+  "CMakeFiles/table_08_dynamism.dir/table_08_dynamism.cc.o.d"
+  "table_08_dynamism"
+  "table_08_dynamism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_08_dynamism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

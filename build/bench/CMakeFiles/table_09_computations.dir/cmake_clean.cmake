@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_09_computations.dir/table_09_computations.cc.o"
+  "CMakeFiles/table_09_computations.dir/table_09_computations.cc.o.d"
+  "table_09_computations"
+  "table_09_computations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_09_computations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

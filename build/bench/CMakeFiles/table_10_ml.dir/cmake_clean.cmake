@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_10_ml.dir/table_10_ml.cc.o"
+  "CMakeFiles/table_10_ml.dir/table_10_ml.cc.o.d"
+  "table_10_ml"
+  "table_10_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_10_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_10_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_11_traversals.dir/table_11_traversals.cc.o"
+  "CMakeFiles/table_11_traversals.dir/table_11_traversals.cc.o.d"
+  "table_11_traversals"
+  "table_11_traversals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_11_traversals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_12_software.dir/table_12_software.cc.o"
+  "CMakeFiles/table_12_software.dir/table_12_software.cc.o.d"
+  "table_12_software"
+  "table_12_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_12_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

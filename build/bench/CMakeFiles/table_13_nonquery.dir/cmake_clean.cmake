@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_13_nonquery.dir/table_13_nonquery.cc.o"
+  "CMakeFiles/table_13_nonquery.dir/table_13_nonquery.cc.o.d"
+  "table_13_nonquery"
+  "table_13_nonquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_13_nonquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_14_architectures.dir/table_14_architectures.cc.o"
+  "CMakeFiles/table_14_architectures.dir/table_14_architectures.cc.o.d"
+  "table_14_architectures"
+  "table_14_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_14_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_15_challenges.dir/table_15_challenges.cc.o"
+  "CMakeFiles/table_15_challenges.dir/table_15_challenges.cc.o.d"
+  "table_15_challenges"
+  "table_15_challenges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_15_challenges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

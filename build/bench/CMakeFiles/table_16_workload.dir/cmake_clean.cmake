@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_16_workload.dir/table_16_workload.cc.o"
+  "CMakeFiles/table_16_workload.dir/table_16_workload.cc.o.d"
+  "table_16_workload"
+  "table_16_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_16_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_17_formats.dir/table_17_formats.cc.o"
+  "CMakeFiles/table_17_formats.dir/table_17_formats.cc.o.d"
+  "table_17_formats"
+  "table_17_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_17_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_18_email_sizes.dir/table_18_email_sizes.cc.o"
+  "CMakeFiles/table_18_email_sizes.dir/table_18_email_sizes.cc.o.d"
+  "table_18_email_sizes"
+  "table_18_email_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_18_email_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

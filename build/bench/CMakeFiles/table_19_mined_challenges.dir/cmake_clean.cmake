@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_19_mined_challenges.dir/table_19_mined_challenges.cc.o"
+  "CMakeFiles/table_19_mined_challenges.dir/table_19_mined_challenges.cc.o.d"
+  "table_19_mined_challenges"
+  "table_19_mined_challenges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_19_mined_challenges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_20_repo_activity.dir/table_20_repo_activity.cc.o"
+  "CMakeFiles/table_20_repo_activity.dir/table_20_repo_activity.cc.o.d"
+  "table_20_repo_activity"
+  "table_20_repo_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_20_repo_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_20_repo_activity.
+# This may be replaced when dependencies are built.

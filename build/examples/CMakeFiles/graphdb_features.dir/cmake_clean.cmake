@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdb_features.dir/graphdb_features.cpp.o"
+  "CMakeFiles/graphdb_features.dir/graphdb_features.cpp.o.d"
+  "graphdb_features"
+  "graphdb_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdb_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

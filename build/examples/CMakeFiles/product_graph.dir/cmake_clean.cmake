@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_graph.dir/product_graph.cpp.o"
+  "CMakeFiles/product_graph.dir/product_graph.cpp.o.d"
+  "product_graph"
+  "product_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_replication.dir/survey_replication.cpp.o"
+  "CMakeFiles/survey_replication.dir/survey_replication.cpp.o.d"
+  "survey_replication"
+  "survey_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugraph_cli.dir/ugraph_cli.cpp.o"
+  "CMakeFiles/ugraph_cli.dir/ugraph_cli.cpp.o.d"
+  "ugraph_cli"
+  "ugraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

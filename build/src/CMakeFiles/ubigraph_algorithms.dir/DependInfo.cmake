@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/centrality.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/centrality.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/centrality.cc.o.d"
+  "/root/repo/src/algorithms/coloring.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/coloring.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/coloring.cc.o.d"
+  "/root/repo/src/algorithms/connected_components.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/connected_components.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/connected_components.cc.o.d"
+  "/root/repo/src/algorithms/diameter.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/diameter.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/diameter.cc.o.d"
+  "/root/repo/src/algorithms/hop_labels.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/hop_labels.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/hop_labels.cc.o.d"
+  "/root/repo/src/algorithms/kcore.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/kcore.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/kcore.cc.o.d"
+  "/root/repo/src/algorithms/mst.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/mst.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/mst.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/pagerank.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/partition.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/partition.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/partition.cc.o.d"
+  "/root/repo/src/algorithms/reachability.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/reachability.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/reachability.cc.o.d"
+  "/root/repo/src/algorithms/shortest_path.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/shortest_path.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/shortest_path.cc.o.d"
+  "/root/repo/src/algorithms/simrank.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/simrank.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/simrank.cc.o.d"
+  "/root/repo/src/algorithms/subgraph_match.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/subgraph_match.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/subgraph_match.cc.o.d"
+  "/root/repo/src/algorithms/traversal.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/traversal.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/traversal.cc.o.d"
+  "/root/repo/src/algorithms/triangle.cc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/triangle.cc.o" "gcc" "src/CMakeFiles/ubigraph_algorithms.dir/algorithms/triangle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/centrality.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/centrality.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/coloring.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/coloring.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/connected_components.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/connected_components.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/diameter.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/diameter.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/hop_labels.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/hop_labels.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/kcore.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/kcore.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/mst.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/mst.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/pagerank.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/pagerank.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/partition.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/partition.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/reachability.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/reachability.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/shortest_path.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/shortest_path.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/simrank.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/simrank.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/subgraph_match.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/subgraph_match.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/traversal.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/traversal.cc.o.d"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/triangle.cc.o"
+  "CMakeFiles/ubigraph_algorithms.dir/algorithms/triangle.cc.o.d"
+  "libubigraph_algorithms.a"
+  "libubigraph_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

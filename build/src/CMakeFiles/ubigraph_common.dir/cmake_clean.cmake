@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_common.dir/common/crc32.cc.o"
+  "CMakeFiles/ubigraph_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/ubigraph_common.dir/common/histogram.cc.o"
+  "CMakeFiles/ubigraph_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/ubigraph_common.dir/common/random.cc.o"
+  "CMakeFiles/ubigraph_common.dir/common/random.cc.o.d"
+  "CMakeFiles/ubigraph_common.dir/common/status.cc.o"
+  "CMakeFiles/ubigraph_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ubigraph_common.dir/common/strings.cc.o"
+  "CMakeFiles/ubigraph_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/ubigraph_common.dir/common/table.cc.o"
+  "CMakeFiles/ubigraph_common.dir/common/table.cc.o.d"
+  "libubigraph_common.a"
+  "libubigraph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_schema.cc" "src/CMakeFiles/ubigraph_features.dir/graph/graph_schema.cc.o" "gcc" "src/CMakeFiles/ubigraph_features.dir/graph/graph_schema.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/CMakeFiles/ubigraph_features.dir/graph/hypergraph.cc.o" "gcc" "src/CMakeFiles/ubigraph_features.dir/graph/hypergraph.cc.o.d"
+  "/root/repo/src/graph/triggers.cc" "src/CMakeFiles/ubigraph_features.dir/graph/triggers.cc.o" "gcc" "src/CMakeFiles/ubigraph_features.dir/graph/triggers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

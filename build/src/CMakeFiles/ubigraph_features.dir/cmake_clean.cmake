@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_features.dir/graph/graph_schema.cc.o"
+  "CMakeFiles/ubigraph_features.dir/graph/graph_schema.cc.o.d"
+  "CMakeFiles/ubigraph_features.dir/graph/hypergraph.cc.o"
+  "CMakeFiles/ubigraph_features.dir/graph/hypergraph.cc.o.d"
+  "CMakeFiles/ubigraph_features.dir/graph/triggers.cc.o"
+  "CMakeFiles/ubigraph_features.dir/graph/triggers.cc.o.d"
+  "libubigraph_features.a"
+  "libubigraph_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_gen.dir/gen/generators.cc.o"
+  "CMakeFiles/ubigraph_gen.dir/gen/generators.cc.o.d"
+  "libubigraph_gen.a"
+  "libubigraph_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/ubigraph_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/ubigraph_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/CMakeFiles/ubigraph_graph.dir/graph/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/ubigraph_graph.dir/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/CMakeFiles/ubigraph_graph.dir/graph/edge_list.cc.o" "gcc" "src/CMakeFiles/ubigraph_graph.dir/graph/edge_list.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/CMakeFiles/ubigraph_graph.dir/graph/property_graph.cc.o" "gcc" "src/CMakeFiles/ubigraph_graph.dir/graph/property_graph.cc.o.d"
+  "/root/repo/src/graph/versioned_graph.cc" "src/CMakeFiles/ubigraph_graph.dir/graph/versioned_graph.cc.o" "gcc" "src/CMakeFiles/ubigraph_graph.dir/graph/versioned_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/ubigraph_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/ubigraph_graph.dir/graph/dynamic_graph.cc.o"
+  "CMakeFiles/ubigraph_graph.dir/graph/dynamic_graph.cc.o.d"
+  "CMakeFiles/ubigraph_graph.dir/graph/edge_list.cc.o"
+  "CMakeFiles/ubigraph_graph.dir/graph/edge_list.cc.o.d"
+  "CMakeFiles/ubigraph_graph.dir/graph/property_graph.cc.o"
+  "CMakeFiles/ubigraph_graph.dir/graph/property_graph.cc.o.d"
+  "CMakeFiles/ubigraph_graph.dir/graph/versioned_graph.cc.o"
+  "CMakeFiles/ubigraph_graph.dir/graph/versioned_graph.cc.o.d"
+  "libubigraph_graph.a"
+  "libubigraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/binary_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/binary_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/binary_io.cc.o.d"
+  "/root/repo/src/io/csv_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/csv_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/csv_io.cc.o.d"
+  "/root/repo/src/io/edge_list_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/edge_list_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/edge_list_io.cc.o.d"
+  "/root/repo/src/io/gml_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/gml_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/gml_io.cc.o.d"
+  "/root/repo/src/io/graphml_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/graphml_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/graphml_io.cc.o.d"
+  "/root/repo/src/io/jgf_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/jgf_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/jgf_io.cc.o.d"
+  "/root/repo/src/io/json_io.cc" "src/CMakeFiles/ubigraph_io.dir/io/json_io.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/json_io.cc.o.d"
+  "/root/repo/src/io/json_value.cc" "src/CMakeFiles/ubigraph_io.dir/io/json_value.cc.o" "gcc" "src/CMakeFiles/ubigraph_io.dir/io/json_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_io.dir/io/binary_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/binary_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/csv_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/csv_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/edge_list_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/edge_list_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/gml_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/gml_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/graphml_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/graphml_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/jgf_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/jgf_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/json_io.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/json_io.cc.o.d"
+  "CMakeFiles/ubigraph_io.dir/io/json_value.cc.o"
+  "CMakeFiles/ubigraph_io.dir/io/json_value.cc.o.d"
+  "libubigraph_io.a"
+  "libubigraph_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/belief_propagation.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/belief_propagation.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/belief_propagation.cc.o.d"
+  "/root/repo/src/ml/collaborative_filtering.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/collaborative_filtering.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/collaborative_filtering.cc.o.d"
+  "/root/repo/src/ml/embeddings.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/embeddings.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/embeddings.cc.o.d"
+  "/root/repo/src/ml/influence_max.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/influence_max.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/influence_max.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/label_propagation.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/label_propagation.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/label_propagation.cc.o.d"
+  "/root/repo/src/ml/link_prediction.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/link_prediction.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/link_prediction.cc.o.d"
+  "/root/repo/src/ml/louvain.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/louvain.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/louvain.cc.o.d"
+  "/root/repo/src/ml/matrix_factorization.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/matrix_factorization.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/matrix_factorization.cc.o.d"
+  "/root/repo/src/ml/regression.cc" "src/CMakeFiles/ubigraph_ml.dir/ml/regression.cc.o" "gcc" "src/CMakeFiles/ubigraph_ml.dir/ml/regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_ml.dir/ml/belief_propagation.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/belief_propagation.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/collaborative_filtering.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/collaborative_filtering.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/embeddings.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/embeddings.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/influence_max.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/influence_max.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/kmeans.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/kmeans.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/label_propagation.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/label_propagation.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/link_prediction.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/link_prediction.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/louvain.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/louvain.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/matrix_factorization.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/matrix_factorization.cc.o.d"
+  "CMakeFiles/ubigraph_ml.dir/ml/regression.cc.o"
+  "CMakeFiles/ubigraph_ml.dir/ml/regression.cc.o.d"
+  "libubigraph_ml.a"
+  "libubigraph_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

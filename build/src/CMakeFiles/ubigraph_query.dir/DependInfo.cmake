@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/cypher_executor.cc" "src/CMakeFiles/ubigraph_query.dir/query/cypher_executor.cc.o" "gcc" "src/CMakeFiles/ubigraph_query.dir/query/cypher_executor.cc.o.d"
+  "/root/repo/src/query/cypher_lexer.cc" "src/CMakeFiles/ubigraph_query.dir/query/cypher_lexer.cc.o" "gcc" "src/CMakeFiles/ubigraph_query.dir/query/cypher_lexer.cc.o.d"
+  "/root/repo/src/query/cypher_parser.cc" "src/CMakeFiles/ubigraph_query.dir/query/cypher_parser.cc.o" "gcc" "src/CMakeFiles/ubigraph_query.dir/query/cypher_parser.cc.o.d"
+  "/root/repo/src/query/traversal_api.cc" "src/CMakeFiles/ubigraph_query.dir/query/traversal_api.cc.o" "gcc" "src/CMakeFiles/ubigraph_query.dir/query/traversal_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

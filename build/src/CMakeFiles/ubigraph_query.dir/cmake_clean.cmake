@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_query.dir/query/cypher_executor.cc.o"
+  "CMakeFiles/ubigraph_query.dir/query/cypher_executor.cc.o.d"
+  "CMakeFiles/ubigraph_query.dir/query/cypher_lexer.cc.o"
+  "CMakeFiles/ubigraph_query.dir/query/cypher_lexer.cc.o.d"
+  "CMakeFiles/ubigraph_query.dir/query/cypher_parser.cc.o"
+  "CMakeFiles/ubigraph_query.dir/query/cypher_parser.cc.o.d"
+  "CMakeFiles/ubigraph_query.dir/query/traversal_api.cc.o"
+  "CMakeFiles/ubigraph_query.dir/query/traversal_api.cc.o.d"
+  "libubigraph_query.a"
+  "libubigraph_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/ubigraph_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/ubigraph_rdf.dir/rdf/triple_store.cc.o"
+  "CMakeFiles/ubigraph_rdf.dir/rdf/triple_store.cc.o.d"
+  "libubigraph_rdf.a"
+  "libubigraph_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

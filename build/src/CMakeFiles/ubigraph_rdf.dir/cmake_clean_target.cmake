@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libubigraph_rdf.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_stream.dir/stream/incremental_kcore.cc.o"
+  "CMakeFiles/ubigraph_stream.dir/stream/incremental_kcore.cc.o.d"
+  "CMakeFiles/ubigraph_stream.dir/stream/streaming_graph.cc.o"
+  "CMakeFiles/ubigraph_stream.dir/stream/streaming_graph.cc.o.d"
+  "libubigraph_stream.a"
+  "libubigraph_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/academic.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/academic.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/academic.cc.o.d"
+  "/root/repo/src/survey/corpus.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/corpus.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/corpus.cc.o.d"
+  "/root/repo/src/survey/goodness_of_fit.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/goodness_of_fit.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/goodness_of_fit.cc.o.d"
+  "/root/repo/src/survey/miner.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/miner.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/miner.cc.o.d"
+  "/root/repo/src/survey/paper_data.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/paper_data.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/paper_data.cc.o.d"
+  "/root/repo/src/survey/population.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/population.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/population.cc.o.d"
+  "/root/repo/src/survey/schema.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/schema.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/schema.cc.o.d"
+  "/root/repo/src/survey/tabulate.cc" "src/CMakeFiles/ubigraph_survey.dir/survey/tabulate.cc.o" "gcc" "src/CMakeFiles/ubigraph_survey.dir/survey/tabulate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_survey.dir/survey/academic.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/academic.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/corpus.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/corpus.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/goodness_of_fit.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/goodness_of_fit.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/miner.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/miner.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/paper_data.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/paper_data.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/population.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/population.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/schema.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/schema.cc.o.d"
+  "CMakeFiles/ubigraph_survey.dir/survey/tabulate.cc.o"
+  "CMakeFiles/ubigraph_survey.dir/survey/tabulate.cc.o.d"
+  "libubigraph_survey.a"
+  "libubigraph_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/coarsen.cc" "src/CMakeFiles/ubigraph_viz.dir/viz/coarsen.cc.o" "gcc" "src/CMakeFiles/ubigraph_viz.dir/viz/coarsen.cc.o.d"
+  "/root/repo/src/viz/dot_export.cc" "src/CMakeFiles/ubigraph_viz.dir/viz/dot_export.cc.o" "gcc" "src/CMakeFiles/ubigraph_viz.dir/viz/dot_export.cc.o.d"
+  "/root/repo/src/viz/layout.cc" "src/CMakeFiles/ubigraph_viz.dir/viz/layout.cc.o" "gcc" "src/CMakeFiles/ubigraph_viz.dir/viz/layout.cc.o.d"
+  "/root/repo/src/viz/svg_export.cc" "src/CMakeFiles/ubigraph_viz.dir/viz/svg_export.cc.o" "gcc" "src/CMakeFiles/ubigraph_viz.dir/viz/svg_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ubigraph_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ubigraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubigraph_viz.dir/viz/coarsen.cc.o"
+  "CMakeFiles/ubigraph_viz.dir/viz/coarsen.cc.o.d"
+  "CMakeFiles/ubigraph_viz.dir/viz/dot_export.cc.o"
+  "CMakeFiles/ubigraph_viz.dir/viz/dot_export.cc.o.d"
+  "CMakeFiles/ubigraph_viz.dir/viz/layout.cc.o"
+  "CMakeFiles/ubigraph_viz.dir/viz/layout.cc.o.d"
+  "CMakeFiles/ubigraph_viz.dir/viz/svg_export.cc.o"
+  "CMakeFiles/ubigraph_viz.dir/viz/svg_export.cc.o.d"
+  "libubigraph_viz.a"
+  "libubigraph_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubigraph_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_mst_coloring_test.dir/dense_mst_coloring_test.cc.o"
+  "CMakeFiles/dense_mst_coloring_test.dir/dense_mst_coloring_test.cc.o.d"
+  "dense_mst_coloring_test"
+  "dense_mst_coloring_test.pdb"
+  "dense_mst_coloring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_mst_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_and_formats_test.dir/index_and_formats_test.cc.o"
+  "CMakeFiles/index_and_formats_test.dir/index_and_formats_test.cc.o.d"
+  "index_and_formats_test"
+  "index_and_formats_test.pdb"
+  "index_and_formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_and_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_community_test.dir/ml_community_test.cc.o"
+  "CMakeFiles/ml_community_test.dir/ml_community_test.cc.o.d"
+  "ml_community_test"
+  "ml_community_test.pdb"
+  "ml_community_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

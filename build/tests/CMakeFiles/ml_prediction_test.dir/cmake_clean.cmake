@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_prediction_test.dir/ml_prediction_test.cc.o"
+  "CMakeFiles/ml_prediction_test.dir/ml_prediction_test.cc.o.d"
+  "ml_prediction_test"
+  "ml_prediction_test.pdb"
+  "ml_prediction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_centrality_test.dir/pagerank_centrality_test.cc.o"
+  "CMakeFiles/pagerank_centrality_test.dir/pagerank_centrality_test.cc.o.d"
+  "pagerank_centrality_test"
+  "pagerank_centrality_test.pdb"
+  "pagerank_centrality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_centrality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

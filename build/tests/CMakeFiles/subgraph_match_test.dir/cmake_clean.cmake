@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_match_test.dir/subgraph_match_test.cc.o"
+  "CMakeFiles/subgraph_match_test.dir/subgraph_match_test.cc.o.d"
+  "subgraph_match_test"
+  "subgraph_match_test.pdb"
+  "subgraph_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

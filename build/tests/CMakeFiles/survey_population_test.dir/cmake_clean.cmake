@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_population_test.dir/survey_population_test.cc.o"
+  "CMakeFiles/survey_population_test.dir/survey_population_test.cc.o.d"
+  "survey_population_test"
+  "survey_population_test.pdb"
+  "survey_population_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
