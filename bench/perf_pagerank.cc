@@ -22,6 +22,20 @@ void BM_PageRank(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRank)->Arg(10)->Arg(13)->Arg(16);
 
+// Parallel path at a fixed scale; Arg = num_threads (1 = serial baseline).
+void BM_PageRankParallel(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(16, /*in_edges=*/true);
+  algo::PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0;
+  opts.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::PageRank(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+}
+BENCHMARK(BM_PageRankParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_ApproxBetweenness(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
   Rng rng(3);

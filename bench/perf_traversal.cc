@@ -17,6 +17,36 @@ void BM_BfsDistances(benchmark::State& state) {
 }
 BENCHMARK(BM_BfsDistances)->Arg(10)->Arg(13)->Arg(16);
 
+// Parallel level-synchronous BFS at a fixed scale; Arg = num_threads
+// (1 = serial baseline).
+void BM_BfsDistancesParallel(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(16);
+  algo::BfsOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::BfsDistances(g, 0, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BfsDistancesParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Multi-source BFS from 16 spread-out roots (landmark-sketch workload);
+// Arg = num_threads.
+void BM_MultiSourceBfs(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(16);
+  std::vector<VertexId> sources;
+  for (VertexId i = 0; i < 16; ++i) {
+    sources.push_back(i * (g.num_vertices() / 16));
+  }
+  algo::BfsOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::MultiSourceBfs(g, sources, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_MultiSourceBfs)->Arg(1)->Arg(4);
+
 void BM_DfsPreorder(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
   for (auto _ : state) {

@@ -18,6 +18,18 @@ void BM_TriangleCount(benchmark::State& state) {
 }
 BENCHMARK(BM_TriangleCount)->Arg(10)->Arg(13)->Arg(15);
 
+// Parallel path at a fixed scale; Arg = num_threads (1 = serial baseline).
+void BM_TriangleCountParallel(benchmark::State& state) {
+  const CsrGraph& g = bench::RmatGraph(15);
+  algo::TriangleCountOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::CountTriangles(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_TriangleCountParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_GlobalClusteringCoefficient(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
   for (auto _ : state) {

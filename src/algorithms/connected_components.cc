@@ -5,6 +5,8 @@
 #include <deque>
 #include <numeric>
 
+#include "common/parallel.h"
+
 namespace ubigraph::algo {
 
 UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
@@ -102,6 +104,51 @@ ComponentResult ConnectedComponentsBfs(const CsrGraph& g) {
   }
   out.num_components = next;
   return out;
+}
+
+ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
+                                             ComponentsOptions options) {
+  const VertexId n = g.num_vertices();
+  assert((!g.directed() || g.has_in_edges()) &&
+         "ConnectedComponentsLabelProp needs undirected graph or in-edge index");
+  std::vector<uint32_t> cur(n), next(n);
+  std::iota(cur.begin(), cur.end(), 0u);
+
+  // One Jacobi round over [b, e): reads only `cur`, writes only next[b..e),
+  // so concurrent chunks never conflict. Returns whether any label changed.
+  auto round = [&](uint64_t b, uint64_t e) {
+    bool changed = false;
+    for (uint64_t i = b; i < e; ++i) {
+      VertexId v = static_cast<VertexId>(i);
+      uint32_t best = cur[v];
+      best = std::min(best, cur[best]);  // pointer jumping
+      for (VertexId u : g.OutNeighbors(v)) best = std::min(best, cur[u]);
+      if (g.directed()) {
+        for (VertexId u : g.InNeighbors(v)) best = std::min(best, cur[u]);
+      }
+      next[v] = best;
+      changed |= best != cur[v];
+    }
+    return changed;
+  };
+
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  if (threads <= 1) {
+    for (;;) {
+      bool changed = round(0, n);
+      cur.swap(next);
+      if (!changed) break;
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (;;) {
+      bool changed = ParallelReduce(pool, 0, n, false, round,
+                                    [](bool a, bool b) { return a || b; });
+      cur.swap(next);
+      if (!changed) break;
+    }
+  }
+  return Relabel(cur, n);
 }
 
 ComponentResult StronglyConnectedComponents(const CsrGraph& g) {

@@ -48,6 +48,21 @@ ComponentResult WeaklyConnectedComponents(const CsrGraph& g);
 /// Requires an undirected graph or a directed graph with in-edges built.
 ComponentResult ConnectedComponentsBfs(const CsrGraph& g);
 
+struct ComponentsOptions {
+  /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
+  /// many workers.
+  uint32_t num_threads = 1;
+};
+
+/// Weak components by Jacobi min-label propagation with pointer jumping:
+/// each round computes next[v] = min(cur[v], cur[cur[v]], min over neighbor
+/// labels) from the previous round's labels only, so the fixpoint (and every
+/// intermediate round) is deterministic at any thread count and converges in
+/// O(log n)-ish rounds. Labels match WeaklyConnectedComponents exactly.
+/// Requires an undirected graph or a directed graph with in-edges built.
+ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
+                                             ComponentsOptions options = {});
+
 /// Strongly connected components (Tarjan, iterative). Labels are assigned in
 /// reverse topological order of the condensation (standard Tarjan order).
 ComponentResult StronglyConnectedComponents(const CsrGraph& g);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace ubigraph::algo {
 
 Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options) {
@@ -32,27 +34,67 @@ Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options) {
     if (deg > 0) inv_outdeg[v] = 1.0 / static_cast<double>(deg);
   }
 
+  // Pull-based update of one vertex; writes next[v], returns the L1 change.
+  auto relax = [&](VertexId v, double dangling) {
+    double in_sum = 0.0;
+    for (VertexId u : g.InNeighbors(v)) in_sum += rank[u] * inv_outdeg[u];
+    double nv = (1.0 - d) * teleport(v) + d * (in_sum + dangling * teleport(v));
+    next[v] = nv;
+    return std::abs(nv - rank[v]);
+  };
+
   PageRankResult result;
-  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Mass of dangling vertices is redistributed by the teleport vector.
-    double dangling = 0.0;
-    for (VertexId v = 0; v < n; ++v) {
-      if (g.OutDegree(v) == 0) dangling += rank[v];
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  if (threads <= 1) {
+    for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+      // Mass of dangling vertices is redistributed by the teleport vector.
+      double dangling = 0.0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (g.OutDegree(v) == 0) dangling += rank[v];
+      }
+      double delta = 0.0;
+      for (VertexId v = 0; v < n; ++v) delta += relax(v, dangling);
+      rank.swap(next);
+      result.iterations = iter + 1;
+      result.final_delta = delta;
+      if (delta < options.tolerance) {
+        result.converged = true;
+        break;
+      }
     }
-    double delta = 0.0;
-    for (VertexId v = 0; v < n; ++v) {
-      double in_sum = 0.0;
-      for (VertexId u : g.InNeighbors(v)) in_sum += rank[u] * inv_outdeg[u];
-      double nv = (1.0 - d) * teleport(v) + d * (in_sum + dangling * teleport(v));
-      next[v] = nv;
-      delta += std::abs(nv - rank[v]);
-    }
-    rank.swap(next);
-    result.iterations = iter + 1;
-    result.final_delta = delta;
-    if (delta < options.tolerance) {
-      result.converged = true;
-      break;
+  } else {
+    // Same pull-based iteration; the two sums run as deterministic tree
+    // reductions so results are reproducible at any fixed thread count.
+    ThreadPool pool(threads);
+    auto plus = [](double a, double b) { return a + b; };
+    for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+      double dangling = ParallelReduce(
+          pool, 0, n, 0.0,
+          [&](uint64_t b, uint64_t e) {
+            double sum = 0.0;
+            for (uint64_t v = b; v < e; ++v) {
+              if (g.OutDegree(static_cast<VertexId>(v)) == 0) sum += rank[v];
+            }
+            return sum;
+          },
+          plus);
+      double delta = ParallelReduce(
+          pool, 0, n, 0.0,
+          [&](uint64_t b, uint64_t e) {
+            double sum = 0.0;
+            for (uint64_t v = b; v < e; ++v) {
+              sum += relax(static_cast<VertexId>(v), dangling);
+            }
+            return sum;
+          },
+          plus);
+      rank.swap(next);
+      result.iterations = iter + 1;
+      result.final_delta = delta;
+      if (delta < options.tolerance) {
+        result.converged = true;
+        break;
+      }
     }
   }
   result.scores = std::move(rank);

@@ -18,6 +18,11 @@ struct PageRankOptions {
   /// Optional personalization vector (teleport distribution). Empty = uniform.
   /// Must sum to ~1 and have size == num_vertices when provided.
   std::vector<double> personalization;
+  /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
+  /// many workers. The parallel path uses a deterministic tree reduction for
+  /// the dangling-mass and L1-delta sums, so scores are bitwise-reproducible
+  /// at any fixed thread count (and within `tolerance` of the serial path).
+  uint32_t num_threads = 1;
 };
 
 struct PageRankResult {

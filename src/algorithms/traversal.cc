@@ -1,15 +1,25 @@
 #include "algorithms/traversal.h"
 
+#include <atomic>
 #include <deque>
+
+#include "common/parallel.h"
 
 namespace ubigraph::algo {
 
-std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source) {
+namespace {
+
+/// The seed serial BFS, generalized to any number of depth-0 sources.
+std::vector<uint32_t> SerialBfs(const CsrGraph& g,
+                                std::span<const VertexId> sources) {
   std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
-  if (source >= g.num_vertices()) return dist;
   std::deque<VertexId> queue;
-  dist[source] = 0;
-  queue.push_back(source);
+  for (VertexId s : sources) {
+    if (s < g.num_vertices() && dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
   while (!queue.empty()) {
     VertexId u = queue.front();
     queue.pop_front();
@@ -21,6 +31,64 @@ std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source) {
     }
   }
   return dist;
+}
+
+/// Level-synchronous BFS: each round expands the whole frontier in parallel,
+/// claiming vertices with a CAS on the distance array. Depths are unique, so
+/// the result is identical to SerialBfs regardless of thread interleaving.
+std::vector<uint32_t> ParallelBfs(const CsrGraph& g,
+                                  std::span<const VertexId> sources,
+                                  unsigned threads) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::vector<VertexId> frontier;
+  for (VertexId s : sources) {
+    if (s < g.num_vertices() && dist[s] == kUnreachable) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  ThreadPool pool(threads);
+  uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    frontier = ParallelReduce(
+        pool, 0, frontier.size(), std::vector<VertexId>{},
+        [&](uint64_t b, uint64_t e) {
+          std::vector<VertexId> local;
+          for (uint64_t i = b; i < e; ++i) {
+            for (VertexId v : g.OutNeighbors(frontier[i])) {
+              uint32_t expected = kUnreachable;
+              if (std::atomic_ref<uint32_t>(dist[v]).compare_exchange_strong(
+                      expected, depth, std::memory_order_relaxed)) {
+                local.push_back(v);
+              }
+            }
+          }
+          return local;
+        },
+        [](std::vector<VertexId> a, std::vector<VertexId> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        },
+        /*grain=*/256);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
+                                   BfsOptions options) {
+  VertexId sources[] = {source};
+  return MultiSourceBfs(g, sources, options);
+}
+
+std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
+                                     std::span<const VertexId> sources,
+                                     BfsOptions options) {
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  if (threads <= 1) return SerialBfs(g, sources);
+  return ParallelBfs(g, sources, threads);
 }
 
 std::vector<VertexId> BfsParents(const CsrGraph& g, VertexId source) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/csr_graph.h"
@@ -13,9 +14,24 @@ namespace ubigraph::algo {
 
 inline constexpr uint32_t kUnreachable = UINT32_MAX;
 
+struct BfsOptions {
+  /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
+  /// many workers running level-synchronous BFS. Distances are identical to
+  /// the serial traversal at any thread count (BFS depths are unique).
+  uint32_t num_threads = 1;
+};
+
 /// BFS from `source`; returns hop distance per vertex (kUnreachable if not
 /// reached).
-std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source);
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
+                                   BfsOptions options = {});
+
+/// Multi-source BFS: hop distance to the nearest source (all sources at depth
+/// 0; duplicate or out-of-range sources are ignored). The building block for
+/// landmark distance sketches and parallel closeness estimation.
+std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
+                                     std::span<const VertexId> sources,
+                                     BfsOptions options = {});
 
 /// BFS returning the parent tree (parent[source] == source,
 /// kInvalidVertex if unreached).

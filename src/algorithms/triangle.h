@@ -9,11 +9,17 @@
 
 namespace ubigraph::algo {
 
+struct TriangleCountOptions {
+  /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
+  /// many workers. Counts are integers, so parallel results are exact.
+  uint32_t num_threads = 1;
+};
+
 /// Counts triangles in an undirected simple graph (each triangle once) via
 /// the forward/degree-ordered merge algorithm. Requires sorted neighbors.
 /// On directed graphs the direction is ignored (the symmetrized closure is
 /// counted), matching how the survey software (NetworkX etc.) treats it.
-uint64_t CountTriangles(const CsrGraph& g);
+uint64_t CountTriangles(const CsrGraph& g, TriangleCountOptions options = {});
 
 /// Per-vertex triangle participation counts (each triangle increments all
 /// three corners).

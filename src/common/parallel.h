@@ -1,0 +1,171 @@
+// Shared-memory parallel runtime: the substrate for the "software that can
+// process larger graphs" challenge (§6.1, the survey's #1 reported problem).
+// Provides a fixed-size ThreadPool, ParallelFor with static and dynamic
+// chunked scheduling over vertex/edge ranges, and a deterministic tree
+// ParallelReduce whose floating-point result is bitwise-identical at any
+// thread count (chunk boundaries depend only on the grain, and partials are
+// combined in a fixed binary-tree order).
+//
+// Convention used by every kernel option struct in src/algorithms:
+//   num_threads == 0  -> std::thread::hardware_concurrency()
+//   num_threads == 1  -> the exact serial code path (the default)
+//   num_threads >= 2  -> the parallel path on that many workers
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ubigraph {
+
+/// Resolves a user-facing `num_threads` option: 0 means hardware concurrency
+/// (at least 1), anything else is used as-is.
+unsigned ResolveNumThreads(unsigned requested);
+
+/// How ParallelFor distributes a range over workers.
+enum class Schedule : uint8_t {
+  /// One contiguous block per worker, decided up front. Lowest overhead;
+  /// best when per-index cost is uniform.
+  kStatic,
+  /// Grain-sized chunks claimed from an atomic counter. Load-balances
+  /// skewed per-index cost (power-law degree distributions).
+  kDynamic,
+};
+
+/// Default indices per dynamically-scheduled chunk and per reduce chunk.
+inline constexpr uint64_t kDefaultGrain = 1024;
+
+/// Fixed-size worker pool. Tasks are arbitrary callables; the first
+/// exception thrown by any task is captured and rethrown from Wait().
+/// Destruction drains all queued tasks, then joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception any task raised (clearing it, so the pool stays usable).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable done_cv_;  // Wait(): pending_ reached zero
+  std::deque<std::function<void()>> queue_;
+  uint64_t pending_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of grain-sized chunks covering [begin, end).
+inline uint64_t NumChunks(uint64_t begin, uint64_t end, uint64_t grain) {
+  if (end <= begin || grain == 0) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+/// Runs fn(chunk_begin, chunk_end) over disjoint chunks that exactly cover
+/// [begin, end). kStatic issues one contiguous block per worker; kDynamic
+/// issues grain-sized chunks from a shared counter. Blocks until done;
+/// rethrows the first task exception.
+template <typename Fn>
+void ParallelForChunks(ThreadPool& pool, uint64_t begin, uint64_t end, Fn fn,
+                       Schedule schedule = Schedule::kStatic,
+                       uint64_t grain = kDefaultGrain) {
+  if (end <= begin) return;
+  const uint64_t n = end - begin;
+  const unsigned workers = pool.size() == 0 ? 1 : pool.size();
+  if (schedule == Schedule::kStatic) {
+    const uint64_t per = n / workers, extra = n % workers;
+    uint64_t b = begin;
+    for (unsigned w = 0; w < workers && b < end; ++w) {
+      uint64_t e = b + per + (w < extra ? 1 : 0);
+      pool.Submit([fn, b, e] { fn(b, e); });
+      b = e;
+    }
+  } else {
+    auto next = std::make_shared<std::atomic<uint64_t>>(begin);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.Submit([fn, next, end, grain] {
+        for (;;) {
+          uint64_t b = next->fetch_add(grain, std::memory_order_relaxed);
+          if (b >= end) return;
+          fn(b, std::min(b + grain, end));
+        }
+      });
+    }
+  }
+  pool.Wait();
+}
+
+/// Runs fn(i) for every i in [begin, end), scheduled per ParallelForChunks.
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, uint64_t begin, uint64_t end, Fn fn,
+                 Schedule schedule = Schedule::kStatic,
+                 uint64_t grain = kDefaultGrain) {
+  ParallelForChunks(
+      pool, begin, end,
+      [fn](uint64_t b, uint64_t e) {
+        for (uint64_t i = b; i < e; ++i) fn(i);
+      },
+      schedule, grain);
+}
+
+/// Deterministic chunked tree reduction. The range is split into grain-sized
+/// chunks (independently of the worker count); `map(chunk_begin, chunk_end)`
+/// produces each chunk's partial serially, and partials are folded pairwise
+/// in a fixed binary tree. Floating-point results are therefore
+/// bitwise-identical for any pool size given the same grain.
+///
+/// Partials live in a plain T[] rather than std::vector<T>: the
+/// vector<bool> specialization bit-packs neighbors into one word, which
+/// turns independent per-chunk writes into a data race (found by TSan).
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(ThreadPool& pool, uint64_t begin, uint64_t end, T identity,
+                 MapFn map, CombineFn combine, uint64_t grain = kDefaultGrain) {
+  const uint64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return identity;
+  auto partials = std::make_unique<T[]>(chunks);
+  T* slots = partials.get();
+  const unsigned workers = pool.size() == 0 ? 1 : pool.size();
+  auto next = std::make_shared<std::atomic<uint64_t>>(0);
+  for (unsigned w = 0; w < std::min<uint64_t>(workers, chunks); ++w) {
+    pool.Submit([slots, next, map, begin, end, grain, chunks] {
+      for (;;) {
+        uint64_t c = next->fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) return;
+        uint64_t b = begin + c * grain;
+        slots[c] = map(b, std::min(b + grain, end));
+      }
+    });
+  }
+  pool.Wait();
+  // Fixed pairwise tree over chunk partials: stride 1 folds (0,1)(2,3)...,
+  // stride 2 folds (0,2)(4,6)..., and so on up to the root at slot 0.
+  for (uint64_t stride = 1; stride < chunks; stride *= 2) {
+    for (uint64_t i = 0; i + stride < chunks; i += 2 * stride) {
+      slots[i] = combine(std::move(slots[i]), std::move(slots[i + stride]));
+    }
+  }
+  return std::move(slots[0]);
+}
+
+}  // namespace ubigraph
