@@ -4,6 +4,7 @@
 #include "algorithms/connected_components.h"
 
 #include "perf_common.h"
+#include "perf_obs.h"
 
 namespace ubigraph {
 namespace {
@@ -48,4 +49,4 @@ BENCHMARK(BM_SingletonCleaning)->Arg(10)->Arg(13);
 }  // namespace
 }  // namespace ubigraph
 
-BENCHMARK_MAIN();
+UBIGRAPH_BENCHMARK_MAIN_WITH_OBS();

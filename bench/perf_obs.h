@@ -1,0 +1,40 @@
+// Replacement for BENCHMARK_MAIN() that dumps a BENCH_obs.json metrics
+// snapshot after the benchmarks run, making the perf trajectory
+// machine-readable (counters like pagerank.iterations and the per-worker
+// pool.busy_ns shard breakdown land in the file).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/snapshot.h"
+
+namespace ubigraph::bench {
+
+/// Runs google-benchmark as BENCHMARK_MAIN() would, then captures the global
+/// metrics registry into `out_path` (override with UBIGRAPH_OBS_OUT).
+inline int PerfMainWithObs(int argc, char** argv,
+                           const char* out_path = "BENCH_obs.json") {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* env_path = std::getenv("UBIGRAPH_OBS_OUT");
+  const char* path = env_path != nullptr ? env_path : out_path;
+  if (!obs::DumpGlobalStatsJson(path)) {
+    std::fprintf(stderr, "warning: could not write metrics snapshot to %s\n", path);
+    return 0;  // benchmarks themselves succeeded
+  }
+  std::fprintf(stderr, "metrics snapshot written to %s\n", path);
+  return 0;
+}
+
+}  // namespace ubigraph::bench
+
+/// Expands to a main() that benchmarks, then dumps the obs snapshot.
+#define UBIGRAPH_BENCHMARK_MAIN_WITH_OBS()                      \
+  int main(int argc, char** argv) {                             \
+    return ::ubigraph::bench::PerfMainWithObs(argc, argv);      \
+  }

@@ -5,6 +5,7 @@
 #include "algorithms/pagerank.h"
 
 #include "perf_common.h"
+#include "perf_obs.h"
 
 namespace ubigraph {
 namespace {
@@ -64,4 +65,4 @@ BENCHMARK(BM_DegreeCentrality)->Arg(10)->Arg(16);
 }  // namespace
 }  // namespace ubigraph
 
-BENCHMARK_MAIN();
+UBIGRAPH_BENCHMARK_MAIN_WITH_OBS();

@@ -4,6 +4,7 @@
 #include "algorithms/traversal.h"
 
 #include "perf_common.h"
+#include "perf_obs.h"
 
 namespace ubigraph {
 namespace {
@@ -80,4 +81,4 @@ BENCHMARK(BM_TopologicalSortDag)->Arg(10)->Arg(14);
 }  // namespace
 }  // namespace ubigraph
 
-BENCHMARK_MAIN();
+UBIGRAPH_BENCHMARK_MAIN_WITH_OBS();

@@ -5,6 +5,7 @@
 #include "algorithms/triangle.h"
 
 #include "perf_common.h"
+#include "perf_obs.h"
 
 namespace ubigraph {
 namespace {
@@ -66,4 +67,4 @@ BENCHMARK(BM_DegreeHistogram)->Arg(13)->Arg(16);
 }  // namespace
 }  // namespace ubigraph
 
-BENCHMARK_MAIN();
+UBIGRAPH_BENCHMARK_MAIN_WITH_OBS();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configures a dedicated build tree with UBIGRAPH_SANITIZE
+# (thread by default — catches data races in the parallel runtime and the
+# obs shard merging) and runs the `unit`-labeled test suite under it.
+#
+# Usage: ci/sanitize.sh [thread|address|undefined] [ctest-label]
+set -euo pipefail
+
+SANITIZER="${1:-${UBIGRAPH_SANITIZE:-thread}}"
+LABEL="${2:-unit}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-${SANITIZER}san"
+
+cmake -S "$ROOT" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DUBIGRAPH_SANITIZE="$SANITIZER" \
+  -DUBIGRAPH_BUILD_BENCHMARKS=OFF \
+  -DUBIGRAPH_BUILD_EXAMPLES=OFF
+
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Perf-labeled tests are timing assertions and are meaningless under a
+# sanitizer's 5-20x slowdown; the label filter keeps them out by design.
+ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j"$(nproc)"

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ubigraph::algo {
 
@@ -108,11 +110,13 @@ ComponentResult ConnectedComponentsBfs(const CsrGraph& g) {
 
 ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
                                              ComponentsOptions options) {
+  obs::ScopedTrace span("ConnectedComponentsLabelProp");
   const VertexId n = g.num_vertices();
   assert((!g.directed() || g.has_in_edges()) &&
          "ConnectedComponentsLabelProp needs undirected graph or in-edge index");
   std::vector<uint32_t> cur(n), next(n);
   std::iota(cur.begin(), cur.end(), 0u);
+  uint64_t rounds = 0;
 
   // One Jacobi round over [b, e): reads only `cur`, writes only next[b..e),
   // so concurrent chunks never conflict. Returns whether any label changed.
@@ -135,6 +139,7 @@ ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
   const unsigned threads = ResolveNumThreads(options.num_threads);
   if (threads <= 1) {
     for (;;) {
+      ++rounds;
       bool changed = round(0, n);
       cur.swap(next);
       if (!changed) break;
@@ -142,13 +147,18 @@ ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
   } else {
     ThreadPool pool(threads);
     for (;;) {
+      ++rounds;
       bool changed = ParallelReduce(pool, 0, n, false, round,
                                     [](bool a, bool b) { return a || b; });
       cur.swap(next);
       if (!changed) break;
     }
   }
-  return Relabel(cur, n);
+  ComponentResult result = Relabel(cur, n);
+  obs::AddCounter("cc.labelprop.runs", 1);
+  obs::AddCounter("cc.labelprop.rounds", static_cast<int64_t>(rounds));
+  obs::AddCounter("cc.labelprop.components", result.num_components);
+  return result;
 }
 
 ComponentResult StronglyConnectedComponents(const CsrGraph& g) {

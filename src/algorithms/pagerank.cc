@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ubigraph::algo {
 
@@ -19,6 +22,9 @@ Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options) {
   if (g.directed() && !g.has_in_edges()) {
     return Status::Invalid("PageRank on a directed graph requires in-edges");
   }
+
+  obs::ScopedTrace span("PageRank");
+  Timer timer;
 
   const double d = options.damping;
   auto teleport = [&](VertexId v) -> double {
@@ -98,6 +104,16 @@ Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options) {
     }
   }
   result.scores = std::move(rank);
+  // Instrumentation flushes totals once per run (no-ops when disabled), so
+  // the iteration loops above are identical to the uninstrumented kernel.
+  // Pull-based updates traverse every in-edge once per iteration.
+  obs::AddCounter("pagerank.runs", 1);
+  obs::AddCounter("pagerank.iterations", result.iterations);
+  obs::AddCounter("pagerank.edges_relaxed",
+                  static_cast<int64_t>(result.iterations) *
+                      static_cast<int64_t>(g.num_edges()));
+  obs::RecordLatency("pagerank.latency_us",
+                     static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
   return result;
 }
 

@@ -1,13 +1,43 @@
 #include "algorithms/traversal.h"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ubigraph::algo {
 
 namespace {
+
+/// Flushes BFS counters derived from the finished distance array: one extra
+/// O(V) pass when instrumentation is on, zero changes to the traversal loops
+/// themselves. Every reached vertex is expanded exactly once, so edges
+/// relaxed == sum of out-degrees over the reached set, and level sizes are
+/// the frontier sizes.
+void FlushBfsStats(const CsrGraph& g, const std::vector<uint32_t>& dist) {
+  if (!obs::Enabled()) return;
+  uint64_t edges_relaxed = 0, visited = 0;
+  uint32_t max_depth = 0;
+  std::vector<int64_t> level_sizes;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] == kUnreachable) continue;
+    ++visited;
+    edges_relaxed += g.OutDegree(v);
+    if (dist[v] >= level_sizes.size()) level_sizes.resize(dist[v] + 1, 0);
+    ++level_sizes[dist[v]];
+    max_depth = std::max(max_depth, dist[v]);
+  }
+  obs::AddCounter("bfs.runs", 1);
+  obs::AddCounter("bfs.vertices_visited", static_cast<int64_t>(visited));
+  obs::AddCounter("bfs.edges_relaxed", static_cast<int64_t>(edges_relaxed));
+  obs::AddCounter("bfs.rounds", visited == 0 ? 0 : max_depth + 1);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::LatencyHistogram* frontier = reg.GetHistogram("bfs.frontier_size");
+  for (int64_t size : level_sizes) frontier->Record(size);
+}
 
 /// The seed serial BFS, generalized to any number of depth-0 sources.
 std::vector<uint32_t> SerialBfs(const CsrGraph& g,
@@ -86,9 +116,12 @@ std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
 std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
                                      std::span<const VertexId> sources,
                                      BfsOptions options) {
+  obs::ScopedTrace span("MultiSourceBfs");
   const unsigned threads = ResolveNumThreads(options.num_threads);
-  if (threads <= 1) return SerialBfs(g, sources);
-  return ParallelBfs(g, sources, threads);
+  std::vector<uint32_t> dist =
+      threads <= 1 ? SerialBfs(g, sources) : ParallelBfs(g, sources, threads);
+  FlushBfsStats(g, dist);
+  return dist;
 }
 
 std::vector<VertexId> BfsParents(const CsrGraph& g, VertexId source) {

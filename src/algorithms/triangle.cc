@@ -4,6 +4,9 @@
 #include <cassert>
 
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ubigraph::algo {
 
@@ -46,6 +49,8 @@ uint64_t SortedIntersectionSize(const std::vector<VertexId>& a,
 }  // namespace
 
 uint64_t CountTriangles(const CsrGraph& g, TriangleCountOptions options) {
+  obs::ScopedTrace span("CountTriangles");
+  Timer timer;
   auto adj = SimpleUndirectedAdjacency(g);
   const VertexId n = g.num_vertices();
   // Forward algorithm: orient each edge from lower-(degree, id) to higher and
@@ -77,16 +82,23 @@ uint64_t CountTriangles(const CsrGraph& g, TriangleCountOptions options) {
   };
 
   const unsigned threads = ResolveNumThreads(options.num_threads);
+  uint64_t triangles;
   if (threads <= 1) {
     build_fwd(0, n);
-    return count_range(0, n);
+    triangles = count_range(0, n);
+  } else {
+    ThreadPool pool(threads);
+    // Dynamic scheduling: power-law degree skew makes static blocks lopsided.
+    ParallelForChunks(pool, 0, n, build_fwd, Schedule::kDynamic, /*grain=*/512);
+    triangles = ParallelReduce(pool, 0, n, uint64_t{0}, count_range,
+                               [](uint64_t a, uint64_t b) { return a + b; },
+                               /*grain=*/512);
   }
-  ThreadPool pool(threads);
-  // Dynamic scheduling: power-law degree skew makes static blocks lopsided.
-  ParallelForChunks(pool, 0, n, build_fwd, Schedule::kDynamic, /*grain=*/512);
-  return ParallelReduce(pool, 0, n, uint64_t{0}, count_range,
-                        [](uint64_t a, uint64_t b) { return a + b; },
-                        /*grain=*/512);
+  obs::AddCounter("triangle.runs", 1);
+  obs::AddCounter("triangle.triangles_found", static_cast<int64_t>(triangles));
+  obs::RecordLatency("triangle.latency_us",
+                     static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+  return triangles;
 }
 
 std::vector<uint64_t> TrianglesPerVertex(const CsrGraph& g) {

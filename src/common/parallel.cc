@@ -1,6 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace ubigraph {
 
@@ -11,6 +14,11 @@ unsigned ResolveNumThreads(unsigned requested) {
 }
 
 ThreadPool::ThreadPool(unsigned num_threads) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  tasks_submitted_ = reg.GetCounter("pool.tasks_submitted");
+  tasks_completed_ = reg.GetCounter("pool.tasks_completed");
+  busy_ns_ = reg.GetCounter("pool.busy_ns");
+  queue_depth_max_ = reg.GetGauge("pool.queue_depth_max");
   num_threads = std::max(1u, num_threads);
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
@@ -28,10 +36,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++pending_;
+    depth = queue_.size();
+  }
+  if (obs::Enabled()) {
+    tasks_submitted_->Increment();
+    queue_depth_max_->UpdateMax(static_cast<int64_t>(depth));
   }
   work_cv_.notify_one();
 }
@@ -47,6 +61,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     std::function<void()> task;
     {
@@ -58,11 +73,22 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Tasks are chunk-granularity (see ParallelForChunks), so two clock
+    // reads per task are noise relative to the task body.
+    const bool record = obs::Enabled();
+    Clock::time_point start;
+    if (record) start = Clock::now();
     std::exception_ptr err;
     try {
       task();
     } catch (...) {
       err = std::current_exception();
+    }
+    if (record) {
+      busy_ns_->Add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+              .count());
+      tasks_completed_->Increment();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -26,6 +26,11 @@
 
 namespace ubigraph {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 /// Resolves a user-facing `num_threads` option: 0 means hardware concurrency
 /// (at least 1), anything else is used as-is.
 unsigned ResolveNumThreads(unsigned requested);
@@ -74,6 +79,16 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
+
+  // Observability handles (global registry; see src/obs/metrics.h). Cached
+  // at construction so the per-task hot path is a relaxed shard add; the
+  // pool.busy_ns counter's per-thread shards are the per-worker busy-time
+  // breakdown exported by StatsSnapshot. All recording is skipped while the
+  // registry is disabled.
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Counter* busy_ns_ = nullptr;
+  obs::Gauge* queue_depth_max_ = nullptr;
 };
 
 /// Number of grain-sized chunks covering [begin, end).

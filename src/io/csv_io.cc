@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "io/edge_list_io.h"
+#include "io/parse_metrics.h"
 
 namespace ubigraph::io {
 
@@ -42,7 +43,9 @@ Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
   return fields;
 }
 
-Result<EdgeList> ParseCsvEdges(const std::string& text, CsvOptions options) {
+namespace {
+
+Result<EdgeList> ParseCsvEdgesImpl(const std::string& text, CsvOptions options) {
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line)) return Status::ParseError("empty CSV document");
@@ -90,6 +93,15 @@ Result<EdgeList> ParseCsvEdges(const std::string& text, CsvOptions options) {
     el.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst), weight);
   }
   return el;
+}
+
+}  // namespace
+
+Result<EdgeList> ParseCsvEdges(const std::string& text, CsvOptions options) {
+  Result<EdgeList> result = ParseCsvEdgesImpl(text, std::move(options));
+  internal::FlushParseStats("csv", text.size(), result.ok(),
+                            result.ok() ? result->num_edges() : 0);
+  return result;
 }
 
 std::string WriteCsvEdges(const EdgeList& edges, CsvOptions options) {

@@ -4,10 +4,13 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "io/parse_metrics.h"
 
 namespace ubigraph::io {
 
-Result<EdgeList> ParseEdgeListText(const std::string& text) {
+namespace {
+
+Result<EdgeList> ParseEdgeListTextImpl(const std::string& text) {
   EdgeList el;
   size_t line_no = 0;
   std::istringstream in(text);
@@ -35,6 +38,15 @@ Result<EdgeList> ParseEdgeListText(const std::string& text) {
     el.Add(static_cast<VertexId>(src), static_cast<VertexId>(dst), weight);
   }
   return el;
+}
+
+}  // namespace
+
+Result<EdgeList> ParseEdgeListText(const std::string& text) {
+  Result<EdgeList> result = ParseEdgeListTextImpl(text);
+  internal::FlushParseStats("edge_list", text.size(), result.ok(),
+                            result.ok() ? result->num_edges() : 0);
+  return result;
 }
 
 std::string WriteEdgeListText(const EdgeList& edges) {

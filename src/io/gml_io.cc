@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "io/edge_list_io.h"
+#include "io/parse_metrics.h"
 
 namespace ubigraph::io {
 
@@ -76,9 +77,7 @@ Status SkipBlock(Lexer* lex) {
   return Status::OK();
 }
 
-}  // namespace
-
-Result<GmlDocument> ParseGml(const std::string& text) {
+Result<GmlDocument> ParseGmlImpl(const std::string& text) {
   Lexer lex(text);
   GmlDocument doc;
   std::unordered_map<int64_t, VertexId> id_map;
@@ -163,6 +162,15 @@ Result<GmlDocument> ParseGml(const std::string& text) {
     }
   }
   return doc;
+}
+
+}  // namespace
+
+Result<GmlDocument> ParseGml(const std::string& text) {
+  Result<GmlDocument> result = ParseGmlImpl(text);
+  internal::FlushParseStats("gml", text.size(), result.ok(),
+                            result.ok() ? result->edges.num_edges() : 0);
+  return result;
 }
 
 std::string WriteGml(const EdgeList& edges, bool directed) {

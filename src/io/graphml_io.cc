@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "io/edge_list_io.h"
+#include "io/parse_metrics.h"
 
 namespace ubigraph::io {
 
@@ -91,9 +92,7 @@ std::string XmlUnescape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-Result<GraphMlDocument> ParseGraphMl(const std::string& text) {
+Result<GraphMlDocument> ParseGraphMlImpl(const std::string& text) {
   GraphMlDocument doc;
   std::unordered_map<std::string, VertexId> id_map;
   auto intern = [&](const std::string& id) {
@@ -165,6 +164,15 @@ Result<GraphMlDocument> ParseGraphMl(const std::string& text) {
   }
   if (!saw_graph) return Status::ParseError("no <graph> element found");
   return doc;
+}
+
+}  // namespace
+
+Result<GraphMlDocument> ParseGraphMl(const std::string& text) {
+  Result<GraphMlDocument> result = ParseGraphMlImpl(text);
+  internal::FlushParseStats("graphml", text.size(), result.ok(),
+                            result.ok() ? result->edges.num_edges() : 0);
+  return result;
 }
 
 std::string WriteGraphMl(const EdgeList& edges, bool directed) {

@@ -5,10 +5,13 @@
 #include "common/strings.h"
 #include "io/edge_list_io.h"
 #include "io/json_value.h"
+#include "io/parse_metrics.h"
 
 namespace ubigraph::io {
 
-Result<JgfDocument> ParseJgf(const std::string& text) {
+namespace {
+
+Result<JgfDocument> ParseJgfImpl(const std::string& text) {
   UG_ASSIGN_OR_RETURN(auto root, ParseJsonValue(text));
   const JsonValue* graph = root->Get("graph");
   if (graph == nullptr || graph->kind != JsonValue::kObject) {
@@ -66,6 +69,15 @@ Result<JgfDocument> ParseJgf(const std::string& text) {
     }
   }
   return doc;
+}
+
+}  // namespace
+
+Result<JgfDocument> ParseJgf(const std::string& text) {
+  Result<JgfDocument> result = ParseJgfImpl(text);
+  internal::FlushParseStats("jgf", text.size(), result.ok(),
+                            result.ok() ? result->edges.num_edges() : 0);
+  return result;
 }
 
 std::string WriteJgf(const EdgeList& edges, bool directed,

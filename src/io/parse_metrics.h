@@ -1,0 +1,28 @@
+// Shared flush helper for reader instrumentation: every text parser reports
+// io.<format>.bytes, io.<format>.records (on success), and
+// io.<format>.parse_errors (on failure) to the global metrics registry.
+// Called once per parse — no per-line overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace ubigraph::io::internal {
+
+inline void FlushParseStats(std::string_view format, size_t bytes, bool ok,
+                            int64_t records) {
+  if (!obs::Enabled()) return;
+  std::string prefix = "io.";
+  prefix += format;
+  obs::AddCounter(prefix + ".bytes", static_cast<int64_t>(bytes));
+  if (ok) {
+    obs::AddCounter(prefix + ".records", records);
+  } else {
+    obs::AddCounter(prefix + ".parse_errors", 1);
+  }
+}
+
+}  // namespace ubigraph::io::internal

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace ubigraph::obs {
+
+namespace {
+
+std::atomic<int> g_next_thread_id{0};
+
+struct ThreadSlot {
+  int id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+};
+
+ThreadSlot& ThisThreadSlot() {
+  thread_local ThreadSlot slot;
+  return slot;
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  return static_cast<size_t>(ThisThreadSlot().id) % kNumShards;
+}
+
+int ThisThreadId() { return ThisThreadSlot().id; }
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<int64_t> Counter::ShardValues() const {
+  std::vector<int64_t> out(kNumShards);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    out[i] = shards_[i].value.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Gauge::UpdateMax(int64_t v) {
+  int64_t cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+size_t LatencyHistogram::BucketOf(int64_t value) {
+  if (value <= 0) return 0;
+  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+}
+
+int64_t LatencyHistogram::Snapshot::BucketUpperBound(size_t b) {
+  if (b == 0) return 0;
+  if (b >= 63) return INT64_MAX;
+  return (int64_t{1} << b) - 1;
+}
+
+void LatencyHistogram::Record(int64_t value) {
+  Shard& s = shards_[ThisThreadShard()];
+  s.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  // CAS min/max: contention is bounded to same-shard threads.
+  int64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !s.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Merge() const {
+  Snapshot snap;
+  snap.bucket_counts.assign(kNumBuckets, 0);
+  int64_t min = INT64_MAX, max = INT64_MIN;
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.bucket_counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    max = std::max(max, s.max.load(std::memory_order_relaxed));
+  }
+  for (int64_t c : snap.bucket_counts) snap.count += c;
+  if (snap.count > 0) {
+    snap.min = min;
+    snap.max = max;
+  }
+  return snap;
+}
+
+int64_t LatencyHistogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile observation (1-based, ceil).
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count - 1)) + 1;
+  int64_t seen = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    seen += bucket_counts[b];
+    if (seen >= rank) return std::min(BucketUpperBound(b), max);
+  }
+  return max;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<LatencyHistogram>(
+                                             new LatencyHistogram(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    for (Counter::Shard& s : c->shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) g->value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, h] : histograms_) {
+    for (LatencyHistogram::Shard& s : h->shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.min.store(INT64_MAX, std::memory_order_relaxed);
+      s.max.store(INT64_MIN, std::memory_order_relaxed);
+    }
+  }
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(*c);
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(*g);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(const LatencyHistogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(*h);
+}
+
+void AddCounter(std::string_view name, int64_t delta) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.GetCounter(name)->Add(delta);
+}
+
+void SetGauge(std::string_view name, int64_t value) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.GetGauge(name)->Set(value);
+}
+
+void RecordLatency(std::string_view name, int64_t value) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.GetHistogram(name)->Record(value);
+}
+
+}  // namespace ubigraph::obs

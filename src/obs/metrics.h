@@ -1,0 +1,180 @@
+// Observability metrics: process-wide registry of named Counters, Gauges,
+// and HDR-style latency histograms. Addresses the survey's visibility
+// challenge (Table 16: debugging/verification is where practitioners sink
+// weekly hours) — kernels that run blind cannot justify perf claims.
+//
+// Hot-path design: a Counter is an array of cache-line-padded per-thread
+// shards; Add() touches only the calling thread's shard with a relaxed
+// atomic, so concurrent writers never contend on a line. Value() merges the
+// shards on read. Handles returned by the registry are stable pointers —
+// look them up once (registration takes a lock), then record lock-free.
+//
+// Kernels keep instrumentation out of inner loops entirely: they accumulate
+// into locals and flush totals through these handles once per run/level,
+// which is how the ≤2 % overhead budget on PageRank is met (see DESIGN.md
+// "Observability").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ubigraph::obs {
+
+/// Number of per-thread shards per counter/histogram (power of two). Threads
+/// are assigned shard slots round-robin on first use; with more than
+/// kNumShards live threads, slots are shared (still correct, mildly
+/// contended).
+inline constexpr size_t kNumShards = 32;
+
+/// Stable small index for the calling thread, in [0, kNumShards).
+size_t ThisThreadShard();
+
+/// Stable small integer id for the calling thread (monotonic from 0, not
+/// wrapped) — used as the `tid` in trace events and shard breakdowns.
+int ThisThreadId();
+
+/// Monotonically increasing counter, merged across per-thread shards on read.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    shards_[ThisThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards.
+  int64_t Value() const;
+
+  /// Per-shard values (index = shard slot); most are zero.
+  std::vector<int64_t> ShardValues() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::string name_;
+  Shard shards_[kNumShards];
+};
+
+/// Last-writer-wins instantaneous value, plus a CAS high-water helper.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-water mark, e.g. queue depth).
+  void UpdateMax(int64_t v);
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// HDR-style histogram: values land in power-of-two buckets (bucket b covers
+/// [2^(b-1), 2^b) for b >= 1; bucket 0 is {<=0}), recorded into per-thread
+/// shards and merged on read. Good to ~2x relative error on percentiles at
+/// any magnitude, constant memory, lock-free recording.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(int64_t value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;  // 0 when empty
+    int64_t max = 0;
+    std::vector<int64_t> bucket_counts;  // size kNumBuckets
+
+    double mean() const { return count > 0 ? static_cast<double>(sum) / count : 0.0; }
+    /// Upper bound of the bucket holding the p-th percentile (p in [0, 1]).
+    int64_t Percentile(double p) const;
+    /// Inclusive upper bound of bucket b (2^b - 1; bucket 0 -> 0).
+    static int64_t BucketUpperBound(size_t b);
+  };
+  Snapshot Merge() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(std::string name) : name_(std::move(name)) {}
+
+  static size_t BucketOf(int64_t value);
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> buckets[kNumBuckets] = {};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+  };
+  std::string name_;
+  Shard shards_[kNumShards];
+};
+
+/// Named metric registry. Get*() registers on first use and returns a stable
+/// pointer; registration is mutex-guarded, recording through the returned
+/// handle is lock-free. The process-wide instance is Global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// Instrumentation master switch (default on). Call sites that flush
+  /// kernel totals check this and skip when disabled; disabling makes every
+  /// instrumented code path byte-identical in effect to the uninstrumented
+  /// one (verified by tests/obs_integration_test.cc).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Zeroes every registered metric's value (registrations and handles stay
+  /// valid). Test isolation helper — not intended for the hot path.
+  void Reset();
+
+  /// Visits metrics in name order (snapshot/export).
+  void ForEachCounter(const std::function<void(const Counter&)>& fn) const;
+  void ForEachGauge(const std::function<void(const Gauge&)>& fn) const;
+  void ForEachHistogram(const std::function<void(const LatencyHistogram&)>& fn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+  std::atomic<bool> enabled_{true};
+};
+
+/// Convenience flush helpers against the global registry: no-ops when
+/// instrumentation is disabled. Intended for once-per-run totals, not inner
+/// loops (each call does a name lookup under the registration lock).
+void AddCounter(std::string_view name, int64_t delta);
+void SetGauge(std::string_view name, int64_t value);
+void RecordLatency(std::string_view name, int64_t value);
+
+/// True when the global registry has instrumentation enabled.
+inline bool Enabled() { return MetricsRegistry::Global().enabled(); }
+
+}  // namespace ubigraph::obs

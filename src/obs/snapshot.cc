@@ -1,0 +1,166 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace ubigraph::obs {
+
+StatsSnapshot StatsSnapshot::Capture(const MetricsRegistry* registry) {
+  const MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  StatsSnapshot snap;
+  reg.ForEachCounter([&](const Counter& c) {
+    CounterSnapshot cs;
+    cs.name = c.name();
+    cs.value = c.Value();
+    std::vector<int64_t> shards = c.ShardValues();
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i] != 0) cs.shards.emplace_back(static_cast<int>(i), shards[i]);
+    }
+    snap.counters.push_back(std::move(cs));
+  });
+  reg.ForEachGauge([&](const Gauge& g) {
+    snap.gauges.push_back(GaugeSnapshot{g.name(), g.Value()});
+  });
+  reg.ForEachHistogram([&](const LatencyHistogram& h) {
+    LatencyHistogram::Snapshot m = h.Merge();
+    HistogramSnapshot hs;
+    hs.name = h.name();
+    hs.count = m.count;
+    hs.sum = m.sum;
+    hs.min = m.min;
+    hs.max = m.max;
+    hs.mean = m.mean();
+    hs.p50 = m.Percentile(0.50);
+    hs.p90 = m.Percentile(0.90);
+    hs.p99 = m.Percentile(0.99);
+    snap.histograms.push_back(std::move(hs));
+  });
+  return snap;
+}
+
+const CounterSnapshot* StatsSnapshot::FindCounter(const std::string& name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* StatsSnapshot::FindGauge(const std::string& name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* StatsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  *out += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\": ";
+}
+
+std::string FormatMean(double mean) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", mean);
+  return buf;
+}
+
+}  // namespace
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSnapshot& c : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, c.name);
+    out += "{\"value\": " + std::to_string(c.value) + ", \"shards\": {";
+    bool sfirst = true;
+    for (const auto& [slot, v] : c.shards) {
+      if (!sfirst) out += ", ";
+      sfirst = false;
+      out += '"' + std::to_string(slot) + "\": " + std::to_string(v);
+    }
+    out += "}}";
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const GaugeSnapshot& g : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, g.name);
+    out += std::to_string(g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, h.name);
+    out += "{\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"max\": " + std::to_string(h.max) + ", \"mean\": " +
+           FormatMean(h.mean) + ", \"p50\": " + std::to_string(h.p50) +
+           ", \"p90\": " + std::to_string(h.p90) +
+           ", \"p99\": " + std::to_string(h.p99) + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string StatsSnapshot::RenderAscii() const {
+  std::string out;
+  if (!counters.empty()) {
+    TextTable t({"counter", "value", "shards"});
+    for (const CounterSnapshot& c : counters) {
+      std::string shards;
+      for (const auto& [slot, v] : c.shards) {
+        if (!shards.empty()) shards += ' ';
+        shards += std::to_string(slot) + ':' + std::to_string(v);
+      }
+      t.AddRow({c.name, std::to_string(c.value), shards});
+    }
+    out += t.RenderAscii();
+  }
+  if (!gauges.empty()) {
+    TextTable t({"gauge", "value"});
+    for (const GaugeSnapshot& g : gauges) {
+      t.AddRow({g.name, std::to_string(g.value)});
+    }
+    out += t.RenderAscii();
+  }
+  if (!histograms.empty()) {
+    TextTable t({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const HistogramSnapshot& h : histograms) {
+      t.AddRow({h.name, std::to_string(h.count), FormatMean(h.mean),
+                std::to_string(h.p50), std::to_string(h.p90),
+                std::to_string(h.p99), std::to_string(h.max)});
+    }
+    out += t.RenderAscii();
+  }
+  return out;
+}
+
+bool DumpGlobalStatsJson(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << StatsSnapshot::Capture().ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ubigraph::obs

@@ -1,0 +1,66 @@
+// StatsSnapshot: a point-in-time copy of every registered metric, exportable
+// as JSON (machine-readable perf trajectory, e.g. bench/BENCH_obs.json) or an
+// ASCII table (human dumps via common/table.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace ubigraph::obs {
+
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+  /// (shard slot, value) for non-zero shards — the per-thread breakdown
+  /// (e.g. per-worker busy time for pool.busy_ns).
+  std::vector<std::pair<int, int64_t>> shards;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p90 = 0;
+  int64_t p99 = 0;
+};
+
+/// All metrics from a registry at one instant, in name order.
+struct StatsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Captures the global registry (or an explicit one).
+  static StatsSnapshot Capture(const MetricsRegistry* registry = nullptr);
+
+  const CounterSnapshot* FindCounter(const std::string& name) const;
+  const GaugeSnapshot* FindGauge(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// {"counters": {name: {"value": v, "shards": {tid: v, ...}}, ...},
+  ///  "gauges": {name: v, ...},
+  ///  "histograms": {name: {"count": ..., "sum": ..., ...}, ...}}
+  std::string ToJson() const;
+
+  /// Aligned ASCII tables (one per metric kind), via common/table.h.
+  std::string RenderAscii() const;
+};
+
+/// Captures the global registry and writes ToJson() to `path`. Returns false
+/// (and leaves no partial file guarantees) if the file cannot be written.
+bool DumpGlobalStatsJson(const std::string& path);
+
+}  // namespace ubigraph::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ubigraph::obs {
+
+namespace {
+
+/// JSON string escaping for trace names/categories (control chars, quotes,
+/// backslashes; non-ASCII bytes pass through untouched).
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+int& ThreadSpanDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+int64_t TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+TraceSink::TraceSink(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* instance = new TraceSink();  // never destroyed
+  return *instance;
+}
+
+void TraceSink::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceSink::Events(uint64_t* dropped) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dropped != nullptr) {
+    *dropped = total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // When the ring has wrapped, the oldest event sits at next_.
+  size_t start = ring_.size() == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceSink::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  total_ = 0;
+}
+
+size_t TraceSink::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::string TraceSink::ExportChromeTrace() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\", \"cat\": \"";
+    AppendJsonEscaped(&out, e.category);
+    out += "\", \"ph\": \"X\", \"ts\": " + std::to_string(e.start_us) +
+           ", \"dur\": " + std::to_string(e.duration_us) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+           ", \"args\": {\"depth\": " + std::to_string(e.depth) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+ScopedTrace::ScopedTrace(std::string name, std::string category, TraceSink* sink) {
+  TraceSink* target = sink != nullptr ? sink : &TraceSink::Global();
+  if (!target->enabled()) return;  // sink_ stays null: destructor is a no-op
+  sink_ = target;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  depth_ = ThreadSpanDepth()++;
+  start_us_ = TraceNowMicros();
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (sink_ == nullptr) return;
+  int64_t end_us = TraceNowMicros();
+  --ThreadSpanDepth();
+  sink_->Push(TraceEvent{std::move(name_), std::move(category_), start_us_,
+                         end_us - start_us_, ThisThreadId(), depth_});
+}
+
+}  // namespace ubigraph::obs

@@ -1,0 +1,90 @@
+// Scoped tracing: RAII spans recorded into a bounded ring buffer, exportable
+// as Chrome trace_event JSON (chrome://tracing / Perfetto "traceEvents"
+// format). Spans are meant for coarse phases — a kernel run, a parse, a
+// frontier level — not inner loops; each span costs two steady_clock reads
+// and one short critical section on close.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ubigraph::obs {
+
+/// One completed span ("X" complete event in Chrome trace terms).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;  // microseconds since the process trace epoch
+  int64_t duration_us = 0;
+  int tid = 0;    // small sequential thread id (ThisThreadId())
+  int depth = 0;  // span nesting depth on that thread at open time (0 = root)
+};
+
+/// Bounded ring buffer of completed spans. When full, the oldest events are
+/// overwritten — tracing never grows without bound and never blocks progress
+/// for more than a push under a mutex.
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity);
+
+  static TraceSink& Global();
+
+  /// Tracing master switch (default on). Disabled sinks drop events at the
+  /// ScopedTrace open, before any clock read.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void Push(TraceEvent event);
+
+  /// Events in arrival order (oldest first). `dropped` (optional) receives
+  /// the number of events overwritten since the last Clear.
+  std::vector<TraceEvent> Events(uint64_t* dropped = nullptr) const;
+
+  void Clear();
+
+  /// Re-sizes the ring (drops buffered events).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  /// Serializes buffered events as a Chrome trace_event JSON document:
+  /// {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+  ///  "pid": 1, "tid": ..., "cat": ..., "args": {"depth": ...}}, ...]}.
+  std::string ExportChromeTrace() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;      // ring slot for the next push
+  uint64_t total_ = 0;   // pushes since Clear
+  bool enabled_ = true;
+};
+
+/// Microseconds since the process-wide trace epoch (first use).
+int64_t TraceNowMicros();
+
+/// RAII span: opens on construction, records into the sink on destruction.
+/// Nesting is tracked per thread; children report depth = parent depth + 1.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::string name, std::string category = "kernel",
+                       TraceSink* sink = nullptr);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSink* sink_ = nullptr;  // null when tracing was disabled at open
+  std::string name_;
+  std::string category_;
+  int64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace ubigraph::obs

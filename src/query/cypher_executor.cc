@@ -6,6 +6,8 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/cypher_parser.h"
 
 namespace ubigraph::query {
@@ -83,6 +85,11 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
                                   const CypherQuery& query) {
   if (query.paths.empty()) return Status::Invalid("query has no MATCH pattern");
   if (query.returns.empty()) return Status::Invalid("query has no RETURN items");
+  obs::ScopedTrace span("ExecuteCypher", "query");
+  // Operator row counts, accumulated locally and flushed once at the end.
+  uint64_t rows_scanned = 0;   // candidate vertices tried by the scan operator
+  uint64_t rows_matched = 0;   // full pattern matches reaching the filter
+  uint64_t rows_filtered = 0;  // matches rejected by WHERE
 
   // Flatten paths into a list of (node pattern index) constraints and edges.
   // Variables unify across paths by name; anonymous nodes get unique slots.
@@ -244,7 +251,11 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
   };
 
   auto emit = [&]() {
-    if (!where_satisfied()) return true;
+    ++rows_matched;
+    if (!where_satisfied()) {
+      ++rows_filtered;
+      return true;
+    }
     ++count;
     if (counting_only) return true;
     std::vector<PropertyValue> row;
@@ -272,6 +283,7 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
     // Candidate set: if an edge connects this slot to an earlier slot, use
     // that adjacency; otherwise scan all vertices.
     for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      ++rows_scanned;
       if (!NodeMatches(graph, v, slots[depth].pattern)) continue;
       // Injectivity is NOT required (Cypher uses homomorphism semantics for
       // nodes, only edges must differ — with single-edge patterns per pair we
@@ -323,6 +335,12 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
       }
     }
   }
+  obs::AddCounter("cypher.queries", 1);
+  obs::AddCounter("cypher.rows_scanned", static_cast<int64_t>(rows_scanned));
+  obs::AddCounter("cypher.rows_matched", static_cast<int64_t>(rows_matched));
+  obs::AddCounter("cypher.rows_filtered", static_cast<int64_t>(rows_filtered));
+  obs::AddCounter("cypher.rows_returned",
+                  static_cast<int64_t>(result.rows.size()));
   return result;
 }
 

@@ -119,11 +119,19 @@ TEST(KRegularTest, EveryVertexHasDegreeK) {
   opts.directed = false;
   auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
   for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(g.OutDegree(v), 4u);
-  // Simple graph: no duplicate undirected edges.
+  // Simple graph: no self-loops, no duplicate undirected edges. The
+  // symmetrized CSR emits each undirected edge in both directions, so every
+  // directed (src, dst) pair must be unique. (The edge list is hoisted into
+  // a local: `g.ToEdgeList().edges()` would leave the range-for iterating a
+  // member of a destroyed temporary.)
   std::set<std::pair<VertexId, VertexId>> seen;
-  for (const Edge& e : g.ToEdgeList().edges()) {
+  EdgeList round_trip = g.ToEdgeList();
+  for (const Edge& e : round_trip.edges()) {
     EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second)
+        << "duplicate edge " << e.src << "->" << e.dst;
   }
+  EXPECT_EQ(seen.size(), 30u * 4u / 2u * 2u);  // n*k/2 edges, both directions
 }
 
 TEST(KRegularTest, ParityConstraint) {

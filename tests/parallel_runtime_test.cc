@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
@@ -71,6 +72,42 @@ TEST(ParallelRuntimeTest, OnlyFirstOfManyExceptionsIsKept) {
   }
   EXPECT_THROW(pool.Wait(), std::runtime_error);
   EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ParallelRuntimeTest, ConcurrentThrowsFromMultipleWorkersKeepExactlyOne) {
+  // Four workers throw at the same instant (released by a shared gate), so
+  // the first-exception-wins CAS in the pool races for real. Exactly one
+  // exception must surface from Wait(), the error must be cleared, and the
+  // pool must stay fully usable.
+  constexpr unsigned kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::atomic<unsigned> arrived{0};
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    pool.Submit([&arrived, w] {
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      // Spin until every worker holds a task, then all throw together.
+      while (arrived.load(std::memory_order_acquire) < kWorkers) {
+      }
+      throw std::runtime_error("worker " + std::to_string(w));
+    });
+  }
+  bool caught = false;
+  try {
+    pool.Wait();
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    // Whichever worker won, the message is one of the four thrown.
+    EXPECT_EQ(std::string(e.what()).rfind("worker ", 0), 0u) << e.what();
+  }
+  EXPECT_TRUE(caught);
+  // Losing exceptions were swallowed, not rethrown on the next Wait.
+  EXPECT_NO_THROW(pool.Wait());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 16);
 }
 
 TEST(ParallelRuntimeTest, ParallelForCoversEveryIndexExactlyOnce) {
