@@ -1,0 +1,161 @@
+// Merges one or more BENCH.json files and compares them against a checked-in
+// baseline, exiting non-zero when any shared benchmark regressed by more than
+// the allowed fraction of median real ns. With --write-baseline the merged
+// measurements replace the baseline instead (no comparison). Used by
+// ci/perf_smoke.sh.
+//
+// Usage:
+//   bench_compare <baseline.json> <max_regression> <current.json>...
+//   bench_compare --write-baseline <baseline.json> <current.json>...
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json_value.h"
+
+namespace {
+
+using ubigraph::io::JsonValue;
+
+struct Record {
+  std::string kernel, mode, graph;
+  int64_t threads = 1;
+  double median_real_ns = 0.0;
+  double edges_per_second = 0.0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string GetString(const JsonValue* entry, const char* key) {
+  const JsonValue* v = entry->Get(key);
+  return v != nullptr && v->kind == JsonValue::kString ? v->string : "";
+}
+
+double GetNumber(const JsonValue* entry, const char* key) {
+  const JsonValue* v = entry->Get(key);
+  return v != nullptr && v->kind == JsonValue::kNumber ? v->number : 0.0;
+}
+
+/// Parses one BENCH.json array into `out` (later files override earlier
+/// entries with the same name).
+void LoadRecords(const std::string& path, std::map<std::string, Record>* out) {
+  auto doc = ubigraph::io::ParseJsonValue(ReadFile(path));
+  if (!doc.ok() || (*doc)->kind != JsonValue::kArray) {
+    std::fprintf(stderr, "bench_compare: %s is not a JSON array\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  for (const auto& entry : (*doc)->array) {
+    std::string name = GetString(entry.get(), "name");
+    if (name.empty()) continue;
+    Record r;
+    r.kernel = GetString(entry.get(), "kernel");
+    r.mode = GetString(entry.get(), "mode");
+    r.graph = GetString(entry.get(), "graph");
+    r.threads = static_cast<int64_t>(GetNumber(entry.get(), "threads"));
+    r.median_real_ns = GetNumber(entry.get(), "median_real_ns");
+    r.edges_per_second = GetNumber(entry.get(), "edges_per_second");
+    (*out)[name] = r;
+  }
+}
+
+bool WriteRecords(const std::string& path,
+                  const std::map<std::string, Record>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  bool first = true;
+  for (const auto& [name, r] : records) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << name << "\", \"kernel\": \"" << r.kernel
+        << "\", \"mode\": \"" << r.mode << "\", \"graph\": \"" << r.graph
+        << "\", \"threads\": " << r.threads
+        << ", \"median_real_ns\": " << r.median_real_ns
+        << ", \"edges_per_second\": " << r.edges_per_second << "}";
+  }
+  out << "\n]\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool write_baseline =
+      argc > 1 && std::strcmp(argv[1], "--write-baseline") == 0;
+  if ((write_baseline && argc < 4) || (!write_baseline && argc < 4)) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <max_regression> "
+                 "<current.json>...\n"
+                 "       bench_compare --write-baseline <baseline.json> "
+                 "<current.json>...\n");
+    return 2;
+  }
+
+  if (write_baseline) {
+    std::map<std::string, Record> merged;
+    for (int i = 3; i < argc; ++i) LoadRecords(argv[i], &merged);
+    if (merged.empty() || !WriteRecords(argv[2], merged)) {
+      std::fprintf(stderr, "bench_compare: could not write baseline %s\n",
+                   argv[2]);
+      return 2;
+    }
+    std::printf("bench_compare: wrote %zu record(s) to %s\n", merged.size(),
+                argv[2]);
+    return 0;
+  }
+
+  const double max_regression = std::atof(argv[2]);
+  std::map<std::string, Record> baseline;
+  LoadRecords(argv[1], &baseline);
+  std::map<std::string, Record> current;
+  for (int i = 3; i < argc; ++i) LoadRecords(argv[i], &current);
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, base] : baseline) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      std::fprintf(stderr, "  MISSING  %s (in baseline, not measured)\n",
+                   name.c_str());
+      continue;
+    }
+    ++compared;
+    const double ratio = base.median_real_ns > 0
+                             ? it->second.median_real_ns / base.median_real_ns
+                             : 1.0;
+    const bool bad = ratio > 1.0 + max_regression;
+    std::printf("  %s  %-45s  %12.0f ns vs %12.0f ns  (%+.1f%%)\n",
+                bad ? "REGRESS" : "ok     ", name.c_str(),
+                it->second.median_real_ns, base.median_real_ns,
+                (ratio - 1.0) * 100.0);
+    if (bad) ++regressions;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_compare: no overlapping benchmarks\n");
+    return 2;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d benchmark(s) regressed more than %.0f%%\n",
+                 regressions, max_regression * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: %d benchmark(s) within %.0f%% of baseline\n",
+              compared, max_regression * 100.0);
+  return 0;
+}

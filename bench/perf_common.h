@@ -1,8 +1,16 @@
-// Shared graph builders for the perf benchmarks.
+// Shared graph builders for the perf benchmarks, plus the BENCH.json
+// reporter every perf_* binary emits its results through.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "gen/generators.h"
@@ -44,5 +52,131 @@ inline const CsrGraph& SmallWorldGraph(VertexId n) {
   }
   return it->second;
 }
+
+/// BFS root that actually exercises the kernel: the max-out-degree vertex
+/// (RMAT ids are scrambled, so a fixed id like 0 is usually a sink that
+/// reaches nothing and turns the benchmark into a no-op).
+inline VertexId BfsRoot(const CsrGraph& g) {
+  VertexId best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(best)) best = v;
+  }
+  return best;
+}
+
+/// Console reporter that additionally collects every iteration run and can
+/// write the unified machine-readable BENCH.json: one record per benchmark
+/// with {name, kernel, mode, graph, threads, median real ns/iter, edges/sec}.
+/// Benchmarks annotate themselves with `state.SetLabel("kernel=bfs mode=hybrid
+/// graph=rmat20")` and `state.counters["threads"] = t`; unannotated fields
+/// fall back to the benchmark name / 1 thread.
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Sample s;
+      s.name = run.benchmark_name();
+      s.label = run.report_label;
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      s.real_ns = run.real_accumulated_time / iters * 1e9;
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) s.edges_per_second = items->second.value;
+      auto threads = run.counters.find("threads");
+      if (threads != run.counters.end()) {
+        s.threads = static_cast<int64_t>(threads->second.value);
+      }
+      samples_.push_back(std::move(s));
+    }
+  }
+
+  /// Writes the collected runs (median over repeated iterations of the same
+  /// benchmark name) as a JSON array. Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const {
+    // Group in first-appearance order so the file is stable across runs.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<const Sample*>> groups;
+    for (const Sample& s : samples_) {
+      auto [it, inserted] = groups.try_emplace(s.name);
+      if (inserted) order.push_back(s.name);
+      it->second.push_back(&s);
+    }
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    bool first = true;
+    for (const std::string& name : order) {
+      const auto& runs = groups[name];
+      std::vector<double> ns, eps;
+      for (const Sample* s : runs) {
+        ns.push_back(s->real_ns);
+        eps.push_back(s->edges_per_second);
+      }
+      const Sample* rep = runs.front();
+      std::string kernel = LabelField(rep->label, "kernel");
+      if (kernel.empty()) kernel = name.substr(0, name.find('/'));
+      if (!first) out << ",\n";
+      first = false;
+      out << "  {\"name\": \"" << JsonEscape(name) << "\""
+          << ", \"kernel\": \"" << JsonEscape(kernel) << "\""
+          << ", \"mode\": \"" << JsonEscape(LabelField(rep->label, "mode"))
+          << "\""
+          << ", \"graph\": \"" << JsonEscape(LabelField(rep->label, "graph"))
+          << "\""
+          << ", \"threads\": " << rep->threads
+          << ", \"median_real_ns\": " << Median(ns)
+          << ", \"edges_per_second\": " << Median(eps) << "}";
+    }
+    out << "\n]\n";
+    return static_cast<bool>(out);
+  }
+
+  bool has_samples() const { return !samples_.empty(); }
+
+ private:
+  struct Sample {
+    std::string name;
+    std::string label;
+    double real_ns = 0.0;
+    double edges_per_second = 0.0;
+    int64_t threads = 1;
+  };
+
+  /// Extracts `key` from a "k1=v1 k2=v2" label; "" when absent.
+  static std::string LabelField(const std::string& label,
+                                const std::string& key) {
+    std::istringstream in(label);
+    std::string token;
+    while (in >> token) {
+      size_t eq = token.find('=');
+      if (eq != std::string::npos && token.compare(0, eq, key) == 0) {
+        return token.substr(eq + 1);
+      }
+    }
+    return "";
+  }
+
+  static double Median(std::vector<double> xs) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t mid = xs.size() / 2;
+    return xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+  }
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are ASCII
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Sample> samples_;
+};
 
 }  // namespace ubigraph::bench

@@ -28,6 +28,32 @@ void BM_ConnectedComponentsBfs(benchmark::State& state) {
 }
 BENCHMARK(BM_ConnectedComponentsBfs)->Arg(10)->Arg(13)->Arg(16);
 
+// Label-propagation CC, full-sweep vs Frontier working set; Args = {scale,
+// num_threads, use_frontier}. The frontier variant stops touching settled
+// regions, which dominates once the giant component's labels stabilize.
+void BM_CCLabelProp(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::RmatGraph(scale, /*in_edges=*/true);
+  algo::ComponentsOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  opts.use_frontier = state.range(2) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::ConnectedComponentsLabelProp(g, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.SetLabel(std::string("kernel=cc mode=") +
+                 (opts.use_frontier ? "frontier" : "full") + " graph=rmat" +
+                 std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_CCLabelProp)
+    ->Args({12, 1, 0})
+    ->Args({12, 1, 1})
+    ->Args({16, 1, 0})
+    ->Args({16, 1, 1})
+    ->Args({16, 8, 0})
+    ->Args({16, 8, 1});
+
 void BM_StronglyConnectedComponents(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
   for (auto _ : state) {

@@ -1,0 +1,81 @@
+// CSR construction: serial vs parallel FromEdges (degree count + prefix sum
+// + scatter + neighbor sort all parallelize; arrays stay bitwise-identical
+// to the serial build at any thread count).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "perf_common.h"
+#include "perf_obs.h"
+
+namespace ubigraph {
+namespace {
+
+/// Cached RMAT edge list at 2^scale vertices, 8 edges per vertex.
+const EdgeList& RmatEdges(uint32_t scale) {
+  static std::map<uint32_t, EdgeList> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    Rng rng(scale * 9176ULL + 3);
+    it = cache
+             .emplace(scale, gen::Rmat(scale, static_cast<uint64_t>(8) << scale,
+                                       &rng)
+                                 .ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+// Args = {scale, num_threads}. Each iteration copies the cached edge list
+// (FromEdges consumes it) outside the timed region, then builds.
+void CsrBuildBench(benchmark::State& state, CsrOptions opts,
+                   const char* mode_name) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const EdgeList& edges = RmatEdges(scale);
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    EdgeList copy = edges;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        CsrGraph::FromEdges(std::move(copy), opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.edges().size());
+  state.SetLabel(std::string("kernel=csr_build mode=") + mode_name +
+                 " graph=rmat" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+
+void BM_CsrBuildDirected(benchmark::State& state) {
+  CsrBuildBench(state, CsrOptions{}, "directed");
+}
+void BM_CsrBuildDirectedInEdges(benchmark::State& state) {
+  CsrOptions opts;
+  opts.build_in_edges = true;
+  CsrBuildBench(state, opts, "directed_in");
+}
+void BM_CsrBuildUndirected(benchmark::State& state) {
+  CsrOptions opts;
+  opts.directed = false;
+  CsrBuildBench(state, opts, "undirected");
+}
+void BM_CsrBuildUnsorted(benchmark::State& state) {
+  CsrOptions opts;
+  opts.sort_neighbors = false;
+  CsrBuildBench(state, opts, "unsorted");
+}
+
+#define CSR_BUILD_ARGS \
+  Args({12, 1})->Args({20, 1})->Args({20, 2})->Args({20, 4})->Args({20, 8})
+BENCHMARK(BM_CsrBuildDirected)->CSR_BUILD_ARGS;
+BENCHMARK(BM_CsrBuildDirectedInEdges)->CSR_BUILD_ARGS;
+BENCHMARK(BM_CsrBuildUndirected)->CSR_BUILD_ARGS;
+BENCHMARK(BM_CsrBuildUnsorted)->Args({20, 1})->Args({20, 8});
+#undef CSR_BUILD_ARGS
+
+}  // namespace
+}  // namespace ubigraph
+
+UBIGRAPH_BENCHMARK_MAIN_WITH_OBS();

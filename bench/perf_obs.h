@@ -1,7 +1,8 @@
-// Replacement for BENCHMARK_MAIN() that dumps a BENCH_obs.json metrics
-// snapshot after the benchmarks run, making the perf trajectory
-// machine-readable (counters like pagerank.iterations and the per-worker
-// pool.busy_ns shard breakdown land in the file).
+// Replacement for BENCHMARK_MAIN() that writes two machine-readable files
+// after the benchmarks run: BENCH.json (timing records — kernel, mode,
+// threads, graph, median ns, edges/sec — via bench::BenchJsonReporter) and
+// BENCH_obs.json (the metrics-registry snapshot: counters like
+// pagerank.iterations and the per-worker pool.busy_ns shard breakdown).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -10,19 +11,31 @@
 #include <cstdlib>
 
 #include "obs/snapshot.h"
+#include "perf_common.h"
 
 namespace ubigraph::bench {
 
-/// Runs google-benchmark as BENCHMARK_MAIN() would, then captures the global
-/// metrics registry into `out_path` (override with UBIGRAPH_OBS_OUT).
+/// Runs google-benchmark as BENCHMARK_MAIN() would, then writes BENCH.json
+/// (override the path with UBIGRAPH_BENCH_OUT) and the obs snapshot to
+/// `obs_out_path` (override with UBIGRAPH_OBS_OUT).
 inline int PerfMainWithObs(int argc, char** argv,
-                           const char* out_path = "BENCH_obs.json") {
+                           const char* obs_out_path = "BENCH_obs.json") {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  BenchJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (reporter.has_samples()) {
+    const char* bench_env = std::getenv("UBIGRAPH_BENCH_OUT");
+    const char* bench_path = bench_env != nullptr ? bench_env : "BENCH.json";
+    if (reporter.WriteJson(bench_path)) {
+      std::fprintf(stderr, "benchmark records written to %s\n", bench_path);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", bench_path);
+    }
+  }
   const char* env_path = std::getenv("UBIGRAPH_OBS_OUT");
-  const char* path = env_path != nullptr ? env_path : out_path;
+  const char* path = env_path != nullptr ? env_path : obs_out_path;
   if (!obs::DumpGlobalStatsJson(path)) {
     std::fprintf(stderr, "warning: could not write metrics snapshot to %s\n", path);
     return 0;  // benchmarks themselves succeeded

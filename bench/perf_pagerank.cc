@@ -37,6 +37,64 @@ void BM_PageRankParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRankParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// Fixed-work (20 iterations) mode comparison; Args = {scale, num_threads}.
+// Pull gathers contiguous in-edges with no write sharing; push scatters with
+// per-worker accumulators. Scale 20 is the acceptance comparison, scale 12
+// feeds ci/perf_smoke.sh.
+void PageRankModeBench(benchmark::State& state, algo::PageRankMode mode,
+                       const char* mode_name) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::RmatGraph(scale, /*in_edges=*/true);
+  algo::PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  opts.mode = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+  state.SetLabel(std::string("kernel=pagerank mode=") + mode_name +
+                 " graph=rmat" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+void BM_PageRankPull(benchmark::State& state) {
+  PageRankModeBench(state, algo::PageRankMode::kPull, "pull");
+}
+void BM_PageRankPush(benchmark::State& state) {
+  PageRankModeBench(state, algo::PageRankMode::kPush, "push");
+}
+BENCHMARK(BM_PageRankPull)->Args({12, 1})->Args({20, 1})->Args({20, 8});
+BENCHMARK(BM_PageRankPush)->Args({12, 1})->Args({20, 1})->Args({20, 8});
+
+// Run-to-convergence comparison where the delta mode's frontier pays off:
+// once most vertices stop moving it skips their gathers entirely.
+void PageRankConvergeBench(benchmark::State& state, algo::PageRankMode mode,
+                           const char* mode_name) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::RmatGraph(scale, /*in_edges=*/true);
+  algo::PageRankOptions opts;
+  opts.max_iterations = 200;
+  opts.tolerance = 1e-8;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  opts.mode = mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.SetLabel(std::string("kernel=pagerank_converge mode=") + mode_name +
+                 " graph=rmat" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+void BM_PageRankConvergePull(benchmark::State& state) {
+  PageRankConvergeBench(state, algo::PageRankMode::kPull, "pull");
+}
+void BM_PageRankConvergeDelta(benchmark::State& state) {
+  PageRankConvergeBench(state, algo::PageRankMode::kDelta, "delta");
+}
+BENCHMARK(BM_PageRankConvergePull)->Args({12, 1})->Args({16, 1});
+BENCHMARK(BM_PageRankConvergeDelta)->Args({12, 1})->Args({16, 1});
+
 void BM_ApproxBetweenness(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
   Rng rng(3);

@@ -149,7 +149,7 @@ void RunThreadSweep() {
        [&](uint32_t threads) {
          algo::ComponentsOptions o;
          o.num_threads = threads;
-         algo::ConnectedComponentsLabelProp(g, o);
+         algo::ConnectedComponentsLabelProp(g, o).ValueOrDie();
        }},
       {"Triangle count",
        [&](uint32_t threads) {

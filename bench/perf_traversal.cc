@@ -11,8 +11,9 @@ namespace {
 
 void BM_BfsDistances(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));
+  const VertexId root = bench::BfsRoot(g);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(algo::BfsDistances(g, 0));
+    benchmark::DoNotOptimize(algo::BfsDistances(g, root));
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
@@ -22,14 +23,55 @@ BENCHMARK(BM_BfsDistances)->Arg(10)->Arg(13)->Arg(16);
 // (1 = serial baseline).
 void BM_BfsDistancesParallel(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(16);
+  const VertexId root = bench::BfsRoot(g);
   algo::BfsOptions opts;
   opts.num_threads = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(algo::BfsDistances(g, 0, opts));
+    benchmark::DoNotOptimize(algo::BfsDistances(g, root, opts));
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
 BENCHMARK(BM_BfsDistancesParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Direction-optimizing BFS; Args = {scale, num_threads}. Scale 20 is the
+// acceptance-scale comparison against BM_BfsPush below, scale 12 feeds the
+// ci/perf_smoke.sh regression gate.
+void BM_BfsHybrid(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::RmatGraph(scale, /*in_edges=*/true);
+  const VertexId root = bench::BfsRoot(g);
+  algo::HybridBfsOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::HybridBfs(g, root, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.SetLabel("kernel=bfs mode=hybrid graph=rmat" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_BfsHybrid)
+    ->Args({12, 1})
+    ->Args({12, 4})
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({20, 8});
+
+// Push-only level-synchronous baseline on the same graphs as BM_BfsHybrid.
+void BM_BfsPush(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::RmatGraph(scale, /*in_edges=*/true);
+  const VertexId root = bench::BfsRoot(g);
+  algo::BfsOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::BfsDistances(g, root, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.SetLabel("kernel=bfs mode=push graph=rmat" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_BfsPush)->Args({12, 1})->Args({20, 1})->Args({20, 8});
 
 // Multi-source BFS from 16 spread-out roots (landmark-sketch workload);
 // Arg = num_threads.

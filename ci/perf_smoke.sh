@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf smoke gate: runs the perf-labeled ctest suite, then the small-graph
+# (scale-12) slice of the direction-optimizing benchmarks, and fails if any
+# benchmark's median real time regressed more than 25% against the checked-in
+# ci/perf_baseline.json.
+#
+# Wall-clock baselines are machine-relative: regenerate on the machine that
+# enforces the gate with
+#   ci/perf_smoke.sh --update-baseline
+#
+# Usage: ci/perf_smoke.sh [--update-baseline] [build-dir]
+set -euo pipefail
+
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE=1
+  shift
+fi
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+BASELINE="$ROOT/ci/perf_baseline.json"
+MAX_REGRESSION="${UBIGRAPH_PERF_MAX_REGRESSION:-0.25}"
+# Repeat each benchmark so the comparison uses a median, not one noisy run.
+BENCH_FLAGS=(--benchmark_filter='/12/' --benchmark_min_time=0.05
+             --benchmark_repetitions=3 --benchmark_report_aggregates_only=false)
+SMOKE_BINARIES=(perf_traversal perf_pagerank perf_components perf_csr_build)
+
+cmake -S "$ROOT" -B "$BUILD_DIR" > /dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+  "${SMOKE_BINARIES[@]}" bench_compare obs_overhead_test > /dev/null
+
+# Timing-sensitive test suite (obs overhead budget, etc.).
+ctest --test-dir "$BUILD_DIR" -L perf --output-on-failure
+
+OUTS=()
+for bin in "${SMOKE_BINARIES[@]}"; do
+  out="$BUILD_DIR/BENCH_smoke_${bin}.json"
+  echo "== $bin ${BENCH_FLAGS[*]}"
+  (cd "$BUILD_DIR" && UBIGRAPH_BENCH_OUT="$out" UBIGRAPH_OBS_OUT=/dev/null \
+      "./bench/$bin" "${BENCH_FLAGS[@]}" > /dev/null)
+  OUTS+=("$out")
+done
+
+if [[ "$UPDATE" == 1 ]]; then
+  "$BUILD_DIR/bench/bench_compare" --write-baseline "$BASELINE" "${OUTS[@]}"
+  echo "perf_smoke: baseline updated at $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "perf_smoke: no baseline at $BASELINE — run with --update-baseline first" >&2
+  exit 2
+fi
+
+"$BUILD_DIR/bench/bench_compare" "$BASELINE" "$MAX_REGRESSION" "${OUTS[@]}"
+echo "perf_smoke: OK"

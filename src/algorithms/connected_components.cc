@@ -1,11 +1,12 @@
 #include "algorithms/connected_components.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <numeric>
+#include <optional>
 
 #include "common/parallel.h"
+#include "graph/frontier.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -76,10 +77,9 @@ ComponentResult WeaklyConnectedComponents(const CsrGraph& g) {
   return Relabel(rep, n);
 }
 
-ComponentResult ConnectedComponentsBfs(const CsrGraph& g) {
+Result<ComponentResult> ConnectedComponentsBfs(const CsrGraph& g) {
   const VertexId n = g.num_vertices();
-  assert(g.has_in_edges() &&
-         "ConnectedComponentsBfs needs undirected graph or in-edge index");
+  UG_RETURN_NOT_OK(g.RequireInEdges("ConnectedComponentsBfs"));
   ComponentResult out;
   out.label.assign(n, UINT32_MAX);
   uint32_t next = 0;
@@ -108,54 +108,117 @@ ComponentResult ConnectedComponentsBfs(const CsrGraph& g) {
   return out;
 }
 
-ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
-                                             ComponentsOptions options) {
+Result<ComponentResult> ConnectedComponentsLabelProp(const CsrGraph& g,
+                                                     ComponentsOptions options) {
   obs::ScopedTrace span("ConnectedComponentsLabelProp");
   const VertexId n = g.num_vertices();
-  assert((!g.directed() || g.has_in_edges()) &&
-         "ConnectedComponentsLabelProp needs undirected graph or in-edge index");
+  UG_RETURN_NOT_OK(g.RequireInEdges("ConnectedComponentsLabelProp"));
   std::vector<uint32_t> cur(n), next(n);
   std::iota(cur.begin(), cur.end(), 0u);
   uint64_t rounds = 0;
 
-  // One Jacobi round over [b, e): reads only `cur`, writes only next[b..e),
-  // so concurrent chunks never conflict. Returns whether any label changed.
-  auto round = [&](uint64_t b, uint64_t e) {
-    bool changed = false;
-    for (uint64_t i = b; i < e; ++i) {
-      VertexId v = static_cast<VertexId>(i);
-      uint32_t best = cur[v];
-      best = std::min(best, cur[best]);  // pointer jumping
-      for (VertexId u : g.OutNeighbors(v)) best = std::min(best, cur[u]);
-      if (g.directed()) {
-        for (VertexId u : g.InNeighbors(v)) best = std::min(best, cur[u]);
-      }
-      next[v] = best;
-      changed |= best != cur[v];
-    }
-    return changed;
-  };
-
   const unsigned threads = ResolveNumThreads(options.num_threads);
-  if (threads <= 1) {
+  std::optional<ThreadPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  auto any = [](bool a, bool b) { return a || b; };
+
+  if (!options.use_frontier) {
+    // One Jacobi round over [b, e): reads only `cur`, writes only next[b..e),
+    // so concurrent chunks never conflict. Returns whether any label changed.
+    auto round = [&](uint64_t b, uint64_t e) {
+      bool changed = false;
+      for (uint64_t i = b; i < e; ++i) {
+        VertexId v = static_cast<VertexId>(i);
+        uint32_t best = cur[v];
+        best = std::min(best, cur[best]);  // pointer jumping
+        for (VertexId u : g.OutNeighbors(v)) best = std::min(best, cur[u]);
+        if (g.directed()) {
+          for (VertexId u : g.InNeighbors(v)) best = std::min(best, cur[u]);
+        }
+        next[v] = best;
+        changed |= best != cur[v];
+      }
+      return changed;
+    };
     for (;;) {
       ++rounds;
-      bool changed = round(0, n);
+      bool changed =
+          pool == nullptr ? round(0, n) : ParallelReduce(*pool, 0, n, false, round, any);
       cur.swap(next);
       if (!changed) break;
     }
   } else {
-    ThreadPool pool(threads);
+    // Frontier variant: a vertex is re-evaluated only while some neighbor's
+    // label is still moving; everyone else carries cur[v] forward for O(1).
+    // A label can only drop when a neighbor's label dropped last round, so
+    // the fixpoint is the same min-label-per-component as the full sweep.
+    // (Pointer jumping is dropped: cur[v] is not a graph neighbor, so a
+    // jumped-to representative could never re-activate v.)
+    Frontier active(n), changed(n), next_active(n);
+    active.SetAll();
+    // The sweep only flags vertices whose label dropped (O(1) per vertex);
+    // their neighbors are activated after the round, and while most of the
+    // graph is still moving the activation scatter is skipped entirely
+    // (everyone stays active), keeping early rounds at full-sweep cost.
+    auto round = [&](uint64_t b, uint64_t e) {
+      bool any_changed = false;
+      for (uint64_t i = b; i < e; ++i) {
+        VertexId v = static_cast<VertexId>(i);
+        if (!active.Test(v)) {
+          next[v] = cur[v];
+          continue;
+        }
+        uint32_t best = cur[v];
+        for (VertexId u : g.OutNeighbors(v)) best = std::min(best, cur[u]);
+        if (g.directed()) {
+          for (VertexId u : g.InNeighbors(v)) best = std::min(best, cur[u]);
+        }
+        next[v] = best;
+        if (best != cur[v]) {
+          any_changed = true;
+          if (pool != nullptr) {
+            changed.AtomicTestAndSet(v);
+          } else {
+            changed.Set(v);
+          }
+        }
+      }
+      return any_changed;
+    };
     for (;;) {
       ++rounds;
-      bool changed = ParallelReduce(pool, 0, n, false, round,
-                                    [](bool a, bool b) { return a || b; });
+      changed.ClearDense();
+      bool any_changed =
+          pool == nullptr ? round(0, n) : ParallelReduce(*pool, 0, n, false, round, any);
       cur.swap(next);
-      if (!changed) break;
+      if (!any_changed) break;
+      changed.RecountDense();
+      if (changed.size() > n / 8) {
+        active.SetAll();
+      } else {
+        changed.ToSparse();
+        next_active.ClearDense();
+        uint64_t marked = 0;
+        auto wake = [&](VertexId u) {
+          marked += next_active.AtomicTestAndSet(u) ? 1 : 0;
+        };
+        for (VertexId v : changed.Vertices()) {
+          for (VertexId u : g.OutNeighbors(v)) wake(u);
+          if (g.directed()) {
+            for (VertexId u : g.InNeighbors(v)) wake(u);
+          }
+        }
+        next_active.SetCount(marked);
+        std::swap(active, next_active);
+      }
     }
   }
   ComponentResult result = Relabel(cur, n);
   obs::AddCounter("cc.labelprop.runs", 1);
+  obs::AddCounter(options.use_frontier ? "cc.labelprop.frontier_runs"
+                                       : "cc.labelprop.full_sweep_runs",
+                  1);
   obs::AddCounter("cc.labelprop.rounds", static_cast<int64_t>(rounds));
   obs::AddCounter("cc.labelprop.components", result.num_components);
   return result;

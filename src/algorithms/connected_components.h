@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "graph/csr_graph.h"
 
 namespace ubigraph::algo {
@@ -45,23 +46,30 @@ ComponentResult WeaklyConnectedComponents(const CsrGraph& g);
 
 /// Same result computed by repeated BFS over the symmetrized graph — kept as
 /// an independent oracle for tests and as the survey's "BFS-based CC" variant.
-/// Requires an undirected graph or a directed graph with in-edges built.
-ComponentResult ConnectedComponentsBfs(const CsrGraph& g);
+/// Fails with InvalidArgument on a directed graph without the in-edge index.
+Result<ComponentResult> ConnectedComponentsBfs(const CsrGraph& g);
 
 struct ComponentsOptions {
   /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
   /// many workers.
   uint32_t num_threads = 1;
+  /// When true, each round only re-evaluates vertices with an active neighbor
+  /// (a Frontier-tracked working set) instead of sweeping all n vertices.
+  /// This variant drops pointer jumping (a vertex's current representative is
+  /// not a graph neighbor, so it could not be re-activated through the
+  /// frontier) — plain min-label Jacobi — so it usually runs more, cheaper
+  /// rounds. The fixpoint labels are identical either way.
+  bool use_frontier = false;
 };
 
-/// Weak components by Jacobi min-label propagation with pointer jumping:
-/// each round computes next[v] = min(cur[v], cur[cur[v]], min over neighbor
-/// labels) from the previous round's labels only, so the fixpoint (and every
-/// intermediate round) is deterministic at any thread count and converges in
-/// O(log n)-ish rounds. Labels match WeaklyConnectedComponents exactly.
-/// Requires an undirected graph or a directed graph with in-edges built.
-ComponentResult ConnectedComponentsLabelProp(const CsrGraph& g,
-                                             ComponentsOptions options = {});
+/// Weak components by Jacobi min-label propagation: each round computes
+/// next[v] = min(cur[v], cur[cur[v]], min over neighbor labels) from the
+/// previous round's labels only, so the fixpoint (and every intermediate
+/// round) is deterministic at any thread count. Labels match
+/// WeaklyConnectedComponents exactly.
+/// Fails with InvalidArgument on a directed graph without the in-edge index.
+Result<ComponentResult> ConnectedComponentsLabelProp(
+    const CsrGraph& g, ComponentsOptions options = {});
 
 /// Strongly connected components (Tarjan, iterative). Labels are assigned in
 /// reverse topological order of the condensation (standard Tarjan order).

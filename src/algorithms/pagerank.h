@@ -10,6 +10,25 @@
 
 namespace ubigraph::algo {
 
+/// How one power-iteration sweep traverses edges.
+enum class PageRankMode : uint8_t {
+  /// Pull when the in-edge index is available, push otherwise.
+  kAuto,
+  /// Gather over InNeighbors: no atomics, contiguous writes to next[].
+  /// Requires in-edges on directed graphs.
+  kPull,
+  /// Scatter over OutNeighbors. Needs no in-edge index; the parallel path
+  /// accumulates into per-worker arrays merged in fixed order, so it stays
+  /// deterministic at a fixed thread count.
+  kPush,
+  /// Pull-based sweeps over a Frontier of still-active vertices: a vertex is
+  /// re-gathered only while an in-neighbor's score is still moving (or the
+  /// global dangling mass drifts), which skips converged regions entirely.
+  /// Requires in-edges on directed graphs. Converges to the same fixpoint
+  /// within `tolerance`; intermediate iterates may differ from kPull.
+  kDelta,
+};
+
 struct PageRankOptions {
   double damping = 0.85;
   /// L1 convergence threshold.
@@ -19,10 +38,12 @@ struct PageRankOptions {
   /// Must sum to ~1 and have size == num_vertices when provided.
   std::vector<double> personalization;
   /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
-  /// many workers. The parallel path uses a deterministic tree reduction for
-  /// the dangling-mass and L1-delta sums, so scores are bitwise-reproducible
-  /// at any fixed thread count (and within `tolerance` of the serial path).
+  /// many workers. Every mode's parallel path uses deterministic reductions
+  /// (chunked trees; fixed-order per-worker merges for push), so scores are
+  /// bitwise-reproducible at any fixed thread count (and within `tolerance`
+  /// of the serial path).
   uint32_t num_threads = 1;
+  PageRankMode mode = PageRankMode::kAuto;
 };
 
 struct PageRankResult {
@@ -30,9 +51,13 @@ struct PageRankResult {
   uint32_t iterations = 0;
   double final_delta = 0.0;    // L1 change in last iteration
   bool converged = false;
+  /// The mode actually run (resolves kAuto).
+  PageRankMode mode = PageRankMode::kPull;
 };
 
-/// Runs power iteration. Requires in-edges for directed graphs (pull-based).
+/// Runs power iteration in the selected mode. kPull/kDelta require in-edges
+/// for directed graphs and fail with InvalidArgument otherwise; kPush always
+/// works; kAuto picks pull when it can.
 Result<PageRankResult> PageRank(const CsrGraph& g, PageRankOptions options = {});
 
 /// Indices of the k highest-scoring vertices, descending (ties by vertex id).

@@ -1,10 +1,14 @@
 #include "algorithms/traversal.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <deque>
+#include <optional>
+#include <utility>
 
 #include "common/parallel.h"
+#include "graph/frontier.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -105,7 +109,198 @@ std::vector<uint32_t> ParallelBfs(const CsrGraph& g,
   return dist;
 }
 
+/// One hybrid-BFS round's bookkeeping, flushed to obs at end of run.
+struct RoundStat {
+  bool pull = false;
+  uint64_t frontier_size = 0;
+  uint64_t edges_scanned = 0;
+};
+
+/// The direction-optimizing engine. `pool == nullptr` is the exact-serial
+/// path: the same round bodies run inline over the full range, with plain
+/// (non-atomic) claims. Distances are unique per vertex, so every mode and
+/// thread count produces a bitwise-identical array.
+std::vector<uint32_t> HybridBfsEngine(const CsrGraph& g,
+                                      std::span<const VertexId> sources,
+                                      const HybridBfsOptions& opt,
+                                      ThreadPool* pool) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> dist(n, kUnreachable);
+  Frontier cur(n), next(n);
+  uint64_t frontier_edges = 0;
+  for (VertexId s : sources) {
+    if (s < n && dist[s] == kUnreachable) {
+      dist[s] = 0;
+      cur.Push(s);
+      frontier_edges += g.OutDegree(s);
+    }
+  }
+
+  // Switch thresholds from the standard edge-work heuristic: pull once the
+  // frontier's out-edges exceed |E|/alpha, push again once the frontier
+  // shrinks below |V|/beta.
+  const uint64_t pull_edges =
+      static_cast<uint64_t>(static_cast<double>(g.num_edges()) / opt.alpha);
+  const uint64_t push_vertices =
+      static_cast<uint64_t>(static_cast<double>(n) / opt.beta);
+
+  bool pull = opt.direction == TraversalDirection::kPull;
+  uint64_t switches = 0;
+  std::vector<RoundStat> rounds;
+  uint32_t depth = 0;
+
+  while (!cur.empty()) {
+    ++depth;
+    if (opt.direction == TraversalDirection::kAuto) {
+      if (!pull && frontier_edges > pull_edges) {
+        pull = true;
+        ++switches;
+      } else if (pull && cur.size() < push_vertices) {
+        pull = false;
+        ++switches;
+      }
+    }
+    RoundStat stat;
+    stat.pull = pull;
+    stat.frontier_size = cur.size();
+
+    if (pull) {
+      cur.ToDense();
+      next.ClearDense();
+      // found vertices, edges scanned, out-edges of the new frontier.
+      using Partial = std::array<uint64_t, 3>;
+      auto round = [&](uint64_t b, uint64_t e) {
+        Partial p{0, 0, 0};
+        for (uint64_t i = b; i < e; ++i) {
+          VertexId v = static_cast<VertexId>(i);
+          if (dist[v] != kUnreachable) continue;
+          for (VertexId u : g.InNeighbors(v)) {
+            ++p[1];
+            if (cur.Test(u)) {
+              dist[v] = depth;
+              if (pool != nullptr) {
+                next.AtomicTestAndSet(v);
+              } else {
+                next.Set(v);
+              }
+              ++p[0];
+              p[2] += g.OutDegree(v);
+              break;
+            }
+          }
+        }
+        return p;
+      };
+      Partial total;
+      if (pool == nullptr) {
+        total = round(0, n);
+      } else {
+        total = ParallelReduce(
+            *pool, 0, n, Partial{0, 0, 0}, round,
+            [](Partial a, Partial b) {
+              return Partial{a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+            });
+      }
+      next.SetCount(total[0]);
+      stat.edges_scanned = total[1];
+      frontier_edges = total[2];
+    } else {
+      cur.ToSparse();
+      auto verts = cur.Vertices();
+      // New frontier list, plus its out-edge count for the heuristic.
+      struct Partial {
+        std::vector<VertexId> found;
+        uint64_t scanned = 0;
+        uint64_t next_edges = 0;
+      };
+      Partial total;
+      if (pool == nullptr) {
+        for (VertexId u : verts) {
+          for (VertexId v : g.OutNeighbors(u)) {
+            ++total.scanned;
+            if (dist[v] == kUnreachable) {
+              dist[v] = depth;
+              total.found.push_back(v);
+              total.next_edges += g.OutDegree(v);
+            }
+          }
+        }
+      } else {
+        total = ParallelReduce(
+            *pool, 0, verts.size(), Partial{},
+            [&](uint64_t b, uint64_t e) {
+              Partial p;
+              for (uint64_t i = b; i < e; ++i) {
+                for (VertexId v : g.OutNeighbors(verts[i])) {
+                  ++p.scanned;
+                  uint32_t expected = kUnreachable;
+                  if (std::atomic_ref<uint32_t>(dist[v]).compare_exchange_strong(
+                          expected, depth, std::memory_order_relaxed)) {
+                    p.found.push_back(v);
+                    p.next_edges += g.OutDegree(v);
+                  }
+                }
+              }
+              return p;
+            },
+            [](Partial a, Partial b) {
+              a.found.insert(a.found.end(), b.found.begin(), b.found.end());
+              a.scanned += b.scanned;
+              a.next_edges += b.next_edges;
+              return a;
+            },
+            /*grain=*/256);
+      }
+      stat.edges_scanned = total.scanned;
+      frontier_edges = total.next_edges;
+      next.Clear();
+      next.AdoptList(std::move(total.found));
+    }
+    std::swap(cur, next);
+    rounds.push_back(stat);
+  }
+
+  if (obs::Enabled()) {
+    uint64_t push_rounds = 0, pull_rounds = 0, edges = 0;
+    obs::LatencyHistogram* round_edges =
+        obs::MetricsRegistry::Global().GetHistogram("bfs.hybrid.round_edges");
+    for (const RoundStat& r : rounds) {
+      (r.pull ? pull_rounds : push_rounds) += 1;
+      edges += r.edges_scanned;
+      round_edges->Record(static_cast<int64_t>(r.edges_scanned));
+    }
+    obs::AddCounter("bfs.hybrid.runs", 1);
+    obs::AddCounter("bfs.hybrid.push_rounds", static_cast<int64_t>(push_rounds));
+    obs::AddCounter("bfs.hybrid.pull_rounds", static_cast<int64_t>(pull_rounds));
+    obs::AddCounter("bfs.hybrid.switches", static_cast<int64_t>(switches));
+    obs::AddCounter("bfs.hybrid.edges_scanned", static_cast<int64_t>(edges));
+  }
+  return dist;
+}
+
 }  // namespace
+
+Result<std::vector<uint32_t>> HybridBfs(const CsrGraph& g, VertexId source,
+                                        HybridBfsOptions options) {
+  VertexId sources[] = {source};
+  return HybridMultiSourceBfs(g, sources, options);
+}
+
+Result<std::vector<uint32_t>> HybridMultiSourceBfs(
+    const CsrGraph& g, std::span<const VertexId> sources,
+    HybridBfsOptions options) {
+  if (options.direction != TraversalDirection::kPush) {
+    UG_RETURN_NOT_OK(g.RequireInEdges("HybridBfs (pull/auto direction)"));
+  }
+  if (!(options.alpha > 0.0) || !(options.beta > 0.0)) {
+    return Status::Invalid("HybridBfs alpha/beta must be positive");
+  }
+  obs::ScopedTrace span("HybridBfs");
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  return HybridBfsEngine(g, sources, options, pool ? &*pool : nullptr);
+}
 
 std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
                                    BfsOptions options) {

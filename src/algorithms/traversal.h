@@ -33,6 +33,45 @@ std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
                                      std::span<const VertexId> sources,
                                      BfsOptions options = {});
 
+/// Which side of an edge a traversal round expands from.
+enum class TraversalDirection : uint8_t {
+  /// Top-down: expand the frontier's out-edges (classic BFS).
+  kPush,
+  /// Bottom-up: every unreached vertex scans its in-edges for a frontier
+  /// parent. Wins when the frontier covers most remaining edges.
+  kPull,
+  /// Beamer-style direction optimization: start push, switch per-round on
+  /// the edge-work heuristic below.
+  kAuto,
+};
+
+struct HybridBfsOptions {
+  /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
+  /// many workers. Distances are identical at any thread count and in any
+  /// direction mode (BFS depths are unique).
+  uint32_t num_threads = 1;
+  TraversalDirection direction = TraversalDirection::kAuto;
+  /// kAuto switches push -> pull when the frontier's out-edge count exceeds
+  /// |E| / alpha ...
+  double alpha = 15.0;
+  /// ... and back to push when the frontier shrinks below |V| / beta.
+  double beta = 18.0;
+};
+
+/// Direction-optimizing BFS from `source` (out-of-range sources yield an
+/// all-unreachable result). Requires the in-edge index on directed graphs
+/// unless direction == kPush; fails with InvalidArgument otherwise. Switch
+/// decisions and per-round edge work land in the obs registry under
+/// `bfs.hybrid.*`.
+Result<std::vector<uint32_t>> HybridBfs(const CsrGraph& g, VertexId source,
+                                        HybridBfsOptions options = {});
+
+/// Multi-source variant (all sources at depth 0; duplicates and out-of-range
+/// sources are ignored).
+Result<std::vector<uint32_t>> HybridMultiSourceBfs(
+    const CsrGraph& g, std::span<const VertexId> sources,
+    HybridBfsOptions options = {});
+
 /// BFS returning the parent tree (parent[source] == source,
 /// kInvalidVertex if unreached).
 std::vector<VertexId> BfsParents(const CsrGraph& g, VertexId source);

@@ -1,79 +1,279 @@
 #include "graph/csr_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <numeric>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace ubigraph {
+
+namespace {
+
+/// Inclusive prefix sum over `a`, block-parallel when a pool is given:
+/// per-block partial sums, a serial scan of the block totals, then a
+/// parallel add-back of each block's base. Integer sums are
+/// order-independent, so the result matches the serial scan exactly.
+void InclusiveScan(std::vector<uint64_t>& a, ThreadPool* pool) {
+  const uint64_t n = a.size();
+  if (pool == nullptr || n < (1u << 14)) {
+    std::partial_sum(a.begin(), a.end(), a.begin());
+    return;
+  }
+  const unsigned blocks = pool->size();
+  const uint64_t per = (n + blocks - 1) / blocks;
+  std::vector<uint64_t> base(blocks + 1, 0);
+  for (unsigned b = 0; b < blocks; ++b) {
+    const uint64_t lo = std::min<uint64_t>(b * per, n);
+    const uint64_t hi = std::min<uint64_t>(lo + per, n);
+    if (lo >= hi) continue;
+    pool->Submit([&a, &base, b, lo, hi] {
+      uint64_t sum = 0;
+      for (uint64_t i = lo; i < hi; ++i) {
+        sum += a[i];
+        a[i] = sum;
+      }
+      base[b + 1] = sum;
+    });
+  }
+  pool->Wait();
+  std::partial_sum(base.begin(), base.end(), base.begin());
+  for (unsigned b = 1; b < blocks; ++b) {
+    const uint64_t lo = std::min<uint64_t>(b * per, n);
+    const uint64_t hi = std::min<uint64_t>(lo + per, n);
+    const uint64_t add = base[b];
+    if (lo >= hi || add == 0) continue;
+    pool->Submit([&a, lo, hi, add] {
+      for (uint64_t i = lo; i < hi; ++i) a[i] += add;
+    });
+  }
+  pool->Wait();
+}
+
+/// Shared CSR index builder. Scatters `es` into (offsets, targets[, weights])
+/// keyed on src (or dst when `reverse`); `sym` additionally scatters the
+/// reverse arc of every non-loop edge, which is how undirected graphs are
+/// built without materializing a doubled edge list first. The output is
+/// bitwise-identical at any thread count: the unsorted scatter is stable
+/// (chunk-local counting sort), and the sorted path canonicalizes each
+/// adjacency range after an unordered atomic scatter.
+void BuildIndex(std::span<const Edge> es, VertexId n, bool sym, bool reverse,
+                bool sort_lists, ThreadPool* pool,
+                std::vector<uint64_t>& offsets, std::vector<VertexId>& targets,
+                std::vector<double>* weights) {
+  assert(!(sym && reverse) && "undirected graphs alias the out index");
+  const size_t m = es.size();
+  auto key = [reverse](const Edge& e) { return reverse ? e.dst : e.src; };
+  auto val = [reverse](const Edge& e) { return reverse ? e.src : e.dst; };
+
+  // Degree count. Counts are exact under relaxed atomic increments, so the
+  // parallel path needs no per-thread histograms here.
+  offsets.assign(static_cast<size_t>(n) + 1, 0);
+  if (pool == nullptr) {
+    for (const Edge& e : es) {
+      ++offsets[key(e) + 1];
+      if (sym && e.src != e.dst) ++offsets[e.dst + 1];
+    }
+  } else {
+    ParallelForChunks(
+        *pool, 0, m,
+        [&](uint64_t b, uint64_t e) {
+          for (uint64_t i = b; i < e; ++i) {
+            const Edge& ed = es[i];
+            std::atomic_ref<uint64_t>(offsets[key(ed) + 1])
+                .fetch_add(1, std::memory_order_relaxed);
+            if (sym && ed.src != ed.dst) {
+              std::atomic_ref<uint64_t>(offsets[ed.dst + 1])
+                  .fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        },
+        Schedule::kStatic);
+  }
+  InclusiveScan(offsets, pool);
+
+  const uint64_t total = offsets[n];
+  targets.resize(total);
+  if (weights != nullptr) weights->resize(total);
+
+  auto place = [&](uint64_t pos, VertexId t, double w) {
+    targets[pos] = t;
+    if (weights != nullptr) (*weights)[pos] = w;
+  };
+
+  if (pool == nullptr) {
+    // Stable serial scatter in edge-list order (for undirected inputs the
+    // reverse arc lands immediately after its forward twin, matching the
+    // order a pre-symmetrized list would have produced).
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : es) {
+      place(cursor[key(e)]++, val(e), e.weight);
+      if (sym && e.src != e.dst) place(cursor[e.dst]++, e.src, e.weight);
+    }
+  } else if (sort_lists) {
+    // Order within each adjacency range is about to be canonicalized by the
+    // sort, so a cheap unordered atomic scatter suffices.
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    ParallelForChunks(
+        *pool, 0, m,
+        [&](uint64_t b, uint64_t e) {
+          for (uint64_t i = b; i < e; ++i) {
+            const Edge& ed = es[i];
+            uint64_t pos = std::atomic_ref<uint64_t>(cursor[key(ed)])
+                               .fetch_add(1, std::memory_order_relaxed);
+            place(pos, val(ed), ed.weight);
+            if (sym && ed.src != ed.dst) {
+              pos = std::atomic_ref<uint64_t>(cursor[ed.dst])
+                        .fetch_add(1, std::memory_order_relaxed);
+              place(pos, ed.src, ed.weight);
+            }
+          }
+        },
+        Schedule::kStatic);
+  } else {
+    // Unsorted lists must preserve edge-list order, so run a chunked stable
+    // counting sort: each worker-chunk counts its per-vertex degrees, the
+    // counts are turned into per-chunk cursors, and each chunk scatters into
+    // its own disjoint slots. Costs workers x V words of cursor space —
+    // only paid on parallel builds of unsorted graphs.
+    const unsigned chunks = pool->size();
+    const uint64_t per = (m + chunks - 1) / chunks;
+    std::vector<std::vector<uint64_t>> chunk_count(chunks);
+    for (unsigned c = 0; c < chunks; ++c) {
+      pool->Submit([&, c] {
+        auto& count = chunk_count[c];
+        count.assign(n, 0);
+        const uint64_t lo = std::min<uint64_t>(c * per, m);
+        const uint64_t hi = std::min<uint64_t>(lo + per, m);
+        for (uint64_t i = lo; i < hi; ++i) {
+          ++count[key(es[i])];
+          if (sym && es[i].src != es[i].dst) ++count[es[i].dst];
+        }
+      });
+    }
+    pool->Wait();
+    // Turn counts into absolute cursors: chunk c starts where chunk c-1's
+    // share of each vertex's range ends.
+    ParallelFor(*pool, 0, n, [&](uint64_t v) {
+      uint64_t run = offsets[v];
+      for (unsigned c = 0; c < chunks; ++c) {
+        uint64_t cnt = chunk_count[c][v];
+        chunk_count[c][v] = run;
+        run += cnt;
+      }
+    });
+    for (unsigned c = 0; c < chunks; ++c) {
+      pool->Submit([&, c] {
+        auto& cursor = chunk_count[c];
+        const uint64_t lo = std::min<uint64_t>(c * per, m);
+        const uint64_t hi = std::min<uint64_t>(lo + per, m);
+        for (uint64_t i = lo; i < hi; ++i) {
+          const Edge& ed = es[i];
+          place(cursor[key(ed)]++, val(ed), ed.weight);
+          if (sym && ed.src != ed.dst) place(cursor[ed.dst]++, ed.src, ed.weight);
+        }
+      });
+    }
+    pool->Wait();
+  }
+
+  if (!sort_lists) return;
+
+  // Per-vertex neighbor sort. When every weight is identical (the common
+  // unweighted case) the value array carries no information and the target
+  // ranges sort directly; otherwise (dst, weight) pairs sort through a
+  // per-worker scratch buffer reused across vertices instead of a fresh
+  // allocation per vertex.
+  bool uniform_weights = true;
+  if (weights != nullptr && total > 0) {
+    const double w0 = (*weights)[0];
+    for (uint64_t i = 1; i < total && uniform_weights; ++i) {
+      uniform_weights = (*weights)[i] == w0;
+    }
+  }
+  auto sort_range = [&](VertexId v,
+                        std::vector<std::pair<VertexId, double>>& scratch) {
+    const uint64_t lo = offsets[v], hi = offsets[v + 1];
+    if (hi - lo < 2) return;
+    if (weights == nullptr || uniform_weights) {
+      std::sort(targets.begin() + static_cast<ptrdiff_t>(lo),
+                targets.begin() + static_cast<ptrdiff_t>(hi));
+      return;
+    }
+    scratch.clear();
+    for (uint64_t i = lo; i < hi; ++i) {
+      scratch.emplace_back(targets[i], (*weights)[i]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (uint64_t i = lo; i < hi; ++i) {
+      targets[i] = scratch[i - lo].first;
+      (*weights)[i] = scratch[i - lo].second;
+    }
+  };
+  if (pool == nullptr) {
+    std::vector<std::pair<VertexId, double>> scratch;
+    for (VertexId v = 0; v < n; ++v) sort_range(v, scratch);
+  } else {
+    // Dynamic chunks load-balance the skewed per-vertex sort cost.
+    ParallelForChunks(
+        *pool, 0, n,
+        [&](uint64_t b, uint64_t e) {
+          std::vector<std::pair<VertexId, double>> scratch;
+          for (uint64_t v = b; v < e; ++v) {
+            sort_range(static_cast<VertexId>(v), scratch);
+          }
+        },
+        Schedule::kDynamic);
+  }
+}
+
+}  // namespace
 
 Result<CsrGraph> CsrGraph::FromEdges(EdgeList edges, CsrOptions options) {
   UG_RETURN_NOT_OK(edges.Validate());
   if (options.remove_self_loops) edges.RemoveSelfLoops();
   if (options.deduplicate) edges.Deduplicate();
-  if (!options.directed) edges = edges.Symmetrized();
 
   CsrGraph g;
   g.num_vertices_ = edges.num_vertices();
   g.directed_ = options.directed;
   g.sorted_ = options.sort_neighbors;
 
-  const auto& es = edges.edges();
-  const size_t m = es.size();
-  g.offsets_.assign(static_cast<size_t>(g.num_vertices_) + 1, 0);
-  for (const Edge& e : es) ++g.offsets_[e.src + 1];
-  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
 
-  g.dst_.resize(m);
-  g.weights_.resize(m);
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const Edge& e : es) {
-    uint64_t pos = cursor[e.src]++;
-    g.dst_[pos] = e.dst;
-    g.weights_[pos] = e.weight;
-  }
-
-  if (options.sort_neighbors) {
-    for (VertexId v = 0; v < g.num_vertices_; ++v) {
-      uint64_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
-      // Sort (dst, weight) pairs of this adjacency range together.
-      std::vector<std::pair<VertexId, double>> adj;
-      adj.reserve(hi - lo);
-      for (uint64_t i = lo; i < hi; ++i) adj.emplace_back(g.dst_[i], g.weights_[i]);
-      std::sort(adj.begin(), adj.end());
-      for (uint64_t i = lo; i < hi; ++i) {
-        g.dst_[i] = adj[i - lo].first;
-        g.weights_[i] = adj[i - lo].second;
-      }
-    }
-  }
-
+  // Undirected graphs scatter both arc directions straight from the
+  // half-edge list instead of materializing a doubled copy first.
+  const std::span<const Edge> es(edges.edges());
+  BuildIndex(es, g.num_vertices_, /*sym=*/!options.directed, /*reverse=*/false,
+             options.sort_neighbors, pool_ptr, g.offsets_, g.dst_, &g.weights_);
   if (options.directed && options.build_in_edges) {
-    g.in_offsets_.assign(static_cast<size_t>(g.num_vertices_) + 1, 0);
-    for (const Edge& e : es) ++g.in_offsets_[e.dst + 1];
-    std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
-                     g.in_offsets_.begin());
-    g.in_src_.resize(m);
-    std::vector<uint64_t> icursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
-    for (const Edge& e : es) g.in_src_[icursor[e.dst]++] = e.src;
-    if (options.sort_neighbors) {
-      for (VertexId v = 0; v < g.num_vertices_; ++v) {
-        std::sort(g.in_src_.begin() + static_cast<ptrdiff_t>(g.in_offsets_[v]),
-                  g.in_src_.begin() + static_cast<ptrdiff_t>(g.in_offsets_[v + 1]));
-      }
-    }
+    BuildIndex(es, g.num_vertices_, /*sym=*/false, /*reverse=*/true,
+               options.sort_neighbors, pool_ptr, g.in_offsets_, g.in_src_,
+               /*weights=*/nullptr);
   }
-
   return g;
 }
 
 Result<CsrGraph> CsrGraph::FromPairs(
     VertexId num_vertices, const std::vector<std::pair<VertexId, VertexId>>& pairs,
     CsrOptions options) {
-  EdgeList el(num_vertices);
-  el.Reserve(pairs.size());
-  for (const auto& [s, d] : pairs) el.Add(s, d);
-  el.EnsureVertices(num_vertices);
-  return FromEdges(std::move(el), options);
+  // Build the edge vector directly and move it into the list (one reserve,
+  // no per-edge vertex-count bookkeeping) before handing it off by move.
+  std::vector<Edge> edges;
+  edges.reserve(pairs.size());
+  VertexId hi = num_vertices;
+  for (const auto& [s, d] : pairs) {
+    edges.push_back(Edge{s, d, 1.0});
+    hi = std::max({hi, static_cast<VertexId>(s + 1), static_cast<VertexId>(d + 1)});
+  }
+  return FromEdges(EdgeList(hi, std::move(edges)), options);
 }
 
 uint64_t CsrGraph::InDegree(VertexId v) const {
@@ -86,6 +286,14 @@ std::span<const VertexId> CsrGraph::InNeighbors(VertexId v) const {
   if (!directed_) return OutNeighbors(v);
   assert(!in_offsets_.empty() && "build_in_edges was not requested");
   return {in_src_.data() + in_offsets_[v], in_src_.data() + in_offsets_[v + 1]};
+}
+
+Status CsrGraph::RequireInEdges(std::string_view caller) const {
+  if (!directed_ || !in_offsets_.empty()) return Status::OK();
+  return Status::Invalid(
+      std::string(caller) +
+      " requires the in-edge index on directed graphs; rebuild the CsrGraph "
+      "with CsrOptions::build_in_edges = true, or force a push-only mode");
 }
 
 bool CsrGraph::HasEdge(VertexId src, VertexId dst) const {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -25,6 +26,13 @@ struct CsrOptions {
   bool deduplicate = false;
   /// Drop self-loops.
   bool remove_self_loops = false;
+  /// Construction parallelism: 0 = hardware_concurrency, 1 = the exact
+  /// serial path (default), >= 2 = that many workers. Parallel builds run
+  /// degree counting, the offset prefix sum, the edge scatter, and per-vertex
+  /// neighbor sorts concurrently; the resulting arrays are bitwise-identical
+  /// to the serial build at any thread count (the scatter is stable when
+  /// neighbors stay unsorted, and sorting canonicalizes order otherwise).
+  uint32_t num_threads = 1;
 };
 
 /// Immutable CSR graph with optional edge weights and optional in-edge index.
@@ -62,6 +70,13 @@ class CsrGraph {
   /// directed graphs build_in_edges must have been set.
   uint64_t InDegree(VertexId v) const;
   std::span<const VertexId> InNeighbors(VertexId v) const;
+
+  /// OK when the in-edge accessors are usable (undirected, or directed with
+  /// the reverse index built); otherwise a clear InvalidArgument naming the
+  /// fix. Kernels that gather over InNeighbors call this up front instead of
+  /// tripping the accessor assert (or, worse, reading empty spans in release
+  /// builds).
+  Status RequireInEdges(std::string_view caller) const;
 
   /// O(log degree) when neighbors are sorted, O(degree) otherwise.
   bool HasEdge(VertexId src, VertexId dst) const;

@@ -1,0 +1,97 @@
+#include "graph/frontier.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ubigraph {
+
+namespace {
+inline uint64_t NumWords(VertexId n) {
+  return (static_cast<uint64_t>(n) + Frontier::kWordBits - 1) /
+         Frontier::kWordBits;
+}
+}  // namespace
+
+void Frontier::Reset(VertexId num_vertices) {
+  num_vertices_ = num_vertices;
+  bits_.assign(NumWords(num_vertices), 0);
+  Clear();
+}
+
+void Frontier::Clear() {
+  dense_ = false;
+  count_ = 0;
+  list_.clear();
+}
+
+void Frontier::Push(VertexId v) {
+  list_.push_back(v);
+  ++count_;
+}
+
+void Frontier::Append(std::span<const VertexId> vs) {
+  list_.insert(list_.end(), vs.begin(), vs.end());
+  count_ += vs.size();
+}
+
+void Frontier::AdoptList(std::vector<VertexId> vs) {
+  dense_ = false;
+  list_ = std::move(vs);
+  count_ = list_.size();
+}
+
+void Frontier::ClearDense() {
+  dense_ = true;
+  count_ = 0;
+  list_.clear();
+  bits_.assign(NumWords(num_vertices_), 0);
+}
+
+void Frontier::SetAll() {
+  ClearDense();
+  if (num_vertices_ == 0) return;
+  std::fill(bits_.begin(), bits_.end(), ~uint64_t{0});
+  // Mask the tail bits past num_vertices_ so ToSparse never yields ghosts.
+  const unsigned tail = num_vertices_ % kWordBits;
+  if (tail != 0) bits_.back() = (uint64_t{1} << tail) - 1;
+  count_ = num_vertices_;
+}
+
+bool Frontier::AtomicTestAndSet(VertexId v) {
+  const uint64_t mask = uint64_t{1} << (v % kWordBits);
+  uint64_t prev = std::atomic_ref<uint64_t>(bits_[v / kWordBits])
+                      .fetch_or(mask, std::memory_order_relaxed);
+  return (prev & mask) == 0;
+}
+
+void Frontier::RecountDense() {
+  uint64_t count = 0;
+  for (uint64_t word : bits_) count += static_cast<uint64_t>(__builtin_popcountll(word));
+  count_ = count;
+}
+
+void Frontier::ToDense() {
+  if (dense_) return;
+  bits_.assign(NumWords(num_vertices_), 0);
+  for (VertexId v : list_) Set(v);
+  list_.clear();
+  dense_ = true;
+}
+
+void Frontier::ToSparse() {
+  if (!dense_) return;
+  list_.clear();
+  list_.reserve(count_);
+  for (uint64_t w = 0; w < bits_.size(); ++w) {
+    uint64_t word = bits_[w];
+    while (word != 0) {
+      unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      list_.push_back(static_cast<VertexId>(w * kWordBits + bit));
+      word &= word - 1;
+    }
+  }
+  count_ = list_.size();
+  dense_ = false;
+}
+
+}  // namespace ubigraph

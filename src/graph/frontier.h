@@ -1,0 +1,101 @@
+// Frontier: the shared vertex-set representation for direction-optimizing
+// kernels (hybrid push/pull BFS, delta PageRank, frontier-based CC). A
+// frontier is logically a subset of [0, num_vertices); physically it is held
+// either as a *sparse* vertex list (cheap to iterate when small — the push
+// regime) or as a *dense* 64-bit-word bitmap (O(1) membership tests from any
+// thread — the pull regime). Conversion in both directions is one linear
+// pass and kernels flip representation as the Beamer direction heuristic
+// switches modes.
+//
+// Concurrency contract: sparse building (Push/Append) is single-writer;
+// parallel producers accumulate into per-chunk thread-local buffers and merge
+// them in deterministic chunk order (see ParallelReduce), which is how the
+// hybrid BFS builds its next frontier. Dense building supports concurrent
+// writers through AtomicTestAndSet (a relaxed fetch_or on the word — setting
+// bits is idempotent, so the resulting set is deterministic regardless of
+// interleaving).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace ubigraph {
+
+class Frontier {
+ public:
+  static constexpr uint64_t kWordBits = 64;
+
+  Frontier() = default;
+  explicit Frontier(VertexId num_vertices) { Reset(num_vertices); }
+
+  /// Re-targets the frontier at a universe of `num_vertices` vertices and
+  /// clears it (sparse representation). Bitmap storage is kept allocated.
+  void Reset(VertexId num_vertices);
+
+  VertexId universe() const { return num_vertices_; }
+  uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool dense() const { return dense_; }
+
+  // --- sparse building (single writer) ---
+
+  /// Empties the frontier and switches to the sparse representation.
+  void Clear();
+  /// Appends `v` to the sparse list. Caller guarantees no duplicates.
+  void Push(VertexId v);
+  /// Appends a batch (e.g. one merged thread-local buffer).
+  void Append(std::span<const VertexId> vs);
+  /// Takes ownership of a fully-built vertex list (no duplicates).
+  void AdoptList(std::vector<VertexId> vs);
+
+  /// The sparse view. Only valid while !dense().
+  std::span<const VertexId> Vertices() const { return list_; }
+
+  // --- dense building ---
+
+  /// Empties the frontier and switches to the dense representation.
+  void ClearDense();
+  /// Dense frontier containing every vertex (the first round of fixpoint
+  /// kernels, before any vertex has converged).
+  void SetAll();
+  /// Membership test (valid only while dense()).
+  bool Test(VertexId v) const {
+    return (bits_[v / kWordBits] >> (v % kWordBits)) & 1u;
+  }
+  /// Non-atomic set for single-threaded building; caller must bump the count
+  /// via SetCount (bits are not recounted implicitly).
+  void Set(VertexId v) { bits_[v / kWordBits] |= uint64_t{1} << (v % kWordBits); }
+  /// Thread-safe set; returns true if the bit was newly set. Callers track
+  /// counts locally and publish the total via SetCount.
+  bool AtomicTestAndSet(VertexId v);
+  /// Publishes the cardinality after a bulk dense build.
+  void SetCount(uint64_t count) { count_ = count; }
+  /// Recomputes the cardinality by popcounting the bitmap (after a dense
+  /// build whose writers tracked no total).
+  void RecountDense();
+
+  /// Raw bitmap words (valid only while dense()); used by kernels that scan
+  /// word-at-a-time.
+  std::span<const uint64_t> Words() const { return bits_; }
+
+  // --- conversion ---
+
+  /// Sparse -> dense: scatters the vertex list into the bitmap. No-op when
+  /// already dense.
+  void ToDense();
+  /// Dense -> sparse: rebuilds the vertex list in ascending id order. No-op
+  /// when already sparse.
+  void ToSparse();
+
+ private:
+  VertexId num_vertices_ = 0;
+  bool dense_ = false;
+  uint64_t count_ = 0;
+  std::vector<VertexId> list_;   // sparse representation
+  std::vector<uint64_t> bits_;   // dense representation, ceil(n/64) words
+};
+
+}  // namespace ubigraph

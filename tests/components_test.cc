@@ -66,7 +66,7 @@ TEST(WccTest, AgreesWithBfsVariant) {
     opts.build_in_edges = true;
     CsrGraph g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
     ComponentResult a = WeaklyConnectedComponents(g);
-    ComponentResult b = ConnectedComponentsBfs(g);
+    ComponentResult b = ConnectedComponentsBfs(g).ValueOrDie();
     EXPECT_EQ(a.num_components, b.num_components);
     EXPECT_EQ(a.label, b.label);  // both order by smallest member
   }

@@ -76,9 +76,17 @@ TEST(PageRankTest, InvalidArgumentsRejected) {
   EXPECT_FALSE(PageRank(empty).ok());
 }
 
-TEST(PageRankTest, DirectedWithoutInEdgesRejected) {
+TEST(PageRankTest, DirectedWithoutInEdgesFallsBackToPush) {
   auto g = CsrGraph::FromEdges(gen::Path(3)).ValueOrDie();
-  EXPECT_FALSE(PageRank(g).ok());
+  // kAuto degrades to push mode (no in-edge index needed)...
+  auto pr = PageRank(g).ValueOrDie();
+  EXPECT_EQ(pr.mode, PageRankMode::kPush);
+  // ...but explicitly requested pull/delta modes fail with a clear Status.
+  PageRankOptions opts;
+  opts.mode = PageRankMode::kPull;
+  EXPECT_FALSE(PageRank(g, opts).ok());
+  opts.mode = PageRankMode::kDelta;
+  EXPECT_FALSE(PageRank(g, opts).ok());
 }
 
 TEST(PageRankTest, MatchesPowerIterationOracle) {

@@ -90,14 +90,14 @@ TEST(ParallelDifferentialTest, MultiSourceBfsMatchesSerialExactly) {
 TEST(ParallelDifferentialTest, ComponentsMatchUnionFindExactly) {
   for (const auto& [name, g] : TestGraphs()) {
     ComponentResult serial_uf = WeaklyConnectedComponents(g);
-    ComponentResult serial_lp = ConnectedComponentsLabelProp(g);
+    ComponentResult serial_lp = ConnectedComponentsLabelProp(g).ValueOrDie();
     // The serial label-prop fixpoint already matches union-find labels.
     ASSERT_EQ(serial_lp.label, serial_uf.label) << name;
     ASSERT_EQ(serial_lp.num_components, serial_uf.num_components) << name;
     for (uint32_t threads : kThreadCounts) {
       ComponentsOptions opts;
       opts.num_threads = threads;
-      ComponentResult parallel = ConnectedComponentsLabelProp(g, opts);
+      ComponentResult parallel = ConnectedComponentsLabelProp(g, opts).ValueOrDie();
       EXPECT_EQ(parallel.label, serial_uf.label)
           << name << " threads=" << threads;
       EXPECT_EQ(parallel.num_components, serial_uf.num_components)
