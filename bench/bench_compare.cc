@@ -27,6 +27,7 @@ struct Record {
   int64_t threads = 1;
   double median_real_ns = 0.0;
   double edges_per_second = 0.0;
+  double bytes_per_edge = 0.0;  // 0 for benches that don't report compression
 };
 
 std::string ReadFile(const std::string& path) {
@@ -69,6 +70,7 @@ void LoadRecords(const std::string& path, std::map<std::string, Record>* out) {
     r.threads = static_cast<int64_t>(GetNumber(entry.get(), "threads"));
     r.median_real_ns = GetNumber(entry.get(), "median_real_ns");
     r.edges_per_second = GetNumber(entry.get(), "edges_per_second");
+    r.bytes_per_edge = GetNumber(entry.get(), "bytes_per_edge");
     (*out)[name] = r;
   }
 }
@@ -86,7 +88,8 @@ bool WriteRecords(const std::string& path,
         << "\", \"mode\": \"" << r.mode << "\", \"graph\": \"" << r.graph
         << "\", \"threads\": " << r.threads
         << ", \"median_real_ns\": " << r.median_real_ns
-        << ", \"edges_per_second\": " << r.edges_per_second << "}";
+        << ", \"edges_per_second\": " << r.edges_per_second
+        << ", \"bytes_per_edge\": " << r.bytes_per_edge << "}";
   }
   out << "\n]\n";
   return static_cast<bool>(out);

@@ -84,7 +84,21 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
                                : 1.0;
       s.real_ns = run.real_accumulated_time / iters * 1e9;
       auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end()) s.edges_per_second = items->second.value;
+      if (items != run.counters.end()) {
+        // google benchmark divides kIsRate counters by *CPU* time. Our
+        // multi-threaded kernels do their work on ThreadPool workers while
+        // the timed thread blocks in Wait(), so the CPU-time denominator is
+        // a small fraction of the wall time and the reported rate is
+        // inflated by real/cpu (observed 60-90x in BENCH.json). Scale back
+        // to items per real second, which is the physical throughput.
+        const double cpu_over_real =
+            run.real_accumulated_time > 0.0
+                ? run.cpu_accumulated_time / run.real_accumulated_time
+                : 1.0;
+        s.edges_per_second = items->second.value * cpu_over_real;
+      }
+      auto bpe = run.counters.find("bytes_per_edge");
+      if (bpe != run.counters.end()) s.bytes_per_edge = bpe->second.value;
       auto threads = run.counters.find("threads");
       if (threads != run.counters.end()) {
         s.threads = static_cast<int64_t>(threads->second.value);
@@ -110,10 +124,11 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     bool first = true;
     for (const std::string& name : order) {
       const auto& runs = groups[name];
-      std::vector<double> ns, eps;
+      std::vector<double> ns, eps, bpe;
       for (const Sample* s : runs) {
         ns.push_back(s->real_ns);
         eps.push_back(s->edges_per_second);
+        bpe.push_back(s->bytes_per_edge);
       }
       const Sample* rep = runs.front();
       std::string kernel = LabelField(rep->label, "kernel");
@@ -128,7 +143,8 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
           << "\""
           << ", \"threads\": " << rep->threads
           << ", \"median_real_ns\": " << Median(ns)
-          << ", \"edges_per_second\": " << Median(eps) << "}";
+          << ", \"edges_per_second\": " << Median(eps)
+          << ", \"bytes_per_edge\": " << Median(bpe) << "}";
     }
     out << "\n]\n";
     return static_cast<bool>(out);
@@ -142,6 +158,7 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     std::string label;
     double real_ns = 0.0;
     double edges_per_second = 0.0;
+    double bytes_per_edge = 0.0;  // 0 unless the bench reports compression
     int64_t threads = 1;
   };
 

@@ -35,6 +35,9 @@ void CsrBuildBench(benchmark::State& state, CsrOptions opts,
   const uint32_t scale = static_cast<uint32_t>(state.range(0));
   const EdgeList& edges = RmatEdges(scale);
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  // Measure the true parallel path even when the input is below the
+  // serial-fallback cutoff (or the host is single-core).
+  opts.min_parallel_edges = 0;
   for (auto _ : state) {
     state.PauseTiming();
     EdgeList copy = edges;

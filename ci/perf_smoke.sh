@@ -23,7 +23,8 @@ MAX_REGRESSION="${UBIGRAPH_PERF_MAX_REGRESSION:-0.25}"
 # Repeat each benchmark so the comparison uses a median, not one noisy run.
 BENCH_FLAGS=(--benchmark_filter='/12/' --benchmark_min_time=0.05
              --benchmark_repetitions=3 --benchmark_report_aggregates_only=false)
-SMOKE_BINARIES=(perf_traversal perf_pagerank perf_components perf_csr_build)
+SMOKE_BINARIES=(perf_traversal perf_pagerank perf_components perf_csr_build
+                perf_reorder)
 
 cmake -S "$ROOT" -B "$BUILD_DIR" > /dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \

@@ -6,7 +6,9 @@
 #include <optional>
 
 #include "common/parallel.h"
+#include "graph/compressed_csr.h"
 #include "graph/frontier.h"
+#include "graph/graph_traits.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -64,9 +66,8 @@ ComponentResult Relabel(const std::vector<uint32_t>& rep, VertexId n) {
   return out;
 }
 
-}  // namespace
-
-ComponentResult WeaklyConnectedComponents(const CsrGraph& g) {
+template <NeighborRangeGraph G>
+ComponentResult WeaklyConnectedComponentsImpl(const G& g) {
   const VertexId n = g.num_vertices();
   UnionFind uf(n);
   for (VertexId u = 0; u < n; ++u) {
@@ -75,6 +76,16 @@ ComponentResult WeaklyConnectedComponents(const CsrGraph& g) {
   std::vector<uint32_t> rep(n);
   for (VertexId v = 0; v < n; ++v) rep[v] = static_cast<uint32_t>(uf.Find(v));
   return Relabel(rep, n);
+}
+
+}  // namespace
+
+ComponentResult WeaklyConnectedComponents(const CsrGraph& g) {
+  return WeaklyConnectedComponentsImpl(g);
+}
+
+ComponentResult WeaklyConnectedComponents(const CompressedCsrGraph& g) {
+  return WeaklyConnectedComponentsImpl(g);
 }
 
 Result<ComponentResult> ConnectedComponentsBfs(const CsrGraph& g) {
@@ -108,8 +119,11 @@ Result<ComponentResult> ConnectedComponentsBfs(const CsrGraph& g) {
   return out;
 }
 
-Result<ComponentResult> ConnectedComponentsLabelProp(const CsrGraph& g,
-                                                     ComponentsOptions options) {
+namespace {
+
+template <NeighborRangeGraph G>
+Result<ComponentResult> ConnectedComponentsLabelPropImpl(
+    const G& g, ComponentsOptions options) {
   obs::ScopedTrace span("ConnectedComponentsLabelProp");
   const VertexId n = g.num_vertices();
   UG_RETURN_NOT_OK(g.RequireInEdges("ConnectedComponentsLabelProp"));
@@ -222,6 +236,18 @@ Result<ComponentResult> ConnectedComponentsLabelProp(const CsrGraph& g,
   obs::AddCounter("cc.labelprop.rounds", static_cast<int64_t>(rounds));
   obs::AddCounter("cc.labelprop.components", result.num_components);
   return result;
+}
+
+}  // namespace
+
+Result<ComponentResult> ConnectedComponentsLabelProp(const CsrGraph& g,
+                                                     ComponentsOptions options) {
+  return ConnectedComponentsLabelPropImpl(g, options);
+}
+
+Result<ComponentResult> ConnectedComponentsLabelProp(const CompressedCsrGraph& g,
+                                                     ComponentsOptions options) {
+  return ConnectedComponentsLabelPropImpl(g, options);
 }
 
 ComponentResult StronglyConnectedComponents(const CsrGraph& g) {

@@ -9,6 +9,10 @@
 #include "common/result.h"
 #include "graph/csr_graph.h"
 
+namespace ubigraph {
+class CompressedCsrGraph;
+}
+
 namespace ubigraph::algo {
 
 /// Disjoint-set forest with union by rank and path halving.
@@ -42,7 +46,10 @@ struct ComponentResult {
 
 /// Weakly connected components (edge direction ignored) via union-find.
 /// Works on directed or undirected CSR without needing the in-edge index.
+/// The CompressedCsrGraph overload shares the implementation through the
+/// NeighborRangeGraph seam and yields identical labels.
 ComponentResult WeaklyConnectedComponents(const CsrGraph& g);
+ComponentResult WeaklyConnectedComponents(const CompressedCsrGraph& g);
 
 /// Same result computed by repeated BFS over the symmetrized graph — kept as
 /// an independent oracle for tests and as the survey's "BFS-based CC" variant.
@@ -70,6 +77,8 @@ struct ComponentsOptions {
 /// Fails with InvalidArgument on a directed graph without the in-edge index.
 Result<ComponentResult> ConnectedComponentsLabelProp(
     const CsrGraph& g, ComponentsOptions options = {});
+Result<ComponentResult> ConnectedComponentsLabelProp(
+    const CompressedCsrGraph& g, ComponentsOptions options = {});
 
 /// Strongly connected components (Tarjan, iterative). Labels are assigned in
 /// reverse topological order of the condensation (standard Tarjan order).

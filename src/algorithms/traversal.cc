@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "graph/compressed_csr.h"
 #include "graph/frontier.h"
+#include "graph/graph_traits.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,7 +23,8 @@ namespace {
 /// themselves. Every reached vertex is expanded exactly once, so edges
 /// relaxed == sum of out-degrees over the reached set, and level sizes are
 /// the frontier sizes.
-void FlushBfsStats(const CsrGraph& g, const std::vector<uint32_t>& dist) {
+template <NeighborRangeGraph G>
+void FlushBfsStats(const G& g, const std::vector<uint32_t>& dist) {
   if (!obs::Enabled()) return;
   uint64_t edges_relaxed = 0, visited = 0;
   uint32_t max_depth = 0;
@@ -44,7 +47,8 @@ void FlushBfsStats(const CsrGraph& g, const std::vector<uint32_t>& dist) {
 }
 
 /// The seed serial BFS, generalized to any number of depth-0 sources.
-std::vector<uint32_t> SerialBfs(const CsrGraph& g,
+template <NeighborRangeGraph G>
+std::vector<uint32_t> SerialBfs(const G& g,
                                 std::span<const VertexId> sources) {
   std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
   std::deque<VertexId> queue;
@@ -70,7 +74,8 @@ std::vector<uint32_t> SerialBfs(const CsrGraph& g,
 /// Level-synchronous BFS: each round expands the whole frontier in parallel,
 /// claiming vertices with a CAS on the distance array. Depths are unique, so
 /// the result is identical to SerialBfs regardless of thread interleaving.
-std::vector<uint32_t> ParallelBfs(const CsrGraph& g,
+template <NeighborRangeGraph G>
+std::vector<uint32_t> ParallelBfs(const G& g,
                                   std::span<const VertexId> sources,
                                   unsigned threads) {
   std::vector<uint32_t> dist(g.num_vertices(), kUnreachable);
@@ -120,7 +125,8 @@ struct RoundStat {
 /// path: the same round bodies run inline over the full range, with plain
 /// (non-atomic) claims. Distances are unique per vertex, so every mode and
 /// thread count produces a bitwise-identical array.
-std::vector<uint32_t> HybridBfsEngine(const CsrGraph& g,
+template <NeighborRangeGraph G>
+std::vector<uint32_t> HybridBfsEngine(const G& g,
                                       std::span<const VertexId> sources,
                                       const HybridBfsOptions& opt,
                                       ThreadPool* pool) {
@@ -278,17 +284,9 @@ std::vector<uint32_t> HybridBfsEngine(const CsrGraph& g,
   return dist;
 }
 
-}  // namespace
-
-Result<std::vector<uint32_t>> HybridBfs(const CsrGraph& g, VertexId source,
-                                        HybridBfsOptions options) {
-  VertexId sources[] = {source};
-  return HybridMultiSourceBfs(g, sources, options);
-}
-
-Result<std::vector<uint32_t>> HybridMultiSourceBfs(
-    const CsrGraph& g, std::span<const VertexId> sources,
-    HybridBfsOptions options) {
+template <NeighborRangeGraph G>
+Result<std::vector<uint32_t>> HybridMultiSourceBfsImpl(
+    const G& g, std::span<const VertexId> sources, HybridBfsOptions options) {
   if (options.direction != TraversalDirection::kPush) {
     UG_RETURN_NOT_OK(g.RequireInEdges("HybridBfs (pull/auto direction)"));
   }
@@ -302,21 +300,67 @@ Result<std::vector<uint32_t>> HybridMultiSourceBfs(
   return HybridBfsEngine(g, sources, options, pool ? &*pool : nullptr);
 }
 
-std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
-                                   BfsOptions options) {
-  VertexId sources[] = {source};
-  return MultiSourceBfs(g, sources, options);
-}
-
-std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
-                                     std::span<const VertexId> sources,
-                                     BfsOptions options) {
+template <NeighborRangeGraph G>
+std::vector<uint32_t> MultiSourceBfsImpl(const G& g,
+                                         std::span<const VertexId> sources,
+                                         BfsOptions options) {
   obs::ScopedTrace span("MultiSourceBfs");
   const unsigned threads = ResolveNumThreads(options.num_threads);
   std::vector<uint32_t> dist =
       threads <= 1 ? SerialBfs(g, sources) : ParallelBfs(g, sources, threads);
   FlushBfsStats(g, dist);
   return dist;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> HybridBfs(const CsrGraph& g, VertexId source,
+                                        HybridBfsOptions options) {
+  VertexId sources[] = {source};
+  return HybridMultiSourceBfsImpl(g, sources, options);
+}
+
+Result<std::vector<uint32_t>> HybridBfs(const CompressedCsrGraph& g,
+                                        VertexId source,
+                                        HybridBfsOptions options) {
+  VertexId sources[] = {source};
+  return HybridMultiSourceBfsImpl(g, sources, options);
+}
+
+Result<std::vector<uint32_t>> HybridMultiSourceBfs(
+    const CsrGraph& g, std::span<const VertexId> sources,
+    HybridBfsOptions options) {
+  return HybridMultiSourceBfsImpl(g, sources, options);
+}
+
+Result<std::vector<uint32_t>> HybridMultiSourceBfs(
+    const CompressedCsrGraph& g, std::span<const VertexId> sources,
+    HybridBfsOptions options) {
+  return HybridMultiSourceBfsImpl(g, sources, options);
+}
+
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
+                                   BfsOptions options) {
+  VertexId sources[] = {source};
+  return MultiSourceBfsImpl(g, sources, options);
+}
+
+std::vector<uint32_t> BfsDistances(const CompressedCsrGraph& g, VertexId source,
+                                   BfsOptions options) {
+  VertexId sources[] = {source};
+  return MultiSourceBfsImpl(g, sources, options);
+}
+
+std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
+                                     std::span<const VertexId> sources,
+                                     BfsOptions options) {
+  return MultiSourceBfsImpl(g, sources, options);
+}
+
+std::vector<uint32_t> MultiSourceBfs(const CompressedCsrGraph& g,
+                                     std::span<const VertexId> sources,
+                                     BfsOptions options) {
+  return MultiSourceBfsImpl(g, sources, options);
 }
 
 std::vector<VertexId> BfsParents(const CsrGraph& g, VertexId source) {

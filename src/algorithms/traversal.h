@@ -10,6 +10,10 @@
 
 #include "graph/csr_graph.h"
 
+namespace ubigraph {
+class CompressedCsrGraph;
+}
+
 namespace ubigraph::algo {
 
 inline constexpr uint32_t kUnreachable = UINT32_MAX;
@@ -22,14 +26,20 @@ struct BfsOptions {
 };
 
 /// BFS from `source`; returns hop distance per vertex (kUnreachable if not
-/// reached).
+/// reached). The CompressedCsrGraph overloads run the same engine through the
+/// NeighborRangeGraph seam and return identical distances.
 std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source,
+                                   BfsOptions options = {});
+std::vector<uint32_t> BfsDistances(const CompressedCsrGraph& g, VertexId source,
                                    BfsOptions options = {});
 
 /// Multi-source BFS: hop distance to the nearest source (all sources at depth
 /// 0; duplicate or out-of-range sources are ignored). The building block for
 /// landmark distance sketches and parallel closeness estimation.
 std::vector<uint32_t> MultiSourceBfs(const CsrGraph& g,
+                                     std::span<const VertexId> sources,
+                                     BfsOptions options = {});
+std::vector<uint32_t> MultiSourceBfs(const CompressedCsrGraph& g,
                                      std::span<const VertexId> sources,
                                      BfsOptions options = {});
 
@@ -65,11 +75,17 @@ struct HybridBfsOptions {
 /// `bfs.hybrid.*`.
 Result<std::vector<uint32_t>> HybridBfs(const CsrGraph& g, VertexId source,
                                         HybridBfsOptions options = {});
+Result<std::vector<uint32_t>> HybridBfs(const CompressedCsrGraph& g,
+                                        VertexId source,
+                                        HybridBfsOptions options = {});
 
 /// Multi-source variant (all sources at depth 0; duplicates and out-of-range
 /// sources are ignored).
 Result<std::vector<uint32_t>> HybridMultiSourceBfs(
     const CsrGraph& g, std::span<const VertexId> sources,
+    HybridBfsOptions options = {});
+Result<std::vector<uint32_t>> HybridMultiSourceBfs(
+    const CompressedCsrGraph& g, std::span<const VertexId> sources,
     HybridBfsOptions options = {});
 
 /// BFS returning the parent tree (parent[source] == source,

@@ -1,0 +1,176 @@
+// CompressedCsrGraph: the same CSR topology as CsrGraph with the adjacency
+// arrays delta-gap + varint (LEB128) encoded. Each vertex's sorted neighbor
+// list is stored as varint(first) followed by varint(gap) per subsequent
+// neighbor; a block-decode iterator expands 16 ids at a time into a small
+// on-stack buffer, so traversal stays a forward scan over a byte stream that
+// is typically half the size of the plain 4-byte-per-target array. Kernels
+// accept it through the NeighborRangeGraph concept (graph_traits.h), so the
+// traversal / PageRank / CC code is shared with CsrGraph, not duplicated.
+//
+// Format per index (out-edges, plus in-edges when the source graph carried
+// them):
+//   byte_offsets : uint64[V+1]  start of each vertex's encoded stream
+//   degrees      : uint32[V]    neighbor count (the decoder's loop bound)
+//   bytes        : uint8[]      LEB128 varints, little-endian 7-bit groups,
+//                               high bit = continuation
+// Gaps are non-negative because encoding requires neighbors_sorted();
+// duplicate targets (multigraphs) encode as gap 0. Edge weights are not
+// carried — weighted kernels stay on CsrGraph.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <iterator>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph {
+
+class CompressedCsrGraph {
+ public:
+  /// Ids decoded per refill. One cache line of output keeps the decode loop
+  /// branch-predictable without a scratch buffer large enough to matter.
+  static constexpr uint32_t kDecodeBlock = 16;
+
+  /// Input iterator over one vertex's encoded neighbor stream. Equality is
+  /// exhaustion-based (all iterators at end compare equal; a
+  /// default-constructed iterator is the universal end), which is all
+  /// range-for and the kernels' early-break loops need.
+  class NeighborIterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = VertexId;
+    using difference_type = std::ptrdiff_t;
+
+    NeighborIterator() = default;
+    NeighborIterator(const uint8_t* p, uint32_t degree)
+        : p_(p), remaining_(degree) {
+      Refill();
+    }
+
+    VertexId operator*() const { return buf_[pos_]; }
+    NeighborIterator& operator++() {
+      if (++pos_ == filled_) Refill();
+      return *this;
+    }
+    void operator++(int) { ++*this; }
+
+    friend bool operator==(const NeighborIterator& a, const NeighborIterator& b) {
+      return a.Exhausted() && b.Exhausted();
+    }
+    friend bool operator!=(const NeighborIterator& a, const NeighborIterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    bool Exhausted() const { return pos_ == filled_ && remaining_ == 0; }
+    void Refill();
+
+    const uint8_t* p_ = nullptr;
+    uint32_t remaining_ = 0;
+    uint32_t pos_ = 0;
+    uint32_t filled_ = 0;
+    VertexId prev_ = 0;
+    VertexId buf_[kDecodeBlock];
+  };
+
+  /// One vertex's neighbors as a sized forward range of decoded ids.
+  class NeighborRange {
+   public:
+    NeighborRange(const uint8_t* bytes, uint32_t degree)
+        : bytes_(bytes), degree_(degree) {}
+    NeighborIterator begin() const { return {bytes_, degree_}; }
+    NeighborIterator end() const { return {}; }
+    uint64_t size() const { return degree_; }
+    bool empty() const { return degree_ == 0; }
+
+   private:
+    const uint8_t* bytes_;
+    uint32_t degree_;
+  };
+
+  /// Encodes `g`'s adjacency (and its in-edge index when present). Fails with
+  /// InvalidArgument unless g.neighbors_sorted() — gap encoding needs
+  /// ascending targets.
+  static Result<CompressedCsrGraph> FromCsr(const CsrGraph& g);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return num_edges_; }
+  bool directed() const { return directed_; }
+  bool has_in_edges() const {
+    return directed_ ? !in_.byte_offsets.empty() : true;
+  }
+
+  uint64_t OutDegree(VertexId v) const { return out_.degrees[v]; }
+  NeighborRange OutNeighbors(VertexId v) const {
+    return {out_.bytes.data() + out_.byte_offsets[v], out_.degrees[v]};
+  }
+  uint64_t InDegree(VertexId v) const {
+    if (!directed_) return OutDegree(v);
+    assert(!in_.byte_offsets.empty() && "source graph had no in-edge index");
+    return in_.degrees[v];
+  }
+  NeighborRange InNeighbors(VertexId v) const {
+    if (!directed_) return OutNeighbors(v);
+    assert(!in_.byte_offsets.empty() && "source graph had no in-edge index");
+    return {in_.bytes.data() + in_.byte_offsets[v], in_.degrees[v]};
+  }
+  Status RequireInEdges(std::string_view caller) const;
+
+  /// Encoded out-adjacency payload — the number to compare against plain
+  /// CSR's 4 bytes per stored edge (sizeof(VertexId) * num_edges()).
+  uint64_t adjacency_bytes() const { return out_.bytes.size(); }
+  double AdjacencyBytesPerEdge() const {
+    return num_edges_ == 0
+               ? 0.0
+               : static_cast<double>(out_.bytes.size()) /
+                     static_cast<double>(num_edges_);
+  }
+  /// Everything this object stores (payload + byte offsets + degree array,
+  /// both indexes) — the honest total-footprint number for the bench output.
+  uint64_t index_bytes() const;
+
+ private:
+  struct Index {
+    std::vector<uint64_t> byte_offsets;  // size V+1
+    std::vector<uint32_t> degrees;       // size V
+    std::vector<uint8_t> bytes;
+  };
+  static Index Encode(const std::vector<uint64_t>& offsets,
+                      const std::vector<VertexId>& targets, VertexId n);
+
+  VertexId num_vertices_ = 0;
+  uint64_t num_edges_ = 0;
+  bool directed_ = true;
+  Index out_;
+  Index in_;  // only populated for directed graphs built with in-edges
+};
+
+// The per-block decode is the traversal hot loop, so it lives in the header.
+inline void CompressedCsrGraph::NeighborIterator::Refill() {
+  pos_ = 0;
+  const uint32_t take = remaining_ < kDecodeBlock ? remaining_ : kDecodeBlock;
+  filled_ = take;
+  remaining_ -= take;
+  const uint8_t* p = p_;
+  VertexId prev = prev_;
+  for (uint32_t i = 0; i < take; ++i) {
+    uint64_t gap = 0;
+    unsigned shift = 0;
+    uint8_t byte;
+    do {
+      byte = *p++;
+      gap |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      shift += 7;
+    } while (byte & 0x80);
+    prev += static_cast<VertexId>(gap);
+    buf_[i] = prev;
+  }
+  p_ = p;
+  prev_ = prev;
+}
+
+}  // namespace ubigraph

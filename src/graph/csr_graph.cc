@@ -6,9 +6,11 @@
 #include <numeric>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace ubigraph {
 
@@ -243,7 +245,18 @@ Result<CsrGraph> CsrGraph::FromEdges(EdgeList edges, CsrOptions options) {
   g.directed_ = options.directed;
   g.sorted_ = options.sort_neighbors;
 
-  const unsigned threads = ResolveNumThreads(options.num_threads);
+  unsigned threads = ResolveNumThreads(options.num_threads);
+  // Pool startup plus atomic scatter traffic beats the serial build only on
+  // inputs large enough to amortize it, and never on a single-core host;
+  // min_parallel_edges == 0 opts out of the cutoff (tests/benches that must
+  // exercise the parallel path itself).
+  if (threads > 1 && options.min_parallel_edges != 0 &&
+      (std::thread::hardware_concurrency() < 2 ||
+       edges.edges().size() < options.min_parallel_edges)) {
+    threads = 1;
+  }
+  obs::AddCounter(
+      threads > 1 ? "csr.build.path.parallel" : "csr.build.path.serial", 1);
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
   ThreadPool* pool_ptr = pool ? &*pool : nullptr;
@@ -312,6 +325,94 @@ double CsrGraph::OutWeightSum(VertexId v) const {
   double sum = 0.0;
   for (double w : OutWeights(v)) sum += w;
   return sum;
+}
+
+Result<PermutedCsr> CsrGraph::Permute(std::span<const VertexId> perm,
+                                      PermuteOptions options) const {
+  const VertexId n = num_vertices_;
+  if (perm.size() != n) {
+    return Status::Invalid("Permute: permutation size does not match num_vertices");
+  }
+  // Build the inverse while checking bijectivity in one pass.
+  std::vector<VertexId> new_to_old(n);
+  std::vector<uint8_t> seen(n, 0);
+  for (VertexId ov = 0; ov < n; ++ov) {
+    const VertexId nv = perm[ov];
+    if (nv >= n || seen[nv]) {
+      return Status::Invalid("Permute: permutation is not a bijection on [0, num_vertices)");
+    }
+    seen[nv] = 1;
+    new_to_old[nv] = ov;
+  }
+
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
+  PermutedCsr out;
+  CsrGraph& g = out.graph;
+  g.num_vertices_ = n;
+  g.directed_ = directed_;
+  g.sorted_ = options.sort_neighbors;
+
+  // Relabels one CSR index: new vertex nv inherits old vertex
+  // new_to_old[nv]'s adjacency with every target rewritten through perm. The
+  // per-vertex copy preserves relative neighbor order (the bitwise-
+  // reproducibility contract in the header) unless a re-sort was requested.
+  auto relabel_index = [&](const std::vector<uint64_t>& src_off,
+                           const std::vector<VertexId>& src_tgt,
+                           const std::vector<double>* src_w,
+                           std::vector<uint64_t>& off,
+                           std::vector<VertexId>& tgt, std::vector<double>* w) {
+    off.assign(static_cast<size_t>(n) + 1, 0);
+    for (VertexId nv = 0; nv < n; ++nv) {
+      const VertexId ov = new_to_old[nv];
+      off[nv + 1] = src_off[ov + 1] - src_off[ov];
+    }
+    InclusiveScan(off, pool_ptr);
+    tgt.resize(src_tgt.size());
+    if (w != nullptr) w->resize(src_w->size());
+    auto copy_rows = [&](uint64_t b, uint64_t e) {
+      std::vector<std::pair<VertexId, double>> scratch;
+      for (uint64_t nv = b; nv < e; ++nv) {
+        const VertexId ov = new_to_old[nv];
+        const uint64_t lo = off[nv];
+        uint64_t dpos = lo;
+        for (uint64_t i = src_off[ov]; i < src_off[ov + 1]; ++i, ++dpos) {
+          tgt[dpos] = perm[src_tgt[i]];
+          if (w != nullptr) (*w)[dpos] = (*src_w)[i];
+        }
+        if (!options.sort_neighbors || dpos - lo < 2) continue;
+        if (w == nullptr) {
+          std::sort(tgt.begin() + static_cast<ptrdiff_t>(lo),
+                    tgt.begin() + static_cast<ptrdiff_t>(dpos));
+          continue;
+        }
+        scratch.clear();
+        for (uint64_t i = lo; i < dpos; ++i) scratch.emplace_back(tgt[i], (*w)[i]);
+        std::sort(scratch.begin(), scratch.end());
+        for (uint64_t i = lo; i < dpos; ++i) {
+          tgt[i] = scratch[i - lo].first;
+          (*w)[i] = scratch[i - lo].second;
+        }
+      }
+    };
+    if (pool_ptr == nullptr) {
+      copy_rows(0, n);
+    } else {
+      // Dynamic chunks load-balance the skewed per-vertex copy cost.
+      ParallelForChunks(*pool_ptr, 0, n, copy_rows, Schedule::kDynamic);
+    }
+  };
+
+  relabel_index(offsets_, dst_, &weights_, g.offsets_, g.dst_, &g.weights_);
+  if (directed_ && !in_offsets_.empty()) {
+    relabel_index(in_offsets_, in_src_, /*src_w=*/nullptr, g.in_offsets_,
+                  g.in_src_, /*w=*/nullptr);
+  }
+  out.new_to_old = std::move(new_to_old);
+  return out;
 }
 
 EdgeList CsrGraph::ToEdgeList() const {

@@ -33,7 +33,27 @@ struct CsrOptions {
   /// to the serial build at any thread count (the scatter is stable when
   /// neighbors stay unsorted, and sorting canonicalizes order otherwise).
   uint32_t num_threads = 1;
+  /// Below this edge count (or on single-core hosts) a parallel build request
+  /// silently takes the serial path: pool startup plus the atomic scatter
+  /// costs more than it saves on small inputs, and oversubscribed workers on
+  /// a 1-core box are strictly slower. 0 forces the parallel path regardless
+  /// (differential tests and build benchmarks rely on this). The path taken
+  /// is recorded in the obs registry as csr.build.path.{serial,parallel}.
+  uint64_t min_parallel_edges = 1u << 17;
 };
+
+/// Options controlling CsrGraph::Permute.
+struct PermuteOptions {
+  /// Same convention as CsrOptions::num_threads.
+  uint32_t num_threads = 1;
+  /// Re-sort each relabeled adjacency list by new vertex id. Off by default:
+  /// the stable relabel preserves each vertex's relative neighbor order, so
+  /// gather kernels (pull PageRank) visit neighbors in the same association
+  /// order as on the original graph and produce bitwise-identical floats.
+  bool sort_neighbors = false;
+};
+
+struct PermutedCsr;
 
 /// Immutable CSR graph with optional edge weights and optional in-edge index.
 class CsrGraph {
@@ -90,6 +110,16 @@ class CsrGraph {
   /// Reconstructs the (possibly symmetrized) edge list.
   EdgeList ToEdgeList() const;
 
+  /// Relabels the graph under `perm` (perm[old_id] = new_id, must be a
+  /// bijection on [0, V)): vertex old_id becomes new vertex perm[old_id] and
+  /// every stored target is rewritten through perm. The relabel is stable —
+  /// each vertex's neighbors keep their relative order — so unless
+  /// PermuteOptions::sort_neighbors re-sorts them, neighbors_sorted() is
+  /// false on the result. Weights ride along; the in-edge index is rebuilt
+  /// when present. Runs the per-vertex copy loop in parallel.
+  Result<PermutedCsr> Permute(std::span<const VertexId> perm,
+                              PermuteOptions options = {}) const;
+
   const std::vector<uint64_t>& offsets() const { return offsets_; }
   const std::vector<VertexId>& targets() const { return dst_; }
   const std::vector<double>& weights() const { return weights_; }
@@ -103,6 +133,14 @@ class CsrGraph {
   std::vector<double> weights_;        // size E
   std::vector<uint64_t> in_offsets_;   // size V+1 if built
   std::vector<VertexId> in_src_;       // size E if built
+};
+
+/// Result of a Permute call: the relabeled graph plus new_to_old, the inverse
+/// of the applied permutation (new_to_old[new_id] = old_id), which callers
+/// use to translate per-vertex kernel output back to original ids.
+struct PermutedCsr {
+  CsrGraph graph;
+  std::vector<VertexId> new_to_old;
 };
 
 }  // namespace ubigraph

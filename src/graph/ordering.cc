@@ -1,0 +1,154 @@
+#include "graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ubigraph {
+
+namespace {
+
+/// Degree used by all passes: out-degree, plus in-degree when a directed
+/// graph carries the reverse index (hubs of either direction are hot).
+uint64_t HotDegree(const CsrGraph& g, VertexId v) {
+  uint64_t d = g.OutDegree(v);
+  if (g.directed() && g.has_in_edges()) d += g.InDegree(v);
+  return d;
+}
+
+}  // namespace
+
+const char* OrderingKindName(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kOriginal: return "original";
+    case OrderingKind::kDegreeDescending: return "hub";
+    case OrderingKind::kRcm: return "rcm";
+    case OrderingKind::kHubCluster: return "hub_cluster";
+  }
+  return "unknown";
+}
+
+std::vector<VertexId> MakeOrdering(const CsrGraph& g, OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kOriginal: {
+      std::vector<VertexId> perm(g.num_vertices());
+      std::iota(perm.begin(), perm.end(), 0u);
+      return perm;
+    }
+    case OrderingKind::kDegreeDescending: return DegreeDescendingOrder(g);
+    case OrderingKind::kRcm: return RcmOrder(g);
+    case OrderingKind::kHubCluster: return HubClusterOrder(g);
+  }
+  return {};
+}
+
+std::vector<VertexId> DegreeDescendingOrder(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> by_rank(n);
+  std::iota(by_rank.begin(), by_rank.end(), 0u);
+  std::sort(by_rank.begin(), by_rank.end(), [&](VertexId a, VertexId b) {
+    const uint64_t da = HotDegree(g, a), db = HotDegree(g, b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  // by_rank is new->old; callers want old->new.
+  std::vector<VertexId> perm(n);
+  for (VertexId nv = 0; nv < n; ++nv) perm[by_rank[nv]] = nv;
+  return perm;
+}
+
+std::vector<VertexId> RcmOrder(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order;  // new->old, Cuthill-McKee before reversal
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> scratch;
+
+  // Roots in ascending-degree order so each component starts from a
+  // pseudo-peripheral (minimum-degree) vertex.
+  std::vector<VertexId> roots(n);
+  std::iota(roots.begin(), roots.end(), 0u);
+  std::sort(roots.begin(), roots.end(), [&](VertexId a, VertexId b) {
+    const uint64_t da = HotDegree(g, a), db = HotDegree(g, b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  for (VertexId root : roots) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    size_t head = order.size();
+    order.push_back(root);
+    while (head < order.size()) {
+      VertexId u = order[head++];
+      scratch.clear();
+      auto take = [&](VertexId v) {
+        if (!visited[v]) {
+          visited[v] = true;
+          scratch.push_back(v);
+        }
+      };
+      for (VertexId v : g.OutNeighbors(u)) take(v);
+      if (g.directed() && g.has_in_edges()) {
+        for (VertexId v : g.InNeighbors(u)) take(v);
+      }
+      std::sort(scratch.begin(), scratch.end(), [&](VertexId a, VertexId b) {
+        const uint64_t da = HotDegree(g, a), db = HotDegree(g, b);
+        if (da != db) return da < db;
+        return a < b;
+      });
+      order.insert(order.end(), scratch.begin(), scratch.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  std::vector<VertexId> perm(n);
+  for (VertexId nv = 0; nv < n; ++nv) perm[order[nv]] = nv;
+  return perm;
+}
+
+std::vector<VertexId> HubClusterOrder(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  // Bucket b holds degrees in [2^(b-1), 2^b); bucket 0 holds isolated
+  // vertices. Two counting passes: bucket sizes, then a stable scatter that
+  // keeps ascending id order within each bucket.
+  constexpr unsigned kBuckets = 65;
+  auto bucket_of = [&](VertexId v) {
+    const uint64_t d = HotDegree(g, v);
+    return d == 0 ? 0u : 64u - static_cast<unsigned>(__builtin_clzll(d)) + 1u;
+  };
+  std::vector<uint64_t> start(kBuckets + 1, 0);
+  for (VertexId v = 0; v < n; ++v) ++start[bucket_of(v) + 1];
+  // Hot-to-cold: the highest-degree bucket gets the lowest new ids.
+  std::vector<uint64_t> base(kBuckets, 0);
+  uint64_t run = 0;
+  for (unsigned b = kBuckets; b-- > 0;) {
+    base[b] = run;
+    run += start[b + 1];
+  }
+  std::vector<VertexId> perm(n);
+  for (VertexId v = 0; v < n; ++v) {
+    perm[v] = static_cast<VertexId>(base[bucket_of(v)]++);
+  }
+  return perm;
+}
+
+Status ValidatePermutation(std::span<const VertexId> perm, VertexId n) {
+  if (perm.size() != n) {
+    return Status::Invalid("permutation size does not match vertex count");
+  }
+  std::vector<bool> seen(n, false);
+  for (VertexId target : perm) {
+    if (target >= n || seen[target]) {
+      return Status::Invalid("permutation is not a bijection on [0, n)");
+    }
+    seen[target] = true;
+  }
+  return Status::OK();
+}
+
+std::vector<VertexId> InversePermutation(std::span<const VertexId> perm) {
+  std::vector<VertexId> inv(perm.size());
+  for (size_t v = 0; v < perm.size(); ++v) inv[perm[v]] = static_cast<VertexId>(v);
+  return inv;
+}
+
+}  // namespace ubigraph

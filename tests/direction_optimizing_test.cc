@@ -292,6 +292,9 @@ TEST(ParallelCsrBuildTest, BitwiseIdenticalToSerial) {
     opts.directed = c.directed;
     opts.build_in_edges = c.in_edges;
     opts.sort_neighbors = c.sort;
+    // This 16K-edge list is below the serial-fallback cutoff (and CI runs on
+    // one core); force the parallel path so the differential is real.
+    opts.min_parallel_edges = 0;
     EdgeList serial_edges = base;
     CsrGraph serial =
         CsrGraph::FromEdges(std::move(serial_edges), opts).ValueOrDie();

@@ -1,0 +1,163 @@
+// Frontier edge cases: empty frontiers, a single-vertex universe, full-graph
+// dense sets, and representation round-trips — the shapes the
+// direction-optimizing kernels hit at the very first and very last rounds.
+#include "graph/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/traversal.h"
+#include "graph/csr_graph.h"
+
+namespace ubigraph {
+namespace {
+
+TEST(FrontierEdgeCaseTest, DefaultConstructedIsEmpty) {
+  Frontier f;
+  EXPECT_EQ(f.universe(), 0u);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.dense());
+  EXPECT_TRUE(f.Vertices().empty());
+}
+
+TEST(FrontierEdgeCaseTest, EmptyFrontierSurvivesConversions) {
+  Frontier f(100);
+  EXPECT_TRUE(f.empty());
+  // sparse -> dense -> sparse with nothing in it.
+  f.ToDense();
+  EXPECT_TRUE(f.dense());
+  EXPECT_TRUE(f.empty());
+  for (VertexId v = 0; v < 100; ++v) EXPECT_FALSE(f.Test(v)) << v;
+  f.ToSparse();
+  EXPECT_FALSE(f.dense());
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.Vertices().empty());
+  // Clearing in either representation keeps it empty.
+  f.ClearDense();
+  EXPECT_TRUE(f.dense());
+  EXPECT_TRUE(f.empty());
+  f.Clear();
+  EXPECT_FALSE(f.dense());
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FrontierEdgeCaseTest, SingleVertexUniverse) {
+  Frontier f(1);
+  EXPECT_TRUE(f.empty());
+  f.Push(0);
+  EXPECT_EQ(f.size(), 1u);
+  f.ToDense();
+  EXPECT_TRUE(f.Test(0));
+  EXPECT_EQ(f.size(), 1u);
+  f.ToSparse();
+  ASSERT_EQ(f.Vertices().size(), 1u);
+  EXPECT_EQ(f.Vertices()[0], 0u);
+  f.ClearDense();
+  f.SetAll();
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.Test(0));
+}
+
+TEST(FrontierEdgeCaseTest, SetAllIsFullGraphDense) {
+  // A universe that is not a multiple of 64 exercises the partial last word.
+  constexpr VertexId kN = 131;
+  Frontier f(kN);
+  f.SetAll();
+  EXPECT_TRUE(f.dense());
+  EXPECT_EQ(f.size(), kN);
+  for (VertexId v = 0; v < kN; ++v) EXPECT_TRUE(f.Test(v)) << v;
+  // The bitmap must not carry bits past the universe: a recount sees exactly
+  // kN, and the sparse view lists exactly [0, kN).
+  f.RecountDense();
+  EXPECT_EQ(f.size(), kN);
+  f.ToSparse();
+  std::vector<VertexId> want(kN);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(std::vector<VertexId>(f.Vertices().begin(), f.Vertices().end()),
+            want);
+}
+
+TEST(FrontierEdgeCaseTest, SparseDenseSparseRoundTripSortsIds) {
+  Frontier f(200);
+  // Push in scrambled order; the dense bitmap canonicalizes, so the sparse
+  // rebuild comes back in ascending id order.
+  const std::vector<VertexId> scrambled = {199, 0, 64, 63, 65, 128, 1, 127};
+  for (VertexId v : scrambled) f.Push(v);
+  EXPECT_EQ(f.size(), scrambled.size());
+  f.ToDense();
+  for (VertexId v : scrambled) EXPECT_TRUE(f.Test(v)) << v;
+  EXPECT_FALSE(f.Test(2));
+  EXPECT_EQ(f.size(), scrambled.size());
+  f.ToSparse();
+  std::vector<VertexId> got(f.Vertices().begin(), f.Vertices().end());
+  std::vector<VertexId> want = scrambled;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+  // And a second round trip is stable.
+  f.ToDense();
+  f.ToSparse();
+  EXPECT_EQ(std::vector<VertexId>(f.Vertices().begin(), f.Vertices().end()),
+            want);
+}
+
+TEST(FrontierEdgeCaseTest, AtomicTestAndSetReportsFirstSetOnly) {
+  Frontier f(70);
+  f.ClearDense();
+  EXPECT_TRUE(f.AtomicTestAndSet(69));
+  EXPECT_FALSE(f.AtomicTestAndSet(69));
+  EXPECT_TRUE(f.AtomicTestAndSet(0));
+  f.SetCount(2);
+  EXPECT_EQ(f.size(), 2u);
+  f.RecountDense();
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FrontierEdgeCaseTest, ResetRetargetsUniverse) {
+  Frontier f(10);
+  f.Push(3);
+  f.Push(9);
+  f.Reset(300);
+  EXPECT_EQ(f.universe(), 300u);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.dense());
+  f.ClearDense();
+  EXPECT_FALSE(f.Test(299));
+  f.Set(299);
+  f.SetCount(1);
+  EXPECT_TRUE(f.Test(299));
+}
+
+TEST(FrontierEdgeCaseTest, AdoptListAndAppendMatchPush) {
+  Frontier a(50), b(50);
+  std::vector<VertexId> vs = {5, 10, 15, 49};
+  for (VertexId v : vs) a.Push(v);
+  b.AdoptList(vs);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.Vertices().begin(), a.Vertices().end(),
+                         b.Vertices().begin(), b.Vertices().end()));
+  Frontier c(50);
+  c.Append(a.Vertices());
+  EXPECT_EQ(c.size(), a.size());
+}
+
+/// The kernel-facing edge cases: hybrid BFS drives a Frontier through its
+/// degenerate shapes (single vertex, immediately-empty frontier) and must
+/// agree with the serial oracle.
+TEST(FrontierEdgeCaseTest, HybridBfsOnSingleVertexGraph) {
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromPairs(1, {}, opts).ValueOrDie();
+  auto dist = algo::HybridBfs(g, 0).ValueOrDie();
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist[0], 0u);
+  // Out-of-range source: the frontier starts (and stays) empty.
+  auto none = algo::HybridBfs(g, 7).ValueOrDie();
+  EXPECT_EQ(none[0], algo::kUnreachable);
+}
+
+}  // namespace
+}  // namespace ubigraph
