@@ -36,6 +36,22 @@ inline const CsrGraph& RmatGraph(uint32_t scale, bool in_edges = false) {
   return it->second;
 }
 
+/// Cached weighted RMAT graph (same shape as RmatGraph, uniform weights in
+/// [0.1, 1.1)) for the SSSP benches: the spread exercises delta-stepping's
+/// light/heavy split without degenerating into unit-weight BFS.
+inline const CsrGraph& WeightedRmatGraph(uint32_t scale) {
+  static std::map<uint32_t, CsrGraph> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    Rng rng(scale * 1000003ULL + 29);
+    uint64_t edges = static_cast<uint64_t>(8) << scale;
+    EdgeList el = gen::Rmat(scale, edges, &rng).ValueOrDie();
+    for (Edge& e : el.mutable_edges()) e.weight = 0.1 + rng.NextDouble();
+    it = cache.emplace(scale, CsrGraph::FromEdges(el).ValueOrDie()).first;
+  }
+  return it->second;
+}
+
 /// Cached undirected small-world graph (for layout / community benches).
 inline const CsrGraph& SmallWorldGraph(VertexId n) {
   static std::map<VertexId, CsrGraph> cache;

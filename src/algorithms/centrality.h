@@ -1,6 +1,9 @@
 // Centrality measures (Table 9 "Ranking & Centrality Scores"): exact Brandes
 // betweenness, sampled approximate betweenness, closeness, and degree
-// centrality.
+// centrality. The per-source accumulations are independent, so every measure
+// parallelizes over sources; partials are combined in the fixed
+// ParallelReduce chunk tree, making scores bitwise-identical at any thread
+// count (including the serial path, which folds the same tree inline).
 #pragma once
 
 #include <cstdint>
@@ -9,26 +12,51 @@
 #include "common/random.h"
 #include "graph/csr_graph.h"
 
+namespace ubigraph {
+class CompressedCsrGraph;
+}  // namespace ubigraph
+
 namespace ubigraph::algo {
+
+struct CentralityOptions {
+  /// 0 = hardware concurrency, 1 = exact serial path (default), else that
+  /// many workers (the convention shared by every parallel kernel).
+  uint32_t num_threads = 1;
+};
 
 /// Exact betweenness centrality (Brandes 2001), unweighted. For undirected
 /// graphs each path is counted once per direction; scores are conventionally
 /// halved by callers if needed — we return the raw directed accumulation,
 /// matching NetworkX's directed semantics, and halve for undirected inputs.
-std::vector<double> BetweennessCentrality(const CsrGraph& g);
+std::vector<double> BetweennessCentrality(const CsrGraph& g,
+                                          const CentralityOptions& options = {});
+std::vector<double> BetweennessCentrality(const CompressedCsrGraph& g,
+                                          const CentralityOptions& options = {});
 
 /// Approximate betweenness from `num_samples` random source pivots, scaled to
-/// estimate the exact values.
-std::vector<double> ApproxBetweennessCentrality(const CsrGraph& g,
-                                                uint32_t num_samples, Rng* rng);
+/// estimate the exact values. The pivot list is drawn serially from `rng`
+/// before any parallel work, so a fixed seed yields the same scores at every
+/// thread count.
+std::vector<double> ApproxBetweennessCentrality(
+    const CsrGraph& g, uint32_t num_samples, Rng* rng,
+    const CentralityOptions& options = {});
+std::vector<double> ApproxBetweennessCentrality(
+    const CompressedCsrGraph& g, uint32_t num_samples, Rng* rng,
+    const CentralityOptions& options = {});
 
 /// Harmonic closeness: sum over reachable u != v of 1/d(v, u). Robust to
 /// disconnected graphs (unreachable pairs contribute 0).
-std::vector<double> HarmonicCloseness(const CsrGraph& g);
+std::vector<double> HarmonicCloseness(const CsrGraph& g,
+                                      const CentralityOptions& options = {});
+std::vector<double> HarmonicCloseness(const CompressedCsrGraph& g,
+                                      const CentralityOptions& options = {});
 
 /// Classic closeness: (reachable - 1) / sum of distances within v's reachable
 /// set, times the reachable fraction (Wasserman-Faust normalization).
-std::vector<double> ClosenessCentrality(const CsrGraph& g);
+std::vector<double> ClosenessCentrality(const CsrGraph& g,
+                                        const CentralityOptions& options = {});
+std::vector<double> ClosenessCentrality(const CompressedCsrGraph& g,
+                                        const CentralityOptions& options = {});
 
 /// Degree centrality: degree / (n - 1).
 std::vector<double> DegreeCentrality(const CsrGraph& g);

@@ -8,17 +8,34 @@
 
 #include "graph/csr_graph.h"
 
+namespace ubigraph {
+class CompressedCsrGraph;
+}  // namespace ubigraph
+
 namespace ubigraph::algo {
 
+struct CoreOptions {
+  /// 0 = hardware concurrency, 1 = the exact serial Batagelj-Zaversnik path
+  /// (the default), else bucketed parallel peeling on that many workers.
+  uint32_t num_threads = 1;
+};
+
 /// Core number per vertex (undirected view; parallel edges collapsed).
-/// core[v] = largest k such that v belongs to the k-core.
-std::vector<uint32_t> CoreDecomposition(const CsrGraph& g);
+/// core[v] = largest k such that v belongs to the k-core. The parallel path
+/// peels whole degree-buckets per round over the shared priority-bucket
+/// layer with atomic degree decrements; core numbers are a graph invariant,
+/// so it returns exactly the serial result at every thread count.
+std::vector<uint32_t> CoreDecomposition(const CsrGraph& g,
+                                        const CoreOptions& options = {});
+std::vector<uint32_t> CoreDecomposition(const CompressedCsrGraph& g,
+                                        const CoreOptions& options = {});
 
 /// Vertices of the k-core (possibly empty).
-std::vector<VertexId> KCore(const CsrGraph& g, uint32_t k);
+std::vector<VertexId> KCore(const CsrGraph& g, uint32_t k,
+                            const CoreOptions& options = {});
 
 /// Degeneracy = max core number (0 for empty graphs).
-uint32_t Degeneracy(const CsrGraph& g);
+uint32_t Degeneracy(const CsrGraph& g, const CoreOptions& options = {});
 
 struct DensestSubgraphResult {
   std::vector<VertexId> vertices;

@@ -1,11 +1,20 @@
 #include "algorithms/shortest_path.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <deque>
+#include <optional>
 #include <queue>
+#include <span>
 
 #include "algorithms/traversal.h"
+#include "common/buckets.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "graph/graph_traits.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ubigraph::algo {
 
@@ -130,12 +139,245 @@ Result<ShortestPathTree> BellmanFord(const CsrGraph& g, VertexId source) {
   return t;
 }
 
-uint32_t BidirectionalBfsDistance(const CsrGraph& g, VertexId source,
-                                  VertexId target) {
-  if (source >= g.num_vertices() || target >= g.num_vertices()) return UINT32_MAX;
-  if (source == target) return 0;
-  assert(g.has_in_edges() &&
-         "bidirectional BFS on a directed graph requires the in-edge index");
+namespace {
+
+/// Frontier entries per relax chunk. Chunk boundaries depend only on this
+/// grain, so insertion-buffer merge order — and with it every bucket's
+/// contents — is identical at any thread count.
+constexpr uint64_t kSsspGrain = 256;
+
+struct SsspTally {
+  uint64_t relaxations = 0;   // tight-edge relax attempts
+  uint64_t improvements = 0;  // successful distance writes
+};
+
+/// Delta-stepping over the shared BucketStructure. The distance array is the
+/// only cross-thread state during a relax phase: writes go through a
+/// CAS-min on std::atomic_ref<double> and reads are relaxed atomic loads
+/// ("relaxed-write"); a popped entry whose vertex has left the bucket is
+/// discarded by the serial recheck between phases. The serial path (no pool)
+/// runs the identical chunk decomposition with plain loads/stores.
+template <WeightedNeighborRangeGraph G>
+Result<ShortestPathTree> DeltaSteppingEngine(const G& g, VertexId source,
+                                             const SsspOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) return Status::OutOfRange("source out of range");
+
+  // One serial edge sweep both validates weights and feeds the delta
+  // auto-tune (average edge weight ~= one bucket per expected hop).
+  double weight_sum = 0.0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (double w : g.OutWeights(u)) {
+      if (w < 0) {
+        return Status::Invalid("DeltaSteppingSssp requires non-negative weights");
+      }
+      weight_sum += w;
+    }
+  }
+  double delta = options.delta;
+  if (delta <= 0) {
+    delta = g.num_edges() > 0 ? weight_sum / static_cast<double>(g.num_edges())
+                              : 1.0;
+    if (delta <= 0) delta = 1.0;  // all-zero weights
+  }
+
+  obs::ScopedTrace span("DeltaSteppingSssp");
+  Timer timer;
+
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  ShortestPathTree t;
+  t.distance.assign(n, kInfDistance);
+  t.parent.assign(n, kInvalidVertex);
+  t.distance[source] = 0.0;
+  t.parent[source] = source;
+  std::vector<double>& dist = t.distance;
+
+  // Bucket of a *finite* distance, clamped so adversarial weights cannot
+  // overflow the index space.
+  auto bucket_of = [delta](double d) {
+    return static_cast<uint64_t>(std::min(d / delta, 9e18));
+  };
+
+  BucketStructure buckets;
+  buckets.Insert(0, source);
+  std::vector<uint8_t> settled_flag(n, 0);
+  std::vector<VertexId> popped, frontier, settled;
+  SsspTally tally;
+  uint64_t stale_pops = 0;
+
+  // Relaxes the light (w <= delta) or heavy (w > delta) edges of `front`.
+  // New (bucket, vertex) entries collect in per-chunk buffers merged in
+  // ascending chunk order.
+  auto relax = [&](std::span<const VertexId> front, bool light) {
+    if (front.empty()) return;
+    const uint64_t chunks = NumChunks(0, front.size(), kSsspGrain);
+    std::vector<std::vector<BucketItem>> buffers(chunks);
+    std::vector<SsspTally> tallies(chunks);
+    auto run_chunk = [&](uint64_t c) {
+      const uint64_t b = c * kSsspGrain;
+      const uint64_t e = std::min<uint64_t>(b + kSsspGrain, front.size());
+      const bool concurrent = pool.has_value();
+      auto& buf = buffers[c];
+      auto& tl = tallies[c];
+      for (uint64_t idx = b; idx < e; ++idx) {
+        const VertexId u = front[idx];
+        const double du =
+            concurrent ? std::atomic_ref<double>(dist[u]).load(
+                             std::memory_order_relaxed)
+                       : dist[u];
+        auto nbrs = g.OutNeighbors(u);
+        auto ws = g.OutWeights(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const double w = ws[i];
+          if (light ? w > delta : w <= delta) continue;
+          const VertexId v = nbrs[i];
+          const double nd = du + w;
+          ++tl.relaxations;
+          if (concurrent) {
+            std::atomic_ref<double> dv(dist[v]);
+            double cur = dv.load(std::memory_order_relaxed);
+            while (nd < cur) {
+              if (dv.compare_exchange_weak(cur, nd, std::memory_order_relaxed)) {
+                ++tl.improvements;
+                buf.emplace_back(bucket_of(nd), v);
+                break;
+              }
+            }
+          } else if (nd < dist[v]) {
+            dist[v] = nd;
+            ++tl.improvements;
+            buf.emplace_back(bucket_of(nd), v);
+          }
+        }
+      }
+    };
+    if (pool.has_value()) {
+      ParallelFor(*pool, 0, chunks, run_chunk, Schedule::kDynamic, 1);
+    } else {
+      for (uint64_t c = 0; c < chunks; ++c) run_chunk(c);
+    }
+    for (uint64_t c = 0; c < chunks; ++c) {
+      buckets.InsertBatch(buffers[c]);
+      tally.relaxations += tallies[c].relaxations;
+      tally.improvements += tallies[c].improvements;
+    }
+  };
+
+  uint64_t bkt;
+  while ((bkt = buckets.PopNextBucket(&popped)) != BucketStructure::kNoBucket) {
+    settled.clear();
+    for (;;) {  // light sub-rounds until bucket `bkt` stops refilling
+      frontier.clear();
+      for (VertexId v : popped) {
+        if (bucket_of(dist[v]) != bkt) {  // improved past this bucket: stale
+          ++stale_pops;
+          continue;
+        }
+        frontier.push_back(v);
+        if (!settled_flag[v]) {  // first settle; heavy edges relax once below
+          settled_flag[v] = 1;
+          settled.push_back(v);
+        }
+      }
+      relax(frontier, /*light=*/true);
+      if (!buckets.PopSame(bkt, &popped)) break;
+    }
+    relax(settled, /*light=*/false);
+  }
+
+  // Parent derivation, decoupled from relaxation order so the tree is
+  // deterministic: every v takes its min-id predecessor over strictly
+  // improving tight edges (dist[u] + w == dist[v], w > 0) — acyclic because
+  // dist strictly decreases along parent chains.
+  auto assign_strict = [&](VertexId u) {
+    const double du = dist[u];
+    if (du == kInfDistance) return;
+    auto nbrs = g.OutNeighbors(u);
+    auto ws = g.OutWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v == source || ws[i] <= 0 || du + ws[i] != dist[v]) continue;
+      if (pool.has_value()) {
+        std::atomic_ref<VertexId> pv(t.parent[v]);
+        VertexId cur = pv.load(std::memory_order_relaxed);
+        while (u < cur &&
+               !pv.compare_exchange_weak(cur, u, std::memory_order_relaxed)) {
+        }
+      } else if (u < t.parent[v]) {
+        t.parent[v] = u;
+      }
+    }
+  };
+  if (pool.has_value()) {
+    ParallelFor(*pool, 0, n, [&](uint64_t u) { assign_strict(VertexId(u)); },
+                Schedule::kDynamic);
+  } else {
+    for (VertexId u = 0; u < n; ++u) assign_strict(u);
+  }
+  // Vertices tied only through zero-weight edges get parents from a
+  // deterministic BFS over the tie edges, seeded at already-anchored
+  // vertices in ascending id order (no random weight distribution produces
+  // ties, so this pass is normally a single scan).
+  bool needs_tie_pass = false;
+  for (VertexId v = 0; v < n && !needs_tie_pass; ++v) {
+    needs_tie_pass = dist[v] != kInfDistance && t.parent[v] == kInvalidVertex;
+  }
+  if (needs_tie_pass) {
+    std::deque<VertexId> queue;
+    for (VertexId v = 0; v < n; ++v) {
+      if (t.parent[v] != kInvalidVertex) queue.push_back(v);
+    }
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      auto nbrs = g.OutNeighbors(u);
+      auto ws = g.OutWeights(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
+        if (v == source || ws[i] != 0 || dist[u] != dist[v] ||
+            t.parent[v] != kInvalidVertex) {
+          continue;
+        }
+        t.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  if (obs::Enabled()) {
+    const BucketStats& bs = buckets.stats();
+    obs::AddCounter("sssp.delta.runs", 1);
+    obs::AddCounter("sssp.delta.buckets_popped",
+                    static_cast<int64_t>(bs.buckets_popped));
+    obs::AddCounter("sssp.delta.relaxations",
+                    static_cast<int64_t>(tally.relaxations));
+    obs::AddCounter("sssp.delta.improvements",
+                    static_cast<int64_t>(tally.improvements));
+    obs::AddCounter("sssp.delta.wasted",
+                    static_cast<int64_t>(stale_pops));
+    obs::RecordLatency("sssp.delta.latency_us",
+                       static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<ShortestPathTree> DeltaSteppingSssp(const CsrGraph& g, VertexId source,
+                                           const SsspOptions& options) {
+  return DeltaSteppingEngine(g, source, options);
+}
+
+Result<uint32_t> BidirectionalBfsDistance(const CsrGraph& g, VertexId source,
+                                          VertexId target) {
+  if (source >= g.num_vertices() || target >= g.num_vertices()) {
+    return Status::OutOfRange("endpoint out of range");
+  }
+  if (source == target) return 0u;
+  UG_RETURN_NOT_OK(g.RequireInEdges("BidirectionalBfsDistance"));
 
   std::vector<uint32_t> dist_f(g.num_vertices(), UINT32_MAX);
   std::vector<uint32_t> dist_b(g.num_vertices(), UINT32_MAX);

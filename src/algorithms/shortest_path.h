@@ -25,6 +25,26 @@ struct ShortestPathTree {
 /// Dijkstra from `source`. Fails on negative edge weights.
 Result<ShortestPathTree> Dijkstra(const CsrGraph& g, VertexId source);
 
+struct SsspOptions {
+  /// 0 = hardware concurrency, 1 = exact serial path (default), else that
+  /// many workers (the convention shared by every parallel kernel).
+  uint32_t num_threads = 1;
+  /// Bucket width for delta-stepping. 0 (the default) auto-tunes to the
+  /// average edge weight, which makes roughly one bucket per expected hop.
+  double delta = 0.0;
+};
+
+/// Delta-stepping SSSP (Meyer-Sanders) over the shared priority-bucket
+/// layer: vertices are bucketed by floor(dist / delta); each bucket settles
+/// its light edges (w <= delta) in sub-rounds before relaxing heavy edges
+/// once. Distances are bitwise-equal to Dijkstra's on non-negative weights
+/// at every thread count (shortest-path distances are the unique minimal
+/// fixpoint, and each distance is produced by the same chain of FP
+/// additions), and the parent tree is deterministic (min-id tight
+/// predecessor). Fails on negative edge weights.
+Result<ShortestPathTree> DeltaSteppingSssp(const CsrGraph& g, VertexId source,
+                                           const SsspOptions& options = {});
+
 /// Dijkstra stopping as soon as `target` is settled; distance() still valid
 /// for settled vertices only.
 Result<double> DijkstraPointToPoint(const CsrGraph& g, VertexId source,
@@ -35,9 +55,11 @@ Result<double> DijkstraPointToPoint(const CsrGraph& g, VertexId source,
 Result<ShortestPathTree> BellmanFord(const CsrGraph& g, VertexId source);
 
 /// Hop distance between two vertices via bidirectional BFS; UINT32_MAX when
-/// disconnected. Requires in-edges on directed graphs.
-uint32_t BidirectionalBfsDistance(const CsrGraph& g, VertexId source,
-                                  VertexId target);
+/// disconnected. Directed graphs must carry the in-edge index (clear
+/// InvalidArgument otherwise, like the pull kernels); endpoints out of range
+/// are OutOfRange.
+Result<uint32_t> BidirectionalBfsDistance(const CsrGraph& g, VertexId source,
+                                          VertexId target);
 
 /// All-pairs shortest hop distances via repeated BFS. Only sensible for small
 /// graphs; the diameter estimator uses sampling instead.

@@ -1,0 +1,42 @@
+#include "common/buckets.h"
+
+#include <algorithm>
+
+namespace ubigraph {
+
+void BucketStructure::Insert(uint64_t b, VertexId v) {
+  b = std::max(b, cursor_);
+  if (b >= buckets_.size()) buckets_.resize(b + 1);
+  buckets_[b].push_back(v);
+  ++live_;
+  ++stats_.items_inserted;
+  stats_.max_bucket = std::max(stats_.max_bucket, b);
+}
+
+void BucketStructure::InsertBatch(std::span<const BucketItem> items) {
+  for (const auto& [b, v] : items) Insert(b, v);
+}
+
+uint64_t BucketStructure::PopNextBucket(std::vector<VertexId>* out) {
+  if (live_ == 0) return kNoBucket;
+  while (cursor_ < buckets_.size() && buckets_[cursor_].empty()) ++cursor_;
+  if (cursor_ >= buckets_.size()) return kNoBucket;  // unreachable if live_ > 0
+  out->clear();
+  out->swap(buckets_[cursor_]);
+  live_ -= out->size();
+  ++stats_.buckets_popped;
+  stats_.items_popped += out->size();
+  return cursor_;
+}
+
+bool BucketStructure::PopSame(uint64_t b, std::vector<VertexId>* out) {
+  if (b != cursor_ || b >= buckets_.size() || buckets_[b].empty()) return false;
+  out->clear();
+  out->swap(buckets_[b]);
+  live_ -= out->size();
+  ++stats_.buckets_popped;
+  stats_.items_popped += out->size();
+  return true;
+}
+
+}  // namespace ubigraph

@@ -183,4 +183,29 @@ T ParallelReduce(ThreadPool& pool, uint64_t begin, uint64_t end, T identity,
   return std::move(slots[0]);
 }
 
+/// ParallelReduce's exact chunk decomposition and pairwise combine tree, run
+/// inline on the calling thread: the serial path (num_threads == 1) of
+/// kernels whose parallel path is ParallelReduce, guaranteeing
+/// bitwise-identical floating-point results with no pool at all. Same
+/// caveat as ParallelReduce regarding T = bool (irrelevant here, single
+/// writer) — partials simply live in a std::vector.
+template <typename T, typename MapFn, typename CombineFn>
+T SerialChunkReduce(uint64_t begin, uint64_t end, T identity, MapFn map,
+                    CombineFn combine, uint64_t grain = kDefaultGrain) {
+  const uint64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return identity;
+  std::vector<T> slots;
+  slots.reserve(chunks);
+  for (uint64_t c = 0; c < chunks; ++c) {
+    uint64_t b = begin + c * grain;
+    slots.push_back(map(b, std::min(b + grain, end)));
+  }
+  for (uint64_t stride = 1; stride < chunks; stride *= 2) {
+    for (uint64_t i = 0; i + stride < chunks; i += 2 * stride) {
+      slots[i] = combine(std::move(slots[i]), std::move(slots[i + stride]));
+    }
+  }
+  return std::move(slots[0]);
+}
+
 }  // namespace ubigraph

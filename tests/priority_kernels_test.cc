@@ -1,0 +1,390 @@
+// Differential tests for the priority-bucket kernels: delta-stepping SSSP
+// against the Dijkstra oracle (bitwise distances on non-negative weights),
+// parallel Brandes/closeness against the serial accumulation (bitwise — the
+// source chunking and combine tree are worker-count-independent), and
+// bucketed parallel k-core peeling against Batagelj-Zaversnik (core numbers
+// are a structural invariant), each at 1/2/4/8 threads, plus permuted and
+// compressed-graph variants mirroring locality_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/centrality.h"
+#include "algorithms/kcore.h"
+#include "algorithms/shortest_path.h"
+#include "common/buckets.h"
+#include "common/random.h"
+#include "gen/generators.h"
+#include "graph/compressed_csr.h"
+#include "graph/csr_graph.h"
+#include "graph/ordering.h"
+
+namespace ubigraph {
+namespace {
+
+using algo::ApproxBetweennessCentrality;
+using algo::BetweennessCentrality;
+using algo::CentralityOptions;
+using algo::ClosenessCentrality;
+using algo::CoreDecomposition;
+using algo::CoreOptions;
+using algo::DeltaSteppingSssp;
+using algo::Dijkstra;
+using algo::HarmonicCloseness;
+using algo::kInfDistance;
+using algo::ShortestPathTree;
+using algo::SsspOptions;
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// Directed RMAT (2^scale vertices, 8 edges per vertex) plus a ring through
+/// every vertex, with uniform random edge weights in [0.1, 1.1): connected
+/// from any root, no zero weights (so the shortest-path DAG has no ties
+/// through zero-weight edges, the common case the parent post-pass is
+/// optimized for).
+CsrGraph WeightedRmat(uint32_t scale) {
+  Rng rng(scale * 104729ULL + 7);
+  EdgeList el =
+      gen::Rmat(scale, static_cast<uint64_t>(8) << scale, &rng).ValueOrDie();
+  const VertexId n = el.num_vertices();
+  for (VertexId v = 0; v < n; ++v) el.Add(v, (v + 1) % n);
+  for (Edge& e : el.mutable_edges()) e.weight = 0.1 + rng.NextDouble();
+  return CsrGraph::FromEdges(std::move(el), CsrOptions{}).ValueOrDie();
+}
+
+/// Unweighted directed RMAT + ring (the centrality/k-core fixture).
+CsrGraph PlainRmat(uint32_t scale) {
+  Rng rng(scale * 7919ULL + 23);
+  EdgeList el =
+      gen::Rmat(scale, static_cast<uint64_t>(8) << scale, &rng).ValueOrDie();
+  const VertexId n = el.num_vertices();
+  for (VertexId v = 0; v < n; ++v) el.Add(v, (v + 1) % n);
+  return CsrGraph::FromEdges(std::move(el), CsrOptions{}).ValueOrDie();
+}
+
+/// Asserts `t` is a valid shortest-path tree for `g`: parents only on
+/// reached vertices, every parent edge tight (dist[p] + w == dist[v]), and
+/// every chain reaches the source in at most n hops (acyclic).
+void ValidateTree(const CsrGraph& g, const ShortestPathTree& t,
+                  VertexId source) {
+  const VertexId n = g.num_vertices();
+  ASSERT_EQ(t.parent[source], source);
+  for (VertexId v = 0; v < n; ++v) {
+    if (t.distance[v] == kInfDistance) {
+      EXPECT_EQ(t.parent[v], kInvalidVertex) << v;
+      continue;
+    }
+    if (v == source) continue;
+    const VertexId p = t.parent[v];
+    ASSERT_LT(p, n) << v;
+    bool tight = false;
+    auto nbrs = g.OutNeighbors(p);
+    auto ws = g.OutWeights(p);
+    for (size_t i = 0; i < nbrs.size() && !tight; ++i) {
+      tight = nbrs[i] == v && t.distance[p] + ws[i] == t.distance[v];
+    }
+    EXPECT_TRUE(tight) << "no tight edge " << p << "->" << v;
+    VertexId cur = v;
+    uint32_t hops = 0;
+    while (cur != source && hops <= n) {
+      cur = t.parent[cur];
+      ++hops;
+    }
+    EXPECT_EQ(cur, source) << "parent chain from " << v << " cycles";
+  }
+}
+
+// --- bucket structure ---
+
+TEST(BucketStructureTest, PopsInPriorityOrderWithClamping) {
+  BucketStructure b;
+  b.Insert(3, 30);
+  b.Insert(1, 10);
+  b.Insert(3, 31);
+  std::vector<VertexId> out;
+  EXPECT_EQ(b.PopNextBucket(&out), 1u);
+  EXPECT_EQ(out, (std::vector<VertexId>{10}));
+  // An insert below the cursor clamps up to it (k-core's "dropped under the
+  // current level" case) and is re-popped by PopSame.
+  b.Insert(0, 11);
+  EXPECT_TRUE(b.PopSame(1, &out));
+  EXPECT_EQ(out, (std::vector<VertexId>{11}));
+  EXPECT_FALSE(b.PopSame(1, &out));
+  EXPECT_EQ(b.PopNextBucket(&out), 3u);
+  EXPECT_EQ(out, (std::vector<VertexId>{30, 31}));
+  EXPECT_EQ(b.PopNextBucket(&out), BucketStructure::kNoBucket);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.stats().items_inserted, 4u);
+  EXPECT_EQ(b.stats().items_popped, 4u);
+  EXPECT_EQ(b.stats().buckets_popped, 3u);
+  EXPECT_EQ(b.stats().max_bucket, 3u);
+}
+
+TEST(BucketStructureTest, InsertBatchMergesInOrder) {
+  BucketStructure b;
+  const BucketItem batch[] = {{2, 5}, {2, 6}, {4, 7}};
+  b.InsertBatch(batch);
+  std::vector<VertexId> out;
+  EXPECT_EQ(b.PopNextBucket(&out), 2u);
+  EXPECT_EQ(out, (std::vector<VertexId>{5, 6}));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+// --- delta-stepping SSSP ---
+
+TEST(DeltaSteppingTest, MatchesDijkstraBitwiseOnWeightedRmat) {
+  CsrGraph g = WeightedRmat(9);
+  ShortestPathTree oracle = Dijkstra(g, 0).ValueOrDie();
+  for (uint32_t threads : kThreadCounts) {
+    SsspOptions opts;
+    opts.num_threads = threads;
+    ShortestPathTree t = DeltaSteppingSssp(g, 0, opts).ValueOrDie();
+    ASSERT_EQ(t.distance, oracle.distance) << "threads=" << threads;
+    ValidateTree(g, t, 0);
+  }
+}
+
+TEST(DeltaSteppingTest, ParentTreeIsDeterministicAcrossThreads) {
+  CsrGraph g = WeightedRmat(8);
+  SsspOptions serial;
+  ShortestPathTree base = DeltaSteppingSssp(g, 3, serial).ValueOrDie();
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    SsspOptions opts;
+    opts.num_threads = threads;
+    ShortestPathTree t = DeltaSteppingSssp(g, 3, opts).ValueOrDie();
+    EXPECT_EQ(t.parent, base.parent) << "threads=" << threads;
+  }
+}
+
+TEST(DeltaSteppingTest, ExplicitDeltasStillMatchDijkstra) {
+  CsrGraph g = WeightedRmat(8);
+  ShortestPathTree oracle = Dijkstra(g, 0).ValueOrDie();
+  for (double delta : {0.05, 0.6, 50.0}) {  // many buckets .. one bucket
+    SsspOptions opts;
+    opts.num_threads = 4;
+    opts.delta = delta;
+    ShortestPathTree t = DeltaSteppingSssp(g, 0, opts).ValueOrDie();
+    EXPECT_EQ(t.distance, oracle.distance) << "delta=" << delta;
+  }
+}
+
+TEST(DeltaSteppingTest, PathStarAndDisconnected) {
+  for (uint32_t threads : kThreadCounts) {
+    SsspOptions opts;
+    opts.num_threads = threads;
+
+    CsrGraph path = CsrGraph::FromEdges(gen::Path(6), CsrOptions{}).ValueOrDie();
+    ShortestPathTree t = DeltaSteppingSssp(path, 0, opts).ValueOrDie();
+    EXPECT_EQ(t.distance, Dijkstra(path, 0).ValueOrDie().distance);
+    EXPECT_EQ(t.distance[5], 5.0);
+    EXPECT_EQ(t.PathTo(5).size(), 6u);
+
+    CsrGraph star = CsrGraph::FromEdges(gen::Star(5), CsrOptions{}).ValueOrDie();
+    t = DeltaSteppingSssp(star, 0, opts).ValueOrDie();
+    EXPECT_EQ(t.distance, Dijkstra(star, 0).ValueOrDie().distance);
+
+    // Two components: everything across the cut stays at infinity.
+    EdgeList el;
+    el.Add(0, 1, 2.0);
+    el.Add(1, 2, 3.0);
+    el.Add(3, 4, 1.0);
+    CsrGraph split = CsrGraph::FromEdges(std::move(el), CsrOptions{}).ValueOrDie();
+    t = DeltaSteppingSssp(split, 0, opts).ValueOrDie();
+    EXPECT_EQ(t.distance[2], 5.0);
+    EXPECT_EQ(t.distance[3], kInfDistance);
+    EXPECT_EQ(t.parent[4], kInvalidVertex);
+  }
+}
+
+TEST(DeltaSteppingTest, SingleVertexAndErrors) {
+  CsrGraph one = CsrGraph::FromPairs(1, {}).ValueOrDie();
+  ShortestPathTree t = DeltaSteppingSssp(one, 0).ValueOrDie();
+  EXPECT_EQ(t.distance[0], 0.0);
+  EXPECT_FALSE(DeltaSteppingSssp(one, 5).ok());  // out of range
+
+  EdgeList el;
+  el.Add(0, 1, -1.0);
+  CsrGraph neg = CsrGraph::FromEdges(std::move(el), CsrOptions{}).ValueOrDie();
+  EXPECT_FALSE(DeltaSteppingSssp(neg, 0).ok());  // negative weight
+}
+
+TEST(DeltaSteppingTest, ZeroWeightTiesGetValidParents) {
+  // A zero-weight diamond plus a tail: ties resolved by the deterministic
+  // tie BFS, tree still valid and distances still Dijkstra's.
+  EdgeList el;
+  el.Add(0, 1, 0.0);
+  el.Add(0, 2, 0.0);
+  el.Add(1, 3, 0.0);
+  el.Add(2, 3, 0.0);
+  el.Add(3, 4, 1.5);
+  CsrGraph g = CsrGraph::FromEdges(std::move(el), CsrOptions{}).ValueOrDie();
+  for (uint32_t threads : kThreadCounts) {
+    SsspOptions opts;
+    opts.num_threads = threads;
+    ShortestPathTree t = DeltaSteppingSssp(g, 0, opts).ValueOrDie();
+    EXPECT_EQ(t.distance, Dijkstra(g, 0).ValueOrDie().distance);
+    ValidateTree(g, t, 0);
+  }
+}
+
+TEST(DeltaSteppingTest, PermutedGraphGivesSameDistances) {
+  CsrGraph g = WeightedRmat(8);
+  ShortestPathTree base = DeltaSteppingSssp(g, 0).ValueOrDie();
+  std::vector<VertexId> perm = DegreeDescendingOrder(g);
+  PermutedCsr p = g.Permute(perm).ValueOrDie();
+  for (uint32_t threads : kThreadCounts) {
+    SsspOptions opts;
+    opts.num_threads = threads;
+    ShortestPathTree t = DeltaSteppingSssp(p.graph, perm[0], opts).ValueOrDie();
+    // Distances are the unique minimal fixpoint, so they match bitwise after
+    // mapping back to original ids.
+    EXPECT_EQ(UnpermuteValues<double>(p.new_to_old, t.distance), base.distance)
+        << "threads=" << threads;
+    ValidateTree(p.graph, t, perm[0]);
+  }
+}
+
+// --- Brandes betweenness / closeness ---
+
+TEST(ParallelBrandesTest, MatchesSerialBitwiseAtAllThreadCounts) {
+  CsrGraph g = PlainRmat(8);
+  std::vector<double> serial = BetweennessCentrality(g);
+  for (uint32_t threads : kThreadCounts) {
+    CentralityOptions opts;
+    opts.num_threads = threads;
+    EXPECT_EQ(BetweennessCentrality(g, opts), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelBrandesTest, UndirectedSmallGraphExactValues) {
+  CsrOptions copts;
+  copts.directed = false;
+  CsrGraph g = CsrGraph::FromEdges(gen::Path(5), copts).ValueOrDie();
+  for (uint32_t threads : kThreadCounts) {
+    CentralityOptions opts;
+    opts.num_threads = threads;
+    std::vector<double> bc = BetweennessCentrality(g, opts);
+    EXPECT_DOUBLE_EQ(bc[2], 4.0) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(bc[0], 0.0) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelBrandesTest, CompressedGraphMatchesPlainBitwise) {
+  CsrGraph g = PlainRmat(8);
+  CompressedCsrGraph c = CompressedCsrGraph::FromCsr(g).ValueOrDie();
+  std::vector<double> plain = BetweennessCentrality(g);
+  for (uint32_t threads : {1u, 4u}) {
+    CentralityOptions opts;
+    opts.num_threads = threads;
+    // Same vertex ids and same adjacency order: identical arithmetic.
+    EXPECT_EQ(BetweennessCentrality(c, opts), plain) << "threads=" << threads;
+  }
+}
+
+TEST(ApproxBetweennessTest, FixedSeedIsDeterministicAcrossThreadCounts) {
+  CsrGraph g = PlainRmat(9);
+  Rng base_rng(17);
+  std::vector<double> base = ApproxBetweennessCentrality(g, 48, &base_rng);
+  for (uint32_t threads : kThreadCounts) {
+    Rng rng(17);
+    CentralityOptions opts;
+    opts.num_threads = threads;
+    EXPECT_EQ(ApproxBetweennessCentrality(g, 48, &rng, opts), base)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelClosenessTest, BothVariantsMatchSerialBitwise) {
+  CsrGraph g = PlainRmat(9);
+  std::vector<double> harmonic = HarmonicCloseness(g);
+  std::vector<double> classic = ClosenessCentrality(g);
+  for (uint32_t threads : kThreadCounts) {
+    CentralityOptions opts;
+    opts.num_threads = threads;
+    EXPECT_EQ(HarmonicCloseness(g, opts), harmonic) << "threads=" << threads;
+    EXPECT_EQ(ClosenessCentrality(g, opts), classic) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelClosenessTest, PermutedAndCompressedMatchPlain) {
+  CsrGraph g = PlainRmat(8);
+  std::vector<double> base = HarmonicCloseness(g);
+  std::vector<VertexId> perm = DegreeDescendingOrder(g);
+  PermutedCsr p = g.Permute(perm).ValueOrDie();
+  CompressedCsrGraph c = CompressedCsrGraph::FromCsr(g).ValueOrDie();
+  CentralityOptions opts;
+  opts.num_threads = 4;
+  // Permutation renumbers the ascending-id reduction inside each score, so
+  // the same terms are summed in a different order: equal to tolerance only.
+  std::vector<double> permuted =
+      UnpermuteValues<double>(p.new_to_old, HarmonicCloseness(p.graph, opts));
+  ASSERT_EQ(permuted.size(), base.size());
+  for (size_t v = 0; v < base.size(); ++v) {
+    EXPECT_NEAR(permuted[v], base[v], 1e-9 * std::max(1.0, base[v])) << v;
+  }
+  // The compressed graph keeps ids and adjacency order: identical arithmetic.
+  EXPECT_EQ(HarmonicCloseness(c, opts), base);
+}
+
+// --- bucketed k-core ---
+
+TEST(BucketedKCoreTest, MatchesSerialOnRmatAtAllThreadCounts) {
+  CsrGraph g = PlainRmat(9);
+  std::vector<uint32_t> serial = CoreDecomposition(g);
+  for (uint32_t threads : kThreadCounts) {
+    CoreOptions opts;
+    opts.num_threads = threads;
+    EXPECT_EQ(CoreDecomposition(g, opts), serial) << "threads=" << threads;
+  }
+}
+
+TEST(BucketedKCoreTest, EdgeCaseGraphs) {
+  for (uint32_t threads : kThreadCounts) {
+    CoreOptions opts;
+    opts.num_threads = threads;
+
+    CsrGraph star = CsrGraph::FromEdges(gen::Star(6), CsrOptions{}).ValueOrDie();
+    EXPECT_EQ(CoreDecomposition(star, opts),
+              std::vector<uint32_t>(star.num_vertices(), 1u));
+
+    CsrOptions copts;
+    copts.directed = false;
+    CsrGraph k5 = CsrGraph::FromEdges(gen::Complete(5), copts).ValueOrDie();
+    EXPECT_EQ(CoreDecomposition(k5, opts), std::vector<uint32_t>(5, 4u));
+
+    // Disconnected: a triangle and an isolated edge peel independently.
+    EdgeList el;
+    el.Add(0, 1);
+    el.Add(1, 2);
+    el.Add(2, 0);
+    el.Add(3, 4);
+    CsrGraph split = CsrGraph::FromEdges(std::move(el), CsrOptions{}).ValueOrDie();
+    EXPECT_EQ(CoreDecomposition(split, opts),
+              (std::vector<uint32_t>{2, 2, 2, 1, 1}));
+
+    CsrGraph empty = CsrGraph::FromPairs(0, {}).ValueOrDie();
+    EXPECT_TRUE(CoreDecomposition(empty, opts).empty());
+  }
+}
+
+TEST(BucketedKCoreTest, PermutedAndCompressedMatchPlain) {
+  CsrGraph g = PlainRmat(8);
+  std::vector<uint32_t> base = CoreDecomposition(g);
+  std::vector<VertexId> perm = DegreeDescendingOrder(g);
+  PermutedCsr p = g.Permute(perm).ValueOrDie();
+  CompressedCsrGraph c = CompressedCsrGraph::FromCsr(g).ValueOrDie();
+  for (uint32_t threads : {1u, 8u}) {
+    CoreOptions opts;
+    opts.num_threads = threads;
+    EXPECT_EQ(UnpermuteValues<uint32_t>(p.new_to_old,
+                                        CoreDecomposition(p.graph, opts)),
+              base)
+        << "threads=" << threads;
+    EXPECT_EQ(CoreDecomposition(c, opts), base) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ubigraph

@@ -144,7 +144,7 @@ TEST(BidirectionalBfsTest, MatchesBfsOnRandomUndirected) {
     CsrGraph g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
     auto dist = BfsDistances(g, 0);
     for (VertexId t = 0; t < g.num_vertices(); t += 7) {
-      uint32_t bi = BidirectionalBfsDistance(g, 0, t);
+      uint32_t bi = BidirectionalBfsDistance(g, 0, t).ValueOrDie();
       EXPECT_EQ(bi, dist[t]) << "seed=" << seed << " t=" << t;
     }
   }
@@ -154,9 +154,17 @@ TEST(BidirectionalBfsTest, DirectedWithInEdges) {
   CsrOptions opts;
   opts.build_in_edges = true;
   auto g = CsrGraph::FromEdges(gen::Path(6), opts).ValueOrDie();
-  EXPECT_EQ(BidirectionalBfsDistance(g, 0, 5), 5u);
-  EXPECT_EQ(BidirectionalBfsDistance(g, 5, 0), UINT32_MAX);
-  EXPECT_EQ(BidirectionalBfsDistance(g, 2, 2), 0u);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 0, 5).ValueOrDie(), 5u);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 5, 0).ValueOrDie(), UINT32_MAX);
+  EXPECT_EQ(BidirectionalBfsDistance(g, 2, 2).ValueOrDie(), 0u);
+}
+
+TEST(BidirectionalBfsTest, DirectedWithoutInEdgesIsClearError) {
+  auto g = CsrGraph::FromEdges(gen::Path(6), CsrOptions{}).ValueOrDie();
+  ASSERT_FALSE(g.has_in_edges());
+  auto r = BidirectionalBfsDistance(g, 0, 5);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(BidirectionalBfsDistance(g, 0, 99).ok());  // out of range
 }
 
 TEST(AllPairsTest, SymmetricOnUndirected) {
