@@ -28,6 +28,7 @@ struct Record {
   double median_real_ns = 0.0;
   double edges_per_second = 0.0;
   double bytes_per_edge = 0.0;  // 0 for benches that don't report compression
+  double work_items = 0.0;      // 0 for benches that don't report batch work
 };
 
 std::string ReadFile(const std::string& path) {
@@ -71,6 +72,7 @@ void LoadRecords(const std::string& path, std::map<std::string, Record>* out) {
     r.median_real_ns = GetNumber(entry.get(), "median_real_ns");
     r.edges_per_second = GetNumber(entry.get(), "edges_per_second");
     r.bytes_per_edge = GetNumber(entry.get(), "bytes_per_edge");
+    r.work_items = GetNumber(entry.get(), "work_items");
     (*out)[name] = r;
   }
 }
@@ -89,7 +91,8 @@ bool WriteRecords(const std::string& path,
         << "\", \"threads\": " << r.threads
         << ", \"median_real_ns\": " << r.median_real_ns
         << ", \"edges_per_second\": " << r.edges_per_second
-        << ", \"bytes_per_edge\": " << r.bytes_per_edge << "}";
+        << ", \"bytes_per_edge\": " << r.bytes_per_edge
+        << ", \"work_items\": " << r.work_items << "}";
   }
   out << "\n]\n";
   return static_cast<bool>(out);

@@ -115,6 +115,8 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
       }
       auto bpe = run.counters.find("bytes_per_edge");
       if (bpe != run.counters.end()) s.bytes_per_edge = bpe->second.value;
+      auto wi = run.counters.find("work_items");
+      if (wi != run.counters.end()) s.work_items = wi->second.value;
       auto threads = run.counters.find("threads");
       if (threads != run.counters.end()) {
         s.threads = static_cast<int64_t>(threads->second.value);
@@ -140,11 +142,12 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     bool first = true;
     for (const std::string& name : order) {
       const auto& runs = groups[name];
-      std::vector<double> ns, eps, bpe;
+      std::vector<double> ns, eps, bpe, wi;
       for (const Sample* s : runs) {
         ns.push_back(s->real_ns);
         eps.push_back(s->edges_per_second);
         bpe.push_back(s->bytes_per_edge);
+        wi.push_back(s->work_items);
       }
       const Sample* rep = runs.front();
       std::string kernel = LabelField(rep->label, "kernel");
@@ -160,7 +163,8 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
           << ", \"threads\": " << rep->threads
           << ", \"median_real_ns\": " << Median(ns)
           << ", \"edges_per_second\": " << Median(eps)
-          << ", \"bytes_per_edge\": " << Median(bpe) << "}";
+          << ", \"bytes_per_edge\": " << Median(bpe)
+          << ", \"work_items\": " << Median(wi) << "}";
     }
     out << "\n]\n";
     return static_cast<bool>(out);
@@ -175,6 +179,7 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     double real_ns = 0.0;
     double edges_per_second = 0.0;
     double bytes_per_edge = 0.0;  // 0 unless the bench reports compression
+    double work_items = 0.0;  // 0 unless the bench reports per-batch work
     int64_t threads = 1;
   };
 

@@ -24,7 +24,8 @@ MAX_REGRESSION="${UBIGRAPH_PERF_MAX_REGRESSION:-0.25}"
 BENCH_FLAGS=(--benchmark_filter='/12/' --benchmark_min_time=0.05
              --benchmark_repetitions=3 --benchmark_report_aggregates_only=false)
 SMOKE_BINARIES=(perf_traversal perf_pagerank perf_components perf_csr_build
-                perf_reorder perf_shortest_path perf_centrality)
+                perf_reorder perf_shortest_path perf_centrality
+                perf_incremental)
 
 cmake -S "$ROOT" -B "$BUILD_DIR" > /dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer gate: configures a dedicated build tree with UBIGRAPH_SANITIZE
 # (thread by default — catches data races in the parallel runtime and the
-# obs shard merging) and runs the `unit`-labeled test suite under it.
+# obs shard merging) and runs the unit- and integration-labeled test suites
+# under it. The integration label notably covers the incremental-maintenance
+# differential tests, which drive every engine at 1/2/4/8 threads and are the
+# main TSan coverage for the stream layer.
 #
-# Usage: ci/sanitize.sh [thread|address|undefined] [ctest-label]
+# Usage: ci/sanitize.sh [thread|address|undefined] [ctest-label-regex]
 set -euo pipefail
 
 SANITIZER="${1:-${UBIGRAPH_SANITIZE:-thread}}"
-LABEL="${2:-unit}"
+LABEL="${2:-unit|integration}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-${SANITIZER}san"
 

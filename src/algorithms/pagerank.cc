@@ -27,6 +27,9 @@ Result<PageRankResult> PageRankImpl(const G& g, PageRankOptions options) {
   if (!options.personalization.empty() && options.personalization.size() != n) {
     return Status::Invalid("personalization vector size mismatch");
   }
+  if (!options.warm_start.empty() && options.warm_start.size() != n) {
+    return Status::Invalid("warm_start vector size mismatch");
+  }
   PageRankMode mode = options.mode;
   if (mode == PageRankMode::kAuto) {
     mode = (g.directed() && !g.has_in_edges()) ? PageRankMode::kPush
@@ -47,7 +50,11 @@ Result<PageRankResult> PageRankImpl(const G& g, PageRankOptions options) {
   };
 
   std::vector<double> rank(n), next(n);
-  for (VertexId v = 0; v < n; ++v) rank[v] = teleport(v);
+  if (options.warm_start.empty()) {
+    for (VertexId v = 0; v < n; ++v) rank[v] = teleport(v);
+  } else {
+    rank = options.warm_start;
+  }
 
   std::vector<double> inv_outdeg(n, 0.0);
   for (VertexId v = 0; v < n; ++v) {

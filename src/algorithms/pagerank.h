@@ -51,6 +51,12 @@ struct PageRankOptions {
   /// Optional personalization vector (teleport distribution). Empty = uniform.
   /// Must sum to ~1 and have size == num_vertices when provided.
   std::vector<double> personalization;
+  /// Optional warm start: when non-empty (size must be num_vertices) the
+  /// power iteration begins from these scores instead of the teleport vector.
+  /// The incremental engine (src/stream/incremental_pagerank.h) seeds this
+  /// with the previous fixpoint so post-update convergence takes a handful of
+  /// sweeps instead of a cold run.
+  std::vector<double> warm_start;
   /// 0 = hardware_concurrency, 1 = exact serial path (default), >= 2 = that
   /// many workers. Every mode's parallel path uses deterministic reductions
   /// (chunked trees; fixed-order per-worker merges for push), so scores are

@@ -30,6 +30,7 @@ Result<EdgeId> DynamicGraph::AddEdge(VertexId src, VertexId dst, double weight) 
   adjacency_[src].push_back(id);
   in_adjacency_[dst].push_back(id);
   ++live_edges_;
+  LogDelta(GraphDelta::Kind::kInsert, edges_[id]);
   return id;
 }
 
@@ -42,6 +43,7 @@ Status DynamicGraph::RemoveEdge(EdgeId id) {
   }
   edges_[id].removed = true;
   --live_edges_;
+  LogDelta(GraphDelta::Kind::kRemove, edges_[id]);
   return Status::OK();
 }
 
@@ -63,15 +65,23 @@ Status DynamicGraph::RemoveVertexEdges(VertexId v) {
     if (!edges_[id].removed) {
       edges_[id].removed = true;
       --live_edges_;
+      LogDelta(GraphDelta::Kind::kRemove, edges_[id]);
     }
   }
   for (EdgeId id : in_adjacency_[v]) {
     if (!edges_[id].removed) {
       edges_[id].removed = true;
       --live_edges_;
+      LogDelta(GraphDelta::Kind::kRemove, edges_[id]);
     }
   }
   return Status::OK();
+}
+
+std::vector<GraphDelta> DynamicGraph::TakeDeltas() {
+  std::vector<GraphDelta> out;
+  out.swap(delta_log_);
+  return out;
 }
 
 uint64_t DynamicGraph::OutDegree(VertexId v) const {

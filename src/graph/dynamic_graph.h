@@ -10,6 +10,29 @@
 
 namespace ubigraph {
 
+/// One committed mutation of a DynamicGraph, in application order. The
+/// incremental kernels in src/stream consume these as update batches instead
+/// of re-reading the whole graph (see DESIGN.md "Incremental maintenance").
+struct GraphDelta {
+  enum class Kind : uint8_t { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+
+  static GraphDelta Insert(VertexId src, VertexId dst, double weight = 1.0) {
+    return {Kind::kInsert, src, dst, weight};
+  }
+  static GraphDelta Remove(VertexId src, VertexId dst, double weight = 1.0) {
+    return {Kind::kRemove, src, dst, weight};
+  }
+
+  friend bool operator==(const GraphDelta& a, const GraphDelta& b) {
+    return a.kind == b.kind && a.src == b.src && a.dst == b.dst &&
+           a.weight == b.weight;
+  }
+};
+
 /// A directed mutable multigraph. Undirected semantics can be layered by
 /// inserting both arcs; analytics convert to CsrGraph via ToEdgeList().
 class DynamicGraph {
@@ -83,6 +106,24 @@ class DynamicGraph {
   /// Reclaims tombstones; invalidates all EdgeIds. Returns reclaimed count.
   uint64_t Compact();
 
+  // --- batch-delta extraction -----------------------------------------------
+  // When enabled, every *successful* mutation (AddEdge, RemoveEdge,
+  // RemoveEdgeBetween, RemoveVertexEdges) is appended to an in-order delta
+  // log. Incremental kernels drain the log with TakeDeltas() and apply it as
+  // one batch, so a writer never has to hand-mirror its updates.
+
+  /// Turns delta recording on or off (off by default; recording costs one
+  /// append per successful mutation). Disabling does not clear pending
+  /// deltas.
+  void EnableDeltaLog(bool on = true) { delta_log_enabled_ = on; }
+  bool delta_log_enabled() const { return delta_log_enabled_; }
+
+  /// Number of recorded, not-yet-drained deltas.
+  size_t pending_deltas() const { return delta_log_.size(); }
+
+  /// Returns the recorded mutations in application order and clears the log.
+  std::vector<GraphDelta> TakeDeltas();
+
  private:
   struct EdgeRecord {
     VertexId src;
@@ -93,11 +134,17 @@ class DynamicGraph {
 
   Status CheckVertex(VertexId v) const;
 
+  void LogDelta(GraphDelta::Kind kind, const EdgeRecord& e) {
+    if (delta_log_enabled_) delta_log_.push_back({kind, e.src, e.dst, e.weight});
+  }
+
   std::vector<EdgeRecord> edges_;
   std::vector<std::vector<EdgeId>> adjacency_;     // out-edge ids per vertex
   std::vector<std::vector<EdgeId>> in_adjacency_;  // in-edge ids per vertex
   uint64_t live_edges_ = 0;
   bool allow_multi_edges_ = true;
+  bool delta_log_enabled_ = false;
+  std::vector<GraphDelta> delta_log_;
 };
 
 }  // namespace ubigraph

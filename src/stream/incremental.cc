@@ -1,0 +1,55 @@
+#include "stream/incremental.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ubigraph::stream {
+
+void FlushIncrementalWork(std::string_view kernel, const IncrementalWork& work) {
+  if (!obs::Enabled()) return;
+  const std::string prefix = "stream.incremental." + std::string(kernel);
+  obs::AddCounter(prefix + ".batches", 1);
+  obs::AddCounter(prefix + ".vertices_reactivated",
+                  static_cast<int64_t>(work.vertices_reactivated));
+  obs::AddCounter(prefix + ".edges_rerelaxed",
+                  static_cast<int64_t>(work.edges_rerelaxed));
+  obs::AddCounter(prefix + ".rebuilds", static_cast<int64_t>(work.rebuilds));
+}
+
+std::vector<uint32_t> CanonicalComponentLabels(std::span<const uint32_t> labels) {
+  // First-appearance renumbering: scanning vertices in ascending id order,
+  // each distinct raw label gets the next canonical id the first time it is
+  // seen. Since a component's smallest vertex is the first of its members to
+  // be scanned, this reproduces the smallest-vertex-order convention of
+  // algo::WeaklyConnectedComponents regardless of the raw label values.
+  std::vector<uint32_t> canonical(labels.size());
+  std::vector<uint32_t> remap;  // raw label -> canonical id (+1; 0 = unseen)
+  uint32_t max_raw = 0;
+  for (uint32_t l : labels) max_raw = std::max(max_raw, l);
+  remap.assign(static_cast<size_t>(max_raw) + 1, 0);
+  uint32_t next = 0;
+  for (size_t v = 0; v < labels.size(); ++v) {
+    uint32_t& slot = remap[labels[v]];
+    if (slot == 0) slot = ++next;
+    canonical[v] = slot - 1;
+  }
+  return canonical;
+}
+
+Status ValidateDeltaEndpoints(std::span<const GraphDelta> deltas,
+                              VertexId num_vertices) {
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const GraphDelta& d = deltas[i];
+    if (d.src >= num_vertices || d.dst >= num_vertices) {
+      return Status::OutOfRange(
+          "delta " + std::to_string(i) + " endpoint (" + std::to_string(d.src) +
+          ", " + std::to_string(d.dst) + ") outside universe of " +
+          std::to_string(num_vertices) + " vertices");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ubigraph::stream

@@ -2,11 +2,26 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <unordered_map>
+#include <utility>
+
+#include "algorithms/kcore.h"
+#include "common/buckets.h"
+#include "graph/csr_graph.h"
 
 namespace ubigraph::stream {
 
 Status IncrementalKCore::InsertEdge(VertexId u, VertexId v) {
+  return InsertEdgeImpl(u, v, nullptr);
+}
+
+Status IncrementalKCore::RemoveEdge(VertexId u, VertexId v) {
+  return RemoveEdgeImpl(u, v, nullptr);
+}
+
+Status IncrementalKCore::InsertEdgeImpl(VertexId u, VertexId v,
+                                        IncrementalWork* work) {
   if (u >= core_.size() || v >= core_.size()) {
     return Status::OutOfRange("vertex out of range");
   }
@@ -30,11 +45,13 @@ Status IncrementalKCore::InsertEdge(VertexId u, VertexId v) {
   std::unordered_set<VertexId> in_candidates;
   std::deque<VertexId> queue{root};
   in_candidates.insert(root);
+  uint64_t scanned = 0;
   while (!queue.empty()) {
     VertexId w = queue.front();
     queue.pop_front();
     candidates.push_back(w);
     uint32_t degree = 0;
+    scanned += adjacency_[w].size();
     for (VertexId x : adjacency_[w]) {
       if (core_[x] > r) {
         ++degree;
@@ -61,6 +78,7 @@ Status IncrementalKCore::InsertEdge(VertexId u, VertexId v) {
     evict.pop_front();
     if (evicted.count(w)) continue;
     evicted.insert(w);
+    scanned += adjacency_[w].size();
     for (VertexId x : adjacency_[w]) {
       if (in_candidates.count(x) && !evicted.count(x)) {
         if (--cd[x] <= r && !evicted.count(x)) evict.push_back(x);
@@ -70,10 +88,15 @@ Status IncrementalKCore::InsertEdge(VertexId u, VertexId v) {
   for (VertexId w : candidates) {
     if (!evicted.count(w)) core_[w] = r + 1;
   }
+  if (work != nullptr) {
+    work->vertices_reactivated += candidates.size();
+    work->edges_rerelaxed += scanned;
+  }
   return Status::OK();
 }
 
-Status IncrementalKCore::RemoveEdge(VertexId u, VertexId v) {
+Status IncrementalKCore::RemoveEdgeImpl(VertexId u, VertexId v,
+                                        IncrementalWork* work) {
   if (u >= core_.size() || v >= core_.size()) {
     return Status::OutOfRange("vertex out of range");
   }
@@ -81,44 +104,162 @@ Status IncrementalKCore::RemoveEdge(VertexId u, VertexId v) {
   adjacency_[u].erase(v);
   adjacency_[v].erase(u);
   --num_edges_;
-  RecomputeAllCores();
-  ++full_rebuilds_;
+  if (options_.repair_deletions) {
+    RepairAfterDeletion(u, v, work);
+    ++deletion_repairs_;
+  } else {
+    RecomputeAllCores();
+    ++full_rebuilds_;
+    if (work != nullptr) {
+      work->vertices_reactivated += core_.size();
+      work->edges_rerelaxed += 2 * num_edges_;
+      ++work->rebuilds;
+    }
+  }
   return Status::OK();
 }
 
-void IncrementalKCore::RecomputeAllCores() {
-  // Batch peeling (same as algo::CoreDecomposition but over the live sets).
-  const VertexId n = num_vertices();
-  std::vector<uint32_t> degree(n);
-  uint32_t max_degree = 0;
-  for (VertexId w = 0; w < n; ++w) {
-    degree[w] = static_cast<uint32_t>(adjacency_[w].size());
-    max_degree = std::max(max_degree, degree[w]);
+void IncrementalKCore::RepairAfterDeletion(VertexId u, VertexId v,
+                                           IncrementalWork* work) {
+  // Deletion subcore repair (Sariyüce et al.): with r = min(core(u),
+  // core(v)), only vertices with core == r in the subcore of an endpoint
+  // whose core IS r can lose their membership in the r-core, and they drop
+  // by exactly 1. Vertices of higher core never depended on the demoted
+  // ones; vertices of lower core are untouched by the theorem.
+  const uint32_t r = std::min(core_[u], core_[v]);
+  if (r == 0) return;
+
+  // Candidate set: BFS through core==r vertices from the endpoint(s) at
+  // level r (both when the edge joined two level-r subcores).
+  std::vector<VertexId> candidates;
+  std::unordered_map<VertexId, uint32_t> cd;  // # neighbors with core >= r
+  std::unordered_set<VertexId> in_candidates;
+  std::deque<VertexId> queue;
+  if (core_[u] == r) {
+    queue.push_back(u);
+    in_candidates.insert(u);
   }
-  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
-  for (VertexId w = 0; w < n; ++w) buckets[degree[w]].push_back(w);
-  std::vector<bool> removed(n, false);
-  uint32_t d = 0;
-  uint32_t level = 0;  // core numbers are non-decreasing over the peel
-  core_.assign(n, 0);
-  for (VertexId processed = 0; processed < n;) {
-    while (d <= max_degree && buckets[d].empty()) ++d;
-    if (d > max_degree) break;
-    VertexId w = buckets[d].back();
-    buckets[d].pop_back();
-    if (removed[w] || degree[w] != d) continue;
-    removed[w] = true;
-    level = std::max(level, degree[w]);
-    core_[w] = level;
-    ++processed;
+  if (core_[v] == r && !in_candidates.count(v)) {
+    queue.push_back(v);
+    in_candidates.insert(v);
+  }
+  uint64_t scanned = 0;
+  while (!queue.empty()) {
+    VertexId w = queue.front();
+    queue.pop_front();
+    candidates.push_back(w);
+    uint32_t degree = 0;
+    scanned += adjacency_[w].size();
     for (VertexId x : adjacency_[w]) {
-      if (!removed[x]) {
-        --degree[x];
-        buckets[degree[x]].push_back(x);
-        if (degree[x] < d) d = degree[x];
+      if (core_[x] >= r) ++degree;
+      if (core_[x] == r && !in_candidates.count(x)) {
+        in_candidates.insert(x);
+        queue.push_back(x);
+      }
+    }
+    cd[w] = degree;
+  }
+
+  // Bucketed peel over the shared priority-bucket layer: every candidate is
+  // bucketed by its qualifying degree; buckets below r drain in order and
+  // their fresh entries are demoted. A demotion re-inserts each surviving
+  // subcore neighbor at its decremented degree (the structure clamps inserts
+  // up to the cursor), so the pop-time recheck must test `cd < r` — a
+  // clamped entry's bucket index says nothing about its current degree.
+  BucketStructure peel(r + 1);
+  for (VertexId w : candidates) peel.Insert(cd[w], w);
+  std::unordered_set<VertexId> evicted;
+  std::vector<VertexId> drained;
+  uint64_t bucket;
+  while ((bucket = peel.PopNextBucket(&drained)) != BucketStructure::kNoBucket) {
+    if (bucket >= r) break;  // everything at >= r keeps its core number
+    do {
+      for (VertexId w : drained) {
+        if (evicted.count(w) || cd[w] >= r) continue;  // stale entry
+        evicted.insert(w);
+        core_[w] = r - 1;
+        scanned += adjacency_[w].size();
+        for (VertexId x : adjacency_[w]) {
+          if (in_candidates.count(x) && !evicted.count(x)) {
+            peel.Insert(--cd[x], x);
+          }
+        }
+      }
+    } while (peel.PopSame(bucket, &drained));
+  }
+  if (work != nullptr) {
+    work->vertices_reactivated += candidates.size();
+    work->edges_rerelaxed += scanned;
+  }
+}
+
+Result<IncrementalKCore::BatchResult> IncrementalKCore::ApplyBatch(
+    std::span<const GraphDelta> deltas) {
+  // Phase 1: validate every delta against the batch-adjusted edge set so a
+  // bad batch is rejected before any repair mutates state. Arcs are
+  // undirected here: (u, v) and (v, u) address the same edge.
+  std::map<std::pair<VertexId, VertexId>, int> present;  // -1/0/+1 vs. base
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const GraphDelta& d = deltas[i];
+    if (d.src >= core_.size() || d.dst >= core_.size()) {
+      return Status::OutOfRange("delta " + std::to_string(i) +
+                                " endpoint out of range");
+    }
+    if (d.src == d.dst) {
+      return Status::Invalid("delta " + std::to_string(i) +
+                             " is a self-loop (unsupported)");
+    }
+    auto key = std::minmax(d.src, d.dst);
+    int& adj = present[{key.first, key.second}];
+    const bool live =
+        (adjacency_[d.src].count(d.dst) ? 1 : 0) + adj > 0;
+    if (d.kind == GraphDelta::Kind::kInsert) {
+      if (live) {
+        return Status::AlreadyExists("delta " + std::to_string(i) +
+                                     " inserts a duplicate edge");
+      }
+      ++adj;
+    } else {
+      if (!live) {
+        return Status::NotFound("delta " + std::to_string(i) +
+                                " removes a missing edge");
+      }
+      --adj;
+    }
+  }
+
+  // Phase 2: apply in order, accumulating work. The per-delta impls cannot
+  // fail now (phase 1 mirrored their checks), so Abort on the invariant.
+  BatchResult result;
+  IncrementalWork work;
+  for (const GraphDelta& d : deltas) {
+    if (d.kind == GraphDelta::Kind::kInsert) {
+      InsertEdgeImpl(d.src, d.dst, &work).Abort();
+    } else {
+      const uint64_t rebuilds_before = full_rebuilds_;
+      RemoveEdgeImpl(d.src, d.dst, &work).Abort();
+      if (full_rebuilds_ > rebuilds_before) {
+        ++result.full_rebuilds;
+      } else {
+        ++result.deletion_repairs;
       }
     }
   }
+  result.vertices_reactivated = work.vertices_reactivated;
+  result.edges_rerelaxed = work.edges_rerelaxed;
+  FlushIncrementalWork("kcore", work);
+  return result;
+}
+
+void IncrementalKCore::RecomputeAllCores() {
+  // Full fallback: rebuild a CSR snapshot and rerun batch peeling, routing
+  // the configured thread count to the shared kernel (core numbers are a
+  // graph invariant — identical at every setting).
+  auto csr = CsrGraph::FromEdges(Snapshot(),
+                                 CsrOptions{.directed = false,
+                                            .num_threads = options_.num_threads});
+  core_ = algo::CoreDecomposition(
+      csr.ValueOrDie(), algo::CoreOptions{.num_threads = options_.num_threads});
 }
 
 uint32_t IncrementalKCore::Degeneracy() const {

@@ -4,10 +4,17 @@
 // hang, or corrupt memory. (Run under ASan in CI-like setups.)
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "algorithms/kcore.h"
 #include "common/random.h"
 #include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
 #include "io/binary_io.h"
 #include "io/csv_io.h"
 #include "io/edge_list_io.h"
@@ -17,6 +24,10 @@
 #include "io/json_io.h"
 #include "query/cypher_parser.h"
 #include "rdf/ntriples.h"
+#include "stream/incremental_components.h"
+#include "stream/incremental_kcore.h"
+#include "stream/incremental_pagerank.h"
+#include "stream/streaming_graph.h"
 
 namespace ubigraph {
 namespace {
@@ -236,6 +247,193 @@ TEST(FuzzSmokeTest, CypherParserIsTotal) {
       "MATCH (a:Person {age: 34})-[:knows*1..3]->(b) WHERE a.x <= 1.5 "
       "RETURN a.name, count(*) ORDER BY a.name DESC LIMIT 5";
   FuzzParser([](const std::string& s) { query::ParseCypher(s).ok(); }, valid, 10);
+}
+
+// --- mutation-stream fuzz: the streaming layer, not the parsers ------------
+// The same totality contract applied to random update sequences: hostile op
+// streams (out-of-range ids, self-loops, duplicates, remove-twice,
+// non-monotone timestamps) must yield ok() or a clean error Status — never a
+// crash — and the structure's invariants must match a trivial reference
+// model afterwards.
+
+TEST(FuzzSmokeTest, StreamingGraphHostileOpsAreTotal) {
+  Rng rng(21);
+  for (int round = 0; round < 20; ++round) {
+    const VertexId n = 1 + static_cast<VertexId>(rng.NextBounded(12));
+    stream::StreamingGraph sg(n, {.window = 1 + rng.NextBounded(30),
+                                  .rebuild_threshold = 1 + rng.NextBounded(8)});
+    uint64_t ts = 0;
+    for (int op = 0; op < 300; ++op) {
+      // Ids range past n to exercise out-of-range; timestamps jitter
+      // backwards ~1/4 of the time to exercise time-goes-back rejection.
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n + 3));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n + 3));
+      if (rng.NextBool(0.25)) {
+        ts = ts > 5 ? ts - rng.NextBounded(5) : 0;
+      } else {
+        ts += rng.NextBounded(4);
+      }
+      if (rng.NextBool(0.2)) {
+        sg.Advance(ts).ok();
+      } else {
+        Status s = sg.AddEdge(u, v, ts);
+        if (!s.ok()) {
+          EXPECT_FALSE(s.message().empty());
+        }
+      }
+      EXPECT_LE(sg.NumComponents(), sg.num_vertices());
+    }
+  }
+}
+
+TEST(FuzzSmokeTest, DynamicGraphHostileOpsMatchReferenceModel) {
+  Rng rng(22);
+  for (int round = 0; round < 20; ++round) {
+    const VertexId n = 1 + static_cast<VertexId>(rng.NextBounded(10));
+    const bool multi = rng.NextBool();
+    DynamicGraph dyn(n, multi);
+    dyn.EnableDeltaLog();
+    // Reference model: live (src, dst) pairs with multiplicity.
+    std::map<std::pair<VertexId, VertexId>, uint64_t> model;
+    uint64_t model_edges = 0;
+    for (int op = 0; op < 300; ++op) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n + 2));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n + 2));
+      if (rng.NextBool(0.6)) {
+        auto added = dyn.AddEdge(u, v);
+        const bool in_range = u < n && v < n;
+        const bool dup = in_range && model.count({u, v}) > 0;
+        if (!in_range) {
+          EXPECT_TRUE(added.status().IsOutOfRange());
+        } else if (!multi && dup) {
+          EXPECT_TRUE(added.status().IsAlreadyExists());
+        } else {
+          ASSERT_TRUE(added.ok());
+          ++model[{u, v}];
+          ++model_edges;
+        }
+      } else if (rng.NextBool()) {
+        Status s = dyn.RemoveEdgeBetween(u, v);
+        if (u < n && v < n && model.count({u, v}) > 0) {
+          ASSERT_TRUE(s.ok());
+          auto it = model.find({u, v});
+          if (--it->second == 0) model.erase(it);
+          --model_edges;
+        } else {
+          EXPECT_FALSE(s.ok());
+          EXPECT_FALSE(s.message().empty());
+        }
+      } else {
+        // Remove by id, including already-removed and out-of-range ids
+        // (remove-twice comes up naturally once an id has been freed).
+        EdgeId id = rng.NextBounded(2 * 300);
+        auto view = dyn.GetEdge(id);
+        Status s = dyn.RemoveEdge(id);
+        if (view.ok()) {
+          ASSERT_TRUE(s.ok());
+          auto it = model.find({view.ValueOrDie().src, view.ValueOrDie().dst});
+          ASSERT_NE(it, model.end());
+          if (--it->second == 0) model.erase(it);
+          --model_edges;
+          EXPECT_TRUE(dyn.RemoveEdge(id).IsNotFound());  // remove-twice
+        } else {
+          EXPECT_FALSE(s.ok());
+        }
+      }
+      ASSERT_EQ(dyn.num_edges(), model_edges);
+    }
+    // The delta log replays the surviving multiset exactly.
+    std::map<std::pair<VertexId, VertexId>, int64_t> replay;
+    for (const GraphDelta& d : dyn.TakeDeltas()) {
+      replay[{d.src, d.dst}] += d.kind == GraphDelta::Kind::kInsert ? 1 : -1;
+    }
+    for (const auto& [arc, count] : model) {
+      EXPECT_EQ(replay[arc], static_cast<int64_t>(count));
+    }
+    for (const auto& [arc, count] : replay) {
+      if (!model.count(arc)) {
+        EXPECT_EQ(count, 0);
+      }
+    }
+  }
+}
+
+TEST(FuzzSmokeTest, IncrementalKCoreHostileOpsKeepInvariants) {
+  Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    const VertexId n = 2 + static_cast<VertexId>(rng.NextBounded(10));
+    stream::IncrementalKCore inc(n);
+    std::set<std::pair<VertexId, VertexId>> model;
+    for (int op = 0; op < 150; ++op) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n + 2));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n + 2));
+      const auto key = std::minmax(u, v);
+      if (rng.NextBool(0.6)) {
+        Status s = inc.InsertEdge(u, v);
+        if (u >= n || v >= n) {
+          EXPECT_TRUE(s.IsOutOfRange());
+        } else if (u == v) {
+          EXPECT_TRUE(s.IsInvalid());
+        } else if (model.count({key.first, key.second})) {
+          EXPECT_TRUE(s.IsAlreadyExists());
+        } else {
+          ASSERT_TRUE(s.ok());
+          model.insert({key.first, key.second});
+        }
+      } else {
+        Status s = inc.RemoveEdge(u, v);
+        if (u < n && v < n && model.count({key.first, key.second})) {
+          ASSERT_TRUE(s.ok());
+          model.erase({key.first, key.second});
+        } else {
+          EXPECT_FALSE(s.ok());
+          EXPECT_FALSE(s.message().empty());
+        }
+      }
+    }
+    ASSERT_EQ(inc.num_edges(), model.size());
+    // Invariant: maintained core numbers equal the batch decomposition of
+    // the surviving graph.
+    auto g = CsrGraph::FromEdges(inc.Snapshot(), CsrOptions{.directed = false})
+                 .ValueOrDie();
+    auto cores = algo::CoreDecomposition(g);
+    cores.resize(n, 0);
+    EXPECT_EQ(inc.core_numbers(), cores);
+  }
+}
+
+TEST(FuzzSmokeTest, IncrementalEngineBatchesRejectHostileDeltas) {
+  // Random delta batches, many invalid (out-of-range endpoints, self-loops,
+  // double-removes): engines must either apply the batch or reject it with a
+  // clean Status, and a rejected batch must leave results untouched.
+  Rng rng(24);
+  EdgeList base(8);
+  base.Add(0, 1);
+  base.Add(1, 2);
+  base.Add(2, 3);
+  base.Add(4, 5);
+  auto pr = stream::IncrementalPageRank::Create(base).ValueOrDie();
+  auto cc = stream::IncrementalComponents::Create(base).ValueOrDie();
+  for (int op = 0; op < 150; ++op) {
+    std::vector<GraphDelta> batch;
+    const size_t len = rng.NextBounded(5);
+    for (size_t i = 0; i < len; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(10));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(10));
+      batch.push_back(rng.NextBool() ? GraphDelta::Insert(u, v)
+                                     : GraphDelta::Remove(u, v));
+    }
+    const std::vector<double> scores_before = pr.scores();
+    const std::vector<uint32_t> labels_before = cc.Labels();
+    auto pr_res = pr.ApplyBatch(batch);
+    auto cc_res = cc.ApplyBatch(batch);
+    ASSERT_EQ(pr_res.ok(), cc_res.ok());  // same validation rules
+    if (!pr_res.ok()) {
+      EXPECT_FALSE(pr_res.status().message().empty());
+      EXPECT_EQ(pr.scores(), scores_before);
+      EXPECT_EQ(cc.Labels(), labels_before);
+    }
+  }
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ TEST_P(IncrementalKCoreRandomTest, MatchesBatchAfterEveryInsertion) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalKCoreRandomTest,
                          ::testing::Values(301, 302, 303, 304, 305, 306));
 
-TEST(IncrementalKCoreTest, DeletionsFallBackToRebuild) {
+TEST(IncrementalKCoreTest, DeletionsRepairLocallyByDefault) {
   Rng rng(9);
   IncrementalKCore inc(20);
   std::vector<std::pair<VertexId, VertexId>> edges;
@@ -95,7 +95,27 @@ TEST(IncrementalKCoreTest, DeletionsFallBackToRebuild) {
     ASSERT_TRUE(inc.RemoveEdge(u, v).ok());
     EXPECT_EQ(inc.core_numbers(), BatchCores(inc)) << "after deletion " << i;
   }
+  EXPECT_EQ(inc.deletion_repairs(), 5u);
+  EXPECT_EQ(inc.full_rebuilds(), 0u);
+}
+
+TEST(IncrementalKCoreTest, DeletionsFallBackToRebuildWhenRepairDisabled) {
+  Rng rng(9);
+  IncrementalKCore inc(20, {.repair_deletions = false});
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (int i = 0; i < 80; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(20));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(20));
+    if (u != v && inc.InsertEdge(u, v).ok()) edges.emplace_back(u, v);
+  }
+  ASSERT_GE(edges.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    auto [u, v] = edges[static_cast<size_t>(i) * 2];
+    ASSERT_TRUE(inc.RemoveEdge(u, v).ok());
+    EXPECT_EQ(inc.core_numbers(), BatchCores(inc)) << "after deletion " << i;
+  }
   EXPECT_EQ(inc.full_rebuilds(), 5u);
+  EXPECT_EQ(inc.deletion_repairs(), 0u);
 }
 
 TEST(IncrementalKCoreTest, MixedWorkloadStaysExact) {

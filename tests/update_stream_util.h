@@ -1,0 +1,115 @@
+// Seeded update-stream generator shared by the incremental-maintenance tests
+// and benchmarks. Produces GraphDelta batches over a live edge set that obeys
+// the strictest kernel's constraints — simple undirected pairs, no self-loops
+// — so ONE stream can drive IncrementalPageRank (arcs as directed edges),
+// IncrementalComponents, and IncrementalKCore (arcs as undirected edges)
+// side by side, and the ground-truth edge list for full recomputes is always
+// available from live_edges().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/dynamic_graph.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::test {
+
+enum class StreamKind { kInsertOnly, kDeleteOnly, kMixed };
+
+struct UpdateStreamOptions {
+  /// Restrict generated endpoints to [0, window) instead of [0, n): models
+  /// the paper's localized-update workloads and is what makes incremental
+  /// batches provably cheaper than recomputes (only a corner of the graph
+  /// ever changes). 0 = whole vertex range.
+  VertexId window = 0;
+};
+
+class UpdateStreamGen {
+ public:
+  using Options = UpdateStreamOptions;
+
+  /// Seeds the live set from `base`, dropping self-loops and collapsing each
+  /// undirected pair to one arc (min endpoint first).
+  UpdateStreamGen(const EdgeList& base, uint64_t seed, Options options = {})
+      : n_(base.num_vertices()), rng_(seed), options_(options) {
+    for (const Edge& e : base.edges()) {
+      if (e.src == e.dst) continue;
+      VertexId a = std::min(e.src, e.dst), b = std::max(e.src, e.dst);
+      if (live_set_.insert({a, b}).second) live_list_.push_back({a, b});
+    }
+  }
+
+  /// The sanitized starting edge list (call before generating batches).
+  EdgeList InitialEdges() const { return LiveEdges(); }
+
+  /// Current live pairs as directed arcs (min endpoint first) — the ground
+  /// truth for full-recompute oracles after any number of batches.
+  EdgeList LiveEdges() const {
+    EdgeList el(n_);
+    for (const auto& [a, b] : live_list_) el.Add(a, b);
+    el.EnsureVertices(n_);
+    return el;
+  }
+
+  size_t live_count() const { return live_list_.size(); }
+
+  /// Generates the next batch of `size` deltas (deterministic given the
+  /// seed), mutating the generator's live set in step. Delete-only batches
+  /// shrink to the live count when the graph runs dry; insert-only batches
+  /// shrink when the (windowed) pair space saturates.
+  std::vector<GraphDelta> NextBatch(StreamKind kind, size_t size) {
+    std::vector<GraphDelta> batch;
+    for (size_t i = 0; i < size; ++i) {
+      bool insert = kind == StreamKind::kInsertOnly ||
+                    (kind == StreamKind::kMixed &&
+                     (live_list_.empty() || rng_.NextBool(0.5)));
+      if (insert) {
+        VertexId a, b;
+        if (!PickNewPair(&a, &b)) continue;
+        live_set_.insert({a, b});
+        live_list_.push_back({a, b});
+        batch.push_back(GraphDelta::Insert(a, b));
+      } else {
+        if (live_list_.empty()) continue;
+        size_t idx = rng_.NextBounded(live_list_.size());
+        auto [a, b] = live_list_[idx];
+        live_list_[idx] = live_list_.back();
+        live_list_.pop_back();
+        live_set_.erase({a, b});
+        batch.push_back(GraphDelta::Remove(a, b));
+      }
+    }
+    return batch;
+  }
+
+ private:
+  bool PickNewPair(VertexId* a, VertexId* b) {
+    const VertexId range =
+        options_.window > 0 ? std::min(options_.window, n_) : n_;
+    if (range < 2) return false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      VertexId u = static_cast<VertexId>(rng_.NextBounded(range));
+      VertexId v = static_cast<VertexId>(rng_.NextBounded(range));
+      if (u == v) continue;
+      VertexId lo = std::min(u, v), hi = std::max(u, v);
+      if (live_set_.count({lo, hi})) continue;
+      *a = lo;
+      *b = hi;
+      return true;
+    }
+    return false;  // pair space (window choose 2) effectively saturated
+  }
+
+  VertexId n_;
+  Rng rng_;
+  Options options_;
+  std::set<std::pair<VertexId, VertexId>> live_set_;
+  std::vector<std::pair<VertexId, VertexId>> live_list_;
+};
+
+}  // namespace ubigraph::test
