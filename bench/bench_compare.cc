@@ -1,11 +1,15 @@
 // Merges one or more BENCH.json files and compares them against a checked-in
-// baseline, exiting non-zero when any shared benchmark regressed by more than
-// the allowed fraction of median real ns. With --write-baseline the merged
-// measurements replace the baseline instead (no comparison). Used by
+// baseline, exiting non-zero when any shared benchmark regressed beyond the
+// noise-aware allowance (max_regression + both records' rel_spread). With
+// --write-baseline the merged measurements replace the baseline instead (no
+// comparison). With --require-work-items, any current record whose
+// machine-independent work counter is missing-in-effect (<= 0) also fails the
+// gate. Malformed input — not a JSON array, missing/mistyped required fields,
+// NaN rates — is a hard error (exit 2), never a silent skip. Used by
 // ci/perf_smoke.sh.
 //
 // Usage:
-//   bench_compare <baseline.json> <max_regression> <current.json>...
+//   bench_compare [--require-work-items] <baseline.json> <max_regression> <current.json>...
 //   bench_compare --write-baseline <baseline.json> <current.json>...
 #include <cstdio>
 #include <cstdlib>
@@ -14,22 +18,17 @@
 #include <map>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "io/json_value.h"
+#include "bench_compare_lib.h"
 
 namespace {
 
-using ubigraph::io::JsonValue;
-
-struct Record {
-  std::string kernel, mode, graph;
-  int64_t threads = 1;
-  double median_real_ns = 0.0;
-  double edges_per_second = 0.0;
-  double bytes_per_edge = 0.0;  // 0 for benches that don't report compression
-  double work_items = 0.0;      // 0 for benches that don't report batch work
-};
+using ubigraph::benchcmp::Compare;
+using ubigraph::benchcmp::CompareOptions;
+using ubigraph::benchcmp::Comparison;
+using ubigraph::benchcmp::FormatRecords;
+using ubigraph::benchcmp::LoadRecords;
+using ubigraph::benchcmp::Record;
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -42,126 +41,80 @@ std::string ReadFile(const std::string& path) {
   return ss.str();
 }
 
-std::string GetString(const JsonValue* entry, const char* key) {
-  const JsonValue* v = entry->Get(key);
-  return v != nullptr && v->kind == JsonValue::kString ? v->string : "";
-}
-
-double GetNumber(const JsonValue* entry, const char* key) {
-  const JsonValue* v = entry->Get(key);
-  return v != nullptr && v->kind == JsonValue::kNumber ? v->number : 0.0;
-}
-
-/// Parses one BENCH.json array into `out` (later files override earlier
-/// entries with the same name).
-void LoadRecords(const std::string& path, std::map<std::string, Record>* out) {
-  auto doc = ubigraph::io::ParseJsonValue(ReadFile(path));
-  if (!doc.ok() || (*doc)->kind != JsonValue::kArray) {
-    std::fprintf(stderr, "bench_compare: %s is not a JSON array\n",
-                 path.c_str());
+void LoadOrDie(const std::string& path, std::map<std::string, Record>* out) {
+  ubigraph::Status st = LoadRecords(ReadFile(path), path, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n", st.message().c_str());
     std::exit(2);
   }
-  for (const auto& entry : (*doc)->array) {
-    std::string name = GetString(entry.get(), "name");
-    if (name.empty()) continue;
-    Record r;
-    r.kernel = GetString(entry.get(), "kernel");
-    r.mode = GetString(entry.get(), "mode");
-    r.graph = GetString(entry.get(), "graph");
-    r.threads = static_cast<int64_t>(GetNumber(entry.get(), "threads"));
-    r.median_real_ns = GetNumber(entry.get(), "median_real_ns");
-    r.edges_per_second = GetNumber(entry.get(), "edges_per_second");
-    r.bytes_per_edge = GetNumber(entry.get(), "bytes_per_edge");
-    r.work_items = GetNumber(entry.get(), "work_items");
-    (*out)[name] = r;
-  }
 }
 
-bool WriteRecords(const std::string& path,
-                  const std::map<std::string, Record>& records) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "[\n";
-  bool first = true;
-  for (const auto& [name, r] : records) {
-    if (!first) out << ",\n";
-    first = false;
-    out << "  {\"name\": \"" << name << "\", \"kernel\": \"" << r.kernel
-        << "\", \"mode\": \"" << r.mode << "\", \"graph\": \"" << r.graph
-        << "\", \"threads\": " << r.threads
-        << ", \"median_real_ns\": " << r.median_real_ns
-        << ", \"edges_per_second\": " << r.edges_per_second
-        << ", \"bytes_per_edge\": " << r.bytes_per_edge
-        << ", \"work_items\": " << r.work_items << "}";
-  }
-  out << "\n]\n";
-  return static_cast<bool>(out);
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--require-work-items] <baseline.json> "
+               "<max_regression> <current.json>...\n"
+               "       bench_compare --write-baseline <baseline.json> "
+               "<current.json>...\n");
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool write_baseline =
-      argc > 1 && std::strcmp(argv[1], "--write-baseline") == 0;
-  if ((write_baseline && argc < 4) || (!write_baseline && argc < 4)) {
-    std::fprintf(stderr,
-                 "usage: bench_compare <baseline.json> <max_regression> "
-                 "<current.json>...\n"
-                 "       bench_compare --write-baseline <baseline.json> "
-                 "<current.json>...\n");
-    return 2;
+  int arg = 1;
+  bool write_baseline = false;
+  CompareOptions options;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strcmp(argv[arg], "--write-baseline") == 0) {
+      write_baseline = true;
+    } else if (std::strcmp(argv[arg], "--require-work-items") == 0) {
+      options.require_work_items = true;
+    } else {
+      return Usage();
+    }
+    ++arg;
   }
 
   if (write_baseline) {
+    if (argc - arg < 2) return Usage();
+    const std::string baseline_path = argv[arg++];
     std::map<std::string, Record> merged;
-    for (int i = 3; i < argc; ++i) LoadRecords(argv[i], &merged);
-    if (merged.empty() || !WriteRecords(argv[2], merged)) {
+    for (; arg < argc; ++arg) LoadOrDie(argv[arg], &merged);
+    std::ofstream out(baseline_path);
+    if (merged.empty() || !(out << FormatRecords(merged))) {
       std::fprintf(stderr, "bench_compare: could not write baseline %s\n",
-                   argv[2]);
+                   baseline_path.c_str());
       return 2;
     }
     std::printf("bench_compare: wrote %zu record(s) to %s\n", merged.size(),
-                argv[2]);
+                baseline_path.c_str());
     return 0;
   }
 
-  const double max_regression = std::atof(argv[2]);
+  if (argc - arg < 3) return Usage();
   std::map<std::string, Record> baseline;
-  LoadRecords(argv[1], &baseline);
+  LoadOrDie(argv[arg++], &baseline);
+  options.max_regression = std::atof(argv[arg++]);
   std::map<std::string, Record> current;
-  for (int i = 3; i < argc; ++i) LoadRecords(argv[i], &current);
+  for (; arg < argc; ++arg) LoadOrDie(argv[arg], &current);
 
-  int regressions = 0;
-  int compared = 0;
-  for (const auto& [name, base] : baseline) {
-    auto it = current.find(name);
-    if (it == current.end()) {
-      std::fprintf(stderr, "  MISSING  %s (in baseline, not measured)\n",
-                   name.c_str());
-      continue;
-    }
-    ++compared;
-    const double ratio = base.median_real_ns > 0
-                             ? it->second.median_real_ns / base.median_real_ns
-                             : 1.0;
-    const bool bad = ratio > 1.0 + max_regression;
-    std::printf("  %s  %-45s  %12.0f ns vs %12.0f ns  (%+.1f%%)\n",
-                bad ? "REGRESS" : "ok     ", name.c_str(),
-                it->second.median_real_ns, base.median_real_ns,
-                (ratio - 1.0) * 100.0);
-    if (bad) ++regressions;
-  }
-  if (compared == 0) {
+  const Comparison cmp = Compare(baseline, current, options);
+  std::fputs(cmp.report.c_str(), stdout);
+  if (cmp.compared == 0) {
     std::fprintf(stderr, "bench_compare: no overlapping benchmarks\n");
     return 2;
   }
-  if (regressions > 0) {
+  if (cmp.regressions > 0 || cmp.work_violations > 0) {
     std::fprintf(stderr,
-                 "bench_compare: %d benchmark(s) regressed more than %.0f%%\n",
-                 regressions, max_regression * 100.0);
+                 "bench_compare: %d benchmark(s) regressed beyond allowance, "
+                 "%d missing work counters\n",
+                 cmp.regressions, cmp.work_violations);
     return 1;
   }
-  std::printf("bench_compare: %d benchmark(s) within %.0f%% of baseline\n",
-              compared, max_regression * 100.0);
+  std::printf(
+      "bench_compare: %d benchmark(s) within allowance (base %.0f%% + "
+      "per-record spread)%s\n",
+      cmp.compared, options.max_regression * 100.0,
+      options.require_work_items ? ", all carrying work counters" : "");
   return 0;
 }

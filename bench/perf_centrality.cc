@@ -47,12 +47,14 @@ void BM_BetweennessSampled(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(scale);
   algo::CentralityOptions opts;
   opts.num_threads = threads;
+  bench::WorkProbe work({"centrality.brandes.edges_scanned"});
   for (auto _ : state) {
     Rng rng(7);  // fixed seed: every iteration runs the same pivot set
     benchmark::DoNotOptimize(
         algo::ApproxBetweennessCentrality(g, kPivots, &rng, opts));
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges() * kPivots);
+  work.Flush(state);
   state.SetLabel("kernel=centrality mode=brandes_sampled graph=rmat" +
                  std::to_string(scale));
   state.counters["threads"] = threads;
@@ -93,10 +95,14 @@ void BM_KCore(benchmark::State& state) {
   algo::CoreOptions opts;
   opts.num_threads = threads;
   const char* mode = threads > 1 ? "bucketed" : "serial";
+  // The serial path only flushes kcore.vertices; the bucketed path adds
+  // kcore.decrements. Summing both gives a nonzero work count either way.
+  bench::WorkProbe work({"kcore.decrements", "kcore.vertices"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::CoreDecomposition(g, opts));
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel(std::string("kernel=kcore mode=") + mode + " graph=rmat" +
                  std::to_string(scale));
   state.counters["threads"] = threads;

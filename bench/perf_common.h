@@ -12,9 +12,13 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <initializer_list>
+
 #include "common/random.h"
 #include "gen/generators.h"
 #include "graph/csr_graph.h"
+#include "obs/metrics.h"
 
 namespace ubigraph::bench {
 
@@ -67,6 +71,80 @@ inline const CsrGraph& SmallWorldGraph(VertexId n) {
              .first;
   }
   return it->second;
+}
+
+/// Cached road-like corpus graph: a 2^(scale/2) x 2^(scale-scale/2) lattice
+/// (2^scale vertices) with omitted segments and sparse diagonals — the
+/// bounded-degree/huge-diameter shape the RMAT-only suite never exercised
+/// ("SoK: The Faults in our Graph Benchmarks"). Undirected.
+inline const CsrGraph& RoadGraph(uint32_t scale) {
+  static std::map<uint32_t, CsrGraph> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    Rng rng(scale * 1000003ULL + 41);
+    VertexId rows = static_cast<VertexId>(1u) << (scale / 2);
+    VertexId cols = static_cast<VertexId>(1u) << (scale - scale / 2);
+    CsrOptions opts;
+    opts.directed = false;
+    it = cache.emplace(scale,
+                       CsrGraph::FromEdges(
+                           gen::RoadLike(rows, cols, {}, &rng).ValueOrDie(), opts)
+                           .ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+/// Cached LFR-style skewed-community corpus graph (2^scale vertices,
+/// power-law degrees and community sizes, mu = 0.1). Undirected.
+inline const CsrGraph& LfrCommunityGraph(uint32_t scale) {
+  static std::map<uint32_t, CsrGraph> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    Rng rng(scale * 1000003ULL + 53);
+    VertexId n = static_cast<VertexId>(1u) << scale;
+    CsrOptions opts;
+    opts.directed = false;
+    it = cache.emplace(
+                  scale,
+                  CsrGraph::FromEdges(
+                      gen::LfrCommunity(n, {}, &rng).ValueOrDie().edges, opts)
+                      .ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+/// Samples a set of obs work counters around a timed loop so the benchmark
+/// can report machine-independent work (edges relaxed/scanned, frontier
+/// activations) alongside wall-clock. Construct before the `for (auto _ :
+/// state)` loop, call Flush(state) after it; the delta is divided by the
+/// iteration count, so BENCH.json carries work *per kernel run*.
+class WorkProbe {
+ public:
+  WorkProbe(std::initializer_list<const char*> counter_names)
+      : names_(counter_names.begin(), counter_names.end()), start_(Sum()) {}
+
+  void Flush(benchmark::State& state) const {
+    state.counters["work_items"] = benchmark::Counter(
+        static_cast<double>(Sum() - start_), benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  int64_t Sum() const {
+    int64_t total = 0;
+    for (const char* name : names_) total += obs::CounterValue(name);
+    return total;
+  }
+
+  std::vector<const char*> names_;
+  int64_t start_;
+};
+
+/// For benchmarks whose work is a fixed function of the input (CSR builds,
+/// permutes, encodes: every iteration touches exactly `per_iteration` items).
+inline void SetWorkItems(benchmark::State& state, double per_iteration) {
+  state.counters["work_items"] = benchmark::Counter(per_iteration);
 }
 
 /// BFS root that actually exercises the kernel: the max-out-degree vertex
@@ -125,8 +203,13 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     }
   }
 
-  /// Writes the collected runs (median over repeated iterations of the same
-  /// benchmark name) as a JSON array. Returns false on I/O failure.
+  /// Writes the collected runs as a JSON array: one record per benchmark
+  /// name with the median over its repetitions, the repetition count used,
+  /// and the relative spread (max-min)/median of the timing samples. When a
+  /// benchmark ran more than twice, the first repetition is discarded as
+  /// warmup (cold caches / pool spin-up) before aggregating — the variance
+  /// policy ci/perf_smoke.sh's regression gate builds on. Returns false on
+  /// I/O failure.
   bool WriteJson(const std::string& path) const {
     // Group in first-appearance order so the file is stable across runs.
     std::vector<std::string> order;
@@ -142,12 +225,22 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     bool first = true;
     for (const std::string& name : order) {
       const auto& runs = groups[name];
+      // Warmup discard: the first repetition pays one-off costs the steady
+      // state doesn't; drop it whenever enough repetitions remain to still
+      // take a median.
+      const size_t begin = runs.size() > 2 ? 1 : 0;
       std::vector<double> ns, eps, bpe, wi;
-      for (const Sample* s : runs) {
-        ns.push_back(s->real_ns);
-        eps.push_back(s->edges_per_second);
-        bpe.push_back(s->bytes_per_edge);
-        wi.push_back(s->work_items);
+      for (size_t i = begin; i < runs.size(); ++i) {
+        ns.push_back(runs[i]->real_ns);
+        eps.push_back(runs[i]->edges_per_second);
+        bpe.push_back(runs[i]->bytes_per_edge);
+        wi.push_back(runs[i]->work_items);
+      }
+      const double med_ns = Median(ns);
+      double spread = 0.0;
+      if (ns.size() > 1 && med_ns > 0.0) {
+        auto [mn, mx] = std::minmax_element(ns.begin(), ns.end());
+        spread = (*mx - *mn) / med_ns;
       }
       const Sample* rep = runs.front();
       std::string kernel = LabelField(rep->label, "kernel");
@@ -161,10 +254,12 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
           << ", \"graph\": \"" << JsonEscape(LabelField(rep->label, "graph"))
           << "\""
           << ", \"threads\": " << rep->threads
-          << ", \"median_real_ns\": " << Median(ns)
-          << ", \"edges_per_second\": " << Median(eps)
-          << ", \"bytes_per_edge\": " << Median(bpe)
-          << ", \"work_items\": " << Median(wi) << "}";
+          << ", \"median_real_ns\": " << Finite(med_ns)
+          << ", \"edges_per_second\": " << Finite(Median(eps))
+          << ", \"bytes_per_edge\": " << Finite(Median(bpe))
+          << ", \"work_items\": " << Finite(Median(wi))
+          << ", \"repeats\": " << ns.size()
+          << ", \"rel_spread\": " << Finite(spread) << "}";
     }
     out << "\n]\n";
     return static_cast<bool>(out);
@@ -203,6 +298,10 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     size_t mid = xs.size() / 2;
     return xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
   }
+
+  /// JSON has no NaN/Inf literal; a benchmark bug must not poison the whole
+  /// file (bench_compare rejects it loudly), so non-finite values emit as 0.
+  static double Finite(double x) { return std::isfinite(x) ? x : 0.0; }
 
   static std::string JsonEscape(const std::string& s) {
     std::string out;

@@ -37,10 +37,12 @@ void BM_CCLabelProp(benchmark::State& state) {
   algo::ComponentsOptions opts;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
   opts.use_frontier = state.range(2) != 0;
+  bench::WorkProbe work({"cc.labelprop.vertices_activated"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::ConnectedComponentsLabelProp(g, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel(std::string("kernel=cc mode=") +
                  (opts.use_frontier ? "frontier" : "full") + " graph=rmat" +
                  std::to_string(scale));

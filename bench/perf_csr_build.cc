@@ -46,6 +46,9 @@ void CsrBuildBench(benchmark::State& state, CsrOptions opts,
         CsrGraph::FromEdges(std::move(copy), opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * edges.edges().size());
+  // Builds touch every input edge exactly once per pass; the edge count is
+  // the machine-independent work.
+  bench::SetWorkItems(state, static_cast<double>(edges.edges().size()));
   state.SetLabel(std::string("kernel=csr_build mode=") + mode_name +
                  " graph=rmat" + std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));

@@ -1,82 +1,128 @@
-// Synthetic graph generators (Table 13; §6.2 generator requests).
+// Synthetic graph generators (Table 13; §6.2 generator requests), including
+// the corpus shapes (LFR communities, Zipf bipartite, road lattices). Each
+// bench reports the generated edge count as its machine-independent work.
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "common/random.h"
 #include "gen/generators.h"
 #include "graph/csr_graph.h"
+#include "perf_common.h"
+#include "perf_obs.h"
 
 namespace ubigraph {
 namespace {
 
-void BM_ErdosRenyi(benchmark::State& state) {
-  Rng rng(1);
-  VertexId n = static_cast<VertexId>(state.range(0));
+// Runs `make(rng) -> EdgeList` per iteration and emits the BENCH.json labels
+// (kernel=gen, mode=<generator>, graph=<name><log2 n>) plus work = edges.
+template <typename MakeFn>
+void GenBench(benchmark::State& state, const char* mode_name, uint64_t n,
+              MakeFn make) {
+  Rng rng(n * 977ULL + 1);
+  uint64_t edges = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(gen::ErdosRenyi(n, n * 8, &rng));
+    EdgeList el = make(&rng);
+    edges = el.num_edges();
+    benchmark::DoNotOptimize(el);
   }
-  state.SetItemsProcessed(state.iterations() * n * 8);
+  state.SetItemsProcessed(state.iterations() * edges);
+  bench::SetWorkItems(state, static_cast<double>(edges));
+  state.SetLabel(std::string("kernel=gen mode=") + mode_name + " graph=" +
+                 mode_name + std::to_string(64 - __builtin_clzll(n | 1) - 1));
+  state.counters["threads"] = 1;
+}
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "erdos_renyi", n, [n](Rng* rng) {
+    return gen::ErdosRenyi(n, static_cast<uint64_t>(n) * 8, rng).ValueOrDie();
+  });
 }
 BENCHMARK(BM_ErdosRenyi)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
 
 void BM_Rmat(benchmark::State& state) {
-  Rng rng(2);
-  uint32_t scale = static_cast<uint32_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen::Rmat(scale, 8ULL << scale, &rng));
-  }
-  state.SetItemsProcessed(state.iterations() * (8ULL << scale));
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  GenBench(state, "rmat", 1ULL << scale, [scale](Rng* rng) {
+    return gen::Rmat(scale, 8ULL << scale, rng).ValueOrDie();
+  });
 }
 BENCHMARK(BM_Rmat)->Arg(10)->Arg(13)->Arg(16);
 
 void BM_BarabasiAlbert(benchmark::State& state) {
-  Rng rng(3);
-  VertexId n = static_cast<VertexId>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen::BarabasiAlbert(n, 4, &rng));
-  }
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "barabasi_albert", n, [n](Rng* rng) {
+    return gen::BarabasiAlbert(n, 4, rng).ValueOrDie();
+  });
 }
 BENCHMARK(BM_BarabasiAlbert)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_WattsStrogatz(benchmark::State& state) {
-  Rng rng(4);
-  VertexId n = static_cast<VertexId>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen::WattsStrogatz(n, 6, 0.1, &rng));
-  }
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "watts_strogatz", n, [n](Rng* rng) {
+    return gen::WattsStrogatz(n, 6, 0.1, rng).ValueOrDie();
+  });
 }
 BENCHMARK(BM_WattsStrogatz)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_KRegular(benchmark::State& state) {
-  Rng rng(5);
-  VertexId n = static_cast<VertexId>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen::KRegular(n, 6, &rng));
-  }
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "k_regular", n,
+           [n](Rng* rng) { return gen::KRegular(n, 6, rng).ValueOrDie(); });
 }
 BENCHMARK(BM_KRegular)->Arg(1 << 10)->Arg(1 << 13);
 
 void BM_PowerLawDirected(benchmark::State& state) {
-  Rng rng(6);
-  VertexId n = static_cast<VertexId>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen::PowerLawDirected(n, 2.2, 100, &rng));
-  }
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "power_law", n, [n](Rng* rng) {
+    return gen::PowerLawDirected(n, 2.2, 100, rng).ValueOrDie();
+  });
 }
 BENCHMARK(BM_PowerLawDirected)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_LfrCommunity(benchmark::State& state) {
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "lfr", n, [n](Rng* rng) {
+    return gen::LfrCommunity(n, {}, rng).ValueOrDie().edges;
+  });
+}
+BENCHMARK(BM_LfrCommunity)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BipartiteSkewed(benchmark::State& state) {
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  GenBench(state, "bipartite", n, [n](Rng* rng) {
+    return gen::BipartiteSkewed(n, n, static_cast<uint64_t>(n) * 8, 1.0, rng)
+        .ValueOrDie();
+  });
+}
+BENCHMARK(BM_BipartiteSkewed)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RoadLike(benchmark::State& state) {
+  const VertexId side = static_cast<VertexId>(state.range(0));
+  GenBench(state, "road", static_cast<uint64_t>(side) * side,
+           [side](Rng* rng) {
+             return gen::RoadLike(side, side, {}, rng).ValueOrDie();
+           });
+}
+BENCHMARK(BM_RoadLike)->Arg(32)->Arg(128);
+
 void BM_CsrConstruction(benchmark::State& state) {
   Rng rng(7);
-  uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
   auto el = gen::Rmat(scale, 8ULL << scale, &rng).ValueOrDie();
   for (auto _ : state) {
     EdgeList copy = el;
     benchmark::DoNotOptimize(CsrGraph::FromEdges(std::move(copy)));
   }
   state.SetItemsProcessed(state.iterations() * el.num_edges());
+  bench::SetWorkItems(state, static_cast<double>(el.num_edges()));
+  state.SetLabel("kernel=csr_build mode=default graph=rmat" +
+                 std::to_string(scale));
+  state.counters["threads"] = 1;
 }
 BENCHMARK(BM_CsrConstruction)->Arg(10)->Arg(13)->Arg(16);
 
 }  // namespace
 }  // namespace ubigraph
 
-BENCHMARK_MAIN();
+UBIGRAPH_BENCHMARK_MAIN_WITH_OBS();

@@ -50,10 +50,12 @@ void PageRankModeBench(benchmark::State& state, algo::PageRankMode mode,
   opts.tolerance = 0;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
   opts.mode = mode;
+  bench::WorkProbe work({"pagerank.edges_relaxed"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+  work.Flush(state);
   state.SetLabel(std::string("kernel=pagerank mode=") + mode_name +
                  " graph=rmat" + std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));
@@ -78,10 +80,12 @@ void PageRankConvergeBench(benchmark::State& state, algo::PageRankMode mode,
   opts.tolerance = 1e-8;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
   opts.mode = mode;
+  bench::WorkProbe work({"pagerank.edges_relaxed"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel(std::string("kernel=pagerank_converge mode=") + mode_name +
                  " graph=rmat" + std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));
@@ -94,6 +98,29 @@ void BM_PageRankConvergeDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRankConvergePull)->Args({12, 1})->Args({16, 1});
 BENCHMARK(BM_PageRankConvergeDelta)->Args({12, 1})->Args({16, 1});
+
+// Fixed-work pull PageRank on the LFR corpus shape: power-law communities
+// with 10% inter-community edges — locality sits between RMAT's scrambled
+// hubs and a lattice, so it catches cache regressions the other two shapes
+// mask. Args = {scale, num_threads}; scale 12 feeds ci/perf_smoke.sh.
+void BM_PageRankPullLfr(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::LfrCommunityGraph(scale);
+  algo::PageRankOptions opts;
+  opts.max_iterations = 20;
+  opts.tolerance = 0;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  opts.mode = algo::PageRankMode::kPull;
+  bench::WorkProbe work({"pagerank.edges_relaxed"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+  work.Flush(state);
+  state.SetLabel("kernel=pagerank mode=pull graph=lfr" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_PageRankPullLfr)->Args({12, 1})->Args({18, 1})->Args({18, 4});
 
 void BM_ApproxBetweenness(benchmark::State& state) {
   const CsrGraph& g = bench::RmatGraph(static_cast<uint32_t>(state.range(0)));

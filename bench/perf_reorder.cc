@@ -63,10 +63,12 @@ void PageRankOrderedBench(benchmark::State& state, OrderingKind kind) {
   opts.tolerance = 0;
   opts.mode = algo::PageRankMode::kPull;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"pagerank.edges_relaxed"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+  work.Flush(state);
   state.SetLabel(std::string("kernel=pagerank mode=pull_") +
                  OrderingKindName(kind) + " graph=rmat" +
                  std::to_string(scale));
@@ -101,10 +103,12 @@ void BM_PageRankBlocked(benchmark::State& state) {
   opts.tolerance = 0;
   opts.mode = algo::PageRankMode::kBlocked;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"pagerank.edges_relaxed"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+  work.Flush(state);
   state.SetLabel("kernel=pagerank mode=blocked graph=rmat" +
                  std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));
@@ -119,10 +123,12 @@ void BfsOrderedBench(benchmark::State& state, OrderingKind kind) {
   const VertexId root = bench::BfsRoot(g);
   algo::HybridBfsOptions opts;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"bfs.hybrid.edges_scanned"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::HybridBfs(g, root, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel(std::string("kernel=bfs mode=hybrid_") +
                  OrderingKindName(kind) + " graph=rmat" +
                  std::to_string(scale));
@@ -148,10 +154,12 @@ void BM_PageRankPullCompressed(benchmark::State& state) {
   opts.tolerance = 0;
   opts.mode = algo::PageRankMode::kPull;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"pagerank.edges_relaxed"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::PageRank(g, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges() * 20);
+  work.Flush(state);
   state.counters["bytes_per_edge"] = g.AdjacencyBytesPerEdge();
   state.SetLabel("kernel=pagerank mode=pull_compressed graph=rmat" +
                  std::to_string(scale));
@@ -215,6 +223,8 @@ void BM_Permute(benchmark::State& state) {
     benchmark::DoNotOptimize(g.Permute(perm, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  // Permute relabels every edge (out and in index) exactly once.
+  bench::SetWorkItems(state, static_cast<double>(g.num_edges()));
   state.SetLabel("kernel=permute mode=hub graph=rmat" + std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));
 }

@@ -22,6 +22,8 @@ void BM_Dijkstra(benchmark::State& state) {
     benchmark::DoNotOptimize(algo::Dijkstra(g, root).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  // Dijkstra with a lazy heap relaxes each settled vertex's out-edges once.
+  bench::SetWorkItems(state, static_cast<double>(g.num_edges()));
   state.SetLabel("kernel=sssp mode=dijkstra graph=rmatw" +
                  std::to_string(scale));
   state.counters["threads"] = 1;
@@ -36,10 +38,12 @@ void BM_DeltaStepping(benchmark::State& state) {
   const VertexId root = bench::BfsRoot(g);
   algo::SsspOptions opts;
   opts.num_threads = threads;
+  bench::WorkProbe work({"sssp.delta.relaxations"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::DeltaSteppingSssp(g, root, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel("kernel=sssp mode=delta_stepping graph=rmatw" +
                  std::to_string(scale));
   state.counters["threads"] = threads;

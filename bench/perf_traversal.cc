@@ -42,10 +42,12 @@ void BM_BfsHybrid(benchmark::State& state) {
   const VertexId root = bench::BfsRoot(g);
   algo::HybridBfsOptions opts;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"bfs.hybrid.edges_scanned"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::HybridBfs(g, root, opts).ValueOrDie());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel("kernel=bfs mode=hybrid graph=rmat" + std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));
 }
@@ -57,6 +59,27 @@ BENCHMARK(BM_BfsHybrid)
     ->Args({20, 4})
     ->Args({20, 8});
 
+// Direction-optimizing BFS on the road-like corpus shape: bounded degree and
+// ~sqrt(V) diameter means thousands of thin frontiers instead of RMAT's few
+// fat ones — the regime where per-round overheads dominate. Args = {scale,
+// num_threads}; scale 12 feeds ci/perf_smoke.sh.
+void BM_BfsHybridRoad(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CsrGraph& g = bench::RoadGraph(scale);
+  const VertexId root = bench::BfsRoot(g);
+  algo::HybridBfsOptions opts;
+  opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"bfs.hybrid.edges_scanned"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::HybridBfs(g, root, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
+  state.SetLabel("kernel=bfs mode=hybrid graph=road" + std::to_string(scale));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_BfsHybridRoad)->Args({12, 1})->Args({12, 4})->Args({18, 1})->Args({18, 4});
+
 // Push-only level-synchronous baseline on the same graphs as BM_BfsHybrid.
 void BM_BfsPush(benchmark::State& state) {
   const uint32_t scale = static_cast<uint32_t>(state.range(0));
@@ -64,10 +87,12 @@ void BM_BfsPush(benchmark::State& state) {
   const VertexId root = bench::BfsRoot(g);
   algo::BfsOptions opts;
   opts.num_threads = static_cast<uint32_t>(state.range(1));
+  bench::WorkProbe work({"bfs.edges_relaxed"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(algo::BfsDistances(g, root, opts));
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  work.Flush(state);
   state.SetLabel("kernel=bfs mode=push graph=rmat" + std::to_string(scale));
   state.counters["threads"] = static_cast<double>(state.range(1));
 }

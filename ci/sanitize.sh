@@ -4,7 +4,14 @@
 # obs shard merging) and runs the unit- and integration-labeled test suites
 # under it. The integration label notably covers the incremental-maintenance
 # differential tests, which drive every engine at 1/2/4/8 threads and are the
-# main TSan coverage for the stream layer.
+# main TSan coverage for the stream layer, and the corpus differential suite
+# (corpus_differential_test), which sweeps every kernel family over corpus
+# shape x representation x thread count.
+#
+# Tests run in a randomized order so inter-test ordering dependencies (shared
+# global state, leftover temp files) surface here instead of in a flaky
+# downstream run; until-pass:1 keeps the invocation future-proof against a
+# repeat-count bump without changing today's single-run semantics.
 #
 # Usage: ci/sanitize.sh [thread|address|undefined] [ctest-label-regex]
 set -euo pipefail
@@ -24,4 +31,5 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 # Perf-labeled tests are timing assertions and are meaningless under a
 # sanitizer's 5-20x slowdown; the label filter keeps them out by design.
-ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j"$(nproc)" \
+  --schedule-random --repeat until-pass:1

@@ -130,6 +130,11 @@ Result<ComponentResult> ConnectedComponentsLabelPropImpl(
   std::vector<uint32_t> cur(n), next(n);
   std::iota(cur.begin(), cur.end(), 0u);
   uint64_t rounds = 0;
+  // Machine-independent work: vertices evaluated per round (the full-sweep
+  // variant touches all n every round, the frontier variant only the active
+  // set). Deterministic at any thread count, so BENCH.json can report it as
+  // a rate-normalizing work counter.
+  uint64_t activations = 0;
 
   const unsigned threads = ResolveNumThreads(options.num_threads);
   std::optional<ThreadPool> pool_storage;
@@ -157,6 +162,7 @@ Result<ComponentResult> ConnectedComponentsLabelPropImpl(
     };
     for (;;) {
       ++rounds;
+      activations += n;
       bool changed =
           pool == nullptr ? round(0, n) : ParallelReduce(*pool, 0, n, false, round, any);
       cur.swap(next);
@@ -202,6 +208,7 @@ Result<ComponentResult> ConnectedComponentsLabelPropImpl(
     };
     for (;;) {
       ++rounds;
+      activations += active.size();
       changed.ClearDense();
       bool any_changed =
           pool == nullptr ? round(0, n) : ParallelReduce(*pool, 0, n, false, round, any);
@@ -234,6 +241,8 @@ Result<ComponentResult> ConnectedComponentsLabelPropImpl(
                                        : "cc.labelprop.full_sweep_runs",
                   1);
   obs::AddCounter("cc.labelprop.rounds", static_cast<int64_t>(rounds));
+  obs::AddCounter("cc.labelprop.vertices_activated",
+                  static_cast<int64_t>(activations));
   obs::AddCounter("cc.labelprop.components", result.num_components);
   return result;
 }

@@ -286,6 +286,219 @@ Result<EdgeList> RandomTree(VertexId n, Rng* rng) {
   return el;
 }
 
+namespace {
+
+/// Inverse-CDF sample from a power law over {lo..hi} with the given positive
+/// exponent (probability ~ x^-exponent). Cumulative weights are precomputed
+/// once by the caller via PowerLawCdf.
+std::vector<double> PowerLawCdf(uint32_t lo, uint32_t hi, double exponent) {
+  std::vector<double> cdf(hi - lo + 1);
+  double total = 0.0;
+  for (uint32_t x = lo; x <= hi; ++x) {
+    total += std::pow(static_cast<double>(x), -exponent);
+    cdf[x - lo] = total;
+  }
+  return cdf;
+}
+
+uint32_t SampleCdf(const std::vector<double>& cdf, uint32_t lo, Rng* rng) {
+  double r = rng->NextDouble() * cdf.back();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+  return lo + static_cast<uint32_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+Result<LfrGraph> LfrCommunity(VertexId n, const LfrOptions& options, Rng* rng) {
+  if (n < 4) return Status::Invalid("need at least 4 vertices");
+  if (options.mu < 0.0 || options.mu > 1.0) {
+    return Status::Invalid("mu must be in [0, 1]");
+  }
+  if (options.degree_exponent <= 1.0 || options.community_exponent <= 1.0) {
+    return Status::Invalid("power-law exponents must be > 1");
+  }
+  if (options.avg_degree < 1.0) return Status::Invalid("avg_degree must be >= 1");
+  const uint32_t max_degree =
+      options.max_degree != 0
+          ? options.max_degree
+          : std::max<uint32_t>(4, n / 8);
+  if (max_degree >= n) return Status::Invalid("max_degree must be < n");
+  uint32_t min_comm = std::max<uint32_t>(2, options.min_community);
+  uint32_t max_comm = options.max_community != 0
+                          ? options.max_community
+                          : std::max<uint32_t>(min_comm, n / 4);
+  if (min_comm > max_comm || min_comm > n) {
+    return Status::Invalid("community size bounds are infeasible");
+  }
+
+  // Degree sequence: power-law draw, then a global rescale toward the
+  // requested mean (the raw power-law mean depends on the exponent).
+  std::vector<double> deg_cdf = PowerLawCdf(1, max_degree, options.degree_exponent);
+  std::vector<uint32_t> degree(n);
+  double raw_sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = SampleCdf(deg_cdf, 1, rng);
+    raw_sum += degree[v];
+  }
+  const double scale = options.avg_degree * n / raw_sum;
+  for (VertexId v = 0; v < n; ++v) {
+    double d = std::floor(degree[v] * scale + 0.5);
+    degree[v] = static_cast<uint32_t>(
+        std::min<double>(max_degree, std::max(1.0, d)));
+  }
+
+  // Power-law community sizes covering all n vertices; the tail community is
+  // merged into its predecessor when it would fall under min_comm.
+  std::vector<double> comm_cdf =
+      PowerLawCdf(min_comm, max_comm, options.community_exponent);
+  std::vector<uint32_t> comm_size;
+  uint64_t assigned = 0;
+  while (assigned < n) {
+    uint32_t s = SampleCdf(comm_cdf, min_comm, rng);
+    if (assigned + s > n) s = static_cast<uint32_t>(n - assigned);
+    comm_size.push_back(s);
+    assigned += s;
+  }
+  if (comm_size.size() > 1 && comm_size.back() < min_comm) {
+    comm_size[comm_size.size() - 2] += comm_size.back();
+    comm_size.pop_back();
+  }
+
+  LfrGraph out;
+  out.community.resize(n);
+  std::vector<VertexId> comm_start(comm_size.size());
+  {
+    VertexId v = 0;
+    for (size_t c = 0; c < comm_size.size(); ++c) {
+      comm_start[c] = v;
+      for (uint32_t i = 0; i < comm_size[c]; ++i) {
+        out.community[v++] = static_cast<uint32_t>(c);
+      }
+    }
+  }
+
+  // Split each vertex's stubs into intra- and inter-community halves. The
+  // intra share is capped by the community size (a simple graph cannot hold
+  // more than |C|-1 intra neighbors).
+  std::vector<uint32_t> intra_deg(n), inter_deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    uint32_t cap = comm_size[out.community[v]] - 1;
+    uint32_t intra = static_cast<uint32_t>(
+        std::floor((1.0 - options.mu) * degree[v] + 0.5));
+    intra_deg[v] = std::min(intra, cap);
+    inter_deg[v] = degree[v] - intra_deg[v];
+  }
+
+  EdgeList& el = out.edges;
+  el.EnsureVertices(n);
+  std::unordered_set<uint64_t> seen;
+  auto add_edge = [&](VertexId a, VertexId b) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    if (seen.insert(PairKey(a, b)).second) el.Add(a, b);
+  };
+
+  // Intra-community edges: per-community stub pairing (configuration model;
+  // clashing pairs are dropped rather than retried, so realized degrees are
+  // approximate — standard for benchmark generators).
+  std::vector<VertexId> stubs;
+  for (size_t c = 0; c < comm_size.size(); ++c) {
+    stubs.clear();
+    for (uint32_t i = 0; i < comm_size[c]; ++i) {
+      VertexId v = comm_start[c] + i;
+      for (uint32_t s = 0; s < intra_deg[v]; ++s) stubs.push_back(v);
+    }
+    rng->Shuffle(&stubs);
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      add_edge(stubs[i], stubs[i + 1]);
+    }
+  }
+
+  // Inter-community edges: global stub pairing, skipping same-community
+  // pairs (those would silently raise the realized 1-mu).
+  stubs.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t s = 0; s < inter_deg[v]; ++s) stubs.push_back(v);
+  }
+  rng->Shuffle(&stubs);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (out.community[stubs[i]] == out.community[stubs[i + 1]]) continue;
+    add_edge(stubs[i], stubs[i + 1]);
+  }
+
+  el.EnsureVertices(n);
+  return out;
+}
+
+Result<EdgeList> BipartiteSkewed(VertexId left, VertexId right,
+                                 uint64_t num_edges, double skew, Rng* rng) {
+  if (left == 0 || right == 0) return Status::Invalid("both sides must be non-empty");
+  if (skew < 0.0) return Status::Invalid("skew must be >= 0");
+  const uint64_t max_edges = static_cast<uint64_t>(left) * right;
+  if (num_edges > max_edges) return Status::Invalid("too many edges requested");
+  const VertexId n = left + right;
+  EdgeList el(n);
+  el.Reserve(num_edges);
+  // Zipf-over-rank cumulative weights per side (rank == vertex id; feed the
+  // result through CsrGraph::Permute when id-order locality must be broken).
+  std::vector<double> left_cdf(left), right_cdf(right);
+  double total = 0.0;
+  for (VertexId i = 0; i < left; ++i) {
+    total += skew == 0.0 ? 1.0 : std::pow(static_cast<double>(i + 1), -skew);
+    left_cdf[i] = total;
+  }
+  total = 0.0;
+  for (VertexId i = 0; i < right; ++i) {
+    total += skew == 0.0 ? 1.0 : std::pow(static_cast<double>(i + 1), -skew);
+    right_cdf[i] = total;
+  }
+  auto sample = [&](const std::vector<double>& cdf) {
+    double r = rng->NextDouble() * cdf.back();
+    return static_cast<VertexId>(
+        std::lower_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+  };
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  // Bounded attempts so skewed dense requests terminate; the realized edge
+  // count may then undershoot num_edges (documented in the header).
+  for (uint64_t attempts = 0;
+       el.num_edges() < num_edges && attempts < 20 * num_edges + 100; ++attempts) {
+    VertexId u = sample(left_cdf);
+    VertexId v = left + sample(right_cdf);
+    if (seen.insert(PairKey(u, v)).second) el.Add(u, v);
+  }
+  el.EnsureVertices(n);
+  return el;
+}
+
+Result<EdgeList> RoadLike(VertexId rows, VertexId cols,
+                          const RoadLikeOptions& options, Rng* rng) {
+  if (rows < 2 || cols < 2) return Status::Invalid("need at least a 2x2 lattice");
+  if (options.keep_prob < 0.0 || options.keep_prob > 1.0 ||
+      options.diagonal_prob < 0.0 || options.diagonal_prob > 1.0) {
+    return Status::Invalid("probabilities must be in [0, 1]");
+  }
+  const uint64_t cells = static_cast<uint64_t>(rows) * cols;
+  if (cells > UINT32_MAX) return Status::Invalid("lattice too large");
+  EdgeList el(static_cast<VertexId>(cells));
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng->NextBool(options.keep_prob)) {
+        el.Add(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && rng->NextBool(options.keep_prob)) {
+        el.Add(id(r, c), id(r + 1, c));
+      }
+      if (r + 1 < rows && c + 1 < cols && rng->NextBool(options.diagonal_prob)) {
+        el.Add(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  el.EnsureVertices(static_cast<VertexId>(cells));
+  return el;
+}
+
 Result<EdgeList> PlantedPartition(VertexId n, uint32_t num_communities, double p_in,
                                   double p_out, Rng* rng) {
   if (num_communities == 0 || num_communities > n) {

@@ -1,0 +1,49 @@
+// Matrix Market / GraphChallenge ingest ("MMIO-style triples"). The
+// GraphChallenge datasets (graphchallenge.org, PAPERS.md) ship each graph as
+// a MatrixMarket coordinate file (.mmio) and an equivalent bare
+// tab-separated triple file (.tsv); both are parsed here into the shared
+// EdgeList representation so every kernel and test can run on public
+// datasets end-to-end.
+//
+// Supported MatrixMarket subset (the family graph datasets actually use):
+//   %%MatrixMarket matrix coordinate <real|integer|pattern> <general|symmetric>
+// '%' comment lines, one "rows cols nnz" size line, then nnz data lines
+// "i j [value]" with 1-based indices. Square matrices map to vertex ids
+// [0, rows); rectangular matrices are read as bipartite graphs (column j
+// becomes vertex rows + j - 1). Symmetric files mirror every off-diagonal
+// entry. Anything else — complex/array banners, out-of-range or non-positive
+// ids, missing values, too few/many data lines — is a clean ParseError
+// (never a crash; wired into tests/fuzz_smoke_test.cc).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::io {
+
+/// Parses MatrixMarket coordinate text into an edge list (entry (i, j, v)
+/// becomes edge i-1 -> j-1 with weight v; pattern files get weight 1).
+Result<EdgeList> ParseMatrixMarket(const std::string& text);
+
+/// Serializes an edge list as a general coordinate file (1-based ids,
+/// "real" field; `pattern` drops the values). Square by construction:
+/// rows = cols = num_vertices.
+std::string WriteMatrixMarket(const EdgeList& edges, bool pattern = false);
+
+/// GraphChallenge TSV triples: one "src<TAB>dst<TAB>weight" line per edge,
+/// 1-based ids, no header or comments. (Spaces are tolerated as separators;
+/// the official files are tab-separated.)
+Result<EdgeList> ParseTsvTriples(const std::string& text);
+
+/// Serializes an edge list in GraphChallenge TSV form (1-based, weight
+/// column always present, 1 for unweighted edges).
+std::string WriteTsvTriples(const EdgeList& edges);
+
+/// File wrappers.
+Result<EdgeList> ReadMatrixMarketFile(const std::string& path);
+Status WriteMatrixMarketFile(const EdgeList& edges, const std::string& path,
+                             bool pattern = false);
+
+}  // namespace ubigraph::io

@@ -122,6 +122,12 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   return it->second.get();
 }
 
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
@@ -195,6 +201,11 @@ void RecordLatency(std::string_view name, int64_t value) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   if (!reg.enabled()) return;
   reg.GetHistogram(name)->Record(value);
+}
+
+int64_t CounterValue(std::string_view name) {
+  const Counter* c = MetricsRegistry::Global().FindCounter(name);
+  return c == nullptr ? 0 : c->Value();
 }
 
 }  // namespace ubigraph::obs

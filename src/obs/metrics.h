@@ -143,6 +143,11 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   LatencyHistogram* GetHistogram(std::string_view name);
 
+  /// Read-only lookup: nullptr when no counter with that name has been
+  /// registered (unlike GetCounter, never creates one). Lets benchmark
+  /// reporters probe kernel work counters without polluting the registry.
+  const Counter* FindCounter(std::string_view name) const;
+
   /// Instrumentation master switch (default on). Call sites that flush
   /// kernel totals check this and skip when disabled; disabling makes every
   /// instrumented code path byte-identical in effect to the uninstrumented
@@ -176,5 +181,11 @@ void RecordLatency(std::string_view name, int64_t value);
 
 /// True when the global registry has instrumentation enabled.
 inline bool Enabled() { return MetricsRegistry::Global().enabled(); }
+
+/// Current value of a global counter; 0 when it was never registered.
+/// Benchmarks sample this before/after a timed loop to derive the
+/// machine-independent work (edges relaxed/scanned, frontier activations)
+/// behind each wall-clock record.
+int64_t CounterValue(std::string_view name);
 
 }  // namespace ubigraph::obs

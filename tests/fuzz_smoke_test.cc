@@ -22,6 +22,7 @@
 #include "io/graphml_io.h"
 #include "io/jgf_io.h"
 #include "io/json_io.h"
+#include "io/mmio.h"
 #include "query/cypher_parser.h"
 #include "rdf/ntriples.h"
 #include "stream/incremental_components.h"
@@ -137,6 +138,44 @@ TEST(FuzzSmokeTest, BinaryParserMutationsNeverPassChecksum) {
     if (io::ParseBinaryGraph(mutated).ok()) ++accepted;
   }
   EXPECT_EQ(accepted, 0);
+}
+
+TEST(FuzzSmokeTest, MatrixMarketParserIsTotal) {
+  std::string valid = io::WriteMatrixMarket(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseMatrixMarket(s).ok(); },
+             valid, 11);
+}
+
+TEST(FuzzSmokeTest, TsvTriplesParserIsTotal) {
+  std::string valid = io::WriteTsvTriples(SeedEdges());
+  FuzzParser([](const std::string& s) { io::ParseTsvTriples(s).ok(); },
+             valid, 12);
+}
+
+TEST(FuzzSmokeTest, MatrixMarketHostileCorpusFailsCleanly) {
+  // Structured hostile cases beyond random mutation: declared-size lies
+  // (truncated / overlong), comment-only bodies, out-of-range and 0-based
+  // ids, and value-count mismatches must each produce a clean ParseError.
+  const char* kHostile[] = {
+      "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 2 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 1\n2 3 1\n",
+      "%%MatrixMarket matrix coordinate real general\n% nothing\n% at all\n",
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 0 1.0\n",
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n999999999999 2 1\n",
+      "%%MatrixMarket matrix coordinate real general\n0 0 3\n1 1 1.0\n",
+  };
+  for (const char* doc : kHostile) {
+    auto result = io::ParseMatrixMarket(doc);
+    EXPECT_FALSE(result.ok()) << "accepted: " << doc;
+    EXPECT_FALSE(result.status().message().empty()) << doc;
+  }
+  // Duplicate entries are NOT hostile — wild files repeat edges; the parser
+  // keeps them and CSR dedup handles the rest (see io_test.cc).
+  EXPECT_TRUE(io::ParseMatrixMarket("%%MatrixMarket matrix coordinate real "
+                                    "general\n2 2 2\n1 2 1.0\n1 2 1.0\n")
+                  .ok());
 }
 
 TEST(FuzzSmokeTest, NTriplesParserIsTotal) {

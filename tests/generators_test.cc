@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
+#include <vector>
 
 #include "algorithms/connected_components.h"
 #include "algorithms/triangle.h"
@@ -201,6 +204,135 @@ TEST(PlantedPartitionTest, InvalidParameters) {
   EXPECT_FALSE(PlantedPartition(10, 0, 0.5, 0.1, &rng).ok());
   EXPECT_FALSE(PlantedPartition(10, 20, 0.5, 0.1, &rng).ok());
   EXPECT_FALSE(PlantedPartition(10, 2, 1.5, 0.1, &rng).ok());
+}
+
+TEST(LfrCommunityTest, ShapeAndLabels) {
+  Rng rng(21);
+  auto g = LfrCommunity(512, {}, &rng).ValueOrDie();
+  EXPECT_EQ(g.edges.num_vertices(), 512u);
+  EXPECT_EQ(g.community.size(), 512u);
+  EXPECT_GT(g.edges.num_edges(), 512u);  // avg degree 8 -> ~2048 stored edges
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.edges.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, 512u);
+    EXPECT_LT(e.dst, 512u);
+    auto lo = std::min(e.src, e.dst), hi = std::max(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(lo, hi).second) << "duplicate " << lo << "-" << hi;
+  }
+}
+
+TEST(LfrCommunityTest, MixingParameterControlsLocality) {
+  Rng rng(22);
+  LfrOptions opts;
+  opts.mu = 0.1;
+  auto g = LfrCommunity(512, opts, &rng).ValueOrDie();
+  uint64_t intra = 0, inter = 0;
+  for (const Edge& e : g.edges.edges()) {
+    if (g.community[e.src] == g.community[e.dst]) ++intra;
+    else ++inter;
+  }
+  // mu = 0.1: ~90% of stubs stay inside the community.
+  EXPECT_GT(intra, inter * 3);
+}
+
+TEST(LfrCommunityTest, CommunitySizesAreSkewed) {
+  Rng rng(23);
+  LfrOptions opts;
+  opts.min_community = 16;
+  auto g = LfrCommunity(2048, opts, &rng).ValueOrDie();
+  std::map<uint32_t, uint32_t> sizes;
+  for (uint32_t c : g.community) ++sizes[c];
+  EXPECT_GT(sizes.size(), 2u);
+  uint32_t min_size = UINT32_MAX, max_size = 0;
+  for (const auto& [c, s] : sizes) {
+    min_size = std::min(min_size, s);
+    max_size = std::max(max_size, s);
+  }
+  // Power-law community sizes: the largest clearly dominates the smallest
+  // (a uniform planted partition would give a ratio of ~1).
+  EXPECT_GE(max_size, 2 * min_size);
+}
+
+TEST(LfrCommunityTest, InvalidParameters) {
+  Rng rng(1);
+  LfrOptions bad;
+  bad.mu = 1.5;
+  EXPECT_FALSE(LfrCommunity(256, bad, &rng).ok());
+  LfrOptions bad2;
+  bad2.min_community = 300;  // larger than n
+  EXPECT_FALSE(LfrCommunity(256, bad2, &rng).ok());
+  EXPECT_FALSE(LfrCommunity(0, {}, &rng).ok());
+}
+
+TEST(BipartiteSkewedTest, EdgesCrossSidesOnly) {
+  Rng rng(31);
+  auto el = BipartiteSkewed(100, 50, 600, 1.0, &rng).ValueOrDie();
+  EXPECT_EQ(el.num_vertices(), 150u);
+  EXPECT_LE(el.num_edges(), 600u);
+  EXPECT_GE(el.num_edges(), 500u);  // dedup may drop a few on skewed draws
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : el.edges()) {
+    EXPECT_LT(e.src, 100u);
+    EXPECT_GE(e.dst, 100u);
+    EXPECT_LT(e.dst, 150u);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second);
+  }
+}
+
+TEST(BipartiteSkewedTest, SkewConcentratesDegreeOnLowRanks) {
+  Rng rng(32);
+  auto el = BipartiteSkewed(200, 200, 2000, 1.5, &rng).ValueOrDie();
+  std::vector<uint32_t> left_deg(200, 0);
+  for (const Edge& e : el.edges()) ++left_deg[e.src];
+  uint32_t max_deg = *std::max_element(left_deg.begin(), left_deg.end());
+  // Zipf 1.5 over 200 ranks: the most popular vertex far exceeds the mean (10).
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(BipartiteSkewedTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(BipartiteSkewed(0, 10, 5, 1.0, &rng).ok());
+  EXPECT_FALSE(BipartiteSkewed(10, 0, 5, 1.0, &rng).ok());
+  EXPECT_FALSE(BipartiteSkewed(10, 10, 5, -1.0, &rng).ok());
+}
+
+TEST(RoadLikeTest, BoundedDegreeAndSimple) {
+  Rng rng(41);
+  auto el = RoadLike(32, 32, {}, &rng).ValueOrDie();
+  EXPECT_EQ(el.num_vertices(), 1024u);
+  std::vector<uint32_t> deg(1024, 0);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : el.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    ++deg[e.src];
+    ++deg[e.dst];
+    auto lo = std::min(e.src, e.dst), hi = std::max(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(lo, hi).second);
+  }
+  // Lattice + at most one diagonal per cell: degree stays bounded regardless
+  // of size (the structural opposite of RMAT hubs).
+  for (uint32_t d : deg) EXPECT_LE(d, 8u);
+}
+
+TEST(RoadLikeTest, HighDiameterShape) {
+  Rng rng(42);
+  auto el = RoadLike(64, 4, {}, &rng).ValueOrDie();
+  CsrOptions opts;
+  opts.directed = false;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  auto cc = WeaklyConnectedComponents(g);
+  // keep_prob 0.95 on a thin strip: the dominant component spans most of it.
+  auto sizes = cc.ComponentSizes();
+  EXPECT_GT(*std::max_element(sizes.begin(), sizes.end()), 128u);
+}
+
+TEST(RoadLikeTest, InvalidParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(RoadLike(0, 8, {}, &rng).ok());
+  RoadLikeOptions bad;
+  bad.keep_prob = 1.5;
+  EXPECT_FALSE(RoadLike(8, 8, bad, &rng).ok());
 }
 
 TEST(GeneratorDeterminismTest, SameSeedSameGraph) {

@@ -11,6 +11,9 @@
 #include "io/gml_io.h"
 #include "io/graphml_io.h"
 #include "io/json_io.h"
+#include "io/mmio.h"
+
+#include "graph/csr_graph.h"
 
 namespace ubigraph::io {
 namespace {
@@ -286,6 +289,139 @@ TEST(BinaryIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- MatrixMarket / TSV ---
+
+TEST(MmioTest, GoldenFileParses) {
+  // Golden document covering the supported grammar in one file: banner,
+  // '%' comments interleaved everywhere, and integer values.
+  const char* golden =
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "% GraphChallenge-style adjacency\n"
+      "\n"
+      "% size follows\n"
+      "4 4 3\n"
+      "1 2 1\n"
+      "% mid-data comment\n"
+      "2 3 5\n"
+      "4 1 2\n";
+  auto el = ParseMatrixMarket(golden).ValueOrDie();
+  EXPECT_EQ(el.num_vertices(), 4u);
+  ASSERT_EQ(el.num_edges(), 3u);
+  EXPECT_EQ(el.edges()[0].src, 0u);
+  EXPECT_EQ(el.edges()[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(el.edges()[1].weight, 5.0);
+  EXPECT_EQ(el.edges()[2].src, 3u);
+  EXPECT_EQ(el.edges()[2].dst, 0u);
+}
+
+TEST(MmioTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  ExpectSameEdges(el, ParseMatrixMarket(WriteMatrixMarket(el)).ValueOrDie());
+}
+
+TEST(MmioTest, PatternRoundTripDropsWeights) {
+  EdgeList el = SampleEdges();
+  auto parsed = ParseMatrixMarket(WriteMatrixMarket(el, /*pattern=*/true))
+                    .ValueOrDie();
+  ASSERT_EQ(parsed.num_edges(), el.num_edges());
+  for (const Edge& e : parsed.edges()) EXPECT_DOUBLE_EQ(e.weight, 1.0);
+}
+
+TEST(MmioTest, SymmetricMirrorsOffDiagonal) {
+  const char* doc =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 1.5\n"
+      "3 3 2.0\n";
+  auto el = ParseMatrixMarket(doc).ValueOrDie();
+  // Off-diagonal entry mirrored, diagonal (self-loop) stored once.
+  ASSERT_EQ(el.num_edges(), 3u);
+  EXPECT_EQ(el.edges()[0].src, 1u);
+  EXPECT_EQ(el.edges()[0].dst, 0u);
+  EXPECT_EQ(el.edges()[1].src, 0u);
+  EXPECT_EQ(el.edges()[1].dst, 1u);
+  EXPECT_EQ(el.edges()[2].src, el.edges()[2].dst);
+}
+
+TEST(MmioTest, RectangularBecomesBipartite) {
+  const char* doc =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 3 2\n"
+      "1 1 1.0\n"
+      "2 3 1.0\n";
+  auto el = ParseMatrixMarket(doc).ValueOrDie();
+  EXPECT_EQ(el.num_vertices(), 5u);  // 2 row vertices + 3 column vertices
+  ASSERT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.edges()[0].dst, 2u);  // column 1 -> vertex rows + 0
+  EXPECT_EQ(el.edges()[1].src, 1u);
+  EXPECT_EQ(el.edges()[1].dst, 4u);
+}
+
+TEST(MmioTest, HostileDocumentsRejectedCleanly) {
+  const char* kBad[] = {
+      "",                                                  // empty
+      "%%MatrixMarket matrix array real general\n1 1 1\n", // unsupported kind
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 2\n",
+      "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+      "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1\n",
+      "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",  // short
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n",
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",  // range
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",  // 0-based
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",    // no val
+      "%%MatrixMarket matrix coordinate real general\n-2 2 1\n",
+      "not a matrix market file\n",
+  };
+  for (const char* doc : kBad) {
+    auto result = ParseMatrixMarket(doc);
+    EXPECT_FALSE(result.ok()) << "accepted: " << doc;
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST(MmioTest, DuplicateEntriesSurviveToCsrDedup) {
+  // MMIO files from the wild sometimes repeat entries; the parser keeps
+  // them (its job is faithful triples) and CsrOptions.deduplicate collapses
+  // them downstream.
+  const char* doc =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n"
+      "1 2 1.0\n"
+      "1 2 1.0\n"
+      "2 3 1.0\n";
+  auto el = ParseMatrixMarket(doc).ValueOrDie();
+  EXPECT_EQ(el.num_edges(), 3u);
+  CsrOptions opts;
+  opts.deduplicate = true;
+  auto g = CsrGraph::FromEdges(std::move(el), opts).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(MmioTest, FileRoundTrip) {
+  EdgeList el = SampleEdges();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "ubigraph_mmio_test.mtx")
+          .string();
+  ASSERT_TRUE(WriteMatrixMarketFile(el, path).ok());
+  auto back = ReadMatrixMarketFile(path);
+  std::remove(path.c_str());
+  ExpectSameEdges(el, back.ValueOrDie());
+}
+
+TEST(TsvTriplesTest, RoundTrip) {
+  EdgeList el = SampleEdges();
+  ExpectSameEdges(el, ParseTsvTriples(WriteTsvTriples(el)).ValueOrDie());
+}
+
+TEST(TsvTriplesTest, HostileLinesRejected) {
+  EXPECT_FALSE(ParseTsvTriples("1\t2\n").ok());          // missing weight
+  EXPECT_FALSE(ParseTsvTriples("0\t2\t1.0\n").ok());     // ids are 1-based
+  EXPECT_FALSE(ParseTsvTriples("1\tx\t1.0\n").ok());     // non-numeric id
+  EXPECT_FALSE(ParseTsvTriples("1\t2\t1.0\t9\n").ok());  // extra field
+  EXPECT_TRUE(ParseTsvTriples("").ValueOrDie().edges().empty());
+}
+
 // -------------------------------------------------- cross-format property ---
 
 class FormatRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
@@ -299,6 +435,8 @@ TEST_P(FormatRoundTripTest, AllFormatsPreserveRandomGraphs) {
   ExpectSameEdges(el, ParseGml(WriteGml(el)).ValueOrDie().edges);
   ExpectSameEdges(el, ParseJsonGraph(WriteJsonGraph(el)).ValueOrDie().edges);
   ExpectSameEdges(el, ParseBinaryGraph(WriteBinaryGraph(el)).ValueOrDie());
+  ExpectSameEdges(el, ParseMatrixMarket(WriteMatrixMarket(el)).ValueOrDie());
+  ExpectSameEdges(el, ParseTsvTriples(WriteTsvTriples(el)).ValueOrDie());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatRoundTripTest,
