@@ -1,0 +1,152 @@
+#include "graph/label_csr.h"
+
+#include <algorithm>
+
+namespace ubigraph {
+
+double LabelCsrView::Stats::LabelCount(uint32_t label_id) const {
+  if (label_id == LabelCsrView::kAnyLabel) {
+    return static_cast<double>(num_vertices);
+  }
+  if (label_id >= label_counts.size()) return 0.0;
+  return static_cast<double>(label_counts[label_id]);
+}
+
+double LabelCsrView::Stats::AvgDegree(uint32_t label_id, uint32_t type_id,
+                                      bool out) const {
+  const double denom = LabelCount(label_id);
+  if (denom <= 0.0) return 0.0;
+  uint64_t arcs = 0;
+  if (type_id == LabelCsrView::kAnyType) {
+    if (label_id == LabelCsrView::kAnyLabel) {
+      arcs = total_arcs;
+    } else {
+      const auto& by_label = out ? out_arcs_by_label : in_arcs_by_label;
+      arcs = label_id < by_label.size() ? by_label[label_id] : 0;
+    }
+  } else {
+    const auto& by_type = out ? out_arcs_by_type_label : in_arcs_by_type_label;
+    if (type_id >= by_type.size()) return 0.0;
+    if (label_id == LabelCsrView::kAnyLabel) {
+      arcs = type_id < arcs_by_type.size() ? arcs_by_type[type_id] : 0;
+    } else {
+      arcs = label_id < by_type[type_id].size() ? by_type[type_id][label_id] : 0;
+    }
+  }
+  return static_cast<double>(arcs) / denom;
+}
+
+LabelCsrView::Adjacency LabelCsrView::BuildAdjacency(
+    VertexId n, std::vector<std::pair<VertexId, VertexId>> arcs) {
+  Adjacency adj;
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  adj.out_offsets.assign(n + 1, 0);
+  adj.out_targets.reserve(arcs.size());
+  for (const auto& [src, dst] : arcs) ++adj.out_offsets[src + 1];
+  for (VertexId v = 0; v < n; ++v) adj.out_offsets[v + 1] += adj.out_offsets[v];
+  for (const auto& [src, dst] : arcs) adj.out_targets.push_back(dst);
+
+  std::sort(arcs.begin(), arcs.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  adj.in_offsets.assign(n + 1, 0);
+  adj.in_sources.reserve(arcs.size());
+  for (const auto& [src, dst] : arcs) ++adj.in_offsets[dst + 1];
+  for (VertexId v = 0; v < n; ++v) adj.in_offsets[v + 1] += adj.in_offsets[v];
+  for (const auto& [src, dst] : arcs) adj.in_sources.push_back(src);
+  return adj;
+}
+
+LabelCsrView LabelCsrView::Build(const PropertyGraph& graph) {
+  LabelCsrView view;
+  view.built_version_ = graph.version();
+  const VertexId n = graph.num_vertices();
+  view.num_vertices_ = n;
+  const size_t dict = graph.labels().size();
+
+  view.by_label_.assign(dict, {});
+  for (VertexId v = 0; v < n; ++v) {
+    view.by_label_[graph.VertexLabelId(v)].push_back(v);
+  }
+
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> arcs_by_type(dict);
+  std::vector<std::pair<VertexId, VertexId>> all_arcs;
+  all_arcs.reserve(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto arc = std::make_pair(graph.EdgeSrc(e), graph.EdgeDst(e));
+    arcs_by_type[graph.EdgeTypeId(e)].push_back(arc);
+    all_arcs.push_back(arc);
+  }
+  view.by_type_.resize(dict);
+  for (size_t t = 0; t < dict; ++t) {
+    if (!arcs_by_type[t].empty()) {
+      view.by_type_[t] = BuildAdjacency(n, std::move(arcs_by_type[t]));
+    }
+  }
+  view.all_ = BuildAdjacency(n, std::move(all_arcs));
+
+  // Statistics: read the dedup'd row lengths straight off the built CSRs so
+  // the estimates match the expand operators' actual work.
+  Stats& st = view.stats_;
+  st.num_vertices = n;
+  st.label_counts.assign(dict, 0);
+  for (size_t l = 0; l < dict; ++l) st.label_counts[l] = view.by_label_[l].size();
+  st.out_arcs_by_type_label.assign(dict, std::vector<uint64_t>(dict, 0));
+  st.in_arcs_by_type_label.assign(dict, std::vector<uint64_t>(dict, 0));
+  st.arcs_by_type.assign(dict, 0);
+  st.out_arcs_by_label.assign(dict, 0);
+  st.in_arcs_by_label.assign(dict, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t label = graph.VertexLabelId(v);
+    for (size_t t = 0; t < dict; ++t) {
+      const Adjacency& adj = view.by_type_[t];
+      if (adj.out_offsets.empty()) continue;
+      const uint64_t out_deg = adj.out_offsets[v + 1] - adj.out_offsets[v];
+      const uint64_t in_deg = adj.in_offsets[v + 1] - adj.in_offsets[v];
+      st.out_arcs_by_type_label[t][label] += out_deg;
+      st.in_arcs_by_type_label[t][label] += in_deg;
+      st.arcs_by_type[t] += out_deg;
+    }
+    st.out_arcs_by_label[label] += view.all_.out_offsets[v + 1] - view.all_.out_offsets[v];
+    st.in_arcs_by_label[label] += view.all_.in_offsets[v + 1] - view.all_.in_offsets[v];
+  }
+  st.total_arcs = view.all_.out_targets.size();
+  return view;
+}
+
+const LabelCsrView::Adjacency* LabelCsrView::AdjacencyFor(uint32_t type_id) const {
+  if (type_id == kAnyType) return &all_;
+  if (type_id >= by_type_.size()) return nullptr;
+  const Adjacency& adj = by_type_[type_id];
+  return adj.out_offsets.empty() ? nullptr : &adj;
+}
+
+std::span<const VertexId> LabelCsrView::OutNeighbors(VertexId v,
+                                                     uint32_t type_id) const {
+  const Adjacency* adj = AdjacencyFor(type_id);
+  if (adj == nullptr || v >= num_vertices_) return {};
+  return {adj->out_targets.data() + adj->out_offsets[v],
+          adj->out_targets.data() + adj->out_offsets[v + 1]};
+}
+
+std::span<const VertexId> LabelCsrView::InNeighbors(VertexId v,
+                                                    uint32_t type_id) const {
+  const Adjacency* adj = AdjacencyFor(type_id);
+  if (adj == nullptr || v >= num_vertices_) return {};
+  return {adj->in_sources.data() + adj->in_offsets[v],
+          adj->in_sources.data() + adj->in_offsets[v + 1]};
+}
+
+bool LabelCsrView::HasArc(VertexId from, VertexId to, uint32_t type_id) const {
+  const auto nbrs = OutNeighbors(from, type_id);
+  return std::binary_search(nbrs.begin(), nbrs.end(), to);
+}
+
+const std::vector<VertexId>& LabelCsrView::VerticesWithLabel(
+    uint32_t label_id) const {
+  if (label_id >= by_label_.size()) return no_vertices_;
+  return by_label_[label_id];
+}
+
+}  // namespace ubigraph

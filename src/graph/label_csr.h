@@ -1,0 +1,93 @@
+// Compact per-edge-type CSR adjacency + label index + degree statistics,
+// snapshotted from a PropertyGraph in one pass. This is the data layout the
+// vectorized Cypher executor runs on: batched expand operators read sorted,
+// deduplicated neighbor ranges instead of filtering the property graph's
+// per-vertex edge-id lists edge by edge, and the planner's cost model reads
+// the per-(label, type) average degrees collected during the same build.
+//
+// The view is immutable; it records the PropertyGraph::version() it was built
+// at so callers (QueryEngine, tests) can detect staleness and rebuild.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace ubigraph {
+
+class LabelCsrView {
+ public:
+  /// Sentinel type/label ids selecting "no constraint".
+  static constexpr uint32_t kAnyType = UINT32_MAX;
+  static constexpr uint32_t kAnyLabel = UINT32_MAX;
+
+  /// Degree statistics for the planner's cost model. All arc counts are over
+  /// *distinct* (src, dst) pairs per type (parallel edges collapse), matching
+  /// the work the expand operators actually do.
+  struct Stats {
+    uint64_t num_vertices = 0;
+    std::vector<uint64_t> label_counts;  // by label id in graph.labels()
+    // [type id][label id]: distinct arcs of that type grouped by the label of
+    // the src (out) / dst (in) endpoint.
+    std::vector<std::vector<uint64_t>> out_arcs_by_type_label;
+    std::vector<std::vector<uint64_t>> in_arcs_by_type_label;
+    std::vector<uint64_t> arcs_by_type;
+    // Any-type arcs (deduplicated across types) grouped by endpoint label.
+    std::vector<uint64_t> out_arcs_by_label;
+    std::vector<uint64_t> in_arcs_by_label;
+    uint64_t total_arcs = 0;
+
+    /// Number of vertices carrying the label (kAnyLabel = all vertices;
+    /// out-of-range ids count 0).
+    double LabelCount(uint32_t label_id) const;
+
+    /// Average number of distinct out- (or in-) neighbors over `type_id` arcs
+    /// of a vertex with the given label. 0 when the label is empty/unknown.
+    double AvgDegree(uint32_t label_id, uint32_t type_id, bool out) const;
+  };
+
+  static LabelCsrView Build(const PropertyGraph& graph);
+
+  uint64_t built_version() const { return built_version_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Sorted, deduplicated neighbors of v over arcs of the given type
+  /// (kAnyType = any). Unknown/out-of-range type ids yield an empty span.
+  std::span<const VertexId> OutNeighbors(VertexId v, uint32_t type_id) const;
+  std::span<const VertexId> InNeighbors(VertexId v, uint32_t type_id) const;
+
+  /// Binary-search existence probe: is there an arc from -> to of this type?
+  bool HasArc(VertexId from, VertexId to, uint32_t type_id) const;
+
+  /// Ascending vertex ids with the given label; empty for unknown ids.
+  const std::vector<VertexId>& VerticesWithLabel(uint32_t label_id) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Adjacency {
+    std::vector<uint64_t> out_offsets;  // size V+1, or empty when unbuilt
+    std::vector<VertexId> out_targets;  // sorted + dedup'd per row
+    std::vector<uint64_t> in_offsets;
+    std::vector<VertexId> in_sources;  // sorted + dedup'd per row
+  };
+
+  static Adjacency BuildAdjacency(VertexId n,
+                                  std::vector<std::pair<VertexId, VertexId>> arcs);
+
+  const Adjacency* AdjacencyFor(uint32_t type_id) const;
+
+  uint64_t built_version_ = 0;
+  VertexId num_vertices_ = 0;
+  std::vector<Adjacency> by_type_;  // indexed by dictionary id (labels share
+                                    // the dict with types; label-only entries
+                                    // stay empty)
+  Adjacency all_;                   // any-type arcs, dedup'd across types
+  std::vector<std::vector<VertexId>> by_label_;
+  std::vector<VertexId> no_vertices_;
+  Stats stats_;
+};
+
+}  // namespace ubigraph

@@ -34,6 +34,7 @@ VertexId PropertyGraph::AddVertex(std::string_view label) {
   VertexRecord rec;
   rec.label = labels_.Intern(label);
   vertices_.push_back(std::move(rec));
+  ++version_;
   return static_cast<VertexId>(vertices_.size() - 1);
 }
 
@@ -46,6 +47,7 @@ Result<EdgeId> PropertyGraph::AddEdge(VertexId src, VertexId dst,
   edges_.push_back(EdgeRecord{src, dst, labels_.Intern(type), {}});
   vertices_[src].out.push_back(id);
   vertices_[dst].in.push_back(id);
+  ++version_;
   return id;
 }
 
@@ -78,6 +80,7 @@ Status PropertyGraph::SetVertexProperty(VertexId v, std::string_view key,
                                         PropertyValue value) {
   if (v >= vertices_.size()) return Status::OutOfRange("vertex out of range");
   SetInMap(&vertices_[v].props, keys_.Intern(key), std::move(value));
+  ++version_;
   return Status::OK();
 }
 
@@ -85,6 +88,7 @@ Status PropertyGraph::SetEdgeProperty(EdgeId e, std::string_view key,
                                       PropertyValue value) {
   if (e >= edges_.size()) return Status::OutOfRange("edge out of range");
   SetInMap(&edges_[e].props, keys_.Intern(key), std::move(value));
+  ++version_;
   return Status::OK();
 }
 
@@ -94,6 +98,15 @@ PropertyValue PropertyGraph::GetVertexProperty(VertexId v,
   auto id = keys_.Lookup(key);
   if (!id) return std::monostate{};
   return GetFromMap(vertices_[v].props, *id);
+}
+
+const PropertyValue* PropertyGraph::FindVertexProperty(VertexId v,
+                                                       uint32_t key_id) const {
+  if (v >= vertices_.size()) return nullptr;
+  for (const auto& [k, val] : vertices_[v].props) {
+    if (k == key_id) return &val;
+  }
+  return nullptr;
 }
 
 PropertyValue PropertyGraph::GetEdgeProperty(EdgeId e, std::string_view key) const {

@@ -61,8 +61,17 @@ class PropertyGraph {
   VertexId num_vertices() const { return static_cast<VertexId>(vertices_.size()); }
   uint64_t num_edges() const { return edges_.size(); }
 
+  /// Monotone mutation counter, bumped by AddVertex/AddEdge/Set*Property.
+  /// Derived snapshots (per-label CSR views, degree statistics, cached query
+  /// plans) record the version they were built at and rebuild on mismatch.
+  uint64_t version() const { return version_; }
+
   const std::string& VertexLabel(VertexId v) const;
   const std::string& EdgeType(EdgeId e) const;
+
+  /// Dense interned ids (into labels()) of a vertex's label / an edge's type.
+  uint32_t VertexLabelId(VertexId v) const { return vertices_[v].label; }
+  uint32_t EdgeTypeId(EdgeId e) const { return edges_[e].type; }
   VertexId EdgeSrc(EdgeId e) const { return edges_[e].src; }
   VertexId EdgeDst(EdgeId e) const { return edges_[e].dst; }
 
@@ -72,6 +81,11 @@ class PropertyGraph {
   /// monostate if the vertex/edge has no such property.
   PropertyValue GetVertexProperty(VertexId v, std::string_view key) const;
   PropertyValue GetEdgeProperty(EdgeId e, std::string_view key) const;
+
+  /// Copy-free property read by interned key id (see keys().Lookup); nullptr
+  /// when the vertex has no such property. The hot path of the vectorized
+  /// query filters.
+  const PropertyValue* FindVertexProperty(VertexId v, uint32_t key_id) const;
 
   /// All (key, value) pairs of a vertex.
   std::vector<std::pair<std::string, PropertyValue>> VertexProperties(VertexId v) const;
@@ -116,6 +130,7 @@ class PropertyGraph {
   StringDictionary keys_;
   std::vector<VertexRecord> vertices_;
   std::vector<EdgeRecord> edges_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace ubigraph

@@ -2,74 +2,20 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 
-#include "common/strings.h"
 #include "common/table.h"
+#include "graph/label_csr.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/cypher_parser.h"
+#include "query/eval_common.h"
+#include "query/plan.h"
+#include "query/planner.h"
+#include "query/vector_executor.h"
 
 namespace ubigraph::query {
 
 namespace {
-
-std::string ValueToString(const PropertyValue& v) {
-  switch (v.index()) {
-    case 0: return "null";
-    case 1: return std::to_string(std::get<int64_t>(v));
-    case 2: return FormatDouble(std::get<double>(v));
-    case 3: return std::get<bool>(v) ? "true" : "false";
-    case 4: return std::get<std::string>(v);
-    case 5: return "ts:" + std::to_string(std::get<Timestamp>(v).millis);
-    case 6: return "<bytes:" + std::to_string(std::get<Bytes>(v).size()) + ">";
-  }
-  return "?";
-}
-
-/// Numeric-aware comparison: int64 and double compare by value; other types
-/// compare only within the same alternative. Returns: -2 incomparable,
-/// else -1/0/1.
-int CompareValues(const PropertyValue& a, const PropertyValue& b) {
-  auto numeric = [](const PropertyValue& v, double* out) {
-    if (std::holds_alternative<int64_t>(v)) {
-      *out = static_cast<double>(std::get<int64_t>(v));
-      return true;
-    }
-    if (std::holds_alternative<double>(v)) {
-      *out = std::get<double>(v);
-      return true;
-    }
-    return false;
-  };
-  double na = 0.0, nb = 0.0;
-  if (numeric(a, &na) && numeric(b, &nb)) {
-    if (na < nb) return -1;
-    if (na > nb) return 1;
-    return 0;
-  }
-  if (a.index() != b.index()) return -2;
-  if (a < b) return -1;
-  if (b < a) return 1;
-  return 0;
-}
-
-bool EvalComparison(int cmp, CompareOp op) {
-  if (cmp == -2) return op == CompareOp::kNe;  // incomparable: only <> true
-  switch (op) {
-    case CompareOp::kEq: return cmp == 0;
-    case CompareOp::kNe: return cmp != 0;
-    case CompareOp::kLt: return cmp < 0;
-    case CompareOp::kLe: return cmp <= 0;
-    case CompareOp::kGt: return cmp > 0;
-    case CompareOp::kGe: return cmp >= 0;
-  }
-  return false;
-}
-
-struct Binding {
-  std::map<std::string, VertexId> vertices;
-};
 
 bool NodeMatches(const PropertyGraph& g, VertexId v, const NodePattern& node) {
   if (!node.label.empty() && g.VertexLabel(v) != node.label) return false;
@@ -81,93 +27,25 @@ bool NodeMatches(const PropertyGraph& g, VertexId v, const NodePattern& node) {
 
 }  // namespace
 
-Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
-                                  const CypherQuery& query) {
-  if (query.paths.empty()) return Status::Invalid("query has no MATCH pattern");
-  if (query.returns.empty()) return Status::Invalid("query has no RETURN items");
+Result<QueryResult> ExecuteCypherInterpreted(const PropertyGraph& graph,
+                                             const CypherQuery& query) {
+  UG_ASSIGN_OR_RETURN(FlatPattern flat, FlattenPattern(query));
   obs::ScopedTrace span("ExecuteCypher", "query");
   // Operator row counts, accumulated locally and flushed once at the end.
   uint64_t rows_scanned = 0;   // candidate vertices tried by the scan operator
   uint64_t rows_matched = 0;   // full pattern matches reaching the filter
   uint64_t rows_filtered = 0;  // matches rejected by WHERE
 
-  // Flatten paths into a list of (node pattern index) constraints and edges.
-  // Variables unify across paths by name; anonymous nodes get unique slots.
-  struct Slot {
-    NodePattern pattern;
-    std::string name;  // unique (anonymous get synthesized names)
-  };
-  std::vector<Slot> slots;
-  std::map<std::string, size_t> slot_of;
-  uint32_t anon_counter = 0;
-
-  auto slot_for = [&](const NodePattern& node) -> size_t {
-    std::string name = node.variable;
-    if (name.empty()) name = "$anon" + std::to_string(anon_counter++);
-    auto it = slot_of.find(name);
-    if (it != slot_of.end()) {
-      // Merge constraints from repeated use of the same variable.
-      Slot& s = slots[it->second];
-      if (s.pattern.label.empty()) s.pattern.label = node.label;
-      for (const auto& p : node.properties) s.pattern.properties.push_back(p);
-      return it->second;
-    }
-    slots.push_back(Slot{node, name});
-    slot_of[name] = slots.size() - 1;
-    return slots.size() - 1;
-  };
-
-  struct EdgeConstraint {
-    size_t from_slot;
-    size_t to_slot;
-    EdgePattern pattern;
-  };
-  std::vector<EdgeConstraint> edges;
-  for (const PathPattern& path : query.paths) {
-    std::vector<size_t> path_slots;
-    path_slots.reserve(path.nodes.size());
-    for (const NodePattern& node : path.nodes) path_slots.push_back(slot_for(node));
-    for (size_t i = 0; i < path.edges.size(); ++i) {
-      edges.push_back({path_slots[i], path_slots[i + 1], path.edges[i]});
-    }
-  }
-
-  // Validate WHERE/RETURN variables.
-  for (const Comparison& c : query.where) {
-    for (const Operand* op : {&c.lhs, &c.rhs}) {
-      if (op->kind == Operand::Kind::kProperty && !slot_of.count(op->variable)) {
-        return Status::Invalid("WHERE references unknown variable " + op->variable);
-      }
-    }
-  }
-  for (const ReturnItem& item : query.returns) {
-    if (!item.is_count && !slot_of.count(item.variable)) {
-      return Status::Invalid("RETURN references unknown variable " + item.variable);
-    }
-  }
-  // ORDER BY must reference a returned item (we sort by that column).
-  int order_column = -1;
-  if (query.order_by) {
-    for (size_t i = 0; i < query.returns.size(); ++i) {
-      const ReturnItem& item = query.returns[i];
-      if (!item.is_count && item.variable == query.order_by->variable &&
-          item.key == query.order_by->key) {
-        order_column = static_cast<int>(i);
-        break;
-      }
-    }
-    if (order_column < 0) {
-      return Status::Invalid("ORDER BY must reference a RETURN item");
-    }
-  }
+  const std::vector<PatternSlot>& slots = flat.slots;
+  const std::vector<EdgeConstraint>& edges = flat.edges;
+  const int order_column = flat.order_column;
+  const bool counting_only = flat.counting_only;
 
   // Backtracking assignment of slots to vertices, in slot order, checking
   // edges as soon as both endpoints are bound.
   std::vector<VertexId> assignment(slots.size(), kInvalidVertex);
   QueryResult result;
   uint64_t count = 0;
-  bool counting_only =
-      query.returns.size() == 1 && query.returns[0].is_count;
 
   for (const ReturnItem& item : query.returns) {
     result.columns.push_back(item.DisplayName());
@@ -240,7 +118,7 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
     for (const Comparison& c : query.where) {
       auto value_of = [&](const Operand& op) -> PropertyValue {
         if (op.kind == Operand::Kind::kLiteral) return op.literal;
-        VertexId v = assignment[slot_of.at(op.variable)];
+        VertexId v = assignment[flat.slot_of.at(op.variable)];
         return graph.GetVertexProperty(v, op.key);
       };
       if (!EvalComparison(CompareValues(value_of(c.lhs), value_of(c.rhs)), c.op)) {
@@ -265,7 +143,7 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
         row.push_back(static_cast<int64_t>(0));  // patched after enumeration
         continue;
       }
-      VertexId v = assignment[slot_of.at(item.variable)];
+      VertexId v = assignment[flat.slot_of.at(item.variable)];
       if (item.key.empty()) {
         row.push_back(static_cast<int64_t>(v));
       } else {
@@ -344,9 +222,21 @@ Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
   return result;
 }
 
-Result<QueryResult> RunCypher(const PropertyGraph& graph, const std::string& text) {
+Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
+                                  const CypherQuery& query,
+                                  const ExecOptions& options) {
+  if (!options.vectorized) return ExecuteCypherInterpreted(graph, query);
+  // One-shot execution builds the CSR view + statistics fresh; QueryEngine
+  // (plan_cache.h) amortizes both across queries.
+  LabelCsrView view = LabelCsrView::Build(graph);
+  UG_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(graph, view.stats(), query));
+  return ExecutePlan(graph, view, planned.plan, planned.params, options.batch_size);
+}
+
+Result<QueryResult> RunCypher(const PropertyGraph& graph, const std::string& text,
+                              const ExecOptions& options) {
   UG_ASSIGN_OR_RETURN(CypherQuery q, ParseCypher(text));
-  return ExecuteCypher(graph, q);
+  return ExecuteCypher(graph, q, options);
 }
 
 std::string FormatResult(const QueryResult& result) {

@@ -1,7 +1,13 @@
-// Executor for Cypher-lite ASTs over a PropertyGraph: backtracking pattern
-// matching with WHERE filtering and RETURN projection.
+// Executors for Cypher-lite ASTs over a PropertyGraph. Two engines with
+// bitwise-identical results:
+//  - the vectorized engine (default): plans the query with degree statistics
+//    and runs batched operators over a per-label CSR view (plan.h,
+//    planner.h, vector_executor.h);
+//  - the row-at-a-time backtracking interpreter (vectorized=false), kept as
+//    the semantics oracle for differential tests.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -18,12 +24,25 @@ struct QueryResult {
   std::vector<std::vector<PropertyValue>> rows;
 };
 
-/// Executes a parsed query.
+struct ExecOptions {
+  bool vectorized = true;
+  size_t batch_size = 1024;  // ids per operator chunk (vectorized engine)
+};
+
+/// Executes a parsed query. The vectorized path builds a fresh CSR view per
+/// call — use QueryEngine (plan_cache.h) to amortize view builds and plans
+/// across queries.
 Result<QueryResult> ExecuteCypher(const PropertyGraph& graph,
-                                  const CypherQuery& query);
+                                  const CypherQuery& query,
+                                  const ExecOptions& options = {});
+
+/// The row-at-a-time oracle (same results, same errors, no planning).
+Result<QueryResult> ExecuteCypherInterpreted(const PropertyGraph& graph,
+                                             const CypherQuery& query);
 
 /// Parses and executes in one call.
-Result<QueryResult> RunCypher(const PropertyGraph& graph, const std::string& text);
+Result<QueryResult> RunCypher(const PropertyGraph& graph, const std::string& text,
+                              const ExecOptions& options = {});
 
 /// Formats a result as an ASCII table (for examples and the REPL-ish demos).
 std::string FormatResult(const QueryResult& result);

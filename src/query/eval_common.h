@@ -1,0 +1,161 @@
+// Semantics shared by the row-at-a-time Cypher interpreter (the oracle) and
+// the vectorized engine: value formatting/comparison, pattern flattening into
+// variable slots + edge constraints, and query validation. Both executors MUST
+// go through these helpers — the differential tests pin bitwise-identical
+// rows, which requires identical comparison semantics, identical slot
+// numbering, and identical error messages.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+#include "graph/property_graph.h"
+#include "query/cypher_ast.h"
+
+namespace ubigraph::query {
+
+inline std::string ValueToString(const PropertyValue& v) {
+  switch (v.index()) {
+    case 0: return "null";
+    case 1: return std::to_string(std::get<int64_t>(v));
+    case 2: return FormatDouble(std::get<double>(v));
+    case 3: return std::get<bool>(v) ? "true" : "false";
+    case 4: return std::get<std::string>(v);
+    case 5: return "ts:" + std::to_string(std::get<Timestamp>(v).millis);
+    case 6: return "<bytes:" + std::to_string(std::get<Bytes>(v).size()) + ">";
+  }
+  return "?";
+}
+
+/// Numeric-aware comparison: int64 and double compare by value; other types
+/// compare only within the same alternative. Returns: -2 incomparable,
+/// else -1/0/1.
+inline int CompareValues(const PropertyValue& a, const PropertyValue& b) {
+  auto numeric = [](const PropertyValue& v, double* out) {
+    if (std::holds_alternative<int64_t>(v)) {
+      *out = static_cast<double>(std::get<int64_t>(v));
+      return true;
+    }
+    if (std::holds_alternative<double>(v)) {
+      *out = std::get<double>(v);
+      return true;
+    }
+    return false;
+  };
+  double na = 0.0, nb = 0.0;
+  if (numeric(a, &na) && numeric(b, &nb)) {
+    if (na < nb) return -1;
+    if (na > nb) return 1;
+    return 0;
+  }
+  if (a.index() != b.index()) return -2;
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+inline bool EvalComparison(int cmp, CompareOp op) {
+  if (cmp == -2) return op == CompareOp::kNe;  // incomparable: only <> true
+  switch (op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+/// One pattern variable, with the merged constraints of every occurrence.
+struct PatternSlot {
+  NodePattern pattern;
+  std::string name;  // unique (anonymous get synthesized names)
+};
+
+/// One pattern edge, endpoints resolved to slot indices.
+struct EdgeConstraint {
+  size_t from_slot;
+  size_t to_slot;
+  EdgePattern pattern;
+};
+
+/// The flattened, validated query pattern both executors run from. Slot order
+/// is first-appearance order of variables across paths — this defines the
+/// interpreter's enumeration (and therefore row) order.
+struct FlatPattern {
+  std::vector<PatternSlot> slots;
+  std::map<std::string, size_t> slot_of;
+  std::vector<EdgeConstraint> edges;
+  int order_column = -1;  // RETURN column index ORDER BY sorts on, or -1
+  bool counting_only = false;
+};
+
+/// Flattens paths into slots + edge constraints and validates WHERE / RETURN /
+/// ORDER BY references. Variables unify across paths by name (label merge
+/// keeps the first non-empty label; properties concatenate); anonymous nodes
+/// get unique slots. Error messages are part of the oracle contract.
+inline Result<FlatPattern> FlattenPattern(const CypherQuery& query) {
+  if (query.paths.empty()) return Status::Invalid("query has no MATCH pattern");
+  if (query.returns.empty()) return Status::Invalid("query has no RETURN items");
+
+  FlatPattern flat;
+  uint32_t anon_counter = 0;
+  auto slot_for = [&](const NodePattern& node) -> size_t {
+    std::string name = node.variable;
+    if (name.empty()) name = "$anon" + std::to_string(anon_counter++);
+    auto it = flat.slot_of.find(name);
+    if (it != flat.slot_of.end()) {
+      // Merge constraints from repeated use of the same variable.
+      PatternSlot& s = flat.slots[it->second];
+      if (s.pattern.label.empty()) s.pattern.label = node.label;
+      for (const auto& p : node.properties) s.pattern.properties.push_back(p);
+      return it->second;
+    }
+    flat.slots.push_back(PatternSlot{node, name});
+    flat.slot_of[name] = flat.slots.size() - 1;
+    return flat.slots.size() - 1;
+  };
+
+  for (const PathPattern& path : query.paths) {
+    std::vector<size_t> path_slots;
+    path_slots.reserve(path.nodes.size());
+    for (const NodePattern& node : path.nodes) path_slots.push_back(slot_for(node));
+    for (size_t i = 0; i < path.edges.size(); ++i) {
+      flat.edges.push_back({path_slots[i], path_slots[i + 1], path.edges[i]});
+    }
+  }
+
+  for (const Comparison& c : query.where) {
+    for (const Operand* op : {&c.lhs, &c.rhs}) {
+      if (op->kind == Operand::Kind::kProperty && !flat.slot_of.count(op->variable)) {
+        return Status::Invalid("WHERE references unknown variable " + op->variable);
+      }
+    }
+  }
+  for (const ReturnItem& item : query.returns) {
+    if (!item.is_count && !flat.slot_of.count(item.variable)) {
+      return Status::Invalid("RETURN references unknown variable " + item.variable);
+    }
+  }
+  if (query.order_by) {
+    for (size_t i = 0; i < query.returns.size(); ++i) {
+      const ReturnItem& item = query.returns[i];
+      if (!item.is_count && item.variable == query.order_by->variable &&
+          item.key == query.order_by->key) {
+        flat.order_column = static_cast<int>(i);
+        break;
+      }
+    }
+    if (flat.order_column < 0) {
+      return Status::Invalid("ORDER BY must reference a RETURN item");
+    }
+  }
+  flat.counting_only = query.returns.size() == 1 && query.returns[0].is_count;
+  return flat;
+}
+
+}  // namespace ubigraph::query

@@ -1,0 +1,146 @@
+// Physical plan for the vectorized Cypher engine: an ordered pipeline of
+// batched operators, one per pattern slot, produced by the planner
+// (planner.cc) and executed by the vector executor (vector_executor.cc).
+//
+// Plans are parameterized: every literal in the source query (node property
+// values, WHERE literals, the LIMIT count) is replaced by an index into a
+// separate parameter vector, in canonical order (paths -> nodes -> properties,
+// then WHERE comparisons lhs-before-rhs, then LIMIT). This is the same order
+// the token-level normalizer (plan_cache.h) extracts literals in, which is
+// what lets a cached plan rebind to a textually different query with the same
+// shape.
+//
+// Label ids, edge-type ids and property-key ids are resolved against the
+// graph's dictionaries at plan time. Dictionary ids only grow, and the
+// QueryEngine drops plans whenever PropertyGraph::version() moves, so resolved
+// ids in a live plan are never stale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/label_csr.h"
+#include "query/cypher_ast.h"
+
+namespace ubigraph::query {
+
+/// A name that resolved to nothing in the graph's dictionary: matches no
+/// vertex label / no edge type (distinct from the kAny* wildcards).
+inline constexpr uint32_t kNoSuchId = UINT32_MAX - 1;
+
+/// Inline node-property equality filter ({key: literal}), value bound from
+/// the parameter vector. Uses exact variant equality, like the interpreter's
+/// NodeMatches (an int literal does NOT match a double-valued property).
+struct PlanPropFilter {
+  bool key_known = false;  // false: the key is not in the dictionary -> no match
+  uint32_t key_id = 0;
+  int param_index = 0;
+};
+
+/// One side of a WHERE comparison: a slot's property or a parameter.
+struct PlanOperand {
+  bool is_param = false;
+  int param_index = 0;     // when is_param
+  size_t slot = 0;         // when !is_param
+  bool key_known = false;  // unknown key reads as monostate ("null")
+  uint32_t key_id = 0;
+};
+
+/// WHERE conjunct, numeric-aware comparison (eval_common.h CompareValues).
+struct PlanComparison {
+  PlanOperand lhs;
+  CompareOp op = CompareOp::kEq;
+  PlanOperand rhs;
+};
+
+/// A pattern edge whose endpoints are both bound once the owning step runs:
+/// evaluated as an existence probe (binary-search HasArc semijoin), or as a
+/// bounded BFS for variable-length patterns. Mirrors the interpreter's
+/// edge_satisfied exactly.
+struct PlanEdgeCheck {
+  size_t from_slot = 0;
+  size_t to_slot = 0;
+  EdgePattern::Direction direction = EdgePattern::Direction::kOut;
+  uint32_t type_id = LabelCsrView::kAnyType;  // kNoSuchId -> never satisfied
+  uint32_t min_hops = 1;
+  uint32_t max_hops = 1;
+  bool IsVariableLength() const { return min_hops != 1 || max_hops != 1; }
+};
+
+/// One pipeline step; binds exactly one new pattern slot.
+struct PlanStep {
+  enum class Kind {
+    kScan,       // first step: candidates from a label index (or all vertices)
+    kExpand,     // neighbors of an already-bound slot over typed CSR adjacency
+    kVarExpand,  // one-sweep bounded BFS from an already-bound slot
+    kCartesian,  // cross product with a scan (disconnected pattern component)
+  };
+
+  Kind kind = Kind::kScan;
+  size_t slot = 0;  // the slot this step binds
+
+  // Filters on the bound slot's candidates (all kinds).
+  uint32_t label_id = LabelCsrView::kAnyLabel;  // kNoSuchId -> no candidates
+  std::vector<PlanPropFilter> prop_filters;
+
+  // kExpand / kVarExpand: drive from this bound slot. `direction` is already
+  // flipped to be "as walked from from_slot" when the pattern is traversed
+  // from its destination end.
+  size_t from_slot = 0;
+  EdgePattern::Direction direction = EdgePattern::Direction::kOut;
+  uint32_t type_id = LabelCsrView::kAnyType;
+  uint32_t min_hops = 1;  // kVarExpand only
+  uint32_t max_hops = 1;
+
+  // Pattern edges that close (both endpoints bound) at this step.
+  std::vector<PlanEdgeCheck> checks;
+  // WHERE conjuncts whose slots are all bound once this step ran.
+  std::vector<PlanComparison> where;
+
+  double est_rows = 0.0;  // planner's cardinality estimate after this step
+};
+
+/// Projection column.
+struct PlanReturn {
+  bool is_count = false;
+  size_t slot = 0;
+  bool has_key = false;    // false: project the vertex id itself
+  bool key_known = false;  // RETURN x.key with unknown key -> null column
+  uint32_t key_id = 0;
+  std::string display_name;
+};
+
+struct PhysicalPlan {
+  std::vector<PlanStep> steps;  // steps.size() == number of slots
+  size_t num_slots = 0;
+  std::vector<std::string> slot_names;  // by slot index (diagnostics)
+
+  /// True when steps bind slots 0,1,...,n-1 in order. Because every operator
+  /// emits candidates in ascending vertex-id order, pipeline output is then
+  /// already in the interpreter's lexicographic enumeration order: the final
+  /// sort is skipped and LIMIT can stop the pipeline early.
+  bool slot_ordered = false;
+
+  std::vector<PlanReturn> returns;
+  bool counting_only = false;
+  int order_column = -1;  // RETURN column ORDER BY sorts on, or -1
+  bool order_ascending = true;
+  bool has_limit = false;
+  int limit_param = -1;  // parameter carrying the LIMIT count (when has_limit)
+
+  int num_params = 0;
+
+  /// Compact join-order summary for planner tests and EXPLAIN-style debugging,
+  /// e.g. "Scan(b) Expand(b->a) Cartesian(c)".
+  std::string DebugString() const;
+};
+
+/// A freshly planned query: the shape-only plan plus the literal values
+/// extracted from the AST in canonical parameter order.
+struct PlannedQuery {
+  PhysicalPlan plan;
+  std::vector<PropertyValue> params;
+};
+
+}  // namespace ubigraph::query

@@ -1,0 +1,315 @@
+#include "query/planner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "query/eval_common.h"
+
+namespace ubigraph::query {
+
+namespace {
+
+/// Selectivity fudge factor per equality/property filter; a crude but
+/// deterministic stand-in for real value histograms.
+constexpr double kFilterSelectivity = 0.1;
+
+uint32_t ResolveName(const StringDictionary& dict, const std::string& name,
+                     uint32_t any_sentinel) {
+  if (name.empty()) return any_sentinel;
+  auto id = dict.Lookup(name);
+  return id ? *id : kNoSuchId;
+}
+
+/// Average fan-out of one expansion step from `bound_label`, walking the
+/// pattern edge from the given endpoint.
+double ExpandDegree(const LabelCsrView::Stats& stats, uint32_t bound_label,
+                    uint32_t type_id, EdgePattern::Direction dir,
+                    bool from_bound) {
+  if (type_id == kNoSuchId) return 0.0;
+  switch (dir) {
+    case EdgePattern::Direction::kOut:
+      return stats.AvgDegree(bound_label, type_id, /*out=*/from_bound);
+    case EdgePattern::Direction::kIn:
+      return stats.AvgDegree(bound_label, type_id, /*out=*/!from_bound);
+    case EdgePattern::Direction::kAny:
+      return stats.AvgDegree(bound_label, type_id, true) +
+             stats.AvgDegree(bound_label, type_id, false);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanQuery(const PropertyGraph& graph,
+                               const LabelCsrView::Stats& stats,
+                               const CypherQuery& query) {
+  UG_ASSIGN_OR_RETURN(FlatPattern flat, FlattenPattern(query));
+  const size_t n = flat.slots.size();
+
+  PlannedQuery out;
+  PhysicalPlan& plan = out.plan;
+  plan.num_slots = n;
+  plan.slot_names.reserve(n);
+  for (const PatternSlot& s : flat.slots) plan.slot_names.push_back(s.name);
+
+  // --- Parameter extraction, in canonical order: paths -> nodes ->
+  // properties (token order), then WHERE lhs-before-rhs, then LIMIT. This
+  // re-walks the AST the same way FlattenPattern numbers slots so property
+  // filters land on the right (possibly merged) slot.
+  std::vector<std::vector<PlanPropFilter>> slot_filters(n);
+  {
+    uint32_t anon_counter = 0;
+    for (const PathPattern& path : query.paths) {
+      for (const NodePattern& node : path.nodes) {
+        std::string name = node.variable;
+        if (name.empty()) name = "$anon" + std::to_string(anon_counter++);
+        const size_t slot = flat.slot_of.at(name);
+        for (const auto& [key, value] : node.properties) {
+          PlanPropFilter f;
+          auto key_id = graph.keys().Lookup(key);
+          f.key_known = key_id.has_value();
+          f.key_id = key_id.value_or(0);
+          f.param_index = static_cast<int>(out.params.size());
+          out.params.push_back(value);
+          slot_filters[slot].push_back(f);
+        }
+      }
+    }
+  }
+
+  std::vector<PlanComparison> where;
+  where.reserve(query.where.size());
+  for (const Comparison& c : query.where) {
+    PlanComparison pc;
+    pc.op = c.op;
+    auto lower = [&](const Operand& op) {
+      PlanOperand po;
+      if (op.kind == Operand::Kind::kLiteral) {
+        po.is_param = true;
+        po.param_index = static_cast<int>(out.params.size());
+        out.params.push_back(op.literal);
+      } else {
+        po.slot = flat.slot_of.at(op.variable);
+        auto key_id = graph.keys().Lookup(op.key);
+        po.key_known = key_id.has_value();
+        po.key_id = key_id.value_or(0);
+      }
+      return po;
+    };
+    pc.lhs = lower(c.lhs);
+    pc.rhs = lower(c.rhs);
+    where.push_back(pc);
+  }
+
+  if (query.limit) {
+    plan.has_limit = true;
+    plan.limit_param = static_cast<int>(out.params.size());
+    out.params.push_back(static_cast<int64_t>(*query.limit));
+  }
+  plan.num_params = static_cast<int>(out.params.size());
+
+  // --- Resolve slot labels and pattern-edge types against the dictionaries.
+  std::vector<uint32_t> slot_label(n);
+  for (size_t i = 0; i < n; ++i) {
+    slot_label[i] =
+        ResolveName(graph.labels(), flat.slots[i].pattern.label, LabelCsrView::kAnyLabel);
+  }
+  struct ResolvedEdge {
+    size_t from, to;
+    uint32_t type_id;
+    EdgePattern::Direction dir;
+    uint32_t min_hops, max_hops;
+    bool IsVariableLength() const { return min_hops != 1 || max_hops != 1; }
+  };
+  std::vector<ResolvedEdge> redges;
+  redges.reserve(flat.edges.size());
+  for (const EdgeConstraint& ec : flat.edges) {
+    redges.push_back({ec.from_slot, ec.to_slot,
+                      ResolveName(graph.labels(), ec.pattern.type, LabelCsrView::kAnyType),
+                      ec.pattern.direction, ec.pattern.min_hops, ec.pattern.max_hops});
+  }
+
+  // --- Cost model.
+  const double num_v = static_cast<double>(stats.num_vertices);
+  auto scan_est = [&](size_t slot) {
+    return stats.LabelCount(slot_label[slot]) *
+           std::pow(kFilterSelectivity, static_cast<double>(slot_filters[slot].size()));
+  };
+  auto selectivity = [&](size_t slot) {
+    double sel = slot_label[slot] == LabelCsrView::kAnyLabel || num_v <= 0.0
+                     ? 1.0
+                     : stats.LabelCount(slot_label[slot]) / num_v;
+    return sel * std::pow(kFilterSelectivity,
+                          static_cast<double>(slot_filters[slot].size()));
+  };
+
+  // --- Greedy join ordering: start from the cheapest scan, then repeatedly
+  // take the cheapest drivable expansion (strict <, ties -> lowest edge
+  // index); fall back to a cartesian scan when no edge connects the bound set
+  // to the rest. Variable-length edges only drive forward (from their pattern
+  // source) — traversed the other way, they close as bounded-BFS checks.
+  std::vector<bool> bound(n, false);
+  std::vector<bool> edge_used(redges.size(), false);
+
+  auto make_check = [&](const ResolvedEdge& e) {
+    PlanEdgeCheck chk;
+    chk.from_slot = e.from;
+    chk.to_slot = e.to;
+    chk.direction = e.dir;
+    chk.type_id = e.type_id;
+    chk.min_hops = e.min_hops;
+    chk.max_hops = e.max_hops;
+    return chk;
+  };
+  auto close_edges = [&](PlanStep* step) {
+    for (size_t ei = 0; ei < redges.size(); ++ei) {
+      if (edge_used[ei]) continue;
+      if (bound[redges[ei].from] && bound[redges[ei].to]) {
+        edge_used[ei] = true;
+        step->checks.push_back(make_check(redges[ei]));
+      }
+    }
+  };
+
+  size_t first = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (scan_est(i) < scan_est(first)) first = i;
+  }
+  double card = scan_est(first);
+  {
+    PlanStep step;
+    step.kind = PlanStep::Kind::kScan;
+    step.slot = first;
+    step.label_id = slot_label[first];
+    step.prop_filters = slot_filters[first];
+    step.est_rows = card;
+    bound[first] = true;
+    close_edges(&step);
+    plan.steps.push_back(std::move(step));
+  }
+
+  while (plan.steps.size() < n) {
+    int best_edge = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t ei = 0; ei < redges.size(); ++ei) {
+      if (edge_used[ei]) continue;
+      const ResolvedEdge& e = redges[ei];
+      if (bound[e.from] == bound[e.to]) continue;  // 0 or 2 endpoints bound
+      const bool from_bound = bound[e.from];
+      if (e.IsVariableLength() && !from_bound) continue;  // forward only
+      const size_t src = from_bound ? e.from : e.to;
+      const size_t dst = from_bound ? e.to : e.from;
+      double deg = ExpandDegree(stats, slot_label[src], e.type_id, e.dir, from_bound);
+      if (e.IsVariableLength()) deg *= static_cast<double>(e.max_hops);
+      const double cost = card * deg * selectivity(dst);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_edge = static_cast<int>(ei);
+      }
+    }
+
+    PlanStep step;
+    if (best_edge >= 0) {
+      const ResolvedEdge& e = redges[best_edge];
+      const bool from_bound = bound[e.from];
+      const size_t src = from_bound ? e.from : e.to;
+      const size_t dst = from_bound ? e.to : e.from;
+      step.kind = e.IsVariableLength() ? PlanStep::Kind::kVarExpand
+                                       : PlanStep::Kind::kExpand;
+      step.slot = dst;
+      step.from_slot = src;
+      step.type_id = e.type_id;
+      step.min_hops = e.min_hops;
+      step.max_hops = e.max_hops;
+      // Direction as walked from the bound endpoint.
+      if (from_bound || e.dir == EdgePattern::Direction::kAny) {
+        step.direction = e.dir;
+      } else {
+        step.direction = e.dir == EdgePattern::Direction::kOut
+                             ? EdgePattern::Direction::kIn
+                             : EdgePattern::Direction::kOut;
+      }
+      edge_used[best_edge] = true;
+      card = best_cost;
+    } else {
+      // Disconnected component: cheapest remaining scan, cross product.
+      size_t pick = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (!bound[i] && (pick == n || scan_est(i) < scan_est(pick))) pick = i;
+      }
+      step.kind = PlanStep::Kind::kCartesian;
+      step.slot = pick;
+      card *= scan_est(pick);
+    }
+    step.label_id = slot_label[step.slot];
+    step.prop_filters = slot_filters[step.slot];
+    step.est_rows = card;
+    bound[step.slot] = true;
+    close_edges(&step);
+    plan.steps.push_back(std::move(step));
+  }
+
+  // --- WHERE placement: each conjunct runs at the earliest step after which
+  // every slot it references is bound (literal-only conjuncts run at step 0).
+  {
+    std::vector<size_t> bound_at(n, 0);  // step index binding each slot
+    for (size_t j = 0; j < plan.steps.size(); ++j) bound_at[plan.steps[j].slot] = j;
+    for (const PlanComparison& pc : where) {
+      size_t at = 0;
+      for (const PlanOperand* po : {&pc.lhs, &pc.rhs}) {
+        if (!po->is_param) at = std::max(at, bound_at[po->slot]);
+      }
+      plan.steps[at].where.push_back(pc);
+    }
+  }
+
+  plan.slot_ordered = true;
+  for (size_t j = 0; j < plan.steps.size(); ++j) {
+    if (plan.steps[j].slot != j) plan.slot_ordered = false;
+  }
+
+  for (const ReturnItem& item : query.returns) {
+    PlanReturn pr;
+    pr.is_count = item.is_count;
+    pr.display_name = item.DisplayName();
+    if (!item.is_count) {
+      pr.slot = flat.slot_of.at(item.variable);
+      pr.has_key = !item.key.empty();
+      if (pr.has_key) {
+        auto key_id = graph.keys().Lookup(item.key);
+        pr.key_known = key_id.has_value();
+        pr.key_id = key_id.value_or(0);
+      }
+    }
+    plan.returns.push_back(std::move(pr));
+  }
+  plan.counting_only = flat.counting_only;
+  plan.order_column = flat.order_column;
+  plan.order_ascending = query.order_by ? query.order_by->ascending : true;
+  return out;
+}
+
+std::string PhysicalPlan::DebugString() const {
+  auto name = [&](size_t slot) {
+    return slot < slot_names.size() ? slot_names[slot] : std::to_string(slot);
+  };
+  std::string s;
+  for (const PlanStep& step : steps) {
+    if (!s.empty()) s += ' ';
+    switch (step.kind) {
+      case PlanStep::Kind::kScan: s += "Scan(" + name(step.slot) + ")"; break;
+      case PlanStep::Kind::kExpand:
+        s += "Expand(" + name(step.from_slot) + "->" + name(step.slot) + ")";
+        break;
+      case PlanStep::Kind::kVarExpand:
+        s += "VarExpand(" + name(step.from_slot) + "->" + name(step.slot) + ")";
+        break;
+      case PlanStep::Kind::kCartesian:
+        s += "Cartesian(" + name(step.slot) + ")";
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace ubigraph::query

@@ -1,0 +1,24 @@
+// Degree-statistics query planner: lowers a parsed CypherQuery into a
+// PhysicalPlan (plan.h) using the LabelCsrView's per-label counts and
+// per-(label, edge-type) average degrees to pick the cheapest join order.
+#pragma once
+
+#include "common/result.h"
+#include "graph/label_csr.h"
+#include "graph/property_graph.h"
+#include "query/cypher_ast.h"
+#include "query/plan.h"
+
+namespace ubigraph::query {
+
+/// Plans a query against the given graph + statistics. Fails with the same
+/// validation errors as the interpreter ("query has no MATCH pattern", ...).
+///
+/// The planner is fully deterministic: cardinality ties break toward the
+/// lowest slot index / lowest pattern-edge index, so tests can pin chosen
+/// join orders exactly.
+Result<PlannedQuery> PlanQuery(const PropertyGraph& graph,
+                               const LabelCsrView::Stats& stats,
+                               const CypherQuery& query);
+
+}  // namespace ubigraph::query

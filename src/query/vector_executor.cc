@@ -1,0 +1,473 @@
+#include "query/vector_executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/eval_common.h"
+
+namespace ubigraph::query {
+
+namespace {
+
+/// Bounded BFS mirroring the interpreter's within_hops: is `to` reachable
+/// from `from` in [min, max] hops along typed arcs in the given direction?
+/// (The interpreter scans raw edge lists; dedup'd CSR rows visit the same BFS
+/// layers and test the same (frontier-vertex, target) adjacencies, so the
+/// predicate is identical.)
+bool WithinHops(const LabelCsrView& view, VertexId from, VertexId to,
+                EdgePattern::Direction dir, uint32_t type_id, uint32_t min_hops,
+                uint32_t max_hops, uint64_t* edges_scanned) {
+  std::vector<VertexId> frontier{from};
+  std::vector<uint8_t> seen(view.num_vertices(), 0);
+  seen[from] = 1;
+  for (uint32_t hop = 1; hop <= max_hops; ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      auto scan = [&](bool outgoing) {
+        auto nbrs = outgoing ? view.OutNeighbors(u, type_id)
+                             : view.InNeighbors(u, type_id);
+        *edges_scanned += nbrs.size();
+        for (VertexId v : nbrs) {
+          if (v == to && hop >= min_hops) return true;
+          if (!seen[v]) {
+            seen[v] = 1;
+            next.push_back(v);
+          }
+        }
+        return false;
+      };
+      bool found = false;
+      switch (dir) {
+        case EdgePattern::Direction::kOut: found = scan(true); break;
+        case EdgePattern::Direction::kIn: found = scan(false); break;
+        case EdgePattern::Direction::kAny: found = scan(true) || scan(false); break;
+      }
+      if (found) return true;
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return false;
+}
+
+class PipelineExec {
+ public:
+  PipelineExec(const PropertyGraph& graph, const LabelCsrView& view,
+               const PhysicalPlan& plan, const std::vector<PropertyValue>& params,
+               size_t batch_size)
+      : graph_(graph),
+        view_(view),
+        plan_(plan),
+        params_(params),
+        batch_(batch_size == 0 ? 1 : batch_size) {}
+
+  Result<QueryResult> Run();
+
+ private:
+  // A chunk of partial bindings, row-major; row r spans data[r*level ..
+  // r*level+level) and holds slot values in *binding* (step) order.
+  struct Block {
+    std::vector<VertexId> data;
+    size_t rows = 0;
+  };
+
+  uint64_t LimitValue() const {
+    const auto* v = std::get_if<int64_t>(&params_[plan_.limit_param]);
+    return v && *v > 0 ? static_cast<uint64_t>(*v) : 0;
+  }
+
+  bool NodeOk(const PlanStep& st, VertexId v) const {
+    if (st.label_id != LabelCsrView::kAnyLabel &&
+        graph_.VertexLabelId(v) != st.label_id) {
+      return false;
+    }
+    for (const PlanPropFilter& f : st.prop_filters) {
+      // Exact variant equality, like the interpreter's NodeMatches.
+      const PropertyValue* have =
+          f.key_known ? graph_.FindVertexProperty(v, f.key_id) : nullptr;
+      if (have == nullptr) {
+        if (!std::holds_alternative<std::monostate>(params_[f.param_index])) {
+          return false;
+        }
+      } else if (!(*have == params_[f.param_index])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool CheckEdge(const PlanEdgeCheck& chk, VertexId a, VertexId b) {
+    if (chk.IsVariableLength()) {
+      return WithinHops(view_, a, b, chk.direction, chk.type_id, chk.min_hops,
+                        chk.max_hops, &rows_scanned_);
+    }
+    switch (chk.direction) {
+      case EdgePattern::Direction::kOut: return view_.HasArc(a, b, chk.type_id);
+      case EdgePattern::Direction::kIn: return view_.HasArc(b, a, chk.type_id);
+      case EdgePattern::Direction::kAny:
+        return view_.HasArc(a, b, chk.type_id) || view_.HasArc(b, a, chk.type_id);
+    }
+    return false;
+  }
+
+  // Slot value within the current evaluation context: the candidate `v` for
+  // the step being run, or the already-bound value from `row`.
+  VertexId SlotValue(const PlanStep& st, const VertexId* row, VertexId v,
+                     size_t slot) const {
+    return slot == st.slot ? v : row[pos_of_slot_[slot]];
+  }
+
+  PropertyValue OperandValue(const PlanOperand& po, const PlanStep& st,
+                             const VertexId* row, VertexId v) const {
+    if (po.is_param) return params_[po.param_index];
+    if (!po.key_known) return std::monostate{};
+    const VertexId at = SlotValue(st, row, v, po.slot);
+    const PropertyValue* p = graph_.FindVertexProperty(at, po.key_id);
+    return p ? *p : PropertyValue{std::monostate{}};
+  }
+
+  bool WhereOk(const PlanStep& st, const VertexId* row, VertexId v) const {
+    for (const PlanComparison& pc : st.where) {
+      if (!EvalComparison(CompareValues(OperandValue(pc.lhs, st, row, v),
+                                       OperandValue(pc.rhs, st, row, v)),
+                          pc.op)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Filters `m` candidates for `row` through the step's label/property
+  // filters, edge checks, and WHERE conjuncts using a selection vector, then
+  // appends survivors to `out` (flushing downstream at batch_ rows).
+  void FilterAndEmit(size_t level, const PlanStep& st, const VertexId* row,
+                     const VertexId* cand, size_t m, Block* out) {
+    // Per-level scratch: flushing a full batch recurses into deeper steps,
+    // which use their own selection vectors.
+    std::vector<VertexId>& sel = scratch_[level].sel;
+    sel.clear();
+    rows_scanned_ += m;
+    for (size_t i = 0; i < m; ++i) {
+      if (NodeOk(st, cand[i])) sel.push_back(cand[i]);
+    }
+    if (!st.checks.empty()) {
+      size_t w = 0;
+      for (VertexId v : sel) {
+        bool ok = true;
+        for (const PlanEdgeCheck& chk : st.checks) {
+          const VertexId a = SlotValue(st, row, v, chk.from_slot);
+          const VertexId b = SlotValue(st, row, v, chk.to_slot);
+          if (!CheckEdge(chk, a, b)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) sel[w++] = v;
+      }
+      sel.resize(w);
+    }
+    if (!st.where.empty()) {
+      size_t w = 0;
+      for (VertexId v : sel) {
+        if (WhereOk(st, row, v)) {
+          sel[w++] = v;
+        } else {
+          ++rows_filtered_;
+        }
+      }
+      sel.resize(w);
+    }
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (stop_) return;
+      out->data.insert(out->data.end(), row, row + level);
+      out->data.push_back(sel[i]);
+      if (++out->rows == batch_) Flush(level + 1, out);
+    }
+  }
+
+  void Flush(size_t level, Block* out) {
+    if (out->rows == 0) return;
+    Process(level, *out);
+    out->data.clear();
+    out->rows = 0;
+  }
+
+  void Process(size_t level, const Block& in) {
+    if (stop_ || in.rows == 0) return;
+    if (level == plan_.steps.size()) {
+      Finalize(in);
+      return;
+    }
+    ++batches_;
+    batch_rows_ += in.rows;
+    const PlanStep& st = plan_.steps[level];
+    Block out;
+    out.data.reserve((level + 1) * batch_);
+
+    for (size_t r = 0; r < in.rows && !stop_; ++r) {
+      const VertexId* row = in.data.data() + r * level;
+      switch (st.kind) {
+        case PlanStep::Kind::kScan:
+        case PlanStep::Kind::kCartesian: {
+          if (st.label_id == LabelCsrView::kAnyLabel) {
+            // All vertices, ascending, in batch_-sized chunks.
+            std::vector<VertexId>& chunk = scratch_[level].chunk;
+            chunk.clear();
+            for (VertexId v = 0; v < graph_.num_vertices() && !stop_; ++v) {
+              chunk.push_back(v);
+              if (chunk.size() == batch_) {
+                FilterAndEmit(level, st, row, chunk.data(), chunk.size(), &out);
+                chunk.clear();
+              }
+            }
+            if (!stop_ && !chunk.empty()) {
+              FilterAndEmit(level, st, row, chunk.data(), chunk.size(), &out);
+            }
+          } else {
+            const std::vector<VertexId>& cand = view_.VerticesWithLabel(st.label_id);
+            for (size_t at = 0; at < cand.size() && !stop_; at += batch_) {
+              const size_t m = std::min(batch_, cand.size() - at);
+              FilterAndEmit(level, st, row, cand.data() + at, m, &out);
+            }
+          }
+          break;
+        }
+        case PlanStep::Kind::kExpand: {
+          const VertexId u = row[pos_of_slot_[st.from_slot]];
+          if (st.direction == EdgePattern::Direction::kAny) {
+            auto o = view_.OutNeighbors(u, st.type_id);
+            auto i = view_.InNeighbors(u, st.type_id);
+            std::vector<VertexId>& merged = scratch_[level].merged;
+            merged.clear();
+            std::set_union(o.begin(), o.end(), i.begin(), i.end(),
+                           std::back_inserter(merged));
+            FilterAndEmit(level, st, row, merged.data(), merged.size(), &out);
+          } else {
+            auto nbrs = st.direction == EdgePattern::Direction::kOut
+                            ? view_.OutNeighbors(u, st.type_id)
+                            : view_.InNeighbors(u, st.type_id);
+            FilterAndEmit(level, st, row, nbrs.data(), nbrs.size(), &out);
+          }
+          break;
+        }
+        case PlanStep::Kind::kVarExpand: {
+          const VertexId u = row[pos_of_slot_[st.from_slot]];
+          std::vector<VertexId>& targets = scratch_[level].var_targets;
+          VarTargets(u, st, &targets);
+          FilterAndEmit(level, st, row, targets.data(), targets.size(), &out);
+          break;
+        }
+      }
+    }
+    if (!stop_) Flush(level + 1, &out);
+  }
+
+  // One-sweep bounded BFS from `u`: every vertex adjacent (in the pattern's
+  // direction) to a BFS layer in [min_hops-1, max_hops-1] is a qualifying
+  // target — exactly the set {v : within_hops(u, v)} the interpreter tests
+  // per pair — collected sorted + dedup'd into *targets.
+  void VarTargets(VertexId u, const PlanStep& st, std::vector<VertexId>* targets) {
+    targets->clear();
+    std::vector<VertexId> frontier{u};
+    std::vector<uint8_t> seen(view_.num_vertices(), 0);
+    seen[u] = 1;
+    for (uint32_t hop = 1; hop <= st.max_hops && !frontier.empty(); ++hop) {
+      std::vector<VertexId> next;
+      for (VertexId w : frontier) {
+        auto scan = [&](bool outgoing) {
+          auto nbrs = outgoing ? view_.OutNeighbors(w, st.type_id)
+                               : view_.InNeighbors(w, st.type_id);
+          rows_scanned_ += nbrs.size();
+          for (VertexId v : nbrs) {
+            if (hop >= st.min_hops) targets->push_back(v);
+            if (!seen[v]) {
+              seen[v] = 1;
+              next.push_back(v);
+            }
+          }
+        };
+        switch (st.direction) {
+          case EdgePattern::Direction::kOut: scan(true); break;
+          case EdgePattern::Direction::kIn: scan(false); break;
+          case EdgePattern::Direction::kAny:
+            scan(true);
+            scan(false);
+            break;
+        }
+      }
+      frontier = std::move(next);
+    }
+    std::sort(targets->begin(), targets->end());
+    targets->erase(std::unique(targets->begin(), targets->end()), targets->end());
+  }
+
+  void Finalize(const Block& in) {
+    finalized_ += in.rows;
+    if (plan_.counting_only) {
+      count_ += in.rows;
+      return;
+    }
+    const size_t n = plan_.num_slots;
+    for (size_t r = 0; r < in.rows; ++r) {
+      const VertexId* row = in.data.data() + r * n;
+      // Remap binding order -> slot order.
+      const size_t base = results_.size();
+      results_.resize(base + n);
+      for (size_t j = 0; j < n; ++j) results_[base + plan_.steps[j].slot] = row[j];
+      ++result_rows_;
+      if (early_exit_ && result_rows_ >= limit_threshold_) {
+        stop_ = true;
+        return;
+      }
+    }
+  }
+
+  const PropertyGraph& graph_;
+  const LabelCsrView& view_;
+  const PhysicalPlan& plan_;
+  const std::vector<PropertyValue>& params_;
+  const size_t batch_;
+
+  // Per-pipeline-level scratch buffers (a flushed batch recurses into deeper
+  // levels while the shallower level is still mid-iteration).
+  struct Scratch {
+    std::vector<VertexId> sel;     // selection vector
+    std::vector<VertexId> chunk;   // full-scan chunk
+    std::vector<VertexId> merged;  // any-direction sorted-merge
+    std::vector<VertexId> var_targets;
+  };
+  std::vector<size_t> pos_of_slot_;  // slot -> binding position
+  std::vector<Scratch> scratch_;     // indexed by pipeline level
+
+  std::vector<VertexId> results_;  // assignments, slot-major, stride num_slots
+  size_t result_rows_ = 0;
+  uint64_t count_ = 0;
+  bool early_exit_ = false;
+  uint64_t limit_threshold_ = 0;
+  bool stop_ = false;
+
+  uint64_t rows_scanned_ = 0;
+  uint64_t rows_filtered_ = 0;
+  uint64_t finalized_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batch_rows_ = 0;
+};
+
+Result<QueryResult> PipelineExec::Run() {
+  obs::ScopedTrace span("ExecuteCypherVectorized", "query");
+  const size_t n = plan_.num_slots;
+  pos_of_slot_.assign(n, 0);
+  for (size_t j = 0; j < plan_.steps.size(); ++j) {
+    pos_of_slot_[plan_.steps[j].slot] = j;
+  }
+  scratch_.resize(plan_.steps.size());
+
+  // The pipeline can stop as soon as LIMIT rows exist only when output is
+  // already in oracle order and no reordering/recount happens afterwards.
+  if (plan_.slot_ordered && plan_.has_limit && plan_.order_column < 0 &&
+      !plan_.counting_only) {
+    early_exit_ = true;
+    // Bug-compatible with the interpreter: LIMIT 0 still emits the first row
+    // (the row is pushed before the limit check).
+    limit_threshold_ = std::max<uint64_t>(LimitValue(), 1);
+  }
+
+  Block root;
+  root.rows = 1;  // one empty binding
+  Process(0, root);
+
+  QueryResult result;
+  for (const PlanReturn& pr : plan_.returns) result.columns.push_back(pr.display_name);
+
+  if (!plan_.counting_only) {
+    // Restore the interpreter's enumeration order: lexicographic in
+    // (slot0, ..., slotN). Tuples are distinct, so plain sort suffices.
+    if (!plan_.slot_ordered && result_rows_ > 1) {
+      std::vector<size_t> idx(result_rows_);
+      std::iota(idx.begin(), idx.end(), 0);
+      std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        const VertexId* ra = results_.data() + a * n;
+        const VertexId* rb = results_.data() + b * n;
+        return std::lexicographical_compare(ra, ra + n, rb, rb + n);
+      });
+      std::vector<VertexId> sorted(results_.size());
+      for (size_t r = 0; r < result_rows_; ++r) {
+        std::copy_n(results_.data() + idx[r] * n, n, sorted.data() + r * n);
+      }
+      results_ = std::move(sorted);
+    }
+    if (plan_.has_limit && plan_.order_column < 0) {
+      const uint64_t threshold = std::max<uint64_t>(LimitValue(), 1);
+      if (result_rows_ > threshold) result_rows_ = threshold;
+    }
+    result.rows.reserve(result_rows_);
+    for (size_t r = 0; r < result_rows_; ++r) {
+      const VertexId* row = results_.data() + r * n;
+      std::vector<PropertyValue> cells;
+      cells.reserve(plan_.returns.size());
+      for (const PlanReturn& pr : plan_.returns) {
+        if (pr.is_count) {
+          cells.push_back(static_cast<int64_t>(0));  // patched below
+        } else if (!pr.has_key) {
+          cells.push_back(static_cast<int64_t>(row[pr.slot]));
+        } else if (!pr.key_known) {
+          cells.push_back(std::monostate{});
+        } else {
+          const PropertyValue* p = graph_.FindVertexProperty(row[pr.slot], pr.key_id);
+          cells.push_back(p ? *p : PropertyValue{std::monostate{}});
+        }
+      }
+      result.rows.push_back(std::move(cells));
+    }
+    if (plan_.order_column >= 0) {
+      const int col = plan_.order_column;
+      const bool ascending = plan_.order_ascending;
+      std::stable_sort(result.rows.begin(), result.rows.end(),
+                       [&](const auto& a, const auto& b) {
+                         int cmp = CompareValues(a[col], b[col]);
+                         if (cmp == -2) return false;  // incomparable: keep order
+                         return ascending ? cmp < 0 : cmp > 0;
+                       });
+      if (plan_.has_limit && result.rows.size() > LimitValue()) {
+        result.rows.resize(LimitValue());
+      }
+    }
+    for (size_t c = 0; c < plan_.returns.size(); ++c) {
+      if (!plan_.returns[c].is_count) continue;
+      for (auto& row : result.rows) {
+        row[c] = static_cast<int64_t>(result.rows.size());
+      }
+    }
+  } else {
+    result.rows.push_back({static_cast<int64_t>(count_)});
+  }
+
+  obs::AddCounter("cypher.queries", 1);
+  obs::AddCounter("cypher.rows_scanned", static_cast<int64_t>(rows_scanned_));
+  obs::AddCounter("cypher.rows_matched",
+                  static_cast<int64_t>(finalized_ + rows_filtered_));
+  obs::AddCounter("cypher.rows_filtered", static_cast<int64_t>(rows_filtered_));
+  obs::AddCounter("cypher.rows_returned", static_cast<int64_t>(result.rows.size()));
+  obs::AddCounter("query.batch.batches", static_cast<int64_t>(batches_));
+  obs::AddCounter("query.batch.rows", static_cast<int64_t>(batch_rows_));
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecutePlan(const PropertyGraph& graph,
+                                const LabelCsrView& view,
+                                const PhysicalPlan& plan,
+                                const std::vector<PropertyValue>& params,
+                                size_t batch_size) {
+  if (params.size() != static_cast<size_t>(plan.num_params)) {
+    return Status::Invalid("plan expects " + std::to_string(plan.num_params) +
+                           " parameters, got " + std::to_string(params.size()));
+  }
+  PipelineExec exec(graph, view, plan, params, batch_size);
+  return exec.Run();
+}
+
+}  // namespace ubigraph::query

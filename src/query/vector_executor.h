@@ -1,0 +1,27 @@
+// Batched executor for PhysicalPlans: runs the operator pipeline over
+// fixed-size chunks of vertex ids with selection vectors, then restores the
+// interpreter's documented row order (lexicographic in slot-assignment order)
+// before projection. See DESIGN.md "Vectorized query execution" for the
+// determinism argument.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/label_csr.h"
+#include "graph/property_graph.h"
+#include "query/cypher_executor.h"
+#include "query/plan.h"
+
+namespace ubigraph::query {
+
+/// Executes a plan with the given parameter bindings. `view` must have been
+/// built from `graph` at its current version. params.size() must equal
+/// plan.num_params.
+Result<QueryResult> ExecutePlan(const PropertyGraph& graph,
+                                const LabelCsrView& view,
+                                const PhysicalPlan& plan,
+                                const std::vector<PropertyValue>& params,
+                                size_t batch_size);
+
+}  // namespace ubigraph::query

@@ -24,6 +24,7 @@
 #include "io/json_io.h"
 #include "io/mmio.h"
 #include "query/cypher_parser.h"
+#include "query/plan_cache.h"
 #include "rdf/ntriples.h"
 #include "stream/incremental_components.h"
 #include "stream/incremental_kcore.h"
@@ -286,6 +287,63 @@ TEST(FuzzSmokeTest, CypherParserIsTotal) {
       "MATCH (a:Person {age: 34})-[:knows*1..3]->(b) WHERE a.x <= 1.5 "
       "RETURN a.name, count(*) ORDER BY a.name DESC LIMIT 5";
   FuzzParser([](const std::string& s) { query::ParseCypher(s).ok(); }, valid, 10);
+}
+
+TEST(FuzzSmokeTest, CypherNormalizerIsTotal) {
+  // The plan-cache normalizer must be total on the same hostile inputs the
+  // parser survives, and must produce a cache key for EVERY parse-accepted
+  // query (the cache-hit fast path runs the normalizer alone, so a query the
+  // parser accepts but the normalizer rejects would fall off the fast path —
+  // or worse, crash it).
+  std::string valid =
+      "MATCH (a:Person {age: 34})-[:knows*1..3]->(b) WHERE a.x <= 1.5 "
+      "RETURN a.name, count(*) ORDER BY a.name DESC LIMIT 5";
+  FuzzParser(
+      [](const std::string& s) {
+        bool parsed = query::ParseCypher(s).ok();
+        auto normalized = query::NormalizeCypher(s);
+        if (parsed) {
+          ASSERT_TRUE(normalized.ok())
+              << "parse-accepted query has no cache key: " << s;
+          EXPECT_FALSE(normalized->key.empty()) << s;
+        }
+      },
+      valid, 11);
+}
+
+TEST(FuzzSmokeTest, CypherNormalizerHostileShapes) {
+  // Hand-built hostile shapes: deep nesting, duplicate variables, 0-length
+  // patterns, unbalanced braces, boolean identifiers in every position.
+  std::vector<std::string> docs = {
+      "MATCH () RETURN count(*)",
+      "MATCH ()-[]->() RETURN count(*)",
+      "MATCH (a)-[:k]->(a)-[:k]->(a) RETURN a",
+      "MATCH (a {x: 1, x: 2, x: 3}) RETURN a",
+      "MATCH (true)-[:false]->(false {true: true}) RETURN true",
+      "MATCH (a:L {k: 'v'}) WHERE a.k = 'v' RETURN a LIMIT 0",
+      std::string(5000, '('),
+      std::string(5000, '{'),
+      "MATCH (a {x: " + std::string(200, '1') + "}) RETURN a",
+  };
+  // Deeply nested / repeated pattern elements.
+  std::string deep = "MATCH (v0)";
+  for (int i = 1; i <= 64; ++i) {
+    deep += "-[:e]->(v" + std::to_string(i) + ")";
+  }
+  deep += " RETURN count(*)";
+  docs.push_back(deep);
+  for (const std::string& doc : docs) {
+    bool parsed = query::ParseCypher(doc).ok();
+    auto normalized = query::NormalizeCypher(doc);
+    if (parsed) {
+      ASSERT_TRUE(normalized.ok()) << doc.substr(0, 80);
+      EXPECT_FALSE(normalized->key.empty());
+    }
+    // Either way: no crash, and a clean Status on rejection.
+    if (!normalized.ok()) {
+      EXPECT_FALSE(normalized.status().message().empty());
+    }
+  }
 }
 
 // --- mutation-stream fuzz: the streaming layer, not the parsers ------------
