@@ -195,6 +195,8 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
       if (bpe != run.counters.end()) s.bytes_per_edge = bpe->second.value;
       auto wi = run.counters.find("work_items");
       if (wi != run.counters.end()) s.work_items = wi->second.value;
+      auto prb = run.counters.find("peak_resident_bytes");
+      if (prb != run.counters.end()) s.peak_resident_bytes = prb->second.value;
       auto threads = run.counters.find("threads");
       if (threads != run.counters.end()) {
         s.threads = static_cast<int64_t>(threads->second.value);
@@ -229,12 +231,13 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
       // state doesn't; drop it whenever enough repetitions remain to still
       // take a median.
       const size_t begin = runs.size() > 2 ? 1 : 0;
-      std::vector<double> ns, eps, bpe, wi;
+      std::vector<double> ns, eps, bpe, wi, prb;
       for (size_t i = begin; i < runs.size(); ++i) {
         ns.push_back(runs[i]->real_ns);
         eps.push_back(runs[i]->edges_per_second);
         bpe.push_back(runs[i]->bytes_per_edge);
         wi.push_back(runs[i]->work_items);
+        prb.push_back(runs[i]->peak_resident_bytes);
       }
       const double med_ns = Median(ns);
       double spread = 0.0;
@@ -258,6 +261,7 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
           << ", \"edges_per_second\": " << Finite(Median(eps))
           << ", \"bytes_per_edge\": " << Finite(Median(bpe))
           << ", \"work_items\": " << Finite(Median(wi))
+          << ", \"peak_resident_bytes\": " << Finite(Median(prb))
           << ", \"repeats\": " << ns.size()
           << ", \"rel_spread\": " << Finite(spread) << "}";
     }
@@ -275,6 +279,7 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     double edges_per_second = 0.0;
     double bytes_per_edge = 0.0;  // 0 unless the bench reports compression
     double work_items = 0.0;  // 0 unless the bench reports per-batch work
+    double peak_resident_bytes = 0.0;  // 0 unless out-of-core (perf_sharded)
     int64_t threads = 1;
   };
 

@@ -186,6 +186,31 @@ void BM_CompressedEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressedEncode)->Arg(12)->Arg(20);
 
+// Raw varint block-decode throughput: stream every adjacency row through the
+// 16-id block decoder with no kernel arithmetic attached. This is the record
+// that pins the branch-reduced Refill fast path (the 16-byte wide probe for
+// all-single-byte gap blocks) — kernel-level benches dilute decode time with
+// rank updates, so a decoder regression hides in them.
+void BM_CompressedDecode(benchmark::State& state) {
+  const uint32_t scale = static_cast<uint32_t>(state.range(0));
+  const CompressedCsrGraph& g = CompressedRmat(scale);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId u : g.OutNeighbors(v)) sink += u;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  // Every stored edge is decoded exactly once per sweep.
+  bench::SetWorkItems(state, static_cast<double>(g.num_edges()));
+  state.counters["bytes_per_edge"] = g.AdjacencyBytesPerEdge();
+  state.SetLabel("kernel=compress mode=decode graph=rmat" +
+                 std::to_string(scale));
+  state.counters["threads"] = 1.0;
+}
+BENCHMARK(BM_CompressedDecode)->Arg(12)->Arg(20);
+
 // The reordering passes themselves (permutation only, no Permute).
 void ReorderPassBench(benchmark::State& state, OrderingKind kind) {
   const uint32_t scale = static_cast<uint32_t>(state.range(0));

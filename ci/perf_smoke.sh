@@ -32,7 +32,7 @@ BENCH_FLAGS=(--benchmark_filter='/12/' --benchmark_min_time=0.05
              --benchmark_repetitions=5 --benchmark_report_aggregates_only=false)
 SMOKE_BINARIES=(perf_traversal perf_pagerank perf_components perf_csr_build
                 perf_reorder perf_shortest_path perf_centrality
-                perf_incremental perf_query)
+                perf_incremental perf_query perf_sharded)
 
 cmake -S "$ROOT" -B "$BUILD_DIR" > /dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \

@@ -154,7 +154,9 @@ Result<PartitionQuality> EvaluatePartition(const CsrGraph& g,
     if (x >= p.num_parts) return Status::Invalid("part id out of range");
     ++q.part_sizes[x];
   }
+  q.part_out_edges.assign(p.num_parts, 0);
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    q.part_out_edges[p.part[u]] += g.OutDegree(u);
     for (VertexId v : g.OutNeighbors(u)) {
       if (p.part[u] != p.part[v]) ++q.edge_cut;
     }
@@ -166,6 +168,12 @@ Result<PartitionQuality> EvaluatePartition(const CsrGraph& g,
     uint64_t max_size = *std::max_element(q.part_sizes.begin(), q.part_sizes.end());
     double ideal = static_cast<double>(g.num_vertices()) / p.num_parts;
     q.imbalance = static_cast<double>(max_size) / ideal - 1.0;
+  }
+  if (p.num_parts > 0 && g.num_edges() > 0) {
+    uint64_t max_edges =
+        *std::max_element(q.part_out_edges.begin(), q.part_out_edges.end());
+    double ideal = static_cast<double>(g.num_edges()) / p.num_parts;
+    q.edge_imbalance = static_cast<double>(max_edges) / ideal - 1.0;
   }
   return q;
 }

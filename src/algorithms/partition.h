@@ -24,6 +24,12 @@ struct PartitionQuality {
   double cut_fraction = 0.0;   // edge_cut / num_edges
   double imbalance = 0.0;      // max part size / ideal size - 1
   std::vector<uint64_t> part_sizes;
+  /// Out-edges whose source lands in each part — the per-part WORK of a
+  /// scatter kernel, which vertex counts misrepresent on skewed-degree
+  /// graphs. edge_imbalance = max part out-edges / ideal - 1; a sharded run
+  /// (bench/perf_sharded.cc) reports it as the shard-skew number.
+  std::vector<uint64_t> part_out_edges;
+  double edge_imbalance = 0.0;
 };
 
 /// Hash (modulo) partitioning — the baseline every streaming partitioner is

@@ -4,8 +4,6 @@
 
 namespace ubigraph {
 
-namespace {
-
 void AppendVarint(std::vector<uint8_t>& out, uint64_t x) {
   while (x >= 0x80) {
     out.push_back(static_cast<uint8_t>(x) | 0x80);
@@ -14,7 +12,14 @@ void AppendVarint(std::vector<uint8_t>& out, uint64_t x) {
   out.push_back(static_cast<uint8_t>(x));
 }
 
-}  // namespace
+void AppendGapEncodedRow(std::vector<uint8_t>& out,
+                         std::span<const VertexId> sorted_targets) {
+  VertexId prev = 0;  // the first neighbor encodes as its gap from 0
+  for (VertexId t : sorted_targets) {
+    AppendVarint(out, t - prev);
+    prev = t;
+  }
+}
 
 CompressedCsrGraph::Index CompressedCsrGraph::Encode(
     const std::vector<uint64_t>& offsets, const std::vector<VertexId>& targets,
@@ -30,11 +35,8 @@ CompressedCsrGraph::Index CompressedCsrGraph::Encode(
   for (VertexId v = 0; v < n; ++v) {
     const uint64_t lo = offsets[v], hi = offsets[v + 1];
     idx.degrees[v] = static_cast<uint32_t>(hi - lo);
-    VertexId prev = 0;  // the first neighbor encodes as its gap from 0
-    for (uint64_t i = lo; i < hi; ++i) {
-      AppendVarint(idx.bytes, targets[i] - prev);
-      prev = targets[i];
-    }
+    AppendGapEncodedRow(idx.bytes,
+                        std::span<const VertexId>(targets).subspan(lo, hi - lo));
     idx.byte_offsets[v + 1] = idx.bytes.size();
   }
   idx.bytes.shrink_to_fit();

@@ -18,9 +18,12 @@
 // carried — weighted kernels stay on CsrGraph.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <iterator>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +31,17 @@
 #include "graph/csr_graph.h"
 
 namespace ubigraph {
+
+/// Appends x as a LEB128 varint (little-endian 7-bit groups, high bit =
+/// continuation) — the byte coding shared with the sharded segment files
+/// (shard/segment.cc).
+void AppendVarint(std::vector<uint8_t>& out, uint64_t x);
+
+/// Gap-encodes one ascending neighbor row: varint(first id), then varint(gap)
+/// per subsequent id. Duplicates encode as gap 0; descending input is a
+/// precondition violation (the unsigned gap would wrap).
+void AppendGapEncodedRow(std::vector<uint8_t>& out,
+                         std::span<const VertexId> sorted_targets);
 
 class CompressedCsrGraph {
  public:
@@ -157,15 +171,45 @@ inline void CompressedCsrGraph::NeighborIterator::Refill() {
   remaining_ -= take;
   const uint8_t* p = p_;
   VertexId prev = prev_;
+  if constexpr (std::endian::native == std::endian::little) {
+    if (take == kDecodeBlock) {
+      // A full block still pending means at least 16 encoded bytes remain
+      // (every id costs >= 1 byte), so a 16-byte probe never overruns the
+      // stream. When no probed byte carries a continuation bit — the common
+      // case on sorted power-law rows, where most gaps are < 128 — the whole
+      // block is single-byte gaps and decodes as two unrolled word scans
+      // with no per-byte branches.
+      uint64_t w0, w1;
+      std::memcpy(&w0, p, sizeof w0);
+      std::memcpy(&w1, p + sizeof w0, sizeof w1);
+      if (((w0 | w1) & 0x8080808080808080ull) == 0) {
+        for (uint32_t i = 0; i < 8; ++i) {
+          prev += static_cast<VertexId>((w0 >> (8 * i)) & 0x7f);
+          buf_[i] = prev;
+        }
+        for (uint32_t i = 0; i < 8; ++i) {
+          prev += static_cast<VertexId>((w1 >> (8 * i)) & 0x7f);
+          buf_[8 + i] = prev;
+        }
+        p_ = p + kDecodeBlock;
+        prev_ = prev;
+        return;
+      }
+    }
+  }
   for (uint32_t i = 0; i < take; ++i) {
-    uint64_t gap = 0;
-    unsigned shift = 0;
-    uint8_t byte;
-    do {
-      byte = *p++;
-      gap |= static_cast<uint64_t>(byte & 0x7f) << shift;
-      shift += 7;
-    } while (byte & 0x80);
+    // Even on mixed blocks, single-byte gaps dominate; peel that case so the
+    // multi-byte accumulation loop only runs when a continuation bit is set.
+    uint8_t byte = *p++;
+    uint64_t gap = byte & 0x7f;
+    if (byte & 0x80) {
+      unsigned shift = 7;
+      do {
+        byte = *p++;
+        gap |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        shift += 7;
+      } while (byte & 0x80);
+    }
     prev += static_cast<VertexId>(gap);
     buf_[i] = prev;
   }

@@ -1,0 +1,385 @@
+#include "shard/segment.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/status.h"
+
+namespace ubigraph::shard {
+namespace {
+
+template <typename T>
+void AppendPod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void AppendArray(std::string& out, const T* p, size_t n) {
+  out.append(reinterpret_cast<const char*>(p), n * sizeof(T));
+}
+
+/// Checks one compressed row's byte span without decoding values: exactly
+/// `degree` varint terminators (bytes with the continuation bit clear), no
+/// varint longer than 5 bytes (a u32 gap never needs more), and the span
+/// ends on a terminator. Together these guarantee the block decoder consumes
+/// exactly this span — no out-of-bounds read, no shift past 64 bits — for
+/// ANY byte content, so structurally-valid hostile files are safe to scan.
+Status CheckVarintRow(const uint8_t* bytes, uint64_t len, uint32_t degree,
+                      VertexId row) {
+  uint64_t terminators = 0;
+  uint32_t run = 0;  // continuation bytes since the last terminator
+  for (uint64_t i = 0; i < len; ++i) {
+    if (bytes[i] & 0x80) {
+      if (++run > 4) {
+        return Status::Corruption("segment decode: varint longer than 5 bytes "
+                                  "in row " + std::to_string(row));
+      }
+    } else {
+      ++terminators;
+      run = 0;
+    }
+  }
+  if (terminators != degree || (len > 0 && (bytes[len - 1] & 0x80))) {
+    return Status::Corruption(
+        "segment decode: varint stream of row " + std::to_string(row) +
+        " does not hold exactly its declared degree (" +
+        std::to_string(degree) + " ids in " + std::to_string(len) + " bytes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* SegmentEncodingName(SegmentEncoding e) {
+  return e == SegmentEncoding::kPlain ? "plain" : "compressed";
+}
+
+std::string EncodeSegment(uint32_t shard_id, uint32_t num_shards,
+                          VertexId num_vertices_global, VertexId begin,
+                          VertexId end, std::span<const uint64_t> row_offsets,
+                          std::span<const VertexId> targets,
+                          SegmentEncoding encoding) {
+  const uint64_t count = end - begin;
+  SegmentHeader h;
+  std::memcpy(h.magic, kSegmentMagic, sizeof h.magic);
+  h.flags = encoding == SegmentEncoding::kCompressed ? kSegmentFlagCompressed : 0;
+  h.shard_id = shard_id;
+  h.num_shards = num_shards;
+  h.num_vertices = num_vertices_global;
+  h.vertex_begin = begin;
+  h.vertex_end = end;
+  h.num_edges = targets.size();
+
+  std::string out;
+  if (encoding == SegmentEncoding::kPlain) {
+    h.payload_bytes =
+        (count + 1) * sizeof(uint64_t) + targets.size() * sizeof(VertexId);
+    out.reserve(sizeof h + h.payload_bytes + sizeof(uint32_t));
+    AppendPod(out, h);
+    AppendArray(out, row_offsets.data(), count + 1);
+    AppendArray(out, targets.data(), targets.size());
+  } else {
+    std::vector<uint64_t> byte_offsets(count + 1, 0);
+    std::vector<uint32_t> degrees(count);
+    std::vector<uint8_t> bytes;
+    bytes.reserve(targets.size() * 2);
+    for (uint64_t u = 0; u < count; ++u) {
+      degrees[u] = static_cast<uint32_t>(row_offsets[u + 1] - row_offsets[u]);
+      AppendGapEncodedRow(bytes, targets.subspan(row_offsets[u], degrees[u]));
+      byte_offsets[u + 1] = bytes.size();
+    }
+    h.payload_bytes = (count + 1) * sizeof(uint64_t) +
+                      count * sizeof(uint32_t) + bytes.size();
+    out.reserve(sizeof h + h.payload_bytes + sizeof(uint32_t));
+    AppendPod(out, h);
+    AppendArray(out, byte_offsets.data(), byte_offsets.size());
+    AppendArray(out, degrees.data(), degrees.size());
+    AppendArray(out, bytes.data(), bytes.size());
+  }
+  AppendPod(out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<SegmentView> DecodeSegment(std::span<const uint8_t> data, bool verify) {
+  if (data.size() < sizeof(SegmentHeader) + sizeof(uint32_t)) {
+    return Status::Corruption(
+        "segment decode: " + std::to_string(data.size()) +
+        " bytes is shorter than the 64-byte header plus checksum");
+  }
+  if (reinterpret_cast<uintptr_t>(data.data()) % alignof(uint64_t) != 0) {
+    return Status::Invalid(
+        "segment decode: buffer must be 8-byte aligned for zero-copy offset "
+        "views (heap allocations and mmap pages are)");
+  }
+  SegmentHeader h;
+  std::memcpy(&h, data.data(), sizeof h);
+  if (std::memcmp(h.magic, kSegmentMagic, sizeof h.magic) != 0) {
+    return Status::Invalid("segment decode: bad magic — not a UGSG segment");
+  }
+  if (h.version != kSegmentFormatVersion) {
+    return Status::Invalid("segment decode: format version " +
+                           std::to_string(h.version) + " unsupported (reader "
+                           "understands " +
+                           std::to_string(kSegmentFormatVersion) + ")");
+  }
+  if (h.flags & ~kSegmentFlagCompressed) {
+    return Status::Invalid("segment decode: unknown flag bits 0x" +
+                           std::to_string(h.flags));
+  }
+  if (h.vertex_begin > h.vertex_end || h.vertex_end > h.num_vertices) {
+    return Status::Corruption("segment decode: vertex range [" +
+                              std::to_string(h.vertex_begin) + ", " +
+                              std::to_string(h.vertex_end) +
+                              ") inconsistent with graph vertex count " +
+                              std::to_string(h.num_vertices));
+  }
+  if (h.payload_bytes !=
+      data.size() - sizeof(SegmentHeader) - sizeof(uint32_t)) {
+    return Status::Corruption(
+        "segment decode: header claims " + std::to_string(h.payload_bytes) +
+        " payload bytes but the file holds " +
+        std::to_string(data.size() - sizeof(SegmentHeader) - sizeof(uint32_t)));
+  }
+  if (verify) {
+    uint32_t stored;
+    std::memcpy(&stored, data.data() + data.size() - sizeof stored,
+                sizeof stored);
+    const uint32_t actual = Crc32(data.data(), data.size() - sizeof stored);
+    if (stored != actual) {
+      return Status::Corruption("segment decode: checksum mismatch (stored " +
+                                std::to_string(stored) + ", computed " +
+                                std::to_string(actual) + ")");
+    }
+  }
+
+  const uint8_t* payload = data.data() + sizeof(SegmentHeader);
+  const uint64_t count = h.vertex_end - h.vertex_begin;
+  const uint64_t offsets_bytes = (count + 1) * sizeof(uint64_t);
+  if (h.payload_bytes < offsets_bytes) {
+    return Status::Corruption(
+        "segment decode: payload too small for the row-offset array");
+  }
+
+  SegmentView v;
+  v.shard_id = h.shard_id;
+  v.num_vertices = h.num_vertices;
+  v.begin = static_cast<VertexId>(h.vertex_begin);
+  v.end = static_cast<VertexId>(h.vertex_end);
+  v.num_edges = h.num_edges;
+  v.offsets = reinterpret_cast<const uint64_t*>(payload);
+  for (uint64_t u = 0; u < count; ++u) {
+    if (v.offsets[u] > v.offsets[u + 1]) {
+      return Status::Corruption("segment decode: row offsets not ascending at "
+                                "row " + std::to_string(u));
+    }
+  }
+  if (v.offsets[0] != 0) {
+    return Status::Corruption("segment decode: row offsets must start at 0");
+  }
+
+  if ((h.flags & kSegmentFlagCompressed) == 0) {
+    v.encoding = SegmentEncoding::kPlain;
+    if (v.offsets[count] != h.num_edges ||
+        h.payload_bytes != offsets_bytes + h.num_edges * sizeof(VertexId)) {
+      return Status::Corruption(
+          "segment decode: plain payload size does not match the header's "
+          "edge count");
+    }
+    v.targets = reinterpret_cast<const VertexId*>(payload + offsets_bytes);
+    if (verify) {
+      for (uint64_t e = 0; e < h.num_edges; ++e) {
+        if (v.targets[e] >= h.num_vertices) {
+          return Status::Corruption(
+              "segment decode: target id " + std::to_string(v.targets[e]) +
+              " out of range for " + std::to_string(h.num_vertices) +
+              " vertices");
+        }
+      }
+    }
+    return v;
+  }
+
+  v.encoding = SegmentEncoding::kCompressed;
+  const uint64_t degrees_bytes = count * sizeof(uint32_t);
+  if (h.payload_bytes < offsets_bytes + degrees_bytes) {
+    return Status::Corruption(
+        "segment decode: payload too small for the degree array");
+  }
+  v.degrees = reinterpret_cast<const uint32_t*>(payload + offsets_bytes);
+  v.bytes = payload + offsets_bytes + degrees_bytes;
+  const uint64_t bytes_len = h.payload_bytes - offsets_bytes - degrees_bytes;
+  if (v.offsets[count] != bytes_len) {
+    return Status::Corruption(
+        "segment decode: byte offsets do not span the varint stream (" +
+        std::to_string(v.offsets[count]) + " vs " + std::to_string(bytes_len) +
+        " bytes)");
+  }
+  uint64_t degree_sum = 0;
+  for (uint64_t u = 0; u < count; ++u) {
+    UG_RETURN_NOT_OK(CheckVarintRow(v.bytes + v.offsets[u],
+                                    v.offsets[u + 1] - v.offsets[u],
+                                    v.degrees[u], static_cast<VertexId>(u)));
+    degree_sum += v.degrees[u];
+  }
+  if (degree_sum != h.num_edges) {
+    return Status::Corruption("segment decode: degree sum " +
+                              std::to_string(degree_sum) +
+                              " does not match the header's edge count " +
+                              std::to_string(h.num_edges));
+  }
+  if (verify) {
+    // Decode once and bound every id. Gap accumulation can wrap u32 on
+    // hostile streams, so monotonicity cannot be assumed: check each id.
+    for (uint64_t u = 0; u < count; ++u) {
+      for (VertexId t : CompressedCsrGraph::NeighborRange(
+               v.bytes + v.offsets[u], v.degrees[u])) {
+        if (t >= h.num_vertices) {
+          return Status::Corruption(
+              "segment decode: decoded target id " + std::to_string(t) +
+              " out of range for " + std::to_string(h.num_vertices) +
+              " vertices");
+        }
+      }
+    }
+  }
+  return v;
+}
+
+namespace {
+
+/// Manifest file header (40 bytes, 8-byte aligned tail) followed by
+/// u64 shard_begin[S+1], u32 degrees[V], u32 new_to_old[V], u32 crc.
+struct ManifestHeader {
+  char magic[4];
+  uint32_t version = kManifestFormatVersion;
+  uint32_t flags = 0;
+  uint32_t num_shards = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(ManifestHeader) == 40);
+
+inline constexpr uint32_t kManifestFlagCompressed = 1u << 0;
+inline constexpr uint32_t kManifestFlagDirected = 1u << 1;
+
+}  // namespace
+
+std::string EncodeManifest(const ShardManifest& m) {
+  ManifestHeader h;
+  std::memcpy(h.magic, kManifestMagic, sizeof h.magic);
+  h.flags =
+      (m.encoding == SegmentEncoding::kCompressed ? kManifestFlagCompressed
+                                                  : 0) |
+      (m.directed ? kManifestFlagDirected : 0);
+  h.num_shards = static_cast<uint32_t>(m.shard_begin.size() - 1);
+  h.num_vertices = m.num_vertices;
+  h.num_edges = m.num_edges;
+
+  std::string out;
+  out.reserve(sizeof h + m.shard_begin.size() * sizeof(uint64_t) +
+              m.degrees.size() * sizeof(uint32_t) +
+              m.new_to_old.size() * sizeof(VertexId) + sizeof(uint32_t));
+  AppendPod(out, h);
+  AppendArray(out, m.shard_begin.data(), m.shard_begin.size());
+  AppendArray(out, m.degrees.data(), m.degrees.size());
+  AppendArray(out, m.new_to_old.data(), m.new_to_old.size());
+  AppendPod(out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<ShardManifest> DecodeManifest(std::span<const uint8_t> data) {
+  if (data.size() < sizeof(ManifestHeader) + sizeof(uint32_t)) {
+    return Status::Corruption(
+        "manifest decode: " + std::to_string(data.size()) +
+        " bytes is shorter than the 40-byte header plus checksum");
+  }
+  ManifestHeader h;
+  std::memcpy(&h, data.data(), sizeof h);
+  if (std::memcmp(h.magic, kManifestMagic, sizeof h.magic) != 0) {
+    return Status::Invalid("manifest decode: bad magic — not a UGSM manifest");
+  }
+  if (h.version != kManifestFormatVersion) {
+    return Status::Invalid("manifest decode: format version " +
+                           std::to_string(h.version) + " unsupported (reader "
+                           "understands " +
+                           std::to_string(kManifestFormatVersion) + ")");
+  }
+  if (h.flags & ~(kManifestFlagCompressed | kManifestFlagDirected)) {
+    return Status::Invalid("manifest decode: unknown flag bits 0x" +
+                           std::to_string(h.flags));
+  }
+  if (h.num_shards == 0 || h.num_vertices > UINT32_MAX) {
+    return Status::Corruption("manifest decode: implausible shape (" +
+                              std::to_string(h.num_shards) + " shards, " +
+                              std::to_string(h.num_vertices) + " vertices)");
+  }
+  const uint64_t expected =
+      sizeof h + (static_cast<uint64_t>(h.num_shards) + 1) * sizeof(uint64_t) +
+      h.num_vertices * (sizeof(uint32_t) + sizeof(VertexId)) +
+      sizeof(uint32_t);
+  if (data.size() != expected) {
+    return Status::Corruption("manifest decode: file is " +
+                              std::to_string(data.size()) + " bytes, header "
+                              "implies " + std::to_string(expected));
+  }
+  uint32_t stored;
+  std::memcpy(&stored, data.data() + data.size() - sizeof stored,
+              sizeof stored);
+  const uint32_t actual = Crc32(data.data(), data.size() - sizeof stored);
+  if (stored != actual) {
+    return Status::Corruption("manifest decode: checksum mismatch (stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(actual) + ")");
+  }
+
+  ShardManifest m;
+  m.encoding = (h.flags & kManifestFlagCompressed) ? SegmentEncoding::kCompressed
+                                                   : SegmentEncoding::kPlain;
+  m.directed = (h.flags & kManifestFlagDirected) != 0;
+  m.num_vertices = h.num_vertices;
+  m.num_edges = h.num_edges;
+  const uint8_t* p = data.data() + sizeof h;
+  m.shard_begin.resize(static_cast<size_t>(h.num_shards) + 1);
+  std::memcpy(m.shard_begin.data(), p,
+              m.shard_begin.size() * sizeof(uint64_t));
+  p += m.shard_begin.size() * sizeof(uint64_t);
+  m.degrees.resize(h.num_vertices);
+  std::memcpy(m.degrees.data(), p, m.degrees.size() * sizeof(uint32_t));
+  p += m.degrees.size() * sizeof(uint32_t);
+  m.new_to_old.resize(h.num_vertices);
+  std::memcpy(m.new_to_old.data(), p, m.new_to_old.size() * sizeof(VertexId));
+
+  if (m.shard_begin.front() != 0 || m.shard_begin.back() != h.num_vertices) {
+    return Status::Corruption(
+        "manifest decode: shard boundaries must run from 0 to the vertex "
+        "count");
+  }
+  for (size_t s = 0; s + 1 < m.shard_begin.size(); ++s) {
+    if (m.shard_begin[s] > m.shard_begin[s + 1]) {
+      return Status::Corruption(
+          "manifest decode: shard boundaries not ascending at shard " +
+          std::to_string(s));
+    }
+  }
+  uint64_t degree_sum = 0;
+  for (uint32_t d : m.degrees) degree_sum += d;
+  if (degree_sum != h.num_edges) {
+    return Status::Corruption("manifest decode: degree sum " +
+                              std::to_string(degree_sum) +
+                              " does not match the header's edge count " +
+                              std::to_string(h.num_edges));
+  }
+  std::vector<bool> seen(h.num_vertices, false);
+  for (VertexId old : m.new_to_old) {
+    if (old >= h.num_vertices || seen[old]) {
+      return Status::Corruption(
+          "manifest decode: new_to_old is not a permutation of the vertex "
+          "ids");
+    }
+    seen[old] = true;
+  }
+  return m;
+}
+
+}  // namespace ubigraph::shard

@@ -1,0 +1,149 @@
+// On-disk CSR segment format for sharded, out-of-core execution. A graph is
+// split into per-shard segments (ShardedCsr, sharded_csr.h); each segment
+// holds the out-adjacency rows of one contiguous shard of the relabeled
+// vertex space and is serialized as a standalone file:
+//
+//   [SegmentHeader, 64 bytes]
+//   payload, one of:
+//     plain:      u64 row_offsets[count+1]  (edge offsets, local, from 0)
+//                 u32 targets[num_edges]    (global relabeled vertex ids)
+//     compressed: u64 byte_offsets[count+1] (into `bytes`, local, from 0)
+//                 u32 degrees[count]
+//                 u8  bytes[]               (delta-gap LEB128 varints — the
+//                                            exact CompressedCsrGraph coding)
+//   [u32 crc32 of header + payload]
+//
+// All integers little-endian; the header is 64 bytes so both payload arrays
+// start 8-byte aligned, which lets a decoded view alias a read buffer or an
+// mmap'ed file directly (no copy, no fix-up pass). A graph-level manifest
+// file carries what kernels keep resident (shard boundaries, per-vertex
+// degrees, the new->old id map) under the same CRC discipline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/compressed_csr.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::shard {
+
+inline constexpr char kSegmentMagic[4] = {'U', 'G', 'S', 'G'};
+inline constexpr char kManifestMagic[4] = {'U', 'G', 'S', 'M'};
+inline constexpr uint32_t kSegmentFormatVersion = 1;
+inline constexpr uint32_t kManifestFormatVersion = 1;
+
+/// How a segment stores its adjacency rows.
+enum class SegmentEncoding : uint8_t {
+  /// Raw u32 target arrays — zero decode cost, 4 bytes per stored edge.
+  kPlain = 0,
+  /// Delta-gap varint rows (CompressedCsrGraph's coding) — roughly half the
+  /// bytes on sorted power-law adjacency, decoded 16 ids per block.
+  kCompressed = 1,
+};
+
+const char* SegmentEncodingName(SegmentEncoding e);
+
+/// Fixed-size on-disk segment header. Kept at 64 bytes so the payload arrays
+/// that follow are 8-byte aligned in any page-aligned mapping of the file.
+struct SegmentHeader {
+  char magic[4];
+  uint32_t version = kSegmentFormatVersion;
+  uint32_t flags = 0;  // bit 0: compressed encoding
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;
+  uint32_t num_vertices = 0;  // of the whole graph — bounds every target id
+  uint64_t vertex_begin = 0;  // global relabeled-id range [begin, end)
+  uint64_t vertex_end = 0;
+  uint64_t num_edges = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t reserved1 = 0;
+};
+static_assert(sizeof(SegmentHeader) == 64, "payload alignment depends on this");
+
+inline constexpr uint32_t kSegmentFlagCompressed = 1u << 0;
+
+/// A decoded, zero-copy view into one segment's serialized bytes. Valid only
+/// while the underlying buffer (blob or mapping) stays alive — the cache's
+/// pin protocol (segment_cache.h) guarantees that for kernels.
+struct SegmentView {
+  uint32_t shard_id = 0;
+  VertexId num_vertices = 0;  // whole-graph vertex count from the header
+  VertexId begin = 0;         // global relabeled-id range [begin, end)
+  VertexId end = 0;
+  uint64_t num_edges = 0;
+  SegmentEncoding encoding = SegmentEncoding::kPlain;
+  const uint64_t* offsets = nullptr;   // size count()+1 (edge or byte offsets)
+  const VertexId* targets = nullptr;   // plain only, size num_edges
+  const uint32_t* degrees = nullptr;   // compressed only, size count()
+  const uint8_t* bytes = nullptr;      // compressed only
+
+  VertexId count() const { return end - begin; }
+
+  uint64_t OutDegree(VertexId global) const {
+    const VertexId u = global - begin;
+    return encoding == SegmentEncoding::kPlain ? offsets[u + 1] - offsets[u]
+                                               : degrees[u];
+  }
+  /// Plain-row access; only valid when encoding == kPlain.
+  std::span<const VertexId> PlainNeighbors(VertexId global) const {
+    const VertexId u = global - begin;
+    return {targets + offsets[u], targets + offsets[u + 1]};
+  }
+  /// Varint-row access; only valid when encoding == kCompressed.
+  CompressedCsrGraph::NeighborRange PackedNeighbors(VertexId global) const {
+    const VertexId u = global - begin;
+    return {bytes + offsets[u], degrees[u]};
+  }
+
+  /// Calls row(u, neighbor_range) for every u in [from, to) — the one branch
+  /// on the encoding happens per segment scan, not per vertex.
+  template <typename RowFn>
+  void ScanRows(VertexId from, VertexId to, RowFn&& row) const {
+    if (encoding == SegmentEncoding::kPlain) {
+      for (VertexId u = from; u < to; ++u) row(u, PlainNeighbors(u));
+    } else {
+      for (VertexId u = from; u < to; ++u) row(u, PackedNeighbors(u));
+    }
+  }
+};
+
+/// Serializes rows [begin, end) of a relabeled adjacency into a segment blob.
+/// `row_offsets` are local edge offsets (size end-begin+1, starting at 0)
+/// into `targets`, whose ids must be ascending within each row for the
+/// compressed encoding (duplicates allowed — gap 0).
+std::string EncodeSegment(uint32_t shard_id, uint32_t num_shards,
+                          VertexId num_vertices_global, VertexId begin,
+                          VertexId end, std::span<const uint64_t> row_offsets,
+                          std::span<const VertexId> targets,
+                          SegmentEncoding encoding);
+
+/// Validates and decodes a serialized segment without copying: the returned
+/// view aliases `data`, which must be 8-byte aligned (heap buffers and mmap
+/// pages are). Structural checks (magic, version, sizes, offset monotonicity,
+/// varint stream well-formedness) always run and guarantee the view's
+/// decoders cannot read out of bounds; `verify` additionally checks the
+/// trailing CRC and that every target id is < the header's vertex count —
+/// the cache runs that once per file, not on every re-load. Hostile bytes
+/// yield a clear Status, never UB.
+Result<SegmentView> DecodeSegment(std::span<const uint8_t> data, bool verify);
+
+/// Graph-level metadata kept fully resident: what every sharded kernel needs
+/// without touching a segment (O(V + S) state, no O(E) arrays).
+struct ShardManifest {
+  SegmentEncoding encoding = SegmentEncoding::kPlain;
+  bool directed = true;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  std::vector<uint64_t> shard_begin;  // size num_shards+1, ascending
+  std::vector<uint32_t> degrees;      // out-degree per relabeled id, size V
+  std::vector<VertexId> new_to_old;   // relabeled id -> original id, size V
+};
+
+std::string EncodeManifest(const ShardManifest& m);
+Result<ShardManifest> DecodeManifest(std::span<const uint8_t> data);
+
+}  // namespace ubigraph::shard

@@ -1,0 +1,357 @@
+#include "shard/shard_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "algorithms/traversal.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ubigraph::shard {
+namespace {
+
+/// Contiguous ascending shard ownership: worker w owns shards
+/// [w*per, (w+1)*per). Ascending blocks are what makes the per-destination
+/// replay order (workers ascending, shards ascending, rows ascending) equal
+/// to one global ascending source sweep.
+struct ShardPlan {
+  uint32_t num_shards;
+  unsigned workers;
+  uint32_t per;
+
+  ShardPlan(uint32_t s, unsigned w)
+      : num_shards(s), workers(w), per((s + w - 1) / w) {}
+  uint32_t lo(unsigned w) const {
+    return std::min<uint32_t>(w * per, num_shards);
+  }
+  uint32_t hi(unsigned w) const {
+    return std::min<uint32_t>(lo(w) + per, num_shards);
+  }
+};
+
+/// Runs fn(w) for every worker, on the pool when present. Workers record
+/// failures into their own slot of `status`; the first non-OK (lowest w)
+/// wins, deterministically.
+template <typename Fn>
+Status RunWorkers(ThreadPool* pool, unsigned workers, Fn&& fn) {
+  std::vector<Status> status(workers);
+  if (pool == nullptr) {
+    status[0] = fn(0u);
+  } else {
+    for (unsigned w = 0; w < workers; ++w) {
+      pool->Submit([&status, &fn, w] { status[w] = fn(w); });
+    }
+    pool->Wait();
+  }
+  for (unsigned w = 0; w < workers; ++w) {
+    UG_RETURN_NOT_OK(status[w]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardedPageRankResult> ShardedPageRank(
+    const ShardedCsr& g, const ShardedPageRankOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::Invalid("damping must be in [0, 1)");
+  }
+  const uint32_t S = g.num_shards();
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  const unsigned W = pool == nullptr ? 1 : pool->size();
+  const ShardPlan plan(S, W);
+
+  const double d = options.damping;
+  const double tp = 1.0 / n;
+  const std::span<const uint32_t> degrees = g.degrees();
+  // Same operands as the in-RAM kernel's inv_outdeg (1.0 / double(degree)),
+  // so every contribution is the identical double.
+  std::vector<double> inv_outdeg(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (degrees[v] > 0) inv_outdeg[v] = 1.0 / static_cast<double>(degrees[v]);
+  }
+
+  std::vector<double> rank(n, tp), next(n);
+  // Per-(worker, destination shard) message streams, emission-ordered.
+  std::vector<std::vector<std::vector<VertexId>>> msg_dst(
+      W, std::vector<std::vector<VertexId>>(S));
+  std::vector<std::vector<std::vector<double>>> msg_val(
+      W, std::vector<std::vector<double>>(S));
+
+  ShardedPageRankResult result;
+  uint64_t edges_streamed = 0;
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Straight serial loops for the two global reductions: their float
+    // association must match the serial in-RAM kernel regardless of W.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (degrees[v] == 0) dangling += rank[v];
+    }
+
+    UG_RETURN_NOT_OK(RunWorkers(pool, W, [&](unsigned w) -> Status {
+      for (uint32_t t = 0; t < S; ++t) {
+        msg_dst[w][t].clear();
+        msg_val[w][t].clear();
+      }
+      for (uint32_t s = plan.lo(w); s < plan.hi(w); ++s) {
+        UG_ASSIGN_OR_RETURN(SegmentCache::Pin pin, g.AcquireShard(s));
+        const SegmentView& view = pin.view();
+        view.ScanRows(view.begin, view.end, [&](VertexId u, auto&& nbrs) {
+          if (inv_outdeg[u] == 0.0) return;
+          const double contrib = d * rank[u] * inv_outdeg[u];
+          for (VertexId v : nbrs) {
+            const uint32_t t = g.shard_of(v);
+            msg_dst[w][t].push_back(v);
+            msg_val[w][t].push_back(contrib);
+          }
+        });
+      }
+      return Status::OK();
+    }));
+
+    // Apply destination shards independently (disjoint next[] ranges),
+    // replaying each shard's streams in ascending worker order.
+    auto apply = [&](uint32_t t) {
+      const VertexId shard_b = g.shard_begin(t);
+      const VertexId shard_e = g.shard_begin(t + 1);
+      for (VertexId v = shard_b; v < shard_e; ++v) {
+        next[v] = (1.0 - d) * tp + d * dangling * tp;
+      }
+      for (unsigned w = 0; w < W; ++w) {
+        const auto& ds = msg_dst[w][t];
+        const auto& vs = msg_val[w][t];
+        for (size_t i = 0; i < ds.size(); ++i) next[ds[i]] += vs[i];
+      }
+    };
+    if (pool == nullptr) {
+      for (uint32_t t = 0; t < S; ++t) apply(t);
+    } else {
+      ParallelFor(*pool, 0, S,
+                  [&](uint64_t t) { apply(static_cast<uint32_t>(t)); });
+    }
+
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    edges_streamed += g.num_edges();
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  const std::span<const VertexId> n2o = g.new_to_old();
+  result.scores.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.scores[n2o[v]] = rank[v];
+  obs::AddCounter("shard.pagerank.edges_streamed",
+                  static_cast<int64_t>(edges_streamed));
+  return result;
+}
+
+Result<std::vector<uint32_t>> ShardedBfs(
+    const ShardedCsr& g, VertexId source,
+    const ShardedTraversalOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (source >= n) {
+    return Status::OutOfRange("ShardedBfs: source " + std::to_string(source) +
+                              " out of range for " + std::to_string(n) +
+                              " vertices");
+  }
+  const uint32_t S = g.num_shards();
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  const unsigned W = pool == nullptr ? 1 : pool->size();
+  const ShardPlan plan(S, W);
+
+  const std::span<const VertexId> n2o = g.new_to_old();
+  std::vector<VertexId> old_to_new(n);
+  for (VertexId v = 0; v < n; ++v) old_to_new[n2o[v]] = v;
+  const VertexId src = old_to_new[source];
+
+  std::vector<uint32_t> dist(n, algo::kUnreachable);
+  dist[src] = 0;
+  // Frontier-vertex count per shard: shards at zero are never acquired in a
+  // level — the segment-skipping that makes sparse levels cheap out of core.
+  std::vector<uint64_t> active(S, 0);
+  active[g.shard_of(src)] = 1;
+
+  std::vector<std::vector<std::vector<VertexId>>> msg_dst(
+      W, std::vector<std::vector<VertexId>>(S));
+  std::vector<uint64_t> worker_edges(W, 0);
+
+  for (uint32_t level = 0;; ++level) {
+    UG_RETURN_NOT_OK(RunWorkers(pool, W, [&](unsigned w) -> Status {
+      for (uint32_t t = 0; t < S; ++t) msg_dst[w][t].clear();
+      uint64_t scanned = 0;
+      for (uint32_t s = plan.lo(w); s < plan.hi(w); ++s) {
+        if (active[s] == 0) continue;
+        UG_ASSIGN_OR_RETURN(SegmentCache::Pin pin, g.AcquireShard(s));
+        const SegmentView& view = pin.view();
+        view.ScanRows(view.begin, view.end, [&](VertexId u, auto&& nbrs) {
+          if (dist[u] != level) return;
+          scanned += nbrs.size();
+          for (VertexId v : nbrs) {
+            if (dist[v] == algo::kUnreachable) {
+              msg_dst[w][g.shard_of(v)].push_back(v);
+            }
+          }
+        });
+      }
+      worker_edges[w] += scanned;
+      return Status::OK();
+    }));
+
+    auto apply = [&](uint32_t t) {
+      uint64_t discovered = 0;
+      for (unsigned w = 0; w < W; ++w) {
+        for (VertexId v : msg_dst[w][t]) {
+          if (dist[v] == algo::kUnreachable) {
+            dist[v] = level + 1;
+            ++discovered;
+          }
+        }
+      }
+      active[t] = discovered;
+    };
+    if (pool == nullptr) {
+      for (uint32_t t = 0; t < S; ++t) apply(t);
+    } else {
+      ParallelFor(*pool, 0, S,
+                  [&](uint64_t t) { apply(static_cast<uint32_t>(t)); });
+    }
+
+    uint64_t total = 0;
+    for (uint32_t t = 0; t < S; ++t) total += active[t];
+    if (total == 0) break;
+  }
+
+  std::vector<uint32_t> out(n);
+  for (VertexId v = 0; v < n; ++v) out[n2o[v]] = dist[v];
+  uint64_t edges_scanned = 0;
+  for (unsigned w = 0; w < W; ++w) edges_scanned += worker_edges[w];
+  obs::AddCounter("shard.bfs.edges_scanned",
+                  static_cast<int64_t>(edges_scanned));
+  return out;
+}
+
+Result<algo::ComponentResult> ShardedComponents(
+    const ShardedCsr& g, const ShardedTraversalOptions& options) {
+  const VertexId n = g.num_vertices();
+  const uint32_t S = g.num_shards();
+  const unsigned threads = ResolveNumThreads(options.num_threads);
+  std::optional<ThreadPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads);
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
+  const unsigned W = pool == nullptr ? 1 : pool->size();
+  const ShardPlan plan(S, W);
+
+  // Jacobi min-label over the previous round's labels only: min is
+  // order-insensitive, so the fixpoint (and every intermediate round) is
+  // identical at any worker/shard layout. Reverse messages (v -> u's label)
+  // make connectivity weak on directed graphs without an in-edge index, and
+  // the cur[cur[u]] pointer jump keeps round counts near the label-prop
+  // kernel's instead of the graph diameter.
+  std::vector<uint32_t> cur(n), next(n);
+  for (VertexId v = 0; v < n; ++v) cur[v] = v;
+
+  std::vector<std::vector<std::vector<VertexId>>> msg_dst(
+      W, std::vector<std::vector<VertexId>>(S));
+  std::vector<std::vector<std::vector<uint32_t>>> msg_val(
+      W, std::vector<std::vector<uint32_t>>(S));
+  uint64_t edges_scanned = 0;
+  uint32_t rounds = 0;
+
+  while (true) {
+    // Scatter: worker w owns next[u] for u in its shards (no other worker
+    // writes them before the barrier), so local minima apply in place;
+    // reverse influence crosses shards as (v, cur[u]) messages.
+    UG_RETURN_NOT_OK(RunWorkers(pool, W, [&](unsigned w) -> Status {
+      for (uint32_t t = 0; t < S; ++t) {
+        msg_dst[w][t].clear();
+        msg_val[w][t].clear();
+      }
+      for (uint32_t s = plan.lo(w); s < plan.hi(w); ++s) {
+        UG_ASSIGN_OR_RETURN(SegmentCache::Pin pin, g.AcquireShard(s));
+        const SegmentView& view = pin.view();
+        view.ScanRows(view.begin, view.end, [&](VertexId u, auto&& nbrs) {
+          uint32_t best = std::min(cur[u], cur[cur[u]]);
+          const uint32_t label_u = cur[u];
+          for (VertexId v : nbrs) {
+            best = std::min(best, cur[v]);
+            if (label_u < cur[v]) {
+              const uint32_t t = g.shard_of(v);
+              msg_dst[w][t].push_back(v);
+              msg_val[w][t].push_back(label_u);
+            }
+          }
+          next[u] = best;
+        });
+      }
+      return Status::OK();
+    }));
+
+    auto apply = [&](uint32_t t) {
+      for (unsigned w = 0; w < W; ++w) {
+        const auto& ds = msg_dst[w][t];
+        const auto& vs = msg_val[w][t];
+        for (size_t i = 0; i < ds.size(); ++i) {
+          next[ds[i]] = std::min(next[ds[i]], vs[i]);
+        }
+      }
+    };
+    if (pool == nullptr) {
+      for (uint32_t t = 0; t < S; ++t) apply(t);
+    } else {
+      ParallelFor(*pool, 0, S,
+                  [&](uint64_t t) { apply(static_cast<uint32_t>(t)); });
+    }
+
+    edges_scanned += g.num_edges();
+    ++rounds;
+    bool changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (next[v] != cur[v]) {
+        changed = true;
+        break;
+      }
+    }
+    cur.swap(next);
+    if (!changed) break;
+    // next[] is stale after the swap; the coming round rewrites every entry
+    // (scatter covers all rows, including degree-0 ones, via ScanRows).
+  }
+
+  // Canonical labels in ORIGINAL id space: first appearance in ascending
+  // original order, exactly algo::WeaklyConnectedComponents' numbering.
+  const std::span<const VertexId> n2o = g.new_to_old();
+  std::vector<VertexId> old_to_new(n);
+  for (VertexId v = 0; v < n; ++v) old_to_new[n2o[v]] = v;
+  algo::ComponentResult result;
+  result.label.resize(n);
+  std::vector<uint32_t> canon(n, UINT32_MAX);
+  uint32_t num = 0;
+  for (VertexId old = 0; old < n; ++old) {
+    const uint32_t root = cur[old_to_new[old]];
+    if (canon[root] == UINT32_MAX) canon[root] = num++;
+    result.label[old] = canon[root];
+  }
+  result.num_components = num;
+  obs::AddCounter("shard.cc.edges_scanned",
+                  static_cast<int64_t>(edges_scanned));
+  obs::AddCounter("shard.cc.rounds", rounds);
+  return result;
+}
+
+}  // namespace ubigraph::shard

@@ -66,6 +66,33 @@ TEST(BfsGrowTest, HandlesDisconnectedGraph) {
   EXPECT_EQ(total, 10u);
 }
 
+TEST(BfsGrowTest, FixedSeedIsBitwiseStable) {
+  // The sharded-CSR layout (src/shard/) derives its vertex relabeling from
+  // this partition, so a fixed seed must reproduce the exact assignment —
+  // not just an equally good one — across runs and part counts.
+  auto g = Community4x25(6);
+  for (uint32_t k : {2u, 4u, 7u}) {
+    Rng rng_a(123), rng_b(123);
+    auto a = BfsGrowPartition(g, k, &rng_a).ValueOrDie();
+    auto b = BfsGrowPartition(g, k, &rng_b).ValueOrDie();
+    EXPECT_EQ(a.part, b.part) << "k=" << k;
+  }
+  // Different seeds pick different BFS seeds, so assignments diverge.
+  Rng rng_c(123), rng_d(456);
+  auto c = BfsGrowPartition(g, 4, &rng_c).ValueOrDie();
+  auto d = BfsGrowPartition(g, 4, &rng_d).ValueOrDie();
+  EXPECT_NE(c.part, d.part);
+}
+
+TEST(LdgPartitionTest, DeterministicAcrossRuns) {
+  // LDG takes no rng: two invocations must agree bitwise (stream order and
+  // tie-breaks are fully specified).
+  auto g = Community4x25(8);
+  auto a = LdgPartition(g, 5).ValueOrDie();
+  auto b = LdgPartition(g, 5).ValueOrDie();
+  EXPECT_EQ(a.part, b.part);
+}
+
 TEST(BfsGrowTest, NullRngRejected) {
   auto g = Community4x25(1);
   EXPECT_FALSE(BfsGrowPartition(g, 2, nullptr).ok());
@@ -98,6 +125,35 @@ TEST(EvaluateTest, FullCut) {
   auto q = EvaluatePartition(g, p).ValueOrDie();
   EXPECT_EQ(q.edge_cut, 1u);
   EXPECT_DOUBLE_EQ(q.cut_fraction, 1.0);
+}
+
+TEST(EvaluateTest, EdgeBalanceSeparatesWorkFromVertexCounts) {
+  // Directed star: vertex 0 carries ALL the scatter work. A {hub}, {leaves}
+  // split looks lopsided by vertex count in the opposite direction of its
+  // actual work balance.
+  auto g = CsrGraph::FromPairs(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}).ValueOrDie();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 1, 1, 1, 1};
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  ASSERT_EQ(q.part_out_edges.size(), 2u);
+  EXPECT_EQ(q.part_out_edges[0], 4u);
+  EXPECT_EQ(q.part_out_edges[1], 0u);
+  // Ideal = 2 out-edges/part; part 0 holds 4 -> imbalance 1.0.
+  EXPECT_DOUBLE_EQ(q.edge_imbalance, 1.0);
+  // Vertex imbalance says part 1 is the heavy one (4 vs ideal 2.5).
+  EXPECT_DOUBLE_EQ(q.imbalance, 4.0 / 2.5 - 1.0);
+}
+
+TEST(EvaluateTest, EdgeBalancePerfectOnEvenWork) {
+  auto g = CsrGraph::FromPairs(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}}).ValueOrDie();
+  Partitioning p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+  auto q = EvaluatePartition(g, p).ValueOrDie();
+  EXPECT_EQ(q.part_out_edges[0], 2u);
+  EXPECT_EQ(q.part_out_edges[1], 2u);
+  EXPECT_DOUBLE_EQ(q.edge_imbalance, 0.0);
 }
 
 TEST(EvaluateTest, SizeMismatchRejected) {
