@@ -195,8 +195,10 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
       if (bpe != run.counters.end()) s.bytes_per_edge = bpe->second.value;
       auto wi = run.counters.find("work_items");
       if (wi != run.counters.end()) s.work_items = wi->second.value;
-      auto prb = run.counters.find("peak_resident_bytes");
-      if (prb != run.counters.end()) s.peak_resident_bytes = prb->second.value;
+      auto psb = run.counters.find("peak_segment_bytes");
+      if (psb != run.counters.end()) s.peak_segment_bytes = psb->second.value;
+      auto rss = run.counters.find("peak_rss_bytes");
+      if (rss != run.counters.end()) s.peak_rss_bytes = rss->second.value;
       auto threads = run.counters.find("threads");
       if (threads != run.counters.end()) {
         s.threads = static_cast<int64_t>(threads->second.value);
@@ -231,13 +233,14 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
       // state doesn't; drop it whenever enough repetitions remain to still
       // take a median.
       const size_t begin = runs.size() > 2 ? 1 : 0;
-      std::vector<double> ns, eps, bpe, wi, prb;
+      std::vector<double> ns, eps, bpe, wi, psb, rss;
       for (size_t i = begin; i < runs.size(); ++i) {
         ns.push_back(runs[i]->real_ns);
         eps.push_back(runs[i]->edges_per_second);
         bpe.push_back(runs[i]->bytes_per_edge);
         wi.push_back(runs[i]->work_items);
-        prb.push_back(runs[i]->peak_resident_bytes);
+        psb.push_back(runs[i]->peak_segment_bytes);
+        rss.push_back(runs[i]->peak_rss_bytes);
       }
       const double med_ns = Median(ns);
       double spread = 0.0;
@@ -260,9 +263,18 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
           << ", \"median_real_ns\": " << Finite(med_ns)
           << ", \"edges_per_second\": " << Finite(Median(eps))
           << ", \"bytes_per_edge\": " << Finite(Median(bpe))
-          << ", \"work_items\": " << Finite(Median(wi))
-          << ", \"peak_resident_bytes\": " << Finite(Median(prb))
-          << ", \"repeats\": " << ns.size()
+          << ", \"work_items\": " << Finite(Median(wi));
+      // Memory fields only where a bench measured them (out-of-core runs):
+      // peak_segment_bytes is the cache's adjacency high-water mark,
+      // peak_rss_bytes the process-wide getrusage peak that also covers
+      // kernel scratch (message buffers) and vertex state.
+      if (Median(psb) > 0.0) {
+        out << ", \"peak_segment_bytes\": " << Finite(Median(psb));
+      }
+      if (Median(rss) > 0.0) {
+        out << ", \"peak_rss_bytes\": " << Finite(Median(rss));
+      }
+      out << ", \"repeats\": " << ns.size()
           << ", \"rel_spread\": " << Finite(spread) << "}";
     }
     out << "\n]\n";
@@ -279,7 +291,8 @@ class BenchJsonReporter : public benchmark::ConsoleReporter {
     double edges_per_second = 0.0;
     double bytes_per_edge = 0.0;  // 0 unless the bench reports compression
     double work_items = 0.0;  // 0 unless the bench reports per-batch work
-    double peak_resident_bytes = 0.0;  // 0 unless out-of-core (perf_sharded)
+    double peak_segment_bytes = 0.0;  // 0 unless out-of-core (perf_sharded)
+    double peak_rss_bytes = 0.0;      // 0 unless out-of-core (perf_sharded)
     int64_t threads = 1;
   };
 

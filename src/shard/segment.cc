@@ -179,8 +179,15 @@ Result<SegmentView> DecodeSegment(std::span<const uint8_t> data, bool verify) {
 
   if ((h.flags & kSegmentFlagCompressed) == 0) {
     v.encoding = SegmentEncoding::kPlain;
-    if (v.offsets[count] != h.num_edges ||
-        h.payload_bytes != offsets_bytes + h.num_edges * sizeof(VertexId)) {
+    // Derive the edge count from the real payload size (division, never a
+    // multiply of the attacker-controlled header field): num_edges around
+    // 2^62 would make `num_edges * sizeof(VertexId)` wrap u64 and pass a
+    // product-based size check, letting offsets/targets index far out of
+    // bounds. payload_bytes itself is already pinned to the file size above.
+    const uint64_t targets_bytes = h.payload_bytes - offsets_bytes;
+    if (targets_bytes % sizeof(VertexId) != 0 ||
+        h.num_edges != targets_bytes / sizeof(VertexId) ||
+        v.offsets[count] != h.num_edges) {
       return Status::Corruption(
           "segment decode: plain payload size does not match the header's "
           "edge count");
@@ -309,7 +316,10 @@ Result<ShardManifest> DecodeManifest(std::span<const uint8_t> data) {
     return Status::Invalid("manifest decode: unknown flag bits 0x" +
                            std::to_string(h.flags));
   }
-  if (h.num_shards == 0 || h.num_vertices > UINT32_MAX) {
+  // num_vertices == 0 is rejected to mirror ShardedCsr::Build's empty-graph
+  // check: a degenerate manifest would otherwise open cleanly and feed n = 0
+  // into kernels (1.0/n teleport, empty-array indexing).
+  if (h.num_shards == 0 || h.num_vertices == 0 || h.num_vertices > UINT32_MAX) {
     return Status::Corruption("manifest decode: implausible shape (" +
                               std::to_string(h.num_shards) + " shards, " +
                               std::to_string(h.num_vertices) + " vertices)");

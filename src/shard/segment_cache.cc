@@ -253,6 +253,13 @@ void SegmentCache::EvictLocked(uint32_t shard) {
     ::munmap(e.map_addr, e.size);
     e.map_addr = nullptr;
   }
+  // File-backed entries may hold the file contents in a heap buffer (the
+  // kResident path); release it so a failed decode doesn't retain the whole
+  // file in an entry marked unloaded. Blob-backed entries (FromBlobs) own
+  // their bytes for the cache's lifetime and are never evicted.
+  if (!e.path.empty()) {
+    e.blob = std::string{};
+  }
   if (e.loaded) {
     e.loaded = false;
     resident_bytes_ -= e.size;
@@ -286,7 +293,7 @@ uint64_t SegmentCache::resident_bytes() const {
   return resident_bytes_;
 }
 
-uint64_t SegmentCache::peak_resident_bytes() const {
+uint64_t SegmentCache::peak_segment_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_resident_bytes_;
 }

@@ -105,8 +105,11 @@ class SegmentCache {
   uint64_t budget_bytes() const { return options_.budget_bytes; }
   uint64_t resident_bytes() const;
   /// High-water mark of resident_bytes over this cache's lifetime — the
-  /// number perf_sharded reports as peak_resident_bytes.
-  uint64_t peak_resident_bytes() const;
+  /// number perf_sharded reports as peak_segment_bytes. This counts SEGMENT
+  /// bytes only (mapped or heap-resident adjacency); kernel scratch such as
+  /// the per-(worker, dst-shard) message buffers (~12 B per scanned edge per
+  /// iteration, see shard_kernels.h) is separate heap the cache cannot see.
+  uint64_t peak_segment_bytes() const;
 
  private:
   struct Entry {

@@ -630,6 +630,33 @@ TEST(FuzzSmokeTest, SegmentHostileHeadersFailCleanly) {
   // Shrinking num_vertices below the largest target id must trip the
   // deep id-range check under verify.
   EXPECT_FALSE(SegmentDecodes(tamper(20, 2, 4), true));
+  // Unsigned-wrap attack: num_edges = 2^62 + E makes num_edges * 4 wrap u64
+  // back to the true payload size, so a product-based size check would pass
+  // and the target-id verify loop (or, under verify=false, kernels indexing
+  // through 2^62-scale offsets) would read far out of bounds. Stamping the
+  // header field alone is caught by offsets[count] != num_edges, so the full
+  // exploit also stamps the last row offset to the wrapped value; the
+  // decoder must derive the edge count from the payload by division to
+  // reject it. Both verify modes — the CRC is re-stamped, so only the
+  // structural check stands between this header and UB.
+  uint64_t true_edges = 0, vertex_begin = 0, vertex_end = 0;
+  std::memcpy(&vertex_begin, valid.data() + 24, sizeof vertex_begin);
+  std::memcpy(&vertex_end, valid.data() + 32, sizeof vertex_end);
+  std::memcpy(&true_edges, valid.data() + 40, sizeof true_edges);
+  const uint64_t wrapped = (uint64_t{1} << 62) + true_edges;
+  const size_t last_offset_pos =
+      sizeof(shard::SegmentHeader) + (vertex_end - vertex_begin) * 8;
+  auto wrap_both = [&](bool verify) {
+    std::string doc = tamper(40, wrapped, 8);
+    std::memcpy(doc.data() + last_offset_pos, &wrapped, sizeof wrapped);
+    uint32_t crc = Crc32(doc.data(), doc.size() - sizeof(uint32_t));
+    std::memcpy(doc.data() + doc.size() - sizeof(uint32_t), &crc, sizeof crc);
+    return SegmentDecodes(doc, verify);
+  };
+  EXPECT_FALSE(SegmentDecodes(tamper(40, wrapped, 8), true));
+  EXPECT_FALSE(SegmentDecodes(tamper(40, wrapped, 8), false));
+  EXPECT_FALSE(wrap_both(true));
+  EXPECT_FALSE(wrap_both(false));
 }
 
 TEST(FuzzSmokeTest, ManifestDecoderIsTotal) {
@@ -657,6 +684,18 @@ TEST(FuzzSmokeTest, ManifestDecoderIsTotal) {
     if (ManifestDecodes(mutated)) ++accepted;
   }
   EXPECT_EQ(accepted, 0);
+}
+
+TEST(FuzzSmokeTest, ManifestRejectsZeroVertices) {
+  // Build never emits an empty manifest (it rejects empty graphs), so a
+  // num_vertices == 0 manifest is by definition crafted/degenerate; it must
+  // not open, or kernels would divide by n = 0 and index empty arrays.
+  shard::ShardManifest m;
+  m.num_vertices = 0;
+  m.num_edges = 0;
+  m.shard_begin = {0, 0};
+  std::string encoded = shard::EncodeManifest(m);
+  EXPECT_FALSE(ManifestDecodes(encoded));
 }
 
 TEST(FuzzSmokeTest, ShardedOpenHostileDirectoryFailsCleanly) {

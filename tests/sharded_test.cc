@@ -306,8 +306,8 @@ TEST(ShardedOutOfCoreTest, BudgetedCacheStaysPartialAndExact) {
   const ShardedPageRankResult got = RunShardedPageRank(opened, 2);
   ExpectBitwiseEqual(got.scores, want.scores);
   // The cache cycled segments instead of accumulating them all.
-  EXPECT_GT(opened.cache().peak_resident_bytes(), 0u);
-  EXPECT_LT(opened.cache().peak_resident_bytes(),
+  EXPECT_GT(opened.cache().peak_segment_bytes(), 0u);
+  EXPECT_LT(opened.cache().peak_segment_bytes(),
             opened.cache().total_bytes());
   EXPECT_EQ(ShardedBfs(opened, 0).ValueOrDie(),
             ShardedBfs(built, 0).ValueOrDie());
