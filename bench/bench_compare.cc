@@ -4,12 +4,14 @@
 // --write-baseline the merged measurements replace the baseline instead (no
 // comparison). With --require-work-items, any current record whose
 // machine-independent work counter is missing-in-effect (<= 0) also fails the
-// gate. Malformed input — not a JSON array, missing/mistyped required fields,
-// NaN rates — is a hard error (exit 2), never a silent skip. Used by
-// ci/perf_smoke.sh.
+// gate. With --gate-memory, peak_segment_bytes / peak_msg_bytes /
+// peak_rss_bytes are gated too when both sides report them (RSS gets a more
+// generous allowance; see CompareOptions). Malformed input — not a JSON
+// array, missing/mistyped required fields, NaN rates — is a hard error
+// (exit 2), never a silent skip. Used by ci/perf_smoke.sh.
 //
 // Usage:
-//   bench_compare [--require-work-items] <baseline.json> <max_regression> <current.json>...
+//   bench_compare [--require-work-items] [--gate-memory] <baseline.json> <max_regression> <current.json>...
 //   bench_compare --write-baseline <baseline.json> <current.json>...
 #include <cstdio>
 #include <cstdlib>
@@ -51,8 +53,8 @@ void LoadOrDie(const std::string& path, std::map<std::string, Record>* out) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: bench_compare [--require-work-items] <baseline.json> "
-               "<max_regression> <current.json>...\n"
+               "usage: bench_compare [--require-work-items] [--gate-memory] "
+               "<baseline.json> <max_regression> <current.json>...\n"
                "       bench_compare --write-baseline <baseline.json> "
                "<current.json>...\n");
   return 2;
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
       write_baseline = true;
     } else if (std::strcmp(argv[arg], "--require-work-items") == 0) {
       options.require_work_items = true;
+    } else if (std::strcmp(argv[arg], "--gate-memory") == 0) {
+      options.gate_memory = true;
     } else {
       return Usage();
     }
@@ -104,11 +108,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_compare: no overlapping benchmarks\n");
     return 2;
   }
-  if (cmp.regressions > 0 || cmp.work_violations > 0) {
+  if (cmp.regressions > 0 || cmp.work_violations > 0 ||
+      cmp.mem_regressions > 0) {
     std::fprintf(stderr,
                  "bench_compare: %d benchmark(s) regressed beyond allowance, "
-                 "%d missing work counters\n",
-                 cmp.regressions, cmp.work_violations);
+                 "%d missing work counters, %d memory counter(s) grew past "
+                 "their gate\n",
+                 cmp.regressions, cmp.work_violations, cmp.mem_regressions);
     return 1;
   }
   std::printf(

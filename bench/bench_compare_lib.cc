@@ -111,8 +111,18 @@ Status LoadRecords(const std::string& json_text, const std::string& origin,
         GetOptionalNumber(entry, origin, name, "repeats", 1.0, &repeats));
     UG_RETURN_NOT_OK(
         GetOptionalNumber(entry, origin, name, "rel_spread", 0.0, &r.rel_spread));
+    UG_RETURN_NOT_OK(GetOptionalNumber(entry, origin, name, "peak_segment_bytes",
+                                       0.0, &r.peak_segment_bytes));
+    UG_RETURN_NOT_OK(GetOptionalNumber(entry, origin, name, "peak_rss_bytes",
+                                       0.0, &r.peak_rss_bytes));
+    UG_RETURN_NOT_OK(GetOptionalNumber(entry, origin, name, "peak_msg_bytes",
+                                       0.0, &r.peak_msg_bytes));
     if (r.median_real_ns < 0.0 || r.rel_spread < 0.0) {
       return FieldError(origin, name, "median_real_ns/rel_spread", "is negative");
+    }
+    if (r.peak_segment_bytes < 0.0 || r.peak_rss_bytes < 0.0 ||
+        r.peak_msg_bytes < 0.0) {
+      return FieldError(origin, name, "peak_*_bytes", "is negative");
     }
     r.threads = static_cast<int64_t>(threads);
     r.repeats = static_cast<int64_t>(repeats);
@@ -132,13 +142,29 @@ std::string FormatRecords(const std::map<std::string, Record>& records) {
                   "  {\"name\": \"%s\", \"kernel\": \"%s\", \"mode\": \"%s\", "
                   "\"graph\": \"%s\", \"threads\": %lld, \"median_real_ns\": %g, "
                   "\"edges_per_second\": %g, \"bytes_per_edge\": %g, "
-                  "\"work_items\": %g, \"repeats\": %lld, \"rel_spread\": %g}",
+                  "\"work_items\": %g, \"repeats\": %lld, \"rel_spread\": %g",
                   name.c_str(), r.kernel.c_str(), r.mode.c_str(),
                   r.graph.c_str(), static_cast<long long>(r.threads),
                   r.median_real_ns, r.edges_per_second, r.bytes_per_edge,
                   r.work_items, static_cast<long long>(r.repeats),
                   r.rel_spread);
     out += buf;
+    // Memory counters are emitted only when reported (> 0), matching the
+    // reporter's own conditional emission and keeping old files byte-stable
+    // through a load/format round-trip.
+    const struct {
+      const char* key;
+      double value;
+    } mem[] = {{"peak_segment_bytes", r.peak_segment_bytes},
+               {"peak_rss_bytes", r.peak_rss_bytes},
+               {"peak_msg_bytes", r.peak_msg_bytes}};
+    for (const auto& m : mem) {
+      if (m.value > 0.0) {
+        std::snprintf(buf, sizeof(buf), ", \"%s\": %g", m.key, m.value);
+        out += buf;
+      }
+    }
+    out += "}";
   }
   out += "\n]\n";
   return out;
@@ -183,6 +209,33 @@ Comparison Compare(const std::map<std::string, Record>& baseline,
     result.report += line;
     if (slow) ++result.regressions;
     if (no_work) ++result.work_violations;
+    if (options.gate_memory) {
+      // Gate a memory counter only when both sides reported it: a bench that
+      // gained (or lost) a counter between baseline and now has nothing
+      // meaningful to compare, and old baselines must not start failing.
+      const struct {
+        const char* key;
+        double base_v, cur_v, allow;
+      } mem[] = {{"peak_segment_bytes", base.peak_segment_bytes,
+                  cur.peak_segment_bytes, options.max_mem_regression},
+                 {"peak_rss_bytes", base.peak_rss_bytes, cur.peak_rss_bytes,
+                  options.max_rss_regression},
+                 {"peak_msg_bytes", base.peak_msg_bytes, cur.peak_msg_bytes,
+                  options.max_mem_regression}};
+      for (const auto& m : mem) {
+        if (m.base_v <= 0.0 || m.cur_v <= 0.0) continue;
+        const double mem_ratio = m.cur_v / m.base_v;
+        const bool grew = mem_ratio > 1.0 + m.allow;
+        if (grew) ++result.mem_regressions;
+        std::snprintf(line, sizeof(line),
+                      "  %s  %-45s  %12.0f B vs %12.0f B   (%s %+.1f%% / "
+                      "allow %.0f%%)\n",
+                      grew ? "MEM-REG" : "ok     ", name.c_str(), m.cur_v,
+                      m.base_v, m.key, (mem_ratio - 1.0) * 100.0,
+                      m.allow * 100.0);
+        result.report += line;
+      }
+    }
   }
   return result;
 }

@@ -28,6 +28,11 @@ struct Record {
   double work_items = 0.0;      // machine-independent work per kernel run
   int64_t repeats = 1;          // timing samples behind the median
   double rel_spread = 0.0;      // (max-min)/median of those samples
+  // Memory footprint counters; 0 when a bench doesn't report them (records
+  // written before these fields existed load as 0 and are never gated).
+  double peak_segment_bytes = 0.0;  // segment-cache high-water mark
+  double peak_rss_bytes = 0.0;      // process RSS high-water mark
+  double peak_msg_bytes = 0.0;      // message-stream buffer high-water mark
 };
 
 /// Parses one BENCH.json array into `out` (later records override earlier
@@ -49,6 +54,20 @@ struct CompareOptions {
   /// every benchmark in the smoke suite must carry a machine-independent
   /// work counter so rates can be sanity-checked off wall-clock.
   bool require_work_items = false;
+  /// When true, memory counters present in BOTH baseline and current (> 0 on
+  /// both sides) are gated too: an out-of-core kernel that silently starts
+  /// buffering whole partitions again is a regression even if wall-clock
+  /// improves. Fields absent from either side are skipped, so old baselines
+  /// stay comparable.
+  bool gate_memory = false;
+  /// Allowed growth for peak_segment_bytes / peak_msg_bytes. These are
+  /// deterministic byte counters (cache/budget bookkeeping, not the OS), so
+  /// the gate is tight-ish.
+  double max_mem_regression = 0.30;
+  /// Allowed growth for peak_rss_bytes. RSS folds in allocator slack, page
+  /// cache sharing, and whatever the process touched earlier, so the
+  /// allowance is deliberately generous.
+  double max_rss_regression = 0.50;
 };
 
 struct Comparison {
@@ -56,9 +75,13 @@ struct Comparison {
   int regressions = 0;
   int missing = 0;           // in baseline but not measured (warned, not fatal)
   int work_violations = 0;   // current records with work_items <= 0
+  int mem_regressions = 0;   // memory counters past their gate (gate_memory)
   std::string report;        // human-readable per-benchmark lines
 
-  bool ok() const { return regressions == 0 && work_violations == 0 && compared > 0; }
+  bool ok() const {
+    return regressions == 0 && work_violations == 0 && mem_regressions == 0 &&
+           compared > 0;
+  }
 };
 
 /// Compares current measurements against the baseline. The per-benchmark

@@ -4,7 +4,10 @@
 # real time regressed more than the noise-aware allowance (25% + both runs'
 # observed rel_spread) against the checked-in ci/perf_baseline.json, or if
 # any current record is missing its machine-independent work counter
-# (--require-work-items). The scale-12 slice includes non-RMAT corpus shapes
+# (--require-work-items), or if a memory counter shared by baseline and
+# current (peak_segment_bytes / peak_msg_bytes, and more loosely
+# peak_rss_bytes) grew past its gate (--gate-memory) — the out-of-core
+# records must stay out-of-core. The scale-12 slice includes non-RMAT corpus shapes
 # (BM_BfsHybridRoad on the road lattice, BM_PageRankPullLfr on the LFR
 # community graph), so the gate is not blind to locality regressions that an
 # RMAT-only smoke would miss.
@@ -61,6 +64,6 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 2
 fi
 
-"$BUILD_DIR/bench/bench_compare" --require-work-items \
+"$BUILD_DIR/bench/bench_compare" --require-work-items --gate-memory \
   "$BASELINE" "$MAX_REGRESSION" "${OUTS[@]}"
 echo "perf_smoke: OK"

@@ -1,0 +1,175 @@
+#include "shard/msg_stream.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/crc32.h"
+
+namespace ubigraph::shard {
+
+const char* MsgStrategyName(MsgStrategy s) {
+  switch (s) {
+    case MsgStrategy::kDenseCombine:
+      return "dense_combine";
+    case MsgStrategy::kUncombined:
+      return "uncombined";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir,
+                                                     unsigned worker) {
+  if (dir.empty()) {
+    return Status::Invalid("spill file: empty scratch directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("spill file: cannot create directory " + dir +
+                           ": " + ec.message());
+  }
+  // pid + a process-wide sequence number keep concurrent kernels (and
+  // repeated iterations of the test matrix over one shard directory) from
+  // colliding; O_EXCL turns any leftover name reuse into a hard error.
+  static std::atomic<uint64_t> seq{0};
+  char name[96];
+  std::snprintf(name, sizeof name, "msg_%ld_%llu_w%u.spill",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(seq.fetch_add(1)), worker);
+  std::string path = (std::filesystem::path(dir) / name).string();
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0600);
+  if (fd < 0) {
+    return Status::IOError("spill file: open " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<SpillFile>(new SpillFile(fd, std::move(path)));
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+Status SpillFile::Append(const void* data, size_t len, uint64_t* offset_out) {
+  *offset_out = size_;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t remaining = len;
+  uint64_t at = size_;
+  while (remaining > 0) {
+    ssize_t n = ::pwrite(fd_, p, remaining, static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("spill file: write " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    p += n;
+    at += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  size_ += len;
+  return Status::OK();
+}
+
+Status SpillFile::ReadAt(void* dst, size_t len, uint64_t offset) const {
+  uint8_t* p = static_cast<uint8_t*>(dst);
+  size_t remaining = len;
+  uint64_t at = offset;
+  while (remaining > 0) {
+    ssize_t n = ::pread(fd_, p, remaining, static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("spill file: read " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption("spill file: " + path_ +
+                                " truncated (short read at offset " +
+                                std::to_string(at) + ")");
+    }
+    p += n;
+    at += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SpillFile::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("spill file: truncate " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  size_ = 0;
+  return Status::OK();
+}
+
+namespace msg_internal {
+
+Status AppendSpillBlock(SpillFile* file, uint32_t dst_shard,
+                        uint32_t value_bytes, const void* dsts,
+                        const void* vals, uint64_t count, uint64_t* offset_out,
+                        uint64_t* bytes_out) {
+  SpillBlockHeader hdr;
+  hdr.magic = kSpillBlockMagic;
+  hdr.dst_shard = dst_shard;
+  hdr.value_bytes = value_bytes;
+  hdr.count = count;
+  const uint64_t dst_bytes = count * sizeof(VertexId);
+  const uint64_t val_bytes = count * value_bytes;
+  // One contiguous buffer per block: header + payload + trailing CRC over
+  // everything before it, so a torn write anywhere in the block fails the
+  // checksum on replay.
+  std::vector<uint8_t> block(sizeof hdr + dst_bytes + val_bytes +
+                             sizeof(uint32_t));
+  std::memcpy(block.data(), &hdr, sizeof hdr);
+  std::memcpy(block.data() + sizeof hdr, dsts, dst_bytes);
+  if (val_bytes > 0) {
+    std::memcpy(block.data() + sizeof hdr + dst_bytes, vals, val_bytes);
+  }
+  const uint32_t crc = Crc32(block.data(), block.size() - sizeof(uint32_t));
+  std::memcpy(block.data() + block.size() - sizeof(uint32_t), &crc,
+              sizeof crc);
+  UG_RETURN_NOT_OK(file->Append(block.data(), block.size(), offset_out));
+  *bytes_out = block.size();
+  return Status::OK();
+}
+
+Status ReadSpillBlock(const SpillFile& file, uint32_t dst_shard,
+                      uint32_t value_bytes, uint64_t offset, uint64_t count,
+                      std::vector<uint8_t>* scratch) {
+  const uint64_t dst_bytes = count * sizeof(VertexId);
+  const uint64_t val_bytes = count * value_bytes;
+  const uint64_t total =
+      sizeof(SpillBlockHeader) + dst_bytes + val_bytes + sizeof(uint32_t);
+  scratch->resize(total);
+  UG_RETURN_NOT_OK(file.ReadAt(scratch->data(), total, offset));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, scratch->data() + total - sizeof(uint32_t),
+              sizeof stored_crc);
+  const uint32_t actual_crc =
+      Crc32(scratch->data(), total - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("spill file: " + file.path() +
+                              " block CRC mismatch at offset " +
+                              std::to_string(offset));
+  }
+  SpillBlockHeader hdr;
+  std::memcpy(&hdr, scratch->data(), sizeof hdr);
+  if (hdr.magic != kSpillBlockMagic || hdr.dst_shard != dst_shard ||
+      hdr.value_bytes != value_bytes || hdr.count != count) {
+    return Status::Corruption(
+        "spill file: " + file.path() + " block at offset " +
+        std::to_string(offset) + " does not match its stream index");
+  }
+  return Status::OK();
+}
+
+}  // namespace msg_internal
+
+}  // namespace ubigraph::shard

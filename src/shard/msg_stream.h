@@ -1,0 +1,353 @@
+// Message-combining and spill layer for the sharded kernels: the scratch that
+// carries per-iteration (destination, value) traffic between the scatter and
+// apply phases of shard_kernels.cc. PR 9 buffered that traffic as in-RAM
+// per-(worker, destination-shard) vectors — O(scanned edges) heap per
+// iteration (~12 B/edge for PageRank), which dwarfed the segment-cache budget
+// at scale and made the execution only semi-external. Two strategies close
+// that gap:
+//
+//   * kDenseCombine (default) — no message streams at all. Workers own
+//     contiguous ascending blocks of DESTINATION shards; each worker scans
+//     every (active) segment in ascending shard order and folds messages for
+//     its own destinations directly into the dense output array
+//     (next[v] for PageRank, dist/frontier flags for BFS, next-label for CC).
+//     Because every destination is owned by exactly one worker and sources
+//     are visited in globally ascending order, each accumulator receives its
+//     contributions in exactly the SERIAL kernel's order — so results are
+//     bitwise-identical to the uncombined oracle (and the in-RAM kernels) at
+//     every thread count, shard count, and encoding. The trade is the classic
+//     destination-partitioned streaming one (GridGraph): with W workers each
+//     segment is scanned up to W times, but message memory drops from O(E)
+//     sparse pairs to zero bytes beyond the O(V) state the kernel already
+//     owns, and the single-worker path (the out-of-core benchmark
+//     configuration) does strictly less work — dense 8 B adds instead of
+//     12 B push_back + replay indirection.
+//
+//   * kUncombined — PR 9's exact emission-ordered streams, kept as the
+//     bitwise oracle and as the strategy whose scatter scans each segment
+//     once. MsgStreams<V> below buffers (dst, value) records per
+//     (worker, destination shard); when the configured message_budget_bytes
+//     is exceeded, full stream blocks are appended to CRC-checked scratch
+//     files (one ".spill" file per worker, self-deleting on every exit path)
+//     and replayed sequentially in the same ascending worker -> emission
+//     order, so the replay association — and therefore the result — is
+//     unchanged by where blocks happened to live.
+//
+// Budget semantics: message_budget_bytes bounds the LOGICAL buffered message
+// bytes across all workers (each worker spills when its slice,
+// budget/workers, would overflow). Vector growth slack means transient heap
+// capacity can reach ~2x the logical bound; peak_msg_bytes reports the
+// logical high-water mark, the number tests assert against the budget.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/edge_list.h"
+
+namespace ubigraph::shard {
+
+/// How a sharded kernel moves messages from scatter to apply.
+enum class MsgStrategy : uint8_t {
+  /// Destination-owned dense accumulation (see file comment). No message
+  /// scratch; bitwise-identical to kUncombined everywhere.
+  kDenseCombine = 0,
+  /// Emission-ordered per-(worker, dst-shard) streams — the PR 9 replay
+  /// path, kept as the bitwise oracle. Spills under a message budget.
+  kUncombined = 1,
+};
+
+const char* MsgStrategyName(MsgStrategy s);
+
+/// Message-layer counters a kernel run reports (also flushed to the obs
+/// registry as shard.msg.* by the kernels).
+struct MsgStats {
+  /// High-water mark of logical buffered message bytes (kUncombined) —
+  /// 0 under kDenseCombine, which buffers nothing.
+  uint64_t peak_msg_bytes = 0;
+  uint64_t spill_bytes = 0;   ///< total bytes written to spill scratch
+  uint64_t spill_blocks = 0;  ///< CRC-checked blocks written
+  uint64_t spill_files = 0;   ///< scratch files created (<= workers)
+  /// Edge messages folded into dense state with no stream record.
+  uint64_t combined_edges = 0;
+};
+
+/// Message-layer options embedded in every sharded kernel's options struct.
+struct MsgOptions {
+  MsgStrategy strategy = MsgStrategy::kDenseCombine;
+  /// kUncombined only: spill stream blocks to scratch once logical buffered
+  /// bytes would exceed this. 0 = unlimited (never spill, PR 9 behavior).
+  uint64_t message_budget_bytes = 0;
+  /// Where spill scratch lives. "" = the ShardedCsr's own directory when it
+  /// was Open()ed from disk, else the system temp directory.
+  std::string spill_dir;
+  /// When non-null, receives the run's message-layer counters.
+  MsgStats* stats_out = nullptr;
+};
+
+/// One worker's append-only spill scratch file. Created lazily on first
+/// spill; the destructor closes and unlinks it, so scratch cannot outlive
+/// the owning MsgStreams on any exit path (success, error Status, or an
+/// exception unwinding through the kernel).
+class SpillFile {
+ public:
+  static Result<std::unique_ptr<SpillFile>> Create(const std::string& dir,
+                                                   unsigned worker);
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends `len` bytes; returns the offset they start at.
+  Status Append(const void* data, size_t len, uint64_t* offset_out);
+  /// Reads exactly `len` bytes at `offset` (pread — safe from any thread).
+  Status ReadAt(void* dst, size_t len, uint64_t offset) const;
+  /// Truncates back to empty for the next iteration's blocks.
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SpillFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+/// On-disk header of one spill block: [header][dst u32 * count]
+/// [value * count][crc32 of header + payload]. Integers little-endian
+/// (matching segment.h's discipline; the file never leaves the machine but
+/// hostile or torn bytes must still fail cleanly, which the trailing CRC and
+/// the field cross-checks against the in-RAM block index guarantee).
+struct SpillBlockHeader {
+  uint32_t magic = 0;
+  uint32_t dst_shard = 0;
+  uint32_t value_bytes = 0;
+  uint32_t reserved = 0;
+  uint64_t count = 0;
+};
+static_assert(sizeof(SpillBlockHeader) == 24, "on-disk layout");
+
+inline constexpr uint32_t kSpillBlockMagic = 0x424d4755u;  // "UGMB"
+
+/// Marker value type for streams that carry destinations only (BFS).
+struct MsgNoValue {};
+
+/// Per-(worker, destination-shard) message streams with budget-bounded spill.
+/// V is the per-message payload (double for PageRank contributions, uint32_t
+/// for CC labels, MsgNoValue for BFS discoveries).
+///
+/// Threading contract: Emit(w, ...) is called only by worker w (no locks —
+/// workers own disjoint state); Replay(t, ...) may run concurrently for
+/// different t after the scatter barrier (it reads immutable block indexes
+/// and uses pread); Reset() runs on the coordinating thread between
+/// iterations. The kernel's fork/join barriers provide the happens-before
+/// edges, exactly as they did for PR 9's raw vectors.
+template <typename V>
+class MsgStreams {
+ public:
+  static constexpr uint64_t kValueBytes =
+      std::is_same_v<V, MsgNoValue> ? 0 : sizeof(V);
+  static constexpr uint64_t kRecordBytes = sizeof(VertexId) + kValueBytes;
+
+  /// `spill_dir` may be empty only when budget_bytes == 0.
+  static Result<MsgStreams> Create(unsigned workers, uint32_t shards,
+                                   uint64_t budget_bytes,
+                                   const std::string& spill_dir) {
+    if (workers == 0 || shards == 0) {
+      return Status::Invalid("msg streams: workers and shards must be > 0");
+    }
+    if (budget_bytes != 0 && spill_dir.empty()) {
+      return Status::Invalid(
+          "msg streams: a message budget needs a spill directory");
+    }
+    MsgStreams ms;
+    ms.shards_ = shards;
+    ms.spill_dir_ = spill_dir;
+    ms.slice_bytes_ =
+        budget_bytes == 0 ? 0 : std::max<uint64_t>(budget_bytes / workers, 1);
+    ms.workers_.resize(workers);
+    for (WorkerState& w : ms.workers_) w.bufs.resize(shards);
+    return ms;
+  }
+
+  /// Appends one message from worker `w` to destination shard `t`. May spill
+  /// the worker's buffered blocks first when its budget slice would overflow.
+  Status Emit(unsigned w, uint32_t t, VertexId dst, V value = V{}) {
+    WorkerState& wk = workers_[w];
+    if (slice_bytes_ != 0 && wk.bytes + kRecordBytes > slice_bytes_) {
+      UG_RETURN_NOT_OK(SpillWorker(w));
+    }
+    Buffer& b = wk.bufs[t];
+    b.dst.push_back(dst);
+    if constexpr (kValueBytes != 0) b.val.push_back(value);
+    wk.bytes += kRecordBytes;
+    if (wk.bytes > wk.peak_bytes) wk.peak_bytes = wk.bytes;
+    return Status::OK();
+  }
+
+  /// Replays destination shard `t`'s messages in emission order, workers
+  /// ascending — spilled blocks first (they were emitted before the in-RAM
+  /// tail), each verified against its CRC and the in-RAM index before a
+  /// single record reaches `fn`. fn(dst, value) (fn(dst) when V is
+  /// MsgNoValue).
+  template <typename Fn>
+  Status Replay(uint32_t t, Fn&& fn) const {
+    std::vector<uint8_t> scratch;
+    for (const WorkerState& wk : workers_) {
+      const Buffer& b = wk.bufs[t];
+      for (const BlockRef& ref : b.blocks) {
+        UG_RETURN_NOT_OK(ReadBlock(wk, t, ref, &scratch));
+        const uint8_t* dsts = scratch.data() + sizeof(SpillBlockHeader);
+        [[maybe_unused]] const uint8_t* vals =
+            dsts + ref.count * sizeof(VertexId);
+        for (uint64_t i = 0; i < ref.count; ++i) {
+          VertexId dst;
+          std::memcpy(&dst, dsts + i * sizeof(VertexId), sizeof dst);
+          if constexpr (kValueBytes == 0) {
+            fn(dst);
+          } else {
+            V value;
+            std::memcpy(&value, vals + i * kValueBytes, sizeof value);
+            fn(dst, value);
+          }
+        }
+      }
+      for (size_t i = 0; i < b.dst.size(); ++i) {
+        if constexpr (kValueBytes == 0) {
+          fn(b.dst[i]);
+        } else {
+          fn(b.dst[i], b.val[i]);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Clears all streams for the next iteration; spill files are truncated
+  /// and reused, so scratch disk usage is bounded by one iteration's spill.
+  Status Reset() {
+    for (WorkerState& wk : workers_) {
+      for (Buffer& b : wk.bufs) {
+        b.dst.clear();
+        b.val.clear();
+        b.blocks.clear();
+      }
+      wk.bytes = 0;
+      if (wk.file != nullptr) UG_RETURN_NOT_OK(wk.file->Truncate());
+    }
+    return Status::OK();
+  }
+
+  /// Aggregated counters. Call after a barrier (the workers' fields are not
+  /// synchronized mid-scatter). peak_msg_bytes sums per-worker high-water
+  /// marks — an upper bound on any instantaneous total, and <= the budget by
+  /// construction (each worker's peak <= its slice).
+  MsgStats stats() const {
+    MsgStats s;
+    for (const WorkerState& wk : workers_) {
+      s.peak_msg_bytes += wk.peak_bytes;
+      s.spill_bytes += wk.spill_bytes;
+      s.spill_blocks += wk.spill_blocks;
+      if (wk.file != nullptr) ++s.spill_files;
+    }
+    return s;
+  }
+
+  /// Paths of the scratch files created so far (tests use this to verify
+  /// cleanup and to feed hostile bytes through Replay).
+  std::vector<std::string> spill_paths() const {
+    std::vector<std::string> paths;
+    for (const WorkerState& wk : workers_) {
+      if (wk.file != nullptr) paths.push_back(wk.file->path());
+    }
+    return paths;
+  }
+
+ private:
+  struct BlockRef {
+    uint64_t offset = 0;  // of the SpillBlockHeader in the worker's file
+    uint64_t count = 0;
+  };
+  struct Buffer {
+    std::vector<VertexId> dst;
+    std::vector<V> val;            // unused (empty) when V is MsgNoValue
+    std::vector<BlockRef> blocks;  // spilled prefix, in emission order
+  };
+  struct WorkerState {
+    std::vector<Buffer> bufs;  // one per destination shard
+    uint64_t bytes = 0;        // logical buffered bytes
+    uint64_t peak_bytes = 0;
+    uint64_t spill_bytes = 0;
+    uint64_t spill_blocks = 0;
+    std::unique_ptr<SpillFile> file;  // created on first spill
+  };
+
+  MsgStreams() = default;
+
+  /// Writes every non-empty buffer of worker `w` as one CRC-checked block
+  /// and releases the buffer capacity (the point of spilling is giving the
+  /// RAM back, not just emptying vectors).
+  Status SpillWorker(unsigned w);
+
+  static Status ReadBlock(const WorkerState& wk, uint32_t t,
+                          const BlockRef& ref, std::vector<uint8_t>* scratch);
+
+  uint32_t shards_ = 0;
+  uint64_t slice_bytes_ = 0;  // per-worker budget share; 0 = unlimited
+  std::string spill_dir_;
+  std::vector<WorkerState> workers_;
+};
+
+// Implementation helpers shared by the template instantiations (msg_stream.cc
+// defines them for the three V types the kernels use).
+namespace msg_internal {
+Status AppendSpillBlock(SpillFile* file, uint32_t dst_shard,
+                        uint32_t value_bytes, const void* dsts,
+                        const void* vals, uint64_t count,
+                        uint64_t* offset_out, uint64_t* bytes_out);
+Status ReadSpillBlock(const SpillFile& file, uint32_t dst_shard,
+                      uint32_t value_bytes, uint64_t offset, uint64_t count,
+                      std::vector<uint8_t>* scratch);
+}  // namespace msg_internal
+
+template <typename V>
+Status MsgStreams<V>::SpillWorker(unsigned w) {
+  WorkerState& wk = workers_[w];
+  if (wk.file == nullptr) {
+    UG_ASSIGN_OR_RETURN(wk.file, SpillFile::Create(spill_dir_, w));
+  }
+  for (uint32_t t = 0; t < shards_; ++t) {
+    Buffer& b = wk.bufs[t];
+    if (b.dst.empty()) continue;
+    uint64_t offset = 0, bytes = 0;
+    UG_RETURN_NOT_OK(msg_internal::AppendSpillBlock(
+        wk.file.get(), t, static_cast<uint32_t>(kValueBytes), b.dst.data(),
+        b.val.data(), b.dst.size(), &offset, &bytes));
+    b.blocks.push_back(BlockRef{offset, b.dst.size()});
+    wk.spill_bytes += bytes;
+    ++wk.spill_blocks;
+    // swap-with-empty releases capacity; clear() would keep the heap.
+    std::vector<VertexId>().swap(b.dst);
+    std::vector<V>().swap(b.val);
+  }
+  wk.bytes = 0;
+  return Status::OK();
+}
+
+template <typename V>
+Status MsgStreams<V>::ReadBlock(const WorkerState& wk, uint32_t t,
+                                const BlockRef& ref,
+                                std::vector<uint8_t>* scratch) {
+  return msg_internal::ReadSpillBlock(*wk.file, t,
+                                      static_cast<uint32_t>(kValueBytes),
+                                      ref.offset, ref.count, scratch);
+}
+
+}  // namespace ubigraph::shard

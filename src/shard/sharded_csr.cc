@@ -220,7 +220,50 @@ Result<ShardedCsr> ShardedCsr::Open(const std::string& dir,
       sharded.shard_of_[v] = static_cast<uint16_t>(s);
     }
   }
+  sharded.dir_ = dir;
   return sharded;
+}
+
+std::span<const double> ShardedCsr::InvOutDegrees(ThreadPool* pool) const {
+  std::call_once(derived_->inv_outdeg_once, [&] {
+    const VertexId n = num_vertices();
+    std::vector<double>& inv = derived_->inv_outdeg;
+    inv.resize(n);
+    const std::span<const uint32_t> deg = degrees();
+    auto fill = [&](uint64_t b, uint64_t e) {
+      for (uint64_t v = b; v < e; ++v) {
+        inv[v] = deg[v] > 0 ? 1.0 / deg[v] : 0.0;
+      }
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      ParallelForChunks(*pool, 0, n, fill);
+    } else {
+      fill(0, n);
+    }
+  });
+  return derived_->inv_outdeg;
+}
+
+std::span<const VertexId> ShardedCsr::OldToNew(ThreadPool* pool) const {
+  std::call_once(derived_->old_to_new_once, [&] {
+    const VertexId n = num_vertices();
+    std::vector<VertexId>& o2n = derived_->old_to_new;
+    o2n.resize(n);
+    const std::span<const VertexId> n2o = new_to_old();
+    // Scatter inverse: disjoint writes (new_to_old is a permutation), so the
+    // chunked parallel fill is race-free.
+    auto fill = [&](uint64_t b, uint64_t e) {
+      for (uint64_t v = b; v < e; ++v) {
+        o2n[n2o[v]] = static_cast<VertexId>(v);
+      }
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      ParallelForChunks(*pool, 0, n, fill);
+    } else {
+      fill(0, n);
+    }
+  });
+  return derived_->old_to_new;
 }
 
 Result<SegmentCache::Pin> ShardedCsr::AcquireShard(uint32_t s) const {

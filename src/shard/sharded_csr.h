@@ -22,9 +22,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/parallel.h"
 
 #include "common/result.h"
 #include "graph/csr_graph.h"
@@ -106,6 +109,21 @@ class ShardedCsr {
   /// through this so callers always see original ids.
   std::span<const VertexId> new_to_old() const { return manifest_.new_to_old; }
 
+  /// 1/out-degree per relabeled id (0.0 for sinks) — PageRank's per-source
+  /// contribution factor. Built on first use (parallelized over `pool` when
+  /// given) and cached for the life of this instance; a ShardedCsr is
+  /// immutable after Build/Open, so the cache can never go stale. Thread-safe.
+  std::span<const double> InvOutDegrees(ThreadPool* pool = nullptr) const;
+
+  /// Original id -> relabeled id, the inverse of new_to_old(). Same caching
+  /// and threading contract as InvOutDegrees().
+  std::span<const VertexId> OldToNew(ThreadPool* pool = nullptr) const;
+
+  /// The directory this instance was Open()ed from; empty for Build-produced
+  /// (in-memory) instances. Kernels place message spill scratch here so it
+  /// shares the segment files' filesystem.
+  const std::string& dir() const { return dir_; }
+
   SegmentCache& cache() const { return *cache_; }
 
   /// Acquire + cross-check: the pinned view must cover exactly this shard's
@@ -114,11 +132,23 @@ class ShardedCsr {
   Result<SegmentCache::Pin> AcquireShard(uint32_t s) const;
 
  private:
-  ShardedCsr() = default;
+  // Lazily-built derived state (satellite of the kernel hot-path hoist: the
+  // kernels used to rebuild these serially on every call). Boxed so the
+  // std::once_flags don't make ShardedCsr unmovable.
+  struct Derived {
+    std::once_flag inv_outdeg_once;
+    std::once_flag old_to_new_once;
+    std::vector<double> inv_outdeg;
+    std::vector<VertexId> old_to_new;
+  };
+
+  ShardedCsr() : derived_(std::make_unique<Derived>()) {}
 
   ShardManifest manifest_;
   std::vector<uint16_t> shard_of_;  // size V; why num_shards <= 65535
   std::unique_ptr<SegmentCache> cache_;
+  std::string dir_;  // set by Open()
+  std::unique_ptr<Derived> derived_;
 };
 
 }  // namespace ubigraph::shard

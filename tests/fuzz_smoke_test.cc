@@ -30,6 +30,7 @@
 #include "query/cypher_parser.h"
 #include "query/plan_cache.h"
 #include "rdf/ntriples.h"
+#include "shard/msg_stream.h"
 #include "shard/segment.h"
 #include "shard/sharded_csr.h"
 #include "stream/incremental_components.h"
@@ -757,6 +758,77 @@ TEST(FuzzSmokeTest, ShardedOpenHostileDirectoryFailsCleanly) {
     (void)b;
     return std::string("not a segment at all");
   }));
+  fs::remove_all(dir);
+}
+
+TEST(FuzzSmokeTest, SpillStreamReplaySurvivesHostileScratch) {
+  // Message spill scratch (shard/msg_stream.h) tampered on disk between
+  // emission and replay: truncations, bit flips, and garbage must all
+  // surface as a clean Status from Replay — never a crash or a silent
+  // wrong replay (every block is CRC-checked and cross-checked against the
+  // in-RAM stream index).
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ubigraph_fuzz_spill";
+  fs::remove_all(dir);
+  {
+    auto ms = shard::MsgStreams<double>::Create(/*workers=*/1, /*shards=*/2,
+                                                /*budget_bytes=*/64,
+                                                dir.string())
+                  .ValueOrDie();
+    for (VertexId i = 0; i < 64; ++i) {
+      ASSERT_TRUE(ms.Emit(0, i % 2, i, 1.0 * i).ok());
+    }
+    const std::vector<std::string> paths = ms.spill_paths();
+    ASSERT_EQ(paths.size(), 1u);
+    const fs::path target = paths[0];
+
+    std::ifstream in(target, std::ios::binary);
+    const std::string original((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(original.size(), 64u);
+
+    auto replay_all_ok = [&] {
+      bool ok = true;
+      for (uint32_t t = 0; t < 2; ++t) {
+        ok = ms.Replay(t, [](VertexId, double) {}).ok() && ok;
+      }
+      return ok;
+    };
+    // The in-place overwrite reaches the same inode Replay preads from.
+    auto overwrite = [&](const std::string& bytes) {
+      std::ofstream out(target, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    };
+    ASSERT_TRUE(replay_all_ok());
+
+    // Truncations at several depths: short reads, not crashes.
+    for (size_t keep : {size_t{0}, size_t{1}, original.size() / 2,
+                        original.size() - 1}) {
+      overwrite(original.substr(0, keep));
+      EXPECT_FALSE(replay_all_ok()) << "truncated to " << keep << " bytes";
+    }
+    // Every single-byte flip anywhere in the file must fail some block's
+    // CRC or index cross-check.
+    for (size_t off = 0; off < original.size(); off += 3) {
+      std::string mutated = original;
+      mutated[off] = static_cast<char>(mutated[off] ^ 0x20);
+      overwrite(mutated);
+      EXPECT_FALSE(replay_all_ok()) << "byte flip at offset " << off;
+    }
+    // Random garbage of the same length.
+    Rng rng(1234);
+    for (int i = 0; i < 50; ++i) {
+      std::string garbage(original.size(), '\0');
+      for (char& c : garbage) c = static_cast<char>(rng.NextBounded(256));
+      overwrite(garbage);
+      EXPECT_FALSE(replay_all_ok()) << "garbage iteration " << i;
+    }
+    // Restoring the bytes restores the replay.
+    overwrite(original);
+    EXPECT_TRUE(replay_all_ok());
+  }
+  EXPECT_TRUE(fs::is_empty(dir)) << "spill scratch leaked";
   fs::remove_all(dir);
 }
 
